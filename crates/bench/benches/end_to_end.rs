@@ -1,0 +1,52 @@
+//! Macro-benchmark: the full Figure-1 scenario — scheduling,
+//! compilation, simulated execution with barriers and probe traffic.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sdn_channel::config::ChannelConfig;
+use sdn_sim::scenario::{run_scenario, AlgoChoice, Scenario};
+use sdn_topo::gen::UpdatePair;
+use sdn_types::SimDuration;
+
+fn fig1_pair() -> UpdatePair {
+    let f = sdn_topo::builders::figure1();
+    UpdatePair {
+        old: f.old_route,
+        new: f.new_route,
+        waypoint: Some(f.waypoint),
+    }
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(20);
+
+    for algo in [AlgoChoice::WayUp, AlgoChoice::TwoPhase, AlgoChoice::OneShot] {
+        group.bench_function(format!("fig1_{algo}"), |b| {
+            b.iter(|| {
+                let mut sc = Scenario::new("bench", fig1_pair(), algo)
+                    .with_channel(ChannelConfig::jittery(SimDuration::from_millis(2)))
+                    .with_seed(1);
+                sc.inject_count = 200;
+                sc.inject_interval = SimDuration::from_micros(500);
+                sc.verify = false;
+                run_scenario(black_box(&sc)).unwrap()
+            })
+        });
+    }
+
+    group.bench_function("fig1_wayup_with_verification", |b| {
+        b.iter(|| {
+            let mut sc = Scenario::new("bench", fig1_pair(), AlgoChoice::WayUp)
+                .with_channel(ChannelConfig::jittery(SimDuration::from_millis(2)))
+                .with_seed(1);
+            sc.inject_count = 0;
+            sc.verify = true;
+            run_scenario(black_box(&sc)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

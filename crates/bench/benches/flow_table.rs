@@ -1,0 +1,53 @@
+//! Micro-benchmark: flow-table apply and lookup.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sdn_openflow::flow::{Action, FlowMatch, PacketMeta};
+use sdn_openflow::messages::{FlowMod, FlowModCommand};
+use sdn_switch::FlowTable;
+use sdn_types::{HostId, PortNo};
+
+fn filled_table(n: u32) -> FlowTable {
+    let mut t = FlowTable::new();
+    for i in 0..n {
+        t.apply(&FlowMod {
+            command: FlowModCommand::Add,
+            priority: (i % 7) as u16,
+            matcher: FlowMatch::dst_host(HostId(i)),
+            actions: vec![Action::Output(PortNo(i % 16 + 1))],
+            cookie: i as u64,
+        });
+    }
+    t
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let pkt = PacketMeta {
+        in_port: PortNo(1),
+        src: HostId(500),
+        dst: HostId(99),
+        tag: None,
+    };
+
+    for n in [16u32, 256, 1024] {
+        c.bench_function(&format!("flow_table/lookup_{n}"), |b| {
+            let mut t = filled_table(n);
+            b.iter(|| t.lookup(black_box(&pkt)))
+        });
+    }
+
+    c.bench_function("flow_table/add_replace", |b| {
+        let mut t = filled_table(256);
+        let fm = FlowMod {
+            command: FlowModCommand::Add,
+            priority: 3,
+            matcher: FlowMatch::dst_host(HostId(17)),
+            actions: vec![Action::Output(PortNo(9))],
+            cookie: 1,
+        };
+        b.iter(|| t.apply(black_box(&fm)))
+    });
+}
+
+criterion_group!(benches, bench_flow_table);
+criterion_main!(benches);

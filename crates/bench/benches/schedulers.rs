@@ -1,0 +1,39 @@
+//! Micro-benchmark: schedule computation cost vs instance size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sdn_types::DetRng;
+use update_core::algorithms::{Peacock, SlfGreedy, TwoPhaseCommit, UpdateScheduler, WayUp};
+use update_core::model::UpdateInstance;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedulers");
+    for n in [8u64, 32, 64] {
+        let rev = sdn_topo::gen::reversal(n);
+        let rev_inst = UpdateInstance::new(rev.old, rev.new, None).unwrap();
+        group.bench_with_input(BenchmarkId::new("peacock_reversal", n), &rev_inst, |b, i| {
+            b.iter(|| Peacock::default().schedule(black_box(i)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("slf_greedy_reversal", n),
+            &rev_inst,
+            |b, i| b.iter(|| SlfGreedy::default().schedule(black_box(i)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_phase_reversal", n),
+            &rev_inst,
+            |b, i| b.iter(|| TwoPhaseCommit.schedule(black_box(i)).unwrap()),
+        );
+
+        let mut rng = DetRng::new(n);
+        let wp = sdn_topo::gen::waypointed(n.max(5), false, &mut rng);
+        let wp_inst = UpdateInstance::new(wp.old, wp.new, wp.waypoint).unwrap();
+        group.bench_with_input(BenchmarkId::new("wayup_waypointed", n), &wp_inst, |b, i| {
+            b.iter(|| WayUp::default().schedule(black_box(i)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! E2 — update time of flow tables vs control-channel latency.
+//!
+//! The demo's stated evaluation: *"running our evaluations with respect
+//! to the update time of flow tables in OpenFlow switches."* We sweep
+//! the control channel's mean one-way delay and measure the virtual
+//! time from first FlowMod dispatch to the last barrier reply, per
+//! algorithm, on the Figure-1 workload. More rounds ⇒ more barrier
+//! round-trips ⇒ slower updates; one-shot is fastest and unsafe —
+//! that is the trade-off the paper's schedulers navigate.
+
+use sdn_bench::stats::Summary;
+use sdn_bench::table::{f2, Table};
+use sdn_channel::config::ChannelConfig;
+use sdn_sim::scenario::{run_scenario, AlgoChoice, Scenario, ScenarioOutcome};
+use sdn_topo::gen::UpdatePair;
+use sdn_types::SimDuration;
+use update_core::schedule::RuleOp;
+
+/// Virtual time until the *policy switch-over*: completion of the last
+/// round containing anything other than old-rule removals. The trailing
+/// cleanup (drain grace + deletes) no longer affects where packets go.
+fn switch_over_ms(out: &ScenarioOutcome) -> Option<f64> {
+    let last_effective = out
+        .schedule
+        .rounds
+        .iter()
+        .rposition(|r| r.ops.iter().any(|op| !matches!(op, RuleOp::RemoveOld(_))))?;
+    let u = out.sim.updates.first()?;
+    let t = u.rounds.get(last_effective)?.completed?;
+    Some(t.saturating_since(u.started).as_millis_f64())
+}
+
+fn fig1_pair() -> UpdatePair {
+    let f = sdn_topo::builders::figure1();
+    UpdatePair {
+        old: f.old_route,
+        new: f.new_route,
+        waypoint: Some(f.waypoint),
+    }
+}
+
+fn main() {
+    println!("E2: flow-table update time vs control-channel latency (Figure-1 workload)");
+    println!("    cells: mean update time over 5 seeds [ms]; exponential one-way delays\n");
+
+    let latencies_ms = [0.1f64, 0.5, 1.0, 5.0, 10.0, 20.0, 50.0];
+    let algos = [
+        AlgoChoice::OneShot,
+        AlgoChoice::TwoPhase,
+        AlgoChoice::Peacock,
+        AlgoChoice::WayUp,
+        AlgoChoice::SlfGreedy,
+    ];
+
+    let mut headers: Vec<String> = vec!["algorithm".into(), "rounds".into()];
+    headers.extend(latencies_ms.iter().map(|l| format!("{l} ms")));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut switch_table = Table::new(
+        "policy switch-over time [ms] (until last effective round)",
+        &hdr_refs,
+    );
+    let mut total_table = Table::new(
+        "total update time [ms] (incl. drain grace + cleanup round)",
+        &hdr_refs,
+    );
+
+    for algo in algos {
+        let mut switch_cells = Vec::new();
+        let mut total_cells = Vec::new();
+        let mut rounds = 0usize;
+        for &lat in &latencies_ms {
+            let mut switch_samples = Vec::new();
+            let mut total_samples = Vec::new();
+            for seed in 0..5u64 {
+                let mut sc = Scenario::new(format!("{algo}@{lat}ms"), fig1_pair(), algo)
+                    .with_channel(ChannelConfig::jittery(SimDuration::from_millis_f64(lat)))
+                    .with_seed(1000 + seed);
+                sc.inject_count = 0; // pure update-time measurement
+                sc.verify = false;
+                let out = run_scenario(&sc).expect("scenario runs");
+                rounds = out.schedule.round_count();
+                if let Some(ms) = switch_over_ms(&out) {
+                    switch_samples.push(ms);
+                }
+                if let Some(d) = out.update_time() {
+                    total_samples.push(d.as_millis_f64());
+                }
+            }
+            switch_cells.push(f2(Summary::of(&switch_samples).mean));
+            total_cells.push(f2(Summary::of(&total_samples).mean));
+        }
+        let mut row = vec![algo.name().to_string(), rounds.to_string()];
+        row.extend(switch_cells);
+        switch_table.row(row);
+        let mut row = vec![algo.name().to_string(), rounds.to_string()];
+        row.extend(total_cells);
+        total_table.row(row);
+    }
+    println!("{switch_table}");
+    println!("{total_table}");
+    println!("note: switch-over excludes the trailing cleanup (drain grace +");
+    println!("      old-rule deletion), which is identical machinery for every");
+    println!("      algorithm; the per-round barrier cost is what separates them.\n");
+
+    // -- second sweep: update time vs path length ------------------------
+    // Reversal workloads make the round counts diverge (SLF needs ~n
+    // rounds), so the *practical* price of strong loop freedom shows up
+    // as wall-clock: each extra round pays a barrier RTT.
+    let sizes = [8u64, 16, 32, 64];
+    let mut headers2: Vec<String> = vec!["algorithm".into()];
+    headers2.extend(sizes.iter().map(|n| format!("n={n}")));
+    let hdr2: Vec<&str> = headers2.iter().map(|s| s.as_str()).collect();
+    let mut t2 = Table::new(
+        "switch-over time [ms] vs path length (reversal, 5 ms jitter, 5 seeds)",
+        &hdr2,
+    );
+    let mut r2 = Table::new("rounds vs path length (same runs)", &hdr2);
+    for algo in [AlgoChoice::Peacock, AlgoChoice::SlfGreedy, AlgoChoice::TwoPhase] {
+        let mut time_cells = Vec::new();
+        let mut round_cells = Vec::new();
+        for &n in &sizes {
+            let mut samples = Vec::new();
+            let mut rounds = 0usize;
+            for seed in 0..5u64 {
+                let pair = sdn_topo::gen::reversal(n);
+                let mut sc = Scenario::new(format!("{algo}@n{n}"), pair, algo)
+                    .with_channel(ChannelConfig::jittery(SimDuration::from_millis(5)))
+                    .with_seed(2000 + seed);
+                sc.inject_count = 0;
+                sc.verify = false;
+                let out = run_scenario(&sc).expect("scenario runs");
+                rounds = out.schedule.round_count();
+                if let Some(ms) = switch_over_ms(&out) {
+                    samples.push(ms);
+                }
+            }
+            time_cells.push(f2(Summary::of(&samples).mean));
+            round_cells.push(rounds.to_string());
+        }
+        let mut row = vec![algo.name().to_string()];
+        row.extend(time_cells);
+        t2.row(row);
+        let mut row = vec![algo.name().to_string()];
+        row.extend(round_cells);
+        r2.row(row);
+    }
+    println!("{t2}");
+    println!("{r2}");
+}

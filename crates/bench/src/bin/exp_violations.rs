@@ -1,0 +1,75 @@
+//! E4 — transient security violations under asynchrony.
+//!
+//! The demo's motivation: asynchronous FlowMod delivery "may lead to
+//! transient inconsistencies, such as loops or bypassed waypoints".
+//! We inject probe traffic while the update executes and count, per
+//! algorithm and channel-jitter level, how many probes bypassed the
+//! waypoint, blackholed or looped. Round-based schedules (WayUp,
+//! two-phase) must show zeros; one-shot must not.
+
+use sdn_bench::table::{f3, Table};
+use sdn_channel::config::ChannelConfig;
+use sdn_sim::scenario::{run_scenario, AlgoChoice, Scenario};
+use sdn_topo::gen::UpdatePair;
+use sdn_types::SimDuration;
+
+fn fig1_pair() -> UpdatePair {
+    let f = sdn_topo::builders::figure1();
+    UpdatePair {
+        old: f.old_route,
+        new: f.new_route,
+        waypoint: Some(f.waypoint),
+    }
+}
+
+fn main() {
+    println!("E4: transient violations during the Figure-1 update");
+    println!("    2000 probes per run, probe interval 100 µs, 8 seeds aggregated\n");
+
+    let jitters_ms = [1.0f64, 5.0, 20.0];
+    let algos = [AlgoChoice::OneShot, AlgoChoice::WayUp, AlgoChoice::TwoPhase];
+
+    let mut t = Table::new(
+        "aggregated probe verdicts",
+        &[
+            "algorithm", "jitter ms", "probes", "bypassed wp", "blackholed", "looped",
+            "violation rate",
+        ],
+    );
+
+    for algo in algos {
+        for &jit in &jitters_ms {
+            let mut total = 0u64;
+            let mut bypass = 0u64;
+            let mut bh = 0u64;
+            let mut lp = 0u64;
+            for seed in 0..8u64 {
+                let mut sc = Scenario::new(format!("{algo}"), fig1_pair(), algo)
+                    .with_channel(ChannelConfig::jittery(SimDuration::from_millis_f64(jit)))
+                    .with_seed(31 * seed + 7);
+                sc.inject_interval = SimDuration::from_micros(100);
+                sc.inject_count = 2000;
+                sc.verify = false;
+                let out = run_scenario(&sc).expect("runs");
+                let v = out.sim.violations;
+                total += v.total;
+                bypass += v.waypoint_bypasses;
+                bh += v.blackholes;
+                lp += v.loops;
+            }
+            let rate = (bypass + bh + lp) as f64 / total as f64;
+            t.row(vec![
+                algo.name().to_string(),
+                format!("{jit}"),
+                total.to_string(),
+                bypass.to_string(),
+                bh.to_string(),
+                lp.to_string(),
+                f3(rate),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!("expected shape: wayup and two-phase rows are all-zero; one-shot");
+    println!("violations grow with jitter (wider reorder windows).");
+}

@@ -1,0 +1,24 @@
+//! # sdn-bench
+//!
+//! Experiment harnesses reproducing the paper's evaluation (see
+//! `DESIGN.md` §3 and `EXPERIMENTS.md` at the workspace root):
+//!
+//! | binary                | experiment |
+//! |-----------------------|------------|
+//! | `exp_fig1`            | E1 — the Figure 1 scenario end to end |
+//! | `exp_update_time`     | E2 — flow-table update time vs latency × algorithm |
+//! | `exp_rounds_scaling`  | E3 — rounds vs path length (Peacock vs SLF) |
+//! | `exp_violations`      | E4 — transient violations, one-shot vs scheduled |
+//! | `exp_barrier_overhead`| E5 — barrier cost decomposition, loss sensitivity |
+//! | `exp_ablation`        | E6 — orderings, oracles, FIFO, sub-schedulers |
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod table;
+
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,78 @@
+//! Tiny summary statistics for experiment series.
+
+/// Mean / median / p95 / min / max of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower of the middle pair for even n).
+    pub median: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns a zeroed summary for empty input.
+    pub fn of(xs: &[f64]) -> Summary {
+        if xs.is_empty() {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                median: 0.0,
+                p95: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+        let n = v.len();
+        let mean = v.iter().sum::<f64>() / n as f64;
+        let median = v[(n - 1) / 2];
+        let p95 = v[((n as f64 * 0.95).ceil() as usize).clamp(1, n) - 1];
+        Summary {
+            n,
+            mean,
+            median,
+            p95,
+            min: v[0],
+            max: v[n - 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes() {
+        let s = Summary::of(&[3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p95, 5.0);
+    }
+
+    #[test]
+    fn empty_is_zeroed() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[7.5]);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.p95, 7.5);
+    }
+}

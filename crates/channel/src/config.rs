@@ -1,0 +1,207 @@
+//! Channel configuration: delay distributions and fault injection.
+
+use sdn_types::{DetRng, SimDuration};
+
+/// A one-way delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayDist {
+    /// Fixed delay.
+    Constant(SimDuration),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound.
+        lo: SimDuration,
+        /// Upper bound (inclusive).
+        hi: SimDuration,
+    },
+    /// Exponential with the given mean (heavy-ish tail; models
+    /// congested control networks).
+    Exponential {
+        /// Mean delay.
+        mean: SimDuration,
+    },
+}
+
+impl DelayDist {
+    /// Sample one delay.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match *self {
+            DelayDist::Constant(d) => d,
+            DelayDist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    SimDuration::from_nanos(rng.range_u64(lo.as_nanos(), hi.as_nanos() + 1))
+                }
+            }
+            DelayDist::Exponential { mean } => {
+                SimDuration::from_nanos(rng.exponential(mean.as_nanos() as f64) as u64)
+            }
+        }
+    }
+
+    /// The distribution mean (for reporting).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            DelayDist::Constant(d) => d,
+            DelayDist::Uniform { lo, hi } => {
+                SimDuration::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2)
+            }
+            DelayDist::Exponential { mean } => mean,
+        }
+    }
+}
+
+/// Full channel behaviour description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelConfig {
+    /// One-way delay distribution, sampled per message per connection.
+    pub delay: DelayDist,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Probability one byte of the frame is flipped in transit.
+    pub corrupt_prob: f64,
+    /// Enforce per-connection FIFO ordering (TCP semantics). Disabling
+    /// this models a datagram control channel and is used in ablation
+    /// E6-c; OpenFlow barriers are meaningless without FIFO.
+    pub fifo: bool,
+}
+
+impl ChannelConfig {
+    /// Perfectly reliable, zero-jitter channel with the given constant
+    /// delay.
+    pub fn ideal(delay: SimDuration) -> Self {
+        ChannelConfig {
+            delay: DelayDist::Constant(delay),
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
+            fifo: true,
+        }
+    }
+
+    /// A LAN-ish channel: uniform 0.5–2 ms delays, no loss.
+    pub fn lan() -> Self {
+        ChannelConfig {
+            delay: DelayDist::Uniform {
+                lo: SimDuration::from_micros(500),
+                hi: SimDuration::from_millis(2),
+            },
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
+            fifo: true,
+        }
+    }
+
+    /// Heavy jitter: exponential delays with the given mean. This is
+    /// the regime where one-shot updates visibly reorder.
+    pub fn jittery(mean: SimDuration) -> Self {
+        ChannelConfig {
+            delay: DelayDist::Exponential { mean },
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            corrupt_prob: 0.0,
+            fifo: true,
+        }
+    }
+
+    /// Lossy variant of [`ChannelConfig::lan`].
+    pub fn lossy(drop_prob: f64) -> Self {
+        ChannelConfig {
+            drop_prob,
+            ..ChannelConfig::lan()
+        }
+    }
+
+    /// Builder-style: set the corruption probability.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corrupt_prob = p;
+        self
+    }
+
+    /// Builder-style: set the duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Builder-style: disable per-connection FIFO.
+    pub fn without_fifo(mut self) -> Self {
+        self.fifo = false;
+        self
+    }
+}
+
+impl Default for ChannelConfig {
+    fn default() -> Self {
+        ChannelConfig::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sampling() {
+        let mut rng = DetRng::new(1);
+        let d = DelayDist::Constant(SimDuration::from_millis(3));
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), SimDuration::from_millis(3));
+        }
+        assert_eq!(d.mean(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_sampling_within_bounds() {
+        let mut rng = DetRng::new(2);
+        let lo = SimDuration::from_millis(1);
+        let hi = SimDuration::from_millis(5);
+        let d = DelayDist::Uniform { lo, hi };
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng);
+            assert!(s >= lo && s <= hi, "{s}");
+        }
+        assert_eq!(d.mean(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn uniform_degenerate_bounds() {
+        let mut rng = DetRng::new(3);
+        let d = DelayDist::Uniform {
+            lo: SimDuration::from_millis(2),
+            hi: SimDuration::from_millis(2),
+        };
+        assert_eq!(d.sample(&mut rng), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn exponential_mean_approx() {
+        let mut rng = DetRng::new(4);
+        let mean = SimDuration::from_millis(10);
+        let d = DelayDist::Exponential { mean };
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng).as_nanos()).sum();
+        let got = sum as f64 / n as f64;
+        let want = mean.as_nanos() as f64;
+        assert!((got - want).abs() / want < 0.05, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(ChannelConfig::ideal(SimDuration::from_millis(1)).drop_prob, 0.0);
+        assert!(ChannelConfig::lossy(0.2).drop_prob > 0.1);
+        assert!(!ChannelConfig::lan().without_fifo().fifo);
+        assert_eq!(
+            ChannelConfig::lan().with_corruption(0.1).corrupt_prob,
+            0.1
+        );
+        assert_eq!(
+            ChannelConfig::lan().with_duplication(0.2).duplicate_prob,
+            0.2
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # sdn-channel
+//!
+//! The asynchronous, unreliable control channel — the villain of the
+//! paper. FlowMods to *different* switches race each other: each
+//! connection samples its own delays, so commands dispatched together
+//! take effect in arbitrary order across switches. Within one
+//! connection the channel is FIFO by default (TCP semantics, which
+//! OpenFlow assumes and barriers require); a non-FIFO mode exists for
+//! the ablation experiment.
+//!
+//! Fault injection follows the smoltcp example conventions: drop
+//! chance, duplicate chance, corrupt chance (one byte flipped — which
+//! the codec must surface as a typed error). All sampling is
+//! deterministic per seed.
+//!
+//! Two transports are provided:
+//!
+//! * [`sim::SimChannel`] — pure planning: maps a send at time *t* to
+//!   delivery events for the discrete-event simulator;
+//! * [`live::LoopbackTransport`] — a threaded in-process transport
+//!   (crossbeam channels + real delays) used by integration tests to
+//!   run the controller against switches with true concurrency.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod live;
+pub mod sim;
+
+pub use config::{ChannelConfig, DelayDist};
+pub use sim::{ConnId, Direction, SimChannel};

@@ -1,0 +1,273 @@
+//! The maximal-safe-set greedy engine shared by the round schedulers.
+//!
+//! Each round, candidates are proposed in an algorithm-specific order
+//! and admitted while the round stays safe according to the property
+//! oracle ([`round_admissible`]). The conservative (polynomial) oracle
+//! is consulted first; if a whole round would come out empty, the
+//! engine retries with the exact oracle before declaring the instance
+//! stuck — so conservative over-rejection can cost rounds, never
+//! correctness or spurious failure.
+//!
+//! Progress argument (no-waypoint case): the *deepest pending switch in
+//! new-route order* is always admissible — all its new-route successors
+//! are already activated, so once a packet crosses its new rule it
+//! rides committed new rules straight to the destination, and if the
+//! rule is not yet applied the walk is the committed walk, loop-free by
+//! induction. Hence the engine terminates with a complete schedule.
+//! With waypoint enforcement the argument holds per WayUp phase on
+//! crossing-free instances; otherwise the engine reports
+//! [`SchedulerError::Stuck`] and WayUp falls back to two-phase commit.
+
+use sdn_types::DpId;
+
+use crate::checker::{round_admissible, OracleMode};
+use crate::config::ConfigState;
+use crate::model::UpdateInstance;
+use crate::properties::PropertySet;
+use crate::schedule::{Round, RuleOp};
+
+use super::SchedulerError;
+
+/// Candidate orderings for the greedy engine (ablation experiment
+/// E6-a evaluates these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CandidateOrdering {
+    /// Switches *off the committed walk* first (they update for free
+    /// under relaxed loop freedom), then on-path forward jumps by
+    /// position, then backward jumps deepest-first. Peacock's default.
+    #[default]
+    OffPathFirst,
+    /// Reverse new-route order (the always-safe order; tends to
+    /// produce more, smaller rounds).
+    NewRouteReverse,
+    /// Old-route position order (a naive order).
+    OldRoutePosition,
+    /// PODC'15-style halving intent: off-path first, forward jumps,
+    /// then *every other* backward jump (deepest first), so that each
+    /// round retires roughly half the remaining backward edges.
+    AlternatingBackward,
+}
+
+/// Order the pending switches for one greedy round.
+pub(crate) fn order_candidates(
+    ordering: CandidateOrdering,
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    pending: &[DpId],
+) -> Vec<DpId> {
+    match ordering {
+        CandidateOrdering::OldRoutePosition => {
+            let mut v = pending.to_vec();
+            v.sort_by_key(|&x| inst.old().position(x).unwrap_or(usize::MAX));
+            v
+        }
+        CandidateOrdering::NewRouteReverse => {
+            let mut v = pending.to_vec();
+            v.sort_by_key(|&x| std::cmp::Reverse(inst.new_route().position(x).unwrap_or(0)));
+            v
+        }
+        CandidateOrdering::OffPathFirst | CandidateOrdering::AlternatingBackward => {
+            let alternating = ordering == CandidateOrdering::AlternatingBackward;
+            let walk = base.walk();
+            let pos_on_walk = |x: DpId| walk.visited.iter().position(|&y| y == x);
+            let mut off: Vec<DpId> = Vec::new();
+            let mut fwd: Vec<(usize, DpId)> = Vec::new();
+            let mut back: Vec<(usize, DpId)> = Vec::new();
+            for &v in pending {
+                match pos_on_walk(v) {
+                    None => off.push(v),
+                    Some(p) => {
+                        let target_fwd = inst
+                            .new_next(v)
+                            .and_then(pos_on_walk)
+                            .is_some_and(|tp| tp > p);
+                        if target_fwd {
+                            fwd.push((p, v));
+                        } else {
+                            back.push((p, v));
+                        }
+                    }
+                }
+            }
+            fwd.sort_by_key(|&(p, _)| p);
+            // deepest-first: the deepest pending backward switch is the
+            // provably-safe one
+            back.sort_by_key(|&(p, _)| std::cmp::Reverse(p));
+            let back: Vec<DpId> = if alternating {
+                // interleave: every other backward switch first, the
+                // skipped ones afterwards — the halving pattern
+                let (evens, odds): (Vec<_>, Vec<_>) = back
+                    .iter()
+                    .enumerate()
+                    .partition(|(i, _)| i % 2 == 0);
+                evens
+                    .into_iter()
+                    .chain(odds)
+                    .map(|(_, &(_, v))| v)
+                    .collect()
+            } else {
+                back.into_iter().map(|(_, v)| v).collect()
+            };
+            off.into_iter()
+                .chain(fwd.into_iter().map(|(_, v)| v))
+                .chain(back)
+                .collect()
+        }
+    }
+}
+
+/// Run the greedy engine to completion: returns the activation rounds
+/// (not including new-only installs or cleanup) and leaves `base`
+/// advanced past all of them.
+pub(crate) fn greedy_rounds(
+    inst: &UpdateInstance,
+    base: &mut ConfigState<'_>,
+    mut pending: Vec<DpId>,
+    props: &PropertySet,
+    ordering: CandidateOrdering,
+    prefer_conservative: bool,
+) -> Result<Vec<Round>, SchedulerError> {
+    let mut rounds = Vec::new();
+    while !pending.is_empty() {
+        let round = next_round(inst, base, &pending, props, ordering, prefer_conservative)?;
+        for op in &round.ops {
+            if let RuleOp::Activate(v) = op {
+                pending.retain(|&x| x != *v);
+            }
+        }
+        base.apply_all(&round.ops);
+        rounds.push(round);
+    }
+    Ok(rounds)
+}
+
+/// Compute one maximal safe round from `pending`.
+pub(crate) fn next_round(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    pending: &[DpId],
+    props: &PropertySet,
+    ordering: CandidateOrdering,
+    prefer_conservative: bool,
+) -> Result<Round, SchedulerError> {
+    let ordered = order_candidates(ordering, inst, base, pending);
+    let modes: &[OracleMode] = if prefer_conservative {
+        &[OracleMode::Conservative, OracleMode::Exact]
+    } else {
+        &[OracleMode::Exact]
+    };
+    for &mode in modes {
+        let mut ops: Vec<RuleOp> = Vec::new();
+        for &v in &ordered {
+            ops.push(RuleOp::Activate(v));
+            if !round_admissible(inst, base, &ops, props, mode) {
+                ops.pop();
+            }
+        }
+        if !ops.is_empty() {
+            return Ok(Round::new(ops));
+        }
+    }
+    Err(SchedulerError::Stuck {
+        remaining: pending.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::pending_shared;
+    use sdn_topo::route::RoutePath;
+
+    fn inst(old: &[u64], new: &[u64], wp: Option<u64>) -> UpdateInstance {
+        UpdateInstance::new(
+            RoutePath::from_raw(old).unwrap(),
+            RoutePath::from_raw(new).unwrap(),
+            wp.map(DpId),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_completes_reversal_under_rlf() {
+        let i = inst(&[1, 2, 3, 4, 5, 6], &[1, 5, 4, 3, 2, 6], None);
+        let mut base = ConfigState::initial(&i);
+        let rounds = greedy_rounds(
+            &i,
+            &mut base,
+            pending_shared(&i),
+            &PropertySet::loop_free_relaxed(),
+            CandidateOrdering::OffPathFirst,
+            true,
+        )
+        .unwrap();
+        // relaxed loop freedom should need very few rounds
+        assert!(rounds.len() <= 4, "got {} rounds", rounds.len());
+        // everything activated
+        let total: usize = rounds.iter().map(|r| r.len()).sum();
+        assert_eq!(total, pending_shared(&i).len());
+    }
+
+    #[test]
+    fn greedy_reversal_under_slf_needs_many_rounds() {
+        let i = inst(&[1, 2, 3, 4, 5, 6], &[1, 5, 4, 3, 2, 6], None);
+        let mut base = ConfigState::initial(&i);
+        let rounds = greedy_rounds(
+            &i,
+            &mut base,
+            pending_shared(&i),
+            &PropertySet::loop_free_strong(),
+            CandidateOrdering::NewRouteReverse,
+            true,
+        )
+        .unwrap();
+        assert!(rounds.len() >= 3, "SLF should cost rounds, got {}", rounds.len());
+    }
+
+    #[test]
+    fn ordering_off_path_first_classification() {
+        // old 1-2-3-4-5, new 1-4-3-2-5, after committing activate(1):
+        // committed walk 1-4-5; pending 2,3 off-walk; 4 on-walk.
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5], None);
+        let mut base = ConfigState::initial(&i);
+        base.apply(&RuleOp::Activate(DpId(1)));
+        let ordered = order_candidates(
+            CandidateOrdering::OffPathFirst,
+            &i,
+            &base,
+            &[DpId(2), DpId(3), DpId(4)],
+        );
+        // off-path switches (2 and 3) come before on-path switch 4
+        let p4 = ordered.iter().position(|&v| v == DpId(4)).unwrap();
+        assert_eq!(p4, 2);
+    }
+
+    #[test]
+    fn ordering_new_route_reverse() {
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        let base = ConfigState::initial(&i);
+        let ordered = order_candidates(
+            CandidateOrdering::NewRouteReverse,
+            &i,
+            &base,
+            &[DpId(1), DpId(2), DpId(3)],
+        );
+        assert_eq!(ordered, vec![DpId(2), DpId(3), DpId(1)]);
+    }
+
+    #[test]
+    fn single_switch_instance_one_round() {
+        let i = inst(&[1, 2], &[1, 2], None);
+        let mut base = ConfigState::initial(&i);
+        let rounds = greedy_rounds(
+            &i,
+            &mut base,
+            pending_shared(&i),
+            &PropertySet::loop_free_relaxed(),
+            CandidateOrdering::OffPathFirst,
+            true,
+        )
+        .unwrap();
+        assert_eq!(rounds.len(), 1);
+    }
+}

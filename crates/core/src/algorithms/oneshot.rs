@@ -1,0 +1,91 @@
+//! The naive one-shot baseline.
+//!
+//! Dispatches every update in a single round — exactly what a
+//! controller does when it ignores control-plane asynchrony. The demo
+//! paper's motivation: out-of-order FlowMod effects then expose
+//! transient loops, blackholes and waypoint bypasses. Experiment E4
+//! quantifies the violations.
+
+use crate::model::UpdateInstance;
+use crate::schedule::{Round, RuleOp, Schedule};
+
+use super::{cleanup_round, new_only_round, pending_shared, SchedulerError, UpdateScheduler};
+
+/// One round for everything; cleanup after. Never fails — and usually
+/// never verifies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneShot;
+
+impl UpdateScheduler for OneShot {
+    fn name(&self) -> &'static str {
+        "one-shot"
+    }
+
+    fn schedule(&self, inst: &UpdateInstance) -> Result<Schedule, SchedulerError> {
+        let mut ops: Vec<RuleOp> = Vec::new();
+        if let Some(r) = new_only_round(inst) {
+            ops.extend(r.ops);
+        }
+        ops.extend(pending_shared(inst).into_iter().map(RuleOp::Activate));
+        let mut rounds = Vec::new();
+        if !ops.is_empty() {
+            rounds.push(Round::new(ops));
+        }
+        if let Some(r) = cleanup_round(inst) {
+            rounds.push(r);
+        }
+        Ok(Schedule::replacement(self.name(), rounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::verify_schedule;
+    use crate::properties::PropertySet;
+    use sdn_topo::route::RoutePath;
+
+    fn inst(old: &[u64], new: &[u64], wp: Option<u64>) -> UpdateInstance {
+        UpdateInstance::new(
+            RoutePath::from_raw(old).unwrap(),
+            RoutePath::from_raw(new).unwrap(),
+            wp.map(sdn_types::DpId),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_round_plus_cleanup() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let s = OneShot.schedule(&i).unwrap();
+        assert_eq!(s.round_count(), 2);
+        assert!(s.validate(&i).is_ok());
+    }
+
+    #[test]
+    fn oneshot_is_transiently_unsafe() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let s = OneShot.schedule(&i).unwrap();
+        let r = verify_schedule(&i, &s, PropertySet::loop_free_relaxed());
+        assert!(!r.is_ok(), "one-shot must expose the blackhole at s5");
+    }
+
+    #[test]
+    fn oneshot_final_config_is_correct() {
+        // Even though transients are unsafe, the end state is the new
+        // policy: only round-internal violations are reported.
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let s = OneShot.schedule(&i).unwrap();
+        let r = verify_schedule(&i, &s, PropertySet::loop_free_relaxed());
+        assert!(r.violations.iter().all(|v| v.round.is_some()));
+    }
+
+    #[test]
+    fn trivial_instance_yields_single_noop_round() {
+        let i = inst(&[1, 2, 3], &[1, 2, 3], None);
+        let s = OneShot.schedule(&i).unwrap();
+        assert_eq!(s.round_count(), 1);
+        let r = verify_schedule(&i, &s, PropertySet::all());
+        assert!(r.is_ok(), "{r}");
+    }
+}

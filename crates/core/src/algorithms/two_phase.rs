@@ -1,0 +1,132 @@
+//! Tag-based two-phase commit (Reitblatt et al., per-packet
+//! consistency).
+//!
+//! Round 1 installs the new rules *guarded by a version tag* at every
+//! interior switch of the new route — invisible to in-flight (old,
+//! untagged) traffic. Round 2 flips the ingress: packets are stamped
+//! with the new tag and follow only new rules. Round 3 garbage-collects
+//! the old rules. Consistency is unconditional; the price is double
+//! rule-space during the transition and packet tagging — which is why
+//! the literature (and the demo) prefer rule-replacement schedules when
+//! they exist, keeping two-phase commit as WayUp's fallback.
+
+use crate::model::{NodeRole, UpdateInstance};
+use crate::schedule::{Round, RuleOp, Schedule};
+
+use super::{SchedulerError, UpdateScheduler};
+
+/// The three-round tagged schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TwoPhaseCommit;
+
+impl UpdateScheduler for TwoPhaseCommit {
+    fn name(&self) -> &'static str {
+        "two-phase-commit"
+    }
+
+    fn schedule(&self, inst: &UpdateInstance) -> Result<Schedule, SchedulerError> {
+        let src = inst.src();
+        let dst = inst.dst();
+
+        let installs: Vec<RuleOp> = inst
+            .new_route()
+            .hops()
+            .iter()
+            .copied()
+            .filter(|&v| v != src && v != dst)
+            .map(RuleOp::InstallTagged)
+            .collect();
+
+        let cleanup: Vec<RuleOp> = inst
+            .nodes()
+            .filter(|&(v, role)| {
+                v != dst && matches!(role, NodeRole::Shared | NodeRole::OldOnly)
+            })
+            .map(|(v, _)| RuleOp::RemoveOld(v))
+            .collect();
+
+        let mut rounds = Vec::new();
+        if !installs.is_empty() {
+            rounds.push(Round::new(installs));
+        }
+        rounds.push(Round::new(vec![RuleOp::FlipIngress]));
+        if !cleanup.is_empty() {
+            rounds.push(Round::new(cleanup));
+        }
+        Ok(Schedule::tagged(self.name(), rounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::verify_schedule;
+    use crate::properties::PropertySet;
+    use sdn_topo::route::RoutePath;
+    use sdn_types::DpId;
+
+    fn inst(old: &[u64], new: &[u64], wp: Option<u64>) -> UpdateInstance {
+        UpdateInstance::new(
+            RoutePath::from_raw(old).unwrap(),
+            RoutePath::from_raw(new).unwrap(),
+            wp.map(DpId),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn three_rounds() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let s = TwoPhaseCommit.schedule(&i).unwrap();
+        assert_eq!(s.round_count(), 3);
+        assert!(s.validate(&i).is_ok());
+        assert_eq!(s.kind, crate::schedule::ScheduleKind::Tagged);
+    }
+
+    #[test]
+    fn verifies_all_properties() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], Some(3));
+        let s = TwoPhaseCommit.schedule(&i).unwrap();
+        let r = verify_schedule(&i, &s, PropertySet::all());
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn verifies_even_with_crossing_switches() {
+        // The instance where rule replacement cannot preserve waypoint
+        // enforcement: 2 and 4 cross the waypoint 3.
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5], Some(3));
+        let s = TwoPhaseCommit.schedule(&i).unwrap();
+        let r = verify_schedule(&i, &s, PropertySet::all());
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn verifies_on_reversal() {
+        let i = inst(&[1, 2, 3, 4, 5, 6, 7], &[1, 6, 5, 4, 3, 2, 7], None);
+        let s = TwoPhaseCommit.schedule(&i).unwrap();
+        let r = verify_schedule(&i, &s, PropertySet::all());
+        assert!(r.is_ok(), "{r}");
+    }
+
+    #[test]
+    fn installs_cover_new_route_interior() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let s = TwoPhaseCommit.schedule(&i).unwrap();
+        let installs = &s.rounds[0].ops;
+        assert!(installs.contains(&RuleOp::InstallTagged(DpId(5))));
+        assert!(installs.contains(&RuleOp::InstallTagged(DpId(3))));
+        assert!(!installs.contains(&RuleOp::InstallTagged(DpId(1))));
+        assert!(!installs.contains(&RuleOp::InstallTagged(DpId(4))));
+    }
+
+    #[test]
+    fn two_switch_route_flip_only_plus_cleanup() {
+        let i = inst(&[1, 2], &[1, 2], None);
+        let s = TwoPhaseCommit.schedule(&i).unwrap();
+        // no interior to install: flip + cleanup(src old rule)
+        assert_eq!(s.round_count(), 2);
+        let r = verify_schedule(&i, &s, PropertySet::all());
+        assert!(r.is_ok(), "{r}");
+    }
+}

@@ -1,0 +1,499 @@
+//! The polynomial choice-graph checker.
+//!
+//! For a round with committed base configuration `B` and pending
+//! operations `S`, the **choice graph** contains, for every switch,
+//! *every rule edge the switch could expose* while `S` is in flight:
+//! its current edge and, if an operation in `S` touches it, its
+//! post-operation edge.
+//!
+//! Two results are derived from it:
+//!
+//! * **Exact strong loop freedom** ([`check_round_slf`]). A switch's
+//!   rule state depends only on its *own* pending operations, and a
+//!   simple directed cycle uses exactly one out-edge per switch —
+//!   therefore every simple cycle in the choice graph is realized by a
+//!   consistent transient subset, and vice versa. Acyclicity of the
+//!   choice graph ⟺ the round is SLF-safe.
+//! * **Conservative walk safety** ([`round_safe_conservative`]). Any
+//!   concrete transient walk follows choice-graph edges, so: if no
+//!   cycle is reachable from the source, no packet can loop; if no
+//!   reachable switch can be rule-less, no packet can blackhole; if the
+//!   destination is unreachable once the waypoint is removed, no packet
+//!   can bypass the waypoint. The converse does not hold (an edge
+//!   combination may be inconsistent), so a `false` answer may be
+//!   spurious — the greedy schedulers fall back to the exact
+//!   decision-walk oracle when this matters.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use sdn_types::{DpId, VersionTag};
+
+use crate::config::ConfigState;
+use crate::model::UpdateInstance;
+use crate::properties::{Property, PropertySet, PropertyViolation, ViolationKind};
+use crate::schedule::RuleOp;
+
+use super::{CheckReport, Violation};
+
+/// The possible forwarding targets of `v` for tag class `tag`, across
+/// all 2^k states of the pending operations touching `v`. `None` in
+/// the result set means "could have no matching rule" (blackhole).
+fn possible_nexts(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+    v: DpId,
+    tag: VersionTag,
+) -> BTreeSet<Option<DpId>> {
+    let mut outs = BTreeSet::new();
+    if v == inst.dst() {
+        return outs; // destination never forwards
+    }
+    let pend_activate = ops.contains(&RuleOp::Activate(v));
+    let pend_remove = ops.contains(&RuleOp::RemoveOld(v));
+    let pend_tagged = ops.contains(&RuleOp::InstallTagged(v));
+
+    let activated_states: &[bool] = if pend_activate { &[false, true] } else { &[false] };
+    let removed_states: &[bool] = if pend_remove { &[false, true] } else { &[false] };
+    let tagged_states: &[bool] = if pend_tagged { &[false, true] } else { &[false] };
+
+    for &act in activated_states {
+        for &rem in removed_states {
+            for &tg in tagged_states {
+                let activated = base.is_activated(v) || act;
+                let removed = base.is_old_removed(v) || rem;
+                let tagged = base.is_tagged_installed(v) || tg;
+                let next = if (tag == VersionTag::NEW && tagged) || activated {
+                    inst.new_next(v)
+                } else if removed {
+                    None
+                } else {
+                    inst.old_next(v)
+                };
+                outs.insert(next);
+            }
+        }
+    }
+    outs
+}
+
+/// Adjacency of the choice graph for one tag class.
+fn class_adjacency(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+    tag: VersionTag,
+) -> BTreeMap<DpId, Vec<DpId>> {
+    let mut adj: BTreeMap<DpId, Vec<DpId>> = BTreeMap::new();
+    for (v, _) in inst.nodes() {
+        let outs = possible_nexts(inst, base, ops, v, tag);
+        let targets: Vec<DpId> = outs.into_iter().flatten().collect();
+        adj.insert(v, targets);
+    }
+    adj
+}
+
+/// Find any directed cycle in a small adjacency map. Returns the
+/// switches on the cycle.
+fn find_cycle(adj: &BTreeMap<DpId, Vec<DpId>>) -> Option<Vec<DpId>> {
+    // Iterative DFS with colors; graph is tiny (route lengths).
+    let mut color: BTreeMap<DpId, u8> = BTreeMap::new();
+    for &start in adj.keys() {
+        if color.get(&start).copied().unwrap_or(0) != 0 {
+            continue;
+        }
+        // stack of (node, next-child-index), plus the current path
+        let mut stack: Vec<(DpId, usize)> = vec![(start, 0)];
+        let mut path: Vec<DpId> = vec![start];
+        color.insert(start, 1);
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            let children = adj.get(&v).map(|c| c.as_slice()).unwrap_or(&[]);
+            if *idx < children.len() {
+                let child = children[*idx];
+                *idx += 1;
+                match color.get(&child).copied().unwrap_or(0) {
+                    0 => {
+                        color.insert(child, 1);
+                        stack.push((child, 0));
+                        path.push(child);
+                    }
+                    1 => {
+                        // found a back edge: cycle = path from child
+                        let pos = path.iter().position(|&x| x == child).expect("gray on path");
+                        return Some(path[pos..].to_vec());
+                    }
+                    _ => {}
+                }
+            } else {
+                color.insert(v, 2);
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Exact strong-loop-freedom check of one round.
+///
+/// Only tag classes packets can carry during this round are checked:
+/// OLD while the ingress may still stamp OLD, NEW once the ingress has
+/// flipped or may flip within the round. Tagged rules installed ahead
+/// of the flip are invisible to traffic — the two-phase-commit
+/// invariant.
+pub fn check_round_slf(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+) -> CheckReport {
+    let mut report = CheckReport::default();
+    let flip_pending = ops.contains(&RuleOp::FlipIngress);
+    let mut classes: Vec<VersionTag> = Vec::new();
+    if !base.is_flipped() {
+        classes.push(VersionTag::OLD);
+    }
+    if base.is_flipped() || flip_pending {
+        classes.push(VersionTag::NEW);
+    }
+    for tag in classes {
+        let adj = class_adjacency(inst, base, ops, tag);
+        report.configs_checked += 1;
+        if let Some(cycle) = find_cycle(&adj) {
+            // Reconstruct a witness subset: for each switch on the
+            // cycle, the operation states that produce its cycle edge.
+            let witness = witness_for_cycle(inst, base, ops, &cycle, tag);
+            report.violations.push(Violation {
+                round: None,
+                witness,
+                violation: PropertyViolation {
+                    property: Property::StrongLoopFreedom,
+                    kind: ViolationKind::RuleCycle { class: tag, cycle },
+                },
+            });
+        }
+    }
+    report
+}
+
+/// For each cycle switch, pick pending-op decisions realizing its cycle
+/// edge, and return the applied ops as a witness subset.
+fn witness_for_cycle(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+    cycle: &[DpId],
+    tag: VersionTag,
+) -> Vec<RuleOp> {
+    let mut applied = Vec::new();
+    for (i, &v) in cycle.iter().enumerate() {
+        let want = cycle[(i + 1) % cycle.len()];
+        // try the 2^k local combinations and keep the first that works
+        'search: for mask in 0u8..8 {
+            let act = mask & 1 != 0 && ops.contains(&RuleOp::Activate(v));
+            let rem = mask & 2 != 0 && ops.contains(&RuleOp::RemoveOld(v));
+            let tg = mask & 4 != 0 && ops.contains(&RuleOp::InstallTagged(v));
+            let activated = base.is_activated(v) || act;
+            let removed = base.is_old_removed(v) || rem;
+            let tagged = base.is_tagged_installed(v) || tg;
+            let next = if (tag == VersionTag::NEW && tagged) || activated {
+                inst.new_next(v)
+            } else if removed {
+                None
+            } else {
+                inst.old_next(v)
+            };
+            if next == Some(want) {
+                if act {
+                    applied.push(RuleOp::Activate(v));
+                }
+                if rem {
+                    applied.push(RuleOp::RemoveOld(v));
+                }
+                if tg {
+                    applied.push(RuleOp::InstallTagged(v));
+                }
+                break 'search;
+            }
+        }
+    }
+    applied
+}
+
+/// Conservative (sound) safety check of a candidate round for the
+/// walk-based properties, plus exact SLF when requested.
+pub fn round_safe_conservative(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+    props: &PropertySet,
+) -> bool {
+    if props.contains(Property::StrongLoopFreedom)
+        && !check_round_slf(inst, base, ops).is_ok()
+    {
+        return false;
+    }
+
+    let walk_props = props.without(Property::StrongLoopFreedom);
+    if walk_props.is_empty() {
+        return true;
+    }
+
+    // Which tag classes can packets carry during this round?
+    let flip_pending = ops.contains(&RuleOp::FlipIngress);
+    let mut tags: Vec<VersionTag> = Vec::new();
+    if base.is_flipped() || flip_pending {
+        tags.push(VersionTag::NEW);
+    }
+    if !base.is_flipped() {
+        tags.push(VersionTag::OLD);
+    }
+
+    for tag in tags {
+        // Possible-edge adjacency, remembering potential blackholes.
+        let mut adj: BTreeMap<DpId, Vec<DpId>> = BTreeMap::new();
+        let mut may_blackhole: BTreeSet<DpId> = BTreeSet::new();
+        for (v, _) in inst.nodes() {
+            let outs = possible_nexts(inst, base, ops, v, tag);
+            let mut targets = Vec::new();
+            for o in outs {
+                match o {
+                    Some(t) => targets.push(t),
+                    None => {
+                        if v != inst.dst() {
+                            may_blackhole.insert(v);
+                        }
+                    }
+                }
+            }
+            adj.insert(v, targets);
+        }
+
+        // Ingress behaviour: the source's own edges already reflect
+        // Activate(src); a pending flip adds the new-rule edge.
+        let src = inst.src();
+        if tag == VersionTag::NEW {
+            if let Some(t) = inst.new_next(src) {
+                let e = adj.entry(src).or_default();
+                if !e.contains(&t) {
+                    e.push(t);
+                }
+            }
+        }
+
+        // Reachability from the source.
+        let mut reach: BTreeSet<DpId> = BTreeSet::new();
+        let mut q = VecDeque::new();
+        reach.insert(src);
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            if u == inst.dst() {
+                continue;
+            }
+            for &t in adj.get(&u).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if reach.insert(t) {
+                    q.push_back(t);
+                }
+            }
+        }
+
+        // Blackhole freedom: no reachable switch may lose its rule.
+        if walk_props.contains(Property::BlackholeFreedom)
+            && reach.iter().any(|v| may_blackhole.contains(v))
+        {
+            return false;
+        }
+
+        // Relaxed loop freedom: no cycle within the reachable part.
+        if walk_props.contains(Property::RelaxedLoopFreedom) {
+            let sub: BTreeMap<DpId, Vec<DpId>> = adj
+                .iter()
+                .filter(|(v, _)| reach.contains(v))
+                .map(|(&v, ts)| {
+                    (
+                        v,
+                        ts.iter().copied().filter(|t| reach.contains(t)).collect(),
+                    )
+                })
+                .collect();
+            if find_cycle(&sub).is_some() {
+                return false;
+            }
+        }
+
+        // Waypoint enforcement: removing the waypoint must disconnect
+        // the destination.
+        if walk_props.contains(Property::WaypointEnforcement) {
+            if let Some(w) = inst.waypoint() {
+                let mut reach2: BTreeSet<DpId> = BTreeSet::new();
+                let mut q2 = VecDeque::new();
+                if src != w {
+                    reach2.insert(src);
+                    q2.push_back(src);
+                }
+                while let Some(u) = q2.pop_front() {
+                    if u == inst.dst() {
+                        continue;
+                    }
+                    for &t in adj.get(&u).map(|v| v.as_slice()).unwrap_or(&[]) {
+                        if t != w && reach2.insert(t) {
+                            q2.push_back(t);
+                        }
+                    }
+                }
+                if reach2.contains(&inst.dst()) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_topo::route::RoutePath;
+
+    fn inst(old: &[u64], new: &[u64], wp: Option<u64>) -> UpdateInstance {
+        UpdateInstance::new(
+            RoutePath::from_raw(old).unwrap(),
+            RoutePath::from_raw(new).unwrap(),
+            wp.map(DpId),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn slf_detects_pairwise_cycle() {
+        // old 1-2-3-4; new 1-3-2-4. Round {activate 2, activate 3}:
+        // transient {3 applied, 2 not} has cycle 2->3 (old), 3->2 (new).
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        let base = ConfigState::initial(&i);
+        let ops = [RuleOp::Activate(DpId(2)), RuleOp::Activate(DpId(3))];
+        let rep = check_round_slf(&i, &base, &ops);
+        assert!(!rep.is_ok());
+        let v = &rep.violations[0];
+        assert_eq!(v.violation.property, Property::StrongLoopFreedom);
+        // witness realizes the cycle: exactly one of the two activates
+        assert_eq!(v.witness.len(), 1);
+    }
+
+    #[test]
+    fn slf_accepts_forward_jump() {
+        // new edge 1->3 is forward; updating 1 alone is SLF-safe.
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 4], None);
+        let base = ConfigState::initial(&i);
+        let ops = [RuleOp::Activate(DpId(1))];
+        assert!(check_round_slf(&i, &base, &ops).is_ok());
+    }
+
+    #[test]
+    fn slf_is_exact_wrt_exhaustive_on_small_instances() {
+        use crate::checker::exhaustive::check_round_exhaustive;
+        use crate::properties::PropertySet;
+        let cases: Vec<(Vec<u64>, Vec<u64>)> = vec![
+            (vec![1, 2, 3, 4], vec![1, 3, 2, 4]),
+            (vec![1, 2, 3, 4, 5], vec![1, 4, 3, 2, 5]),
+            (vec![1, 2, 3, 4, 5], vec![1, 3, 5]),
+            (vec![1, 2, 3], vec![1, 3]),
+        ];
+        for (old, new) in cases {
+            let i = inst(&old, &new, None);
+            let base = ConfigState::initial(&i);
+            let shared: Vec<RuleOp> = i
+                .nodes_with_role(crate::model::NodeRole::Shared)
+                .into_iter()
+                .filter(|&v| v != i.dst())
+                .map(RuleOp::Activate)
+                .collect();
+            let slf_only = PropertySet::none().with(Property::StrongLoopFreedom);
+            let exact = check_round_slf(&i, &base, &shared).is_ok();
+            let brute = check_round_exhaustive(&i, &base, &shared, &slf_only).is_ok();
+            assert_eq!(exact, brute, "mismatch on old={old:?} new={new:?}");
+        }
+    }
+
+    #[test]
+    fn conservative_accepts_new_only_installs() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 6, 4], None);
+        let base = ConfigState::initial(&i);
+        let ops = [RuleOp::Activate(DpId(5)), RuleOp::Activate(DpId(6))];
+        assert!(round_safe_conservative(
+            &i,
+            &base,
+            &ops,
+            &PropertySet::all()
+        ));
+    }
+
+    #[test]
+    fn conservative_rejects_blackhole_risk() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let base = ConfigState::initial(&i);
+        // activating the source while 5 is not installed risks a
+        // blackhole at 5
+        let ops = [RuleOp::Activate(DpId(1)), RuleOp::Activate(DpId(5))];
+        assert!(!round_safe_conservative(
+            &i,
+            &base,
+            &ops,
+            &PropertySet::loop_free_relaxed()
+        ));
+    }
+
+    #[test]
+    fn conservative_rejects_waypoint_bypass() {
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], Some(2));
+        let base = ConfigState::initial(&i);
+        let ops = [RuleOp::Activate(DpId(1))];
+        assert!(!round_safe_conservative(
+            &i,
+            &base,
+            &ops,
+            &PropertySet::transiently_secure()
+        ));
+    }
+
+    #[test]
+    fn conservative_accepts_unreachable_updates() {
+        // old 1-2-3-4-5; new 1-4-3-2-5; commit activate(1) first:
+        // current path 1->4->5(old). Switches 2,3 are unreachable; their
+        // updates are safe under relaxed loop freedom.
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5], None);
+        let mut base = ConfigState::initial(&i);
+        base.apply(&RuleOp::Activate(DpId(1)));
+        let ops = [RuleOp::Activate(DpId(2)), RuleOp::Activate(DpId(3))];
+        assert!(round_safe_conservative(
+            &i,
+            &base,
+            &ops,
+            &PropertySet::loop_free_relaxed()
+        ));
+        // ... but not under strong loop freedom (2<->3 cycle exists).
+        assert!(!round_safe_conservative(
+            &i,
+            &base,
+            &ops,
+            &PropertySet::loop_free_strong()
+        ));
+    }
+
+    #[test]
+    fn find_cycle_none_on_dag() {
+        let mut adj: BTreeMap<DpId, Vec<DpId>> = BTreeMap::new();
+        adj.insert(DpId(1), vec![DpId(2), DpId(3)]);
+        adj.insert(DpId(2), vec![DpId(3)]);
+        adj.insert(DpId(3), vec![]);
+        assert!(find_cycle(&adj).is_none());
+    }
+
+    #[test]
+    fn find_cycle_self_loopless_triangle() {
+        let mut adj: BTreeMap<DpId, Vec<DpId>> = BTreeMap::new();
+        adj.insert(DpId(1), vec![DpId(2)]);
+        adj.insert(DpId(2), vec![DpId(3)]);
+        adj.insert(DpId(3), vec![DpId(1)]);
+        let c = find_cycle(&adj).unwrap();
+        assert_eq!(c.len(), 3);
+    }
+}

@@ -1,0 +1,103 @@
+//! Brute-force subset enumeration.
+//!
+//! Checks all `2^|round|` transient configurations of a round. Cost
+//! grows exponentially, so the round size is capped; the engine exists
+//! to cross-validate the exact engines in tests and to provide
+//! ground truth on small instances.
+
+use crate::config::ConfigState;
+use crate::model::UpdateInstance;
+use crate::properties::{check_config, PropertySet};
+use crate::schedule::RuleOp;
+
+use super::{CheckReport, Violation};
+
+/// Maximum round size the exhaustive engine accepts (2^20 subsets).
+pub const MAX_EXHAUSTIVE_OPS: usize = 20;
+
+/// Check every subset of `ops` applied on top of `base`.
+///
+/// # Panics
+///
+/// Panics if `ops.len() > MAX_EXHAUSTIVE_OPS`.
+pub fn check_round_exhaustive(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+    props: &PropertySet,
+) -> CheckReport {
+    assert!(
+        ops.len() <= MAX_EXHAUSTIVE_OPS,
+        "exhaustive check limited to {MAX_EXHAUSTIVE_OPS} ops, got {}",
+        ops.len()
+    );
+    let _ = inst;
+    let mut report = CheckReport::default();
+    let n = ops.len();
+    for mask in 0u32..(1u32 << n) {
+        let mut cfg = base.clone();
+        let mut witness = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                cfg.apply(op);
+                witness.push(*op);
+            }
+        }
+        report.configs_checked += 1;
+        for pv in check_config(&cfg, props) {
+            report.violations.push(Violation {
+                round: None,
+                witness: witness.clone(),
+                violation: pv,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_topo::route::RoutePath;
+    use sdn_types::DpId;
+
+    fn inst(old: &[u64], new: &[u64]) -> UpdateInstance {
+        UpdateInstance::new(
+            RoutePath::from_raw(old).unwrap(),
+            RoutePath::from_raw(new).unwrap(),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_all_subsets() {
+        let i = inst(&[1, 2, 3], &[1, 4, 3]);
+        let base = ConfigState::initial(&i);
+        let ops = [RuleOp::Activate(DpId(4)), RuleOp::Activate(DpId(1))];
+        let rep = check_round_exhaustive(&i, &base, &ops, &PropertySet::all());
+        assert_eq!(rep.configs_checked, 4);
+        // exactly one bad subset: {activate 1} alone
+        let bad: Vec<_> = rep.violations.iter().collect();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].witness, vec![RuleOp::Activate(DpId(1))]);
+    }
+
+    #[test]
+    fn empty_round_single_config() {
+        let i = inst(&[1, 2, 3], &[1, 4, 3]);
+        let base = ConfigState::initial(&i);
+        let rep = check_round_exhaustive(&i, &base, &[], &PropertySet::all());
+        assert_eq!(rep.configs_checked, 1);
+        assert!(rep.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive check limited")]
+    fn rejects_oversized_rounds() {
+        let i = inst(&[1, 2, 3], &[1, 4, 3]);
+        let base = ConfigState::initial(&i);
+        let ops: Vec<RuleOp> = (0..21).map(|k| RuleOp::RemoveOld(DpId(k % 3 + 1))).collect();
+        let _ = check_round_exhaustive(&i, &base, &ops, &PropertySet::all());
+    }
+}

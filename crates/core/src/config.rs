@@ -1,0 +1,488 @@
+//! Transient configuration semantics.
+//!
+//! A [`ConfigState`] captures which [`RuleOp`]s have taken effect on
+//! the data plane and answers the only question that matters for
+//! transient consistency: *where does a packet entering at the source
+//! go?* The walk semantics cover both schedule kinds:
+//!
+//! * **Replacement**: a switch forwards per its new rule once
+//!   activated, else per its old rule (if it still has one).
+//! * **Tagged** (two-phase commit): the ingress stamps packets with a
+//!   version tag once flipped. A NEW-tagged packet matches a switch's
+//!   tagged rule when installed, falling back to the untagged rule
+//!   otherwise (tagged rules have higher priority, as in Reitblatt et
+//!   al.). Untagged packets use untagged rules only.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use sdn_types::{DpId, VersionTag};
+
+use crate::model::UpdateInstance;
+use crate::schedule::RuleOp;
+
+/// Result of walking a packet from the source under a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalkOutcome {
+    /// The packet reached the destination.
+    Delivered {
+        /// Whether it traversed the waypoint (always `true` when the
+        /// instance has no waypoint).
+        via_waypoint: bool,
+    },
+    /// The packet revisited a switch: a forwarding loop.
+    Looped {
+        /// The first switch visited twice.
+        at: DpId,
+    },
+    /// The packet reached a switch with no matching rule.
+    Blackhole {
+        /// The ruleless switch.
+        at: DpId,
+    },
+}
+
+impl WalkOutcome {
+    /// Whether the packet was delivered (regardless of waypoint).
+    pub fn delivered(&self) -> bool {
+        matches!(self, WalkOutcome::Delivered { .. })
+    }
+}
+
+/// A packet walk: the visited switches and the outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// Switches in visit order, starting at the source.
+    pub visited: Vec<DpId>,
+    /// How the walk ended.
+    pub outcome: WalkOutcome,
+}
+
+impl fmt::Display for Walk {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, v) in self.visited.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        match &self.outcome {
+            WalkOutcome::Delivered { via_waypoint } => {
+                write!(f, " [delivered{}]", if *via_waypoint { ", via wp" } else { ", BYPASSED WP" })
+            }
+            WalkOutcome::Looped { at } => write!(f, " [LOOP at {at}]"),
+            WalkOutcome::Blackhole { at } => write!(f, " [BLACKHOLE at {at}]"),
+        }
+    }
+}
+
+/// The data-plane state reached after some set of operations applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigState<'a> {
+    inst: &'a UpdateInstance,
+    activated: BTreeSet<DpId>,
+    old_removed: BTreeSet<DpId>,
+    tagged_installed: BTreeSet<DpId>,
+    ingress_flipped: bool,
+}
+
+impl<'a> ConfigState<'a> {
+    /// The initial configuration: pure old policy.
+    pub fn initial(inst: &'a UpdateInstance) -> Self {
+        ConfigState {
+            inst,
+            activated: BTreeSet::new(),
+            old_removed: BTreeSet::new(),
+            tagged_installed: BTreeSet::new(),
+            ingress_flipped: false,
+        }
+    }
+
+    /// The instance this state belongs to.
+    pub fn instance(&self) -> &'a UpdateInstance {
+        self.inst
+    }
+
+    /// Apply one operation.
+    pub fn apply(&mut self, op: &RuleOp) {
+        match op {
+            RuleOp::Activate(v) => {
+                self.activated.insert(*v);
+            }
+            RuleOp::RemoveOld(v) => {
+                self.old_removed.insert(*v);
+            }
+            RuleOp::InstallTagged(v) => {
+                self.tagged_installed.insert(*v);
+            }
+            RuleOp::FlipIngress => {
+                self.ingress_flipped = true;
+            }
+        }
+    }
+
+    /// Apply every operation of an iterator.
+    pub fn apply_all<'b>(&mut self, ops: impl IntoIterator<Item = &'b RuleOp>) {
+        for op in ops {
+            self.apply(op);
+        }
+    }
+
+    /// Whether a switch has been activated (replacement semantics).
+    pub fn is_activated(&self, v: DpId) -> bool {
+        self.activated.contains(&v)
+    }
+
+    /// Whether a switch's old rule has been removed.
+    pub fn is_old_removed(&self, v: DpId) -> bool {
+        self.old_removed.contains(&v)
+    }
+
+    /// Whether a switch has its NEW-tagged rule installed.
+    pub fn is_tagged_installed(&self, v: DpId) -> bool {
+        self.tagged_installed.contains(&v)
+    }
+
+    /// Whether the ingress has flipped to the new tagged policy.
+    pub fn is_flipped(&self) -> bool {
+        self.ingress_flipped
+    }
+
+    /// The *untagged* rule at `v`: new rule if activated, else the old
+    /// rule if present and not removed.
+    fn untagged_next(&self, v: DpId) -> Option<DpId> {
+        if self.activated.contains(&v) {
+            self.inst.new_next(v)
+        } else if self.old_removed.contains(&v) {
+            None
+        } else {
+            self.inst.old_next(v)
+        }
+    }
+
+    /// Where a packet with tag `tag` is forwarded at `v`, or `None`
+    /// when no rule matches (blackhole). The destination never
+    /// forwards.
+    pub fn next_hop(&self, v: DpId, tag: VersionTag) -> Option<DpId> {
+        if v == self.inst.dst() {
+            return None;
+        }
+        if tag == VersionTag::NEW && self.tagged_installed.contains(&v) {
+            return self.inst.new_next(v);
+        }
+        self.untagged_next(v)
+    }
+
+    /// The tag stamped on packets entering at the source, and the
+    /// source's forwarding decision.
+    fn ingress(&self) -> (VersionTag, Option<DpId>) {
+        let src = self.inst.src();
+        if self.ingress_flipped {
+            (VersionTag::NEW, self.inst.new_next(src))
+        } else {
+            (VersionTag::OLD, self.untagged_next(src))
+        }
+    }
+
+    /// Walk a packet from the source until delivery, loop or blackhole.
+    pub fn walk(&self) -> Walk {
+        let src = self.inst.src();
+        let dst = self.inst.dst();
+        let wp = self.inst.waypoint();
+        let mut visited = vec![src];
+        let mut seen: BTreeSet<DpId> = BTreeSet::new();
+        seen.insert(src);
+        let mut via_waypoint = wp.is_none_or(|w| w == src);
+
+        let (tag, mut next) = self.ingress();
+        let mut current = src;
+        loop {
+            match next {
+                None => {
+                    return Walk {
+                        visited,
+                        outcome: WalkOutcome::Blackhole { at: current },
+                    }
+                }
+                Some(v) => {
+                    visited.push(v);
+                    if wp == Some(v) {
+                        via_waypoint = true;
+                    }
+                    if v == dst {
+                        return Walk {
+                            visited,
+                            outcome: WalkOutcome::Delivered { via_waypoint },
+                        };
+                    }
+                    if !seen.insert(v) {
+                        return Walk {
+                            visited,
+                            outcome: WalkOutcome::Looped { at: v },
+                        };
+                    }
+                    current = v;
+                    next = self.next_hop(v, tag);
+                }
+            }
+        }
+    }
+
+    /// The tag classes packets can actually carry under this
+    /// configuration: NEW once the ingress has flipped, OLD otherwise.
+    /// (During the flip round both arise, but the checker enumerates
+    /// the flipped and unflipped configurations separately, each with
+    /// its own class; packets are assumed to drain between rounds —
+    /// barriers dominate path latency, which the simulator validates.)
+    pub fn relevant_classes(&self) -> &'static [VersionTag] {
+        if self.ingress_flipped {
+            &[VersionTag::NEW]
+        } else {
+            &[VersionTag::OLD]
+        }
+    }
+
+    /// Directed rule edges traversable by a packet of the given tag
+    /// class — the graph on which strong loop freedom is defined.
+    ///
+    /// For [`VersionTag::OLD`], each switch contributes its untagged
+    /// rule. For [`VersionTag::NEW`], a switch contributes its tagged
+    /// rule when installed, else its untagged rule (the fall-through a
+    /// NEW-tagged packet would take).
+    pub fn class_edges(&self, tag: VersionTag) -> Vec<(DpId, DpId)> {
+        let mut edges = Vec::new();
+        for (v, _) in self.inst.nodes() {
+            if v == self.inst.dst() {
+                continue;
+            }
+            if let Some(t) = self.next_hop(v, tag) {
+                edges.push((v, t));
+            }
+        }
+        edges
+    }
+
+    /// Whether the per-class rule graph contains a directed cycle
+    /// (strong-loop-freedom violation for that class).
+    pub fn class_has_cycle(&self, tag: VersionTag) -> Option<Vec<DpId>> {
+        // Functional graph: each node has at most one out-edge, so
+        // cycle detection is pointer chasing with three colors.
+        use std::collections::BTreeMap;
+        let mut next: BTreeMap<DpId, DpId> = BTreeMap::new();
+        for (a, b) in self.class_edges(tag) {
+            next.insert(a, b);
+        }
+        let mut color: BTreeMap<DpId, u8> = BTreeMap::new(); // 0 white 1 gray 2 black
+        for &start in next.keys() {
+            if color.get(&start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut v = start;
+            loop {
+                match color.get(&v).copied().unwrap_or(0) {
+                    1 => {
+                        // found a cycle: the portion of `path` from v
+                        let pos = path.iter().position(|&x| x == v).expect("on path");
+                        for &n in &path {
+                            color.insert(n, 2);
+                        }
+                        return Some(path[pos..].to_vec());
+                    }
+                    2 => break,
+                    _ => {
+                        color.insert(v, 1);
+                        path.push(v);
+                        match next.get(&v) {
+                            Some(&t) => v = t,
+                            None => break,
+                        }
+                    }
+                }
+            }
+            for n in path {
+                color.insert(n, 2);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_topo::route::RoutePath;
+
+    fn inst(old: &[u64], new: &[u64], wp: Option<u64>) -> UpdateInstance {
+        UpdateInstance::new(
+            RoutePath::from_raw(old).unwrap(),
+            RoutePath::from_raw(new).unwrap(),
+            wp.map(DpId),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_walk_follows_old_route() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], Some(3));
+        let c = ConfigState::initial(&i);
+        let w = c.walk();
+        assert_eq!(w.visited, vec![DpId(1), DpId(2), DpId(3), DpId(4)]);
+        assert_eq!(w.outcome, WalkOutcome::Delivered { via_waypoint: true });
+    }
+
+    #[test]
+    fn fully_activated_walk_follows_new_route() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], Some(3));
+        let mut c = ConfigState::initial(&i);
+        for v in [1u64, 5, 3] {
+            c.apply(&RuleOp::Activate(DpId(v)));
+        }
+        let w = c.walk();
+        assert_eq!(w.visited, vec![DpId(1), DpId(5), DpId(3), DpId(4)]);
+        assert!(w.outcome.delivered());
+    }
+
+    #[test]
+    fn blackhole_on_uninstalled_new_only() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let mut c = ConfigState::initial(&i);
+        // activate src only: packet goes to 5 which has no rule yet
+        c.apply(&RuleOp::Activate(DpId(1)));
+        let w = c.walk();
+        assert_eq!(w.outcome, WalkOutcome::Blackhole { at: DpId(5) });
+        assert_eq!(w.visited, vec![DpId(1), DpId(5)]);
+    }
+
+    #[test]
+    fn loop_detected() {
+        // old 1-2-3-4, new 1-3-2-4: activating only 3 creates
+        // 3 -> 2 (new) while 2 -> 3 (old): a 2-cycle.
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        let mut c = ConfigState::initial(&i);
+        c.apply(&RuleOp::Activate(DpId(3)));
+        let w = c.walk();
+        assert!(matches!(w.outcome, WalkOutcome::Looped { .. }));
+        // walk: 1 -> 2 -> 3 -> 2(revisit)
+        assert_eq!(w.visited, vec![DpId(1), DpId(2), DpId(3), DpId(2)]);
+    }
+
+    #[test]
+    fn waypoint_bypass_detected() {
+        // old 1-2-3-4 wp 2; new 1-3-2-4... wp must be on both: it is
+        // (2 on both). Activating 1 only: 1 -> 3 (new), 3 -> 4 (old):
+        // delivered but bypassing waypoint 2.
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], Some(2));
+        let mut c = ConfigState::initial(&i);
+        c.apply(&RuleOp::Activate(DpId(1)));
+        let w = c.walk();
+        assert_eq!(
+            w.outcome,
+            WalkOutcome::Delivered {
+                via_waypoint: false
+            }
+        );
+    }
+
+    #[test]
+    fn remove_old_creates_blackhole_if_reachable() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let mut c = ConfigState::initial(&i);
+        c.apply(&RuleOp::RemoveOld(DpId(2)));
+        let w = c.walk();
+        assert_eq!(w.outcome, WalkOutcome::Blackhole { at: DpId(2) });
+    }
+
+    #[test]
+    fn tagged_walk_before_flip_uses_old_path() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let mut c = ConfigState::initial(&i);
+        for v in [5u64, 3] {
+            c.apply(&RuleOp::InstallTagged(DpId(v)));
+        }
+        let w = c.walk();
+        assert_eq!(w.visited, vec![DpId(1), DpId(2), DpId(3), DpId(4)]);
+    }
+
+    #[test]
+    fn tagged_walk_after_flip_uses_new_path() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let mut c = ConfigState::initial(&i);
+        for v in [5u64, 3] {
+            c.apply(&RuleOp::InstallTagged(DpId(v)));
+        }
+        c.apply(&RuleOp::FlipIngress);
+        let w = c.walk();
+        assert_eq!(w.visited, vec![DpId(1), DpId(5), DpId(3), DpId(4)]);
+        assert!(w.outcome.delivered());
+    }
+
+    #[test]
+    fn tagged_fallthrough_on_missing_install() {
+        // Flip without installing tagged rules: NEW packet at 5 has no
+        // rule at all -> blackhole at 5.
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let mut c = ConfigState::initial(&i);
+        c.apply(&RuleOp::FlipIngress);
+        let w = c.walk();
+        assert_eq!(w.outcome, WalkOutcome::Blackhole { at: DpId(5) });
+    }
+
+    #[test]
+    fn tagged_fallthrough_uses_untagged_rule_on_shared() {
+        // old 1-2-3-4, new 1-3-2-4 (shared interior, reordered).
+        // Flip + install tagged at 3 only: packet 1-(new)->3,
+        // 3 tagged -> 2, 2 falls through to old rule -> 3: loop.
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        let mut c = ConfigState::initial(&i);
+        c.apply(&RuleOp::FlipIngress);
+        c.apply(&RuleOp::InstallTagged(DpId(3)));
+        let w = c.walk();
+        assert!(matches!(w.outcome, WalkOutcome::Looped { at } if at == DpId(3)));
+    }
+
+    #[test]
+    fn class_edges_distinguish_tags() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        let mut c = ConfigState::initial(&i);
+        c.apply(&RuleOp::InstallTagged(DpId(3)));
+        let old_edges = c.class_edges(VersionTag::OLD);
+        let new_edges = c.class_edges(VersionTag::NEW);
+        assert!(old_edges.contains(&(DpId(3), DpId(4)))); // old rule 3->4
+        assert!(new_edges.contains(&(DpId(3), DpId(4)))); // new rule 3->4 too
+        // 2's rule identical in both classes (no tagged install)
+        assert!(old_edges.contains(&(DpId(2), DpId(3))));
+        assert!(new_edges.contains(&(DpId(2), DpId(3))));
+    }
+
+    #[test]
+    fn class_cycle_detection() {
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        let mut c = ConfigState::initial(&i);
+        assert!(c.class_has_cycle(VersionTag::OLD).is_none());
+        c.apply(&RuleOp::Activate(DpId(3)));
+        let cyc = c.class_has_cycle(VersionTag::OLD).expect("2-3 cycle");
+        let mut cyc_sorted = cyc.clone();
+        cyc_sorted.sort();
+        assert_eq!(cyc_sorted, vec![DpId(2), DpId(3)]);
+    }
+
+    #[test]
+    fn destination_never_forwards() {
+        let i = inst(&[1, 2, 3], &[1, 2, 3], None);
+        let mut c = ConfigState::initial(&i);
+        c.apply(&RuleOp::Activate(DpId(1)));
+        c.apply(&RuleOp::Activate(DpId(2)));
+        assert_eq!(c.next_hop(DpId(3), VersionTag::OLD), None);
+        assert_eq!(c.next_hop(DpId(3), VersionTag::NEW), None);
+    }
+
+    #[test]
+    fn walk_display_readable() {
+        let i = inst(&[1, 2, 3], &[1, 2, 3], None);
+        let c = ConfigState::initial(&i);
+        let s = c.walk().to_string();
+        assert!(s.contains("s1 -> s2 -> s3"));
+        assert!(s.contains("delivered"));
+    }
+}

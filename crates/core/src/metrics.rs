@@ -1,0 +1,95 @@
+//! Schedule metrics used by the experiment harnesses.
+
+use std::fmt;
+
+use crate::schedule::{RuleOp, Schedule};
+
+/// Summary statistics of a schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScheduleStats {
+    /// Number of rounds (= number of barrier sweeps).
+    pub rounds: usize,
+    /// Total rule operations.
+    pub ops: usize,
+    /// Largest round.
+    pub max_round_ops: usize,
+    /// Rule replacements / installs (`Activate`).
+    pub activates: usize,
+    /// Tagged installs (`InstallTagged`), i.e. extra rules the
+    /// two-phase commit keeps in the tables.
+    pub tagged_installs: usize,
+    /// Old-rule removals.
+    pub removals: usize,
+    /// Ingress flips.
+    pub flips: usize,
+}
+
+impl ScheduleStats {
+    /// Compute the statistics of a schedule.
+    pub fn of(schedule: &Schedule) -> Self {
+        let mut s = ScheduleStats {
+            rounds: schedule.round_count(),
+            ops: schedule.op_count(),
+            ..Default::default()
+        };
+        for r in &schedule.rounds {
+            s.max_round_ops = s.max_round_ops.max(r.len());
+            for op in &r.ops {
+                match op {
+                    RuleOp::Activate(_) => s.activates += 1,
+                    RuleOp::RemoveOld(_) => s.removals += 1,
+                    RuleOp::InstallTagged(_) => s.tagged_installs += 1,
+                    RuleOp::FlipIngress => s.flips += 1,
+                }
+            }
+        }
+        s
+    }
+}
+
+impl fmt::Display for ScheduleStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} ops (max/round {}, act {}, tag {}, rm {}, flip {})",
+            self.rounds,
+            self.ops,
+            self.max_round_ops,
+            self.activates,
+            self.tagged_installs,
+            self.removals,
+            self.flips
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Round;
+    use sdn_types::DpId;
+
+    #[test]
+    fn stats_count_ops() {
+        let s = Schedule::tagged(
+            "2pc",
+            vec![
+                Round::new(vec![
+                    RuleOp::InstallTagged(DpId(2)),
+                    RuleOp::InstallTagged(DpId(3)),
+                ]),
+                Round::new(vec![RuleOp::FlipIngress]),
+                Round::new(vec![RuleOp::RemoveOld(DpId(2))]),
+            ],
+        );
+        let st = ScheduleStats::of(&s);
+        assert_eq!(st.rounds, 3);
+        assert_eq!(st.ops, 4);
+        assert_eq!(st.max_round_ops, 2);
+        assert_eq!(st.tagged_installs, 2);
+        assert_eq!(st.flips, 1);
+        assert_eq!(st.removals, 1);
+        assert_eq!(st.activates, 0);
+        assert!(st.to_string().contains("3 rounds"));
+    }
+}

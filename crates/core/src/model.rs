@@ -1,0 +1,353 @@
+//! The two-path update model.
+//!
+//! Following Ludwig et al. (HotNets'14, PODC'15, SIGMETRICS'16), a
+//! policy update is a pair of simple routes with common endpoints —
+//! the **old** route currently installed and the **new** route to
+//! migrate to — plus an optional **waypoint** (firewall/IDS) that must
+//! lie on both routes and must never be bypassed, even transiently.
+//!
+//! Every switch on the old route stores an *old rule* (its successor on
+//! the old route); every switch on the new route has a *new rule* (its
+//! successor on the new route). "Updating" a switch replaces old by new
+//! atomically at that switch; the scheduling problem is the order in
+//! which switches may be updated.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sdn_topo::route::RoutePath;
+use sdn_types::DpId;
+
+/// Errors from instance construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceError {
+    /// Old and new routes must share their source switch.
+    SourceMismatch(DpId, DpId),
+    /// Old and new routes must share their destination switch.
+    DestMismatch(DpId, DpId),
+    /// The waypoint must lie on the old route.
+    WaypointNotOnOld(DpId),
+    /// The waypoint must lie on the new route.
+    WaypointNotOnNew(DpId),
+    /// The waypoint must be an interior switch (not source/destination);
+    /// a waypoint at an endpoint is enforced trivially and rejected to
+    /// keep the schedulers' preconditions crisp.
+    WaypointAtEndpoint(DpId),
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::SourceMismatch(a, b) => {
+                write!(f, "old route starts at {a} but new route starts at {b}")
+            }
+            InstanceError::DestMismatch(a, b) => {
+                write!(f, "old route ends at {a} but new route ends at {b}")
+            }
+            InstanceError::WaypointNotOnOld(w) => write!(f, "waypoint {w} not on old route"),
+            InstanceError::WaypointNotOnNew(w) => write!(f, "waypoint {w} not on new route"),
+            InstanceError::WaypointAtEndpoint(w) => {
+                write!(f, "waypoint {w} must be an interior switch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
+/// How a switch participates in the update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// On both routes: holds an old rule now and swaps to a new rule.
+    Shared,
+    /// Only on the old route: keeps its old rule until the final
+    /// cleanup round removes it.
+    OldOnly,
+    /// Only on the new route: has no rule yet; the update installs one.
+    NewOnly,
+}
+
+/// A validated two-path update instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateInstance {
+    old: RoutePath,
+    new: RoutePath,
+    waypoint: Option<DpId>,
+    roles: BTreeMap<DpId, NodeRole>,
+}
+
+impl UpdateInstance {
+    /// Validate and build an instance.
+    pub fn new(
+        old: RoutePath,
+        new: RoutePath,
+        waypoint: Option<DpId>,
+    ) -> Result<Self, InstanceError> {
+        if old.src() != new.src() {
+            return Err(InstanceError::SourceMismatch(old.src(), new.src()));
+        }
+        if old.dst() != new.dst() {
+            return Err(InstanceError::DestMismatch(old.dst(), new.dst()));
+        }
+        if let Some(w) = waypoint {
+            if !old.contains(w) {
+                return Err(InstanceError::WaypointNotOnOld(w));
+            }
+            if !new.contains(w) {
+                return Err(InstanceError::WaypointNotOnNew(w));
+            }
+            if w == old.src() || w == old.dst() {
+                return Err(InstanceError::WaypointAtEndpoint(w));
+            }
+        }
+        let mut roles = BTreeMap::new();
+        for &v in old.hops() {
+            roles.insert(v, NodeRole::OldOnly);
+        }
+        for &v in new.hops() {
+            roles
+                .entry(v)
+                .and_modify(|r| *r = NodeRole::Shared)
+                .or_insert(NodeRole::NewOnly);
+        }
+        Ok(UpdateInstance {
+            old,
+            new,
+            waypoint,
+            roles,
+        })
+    }
+
+    /// The old (currently installed) route.
+    pub fn old(&self) -> &RoutePath {
+        &self.old
+    }
+
+    /// The new (target) route.
+    pub fn new_route(&self) -> &RoutePath {
+        &self.new
+    }
+
+    /// The waypoint, if the update must enforce one.
+    pub fn waypoint(&self) -> Option<DpId> {
+        self.waypoint
+    }
+
+    /// Common source switch.
+    pub fn src(&self) -> DpId {
+        self.old.src()
+    }
+
+    /// Common destination switch.
+    pub fn dst(&self) -> DpId {
+        self.old.dst()
+    }
+
+    /// Role of a switch in this update, if it participates.
+    pub fn role(&self, v: DpId) -> Option<NodeRole> {
+        self.roles.get(&v).copied()
+    }
+
+    /// All switches participating in the update, in dpid order.
+    pub fn nodes(&self) -> impl Iterator<Item = (DpId, NodeRole)> + '_ {
+        self.roles.iter().map(|(&v, &r)| (v, r))
+    }
+
+    /// Number of participating switches.
+    pub fn node_count(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Switches with the given role, in dpid order.
+    pub fn nodes_with_role(&self, role: NodeRole) -> Vec<DpId> {
+        self.roles
+            .iter()
+            .filter(|(_, &r)| r == role)
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    /// The switch's successor under the old policy (its old rule).
+    /// `None` for the destination and for new-only switches.
+    pub fn old_next(&self, v: DpId) -> Option<DpId> {
+        self.old.next_hop(v)
+    }
+
+    /// The switch's successor under the new policy (its new rule).
+    /// `None` for the destination and for old-only switches.
+    pub fn new_next(&self, v: DpId) -> Option<DpId> {
+        self.new.next_hop(v)
+    }
+
+    /// Whether the switch's new rule jumps **forward** with respect to
+    /// old-route order (both the switch and its new successor are on
+    /// the old route and the successor lies strictly ahead). Forward
+    /// rules can never close a loop with old rules alone.
+    pub fn is_forward(&self, v: DpId) -> bool {
+        match (self.old.position(v), self.new_next(v).and_then(|t| self.old.position(t))) {
+            (Some(pv), Some(pt)) => pt > pv,
+            _ => false,
+        }
+    }
+
+    /// Shared switches that lie on *opposite sides of the waypoint* on
+    /// the two routes ("crossing" switches). If any exist, a pure
+    /// rule-replacement schedule preserving waypoint enforcement may
+    /// not exist (HotNets'14), and WayUp falls back to two-phase
+    /// commit. Empty when no waypoint is set.
+    pub fn crossing_nodes(&self) -> Vec<DpId> {
+        let Some(w) = self.waypoint else {
+            return Vec::new();
+        };
+        let wo = self.old.position(w).expect("validated");
+        let wn = self.new.position(w).expect("validated");
+        self.roles
+            .iter()
+            .filter(|(&v, &r)| {
+                r == NodeRole::Shared && v != w && {
+                    let po = self.old.position(v).expect("shared");
+                    let pn = self.new.position(v).expect("shared");
+                    (po < wo) != (pn < wn)
+                }
+            })
+            .map(|(&v, _)| v)
+            .collect()
+    }
+
+    /// Whether the update is a no-op (identical routes).
+    pub fn is_trivial(&self) -> bool {
+        self.old == self.new
+    }
+}
+
+impl fmt::Display for UpdateInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "old {} -> new {}", self.old, self.new)?;
+        if let Some(w) = self.waypoint {
+            write!(f, " via waypoint {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(ids: &[u64]) -> RoutePath {
+        RoutePath::from_raw(ids).unwrap()
+    }
+
+    fn inst(old: &[u64], new: &[u64], wp: Option<u64>) -> UpdateInstance {
+        UpdateInstance::new(path(old), path(new), wp.map(DpId)).unwrap()
+    }
+
+    #[test]
+    fn roles_classified() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        assert_eq!(i.role(DpId(1)), Some(NodeRole::Shared));
+        assert_eq!(i.role(DpId(2)), Some(NodeRole::OldOnly));
+        assert_eq!(i.role(DpId(5)), Some(NodeRole::NewOnly));
+        assert_eq!(i.role(DpId(3)), Some(NodeRole::Shared));
+        assert_eq!(i.role(DpId(4)), Some(NodeRole::Shared));
+        assert_eq!(i.role(DpId(9)), None);
+        assert_eq!(i.node_count(), 5);
+    }
+
+    #[test]
+    fn nodes_with_role_sorted() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        assert_eq!(i.nodes_with_role(NodeRole::Shared), vec![DpId(1), DpId(3), DpId(4)]);
+        assert_eq!(i.nodes_with_role(NodeRole::OldOnly), vec![DpId(2)]);
+        assert_eq!(i.nodes_with_role(NodeRole::NewOnly), vec![DpId(5)]);
+    }
+
+    #[test]
+    fn old_and_new_rules() {
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        assert_eq!(i.old_next(DpId(2)), Some(DpId(3)));
+        assert_eq!(i.new_next(DpId(2)), Some(DpId(4)));
+        assert_eq!(i.old_next(DpId(4)), None);
+        assert_eq!(i.new_next(DpId(4)), None);
+        assert_eq!(i.old_next(DpId(9)), None);
+    }
+
+    #[test]
+    fn endpoint_mismatch_rejected() {
+        assert!(matches!(
+            UpdateInstance::new(path(&[1, 2, 3]), path(&[2, 3]), None),
+            Err(InstanceError::SourceMismatch(..))
+        ));
+        assert!(matches!(
+            UpdateInstance::new(path(&[1, 2, 3]), path(&[1, 2]), None),
+            Err(InstanceError::DestMismatch(..))
+        ));
+    }
+
+    #[test]
+    fn waypoint_validation() {
+        assert!(matches!(
+            UpdateInstance::new(path(&[1, 2, 3]), path(&[1, 4, 3]), Some(DpId(2))),
+            Err(InstanceError::WaypointNotOnNew(..))
+        ));
+        assert!(matches!(
+            UpdateInstance::new(path(&[1, 2, 3]), path(&[1, 4, 3]), Some(DpId(4))),
+            Err(InstanceError::WaypointNotOnOld(..))
+        ));
+        assert!(matches!(
+            UpdateInstance::new(path(&[1, 2, 3]), path(&[1, 2, 3]), Some(DpId(1))),
+            Err(InstanceError::WaypointAtEndpoint(..))
+        ));
+        assert!(UpdateInstance::new(path(&[1, 2, 3]), path(&[1, 2, 3]), Some(DpId(2))).is_ok());
+    }
+
+    #[test]
+    fn forward_detection() {
+        // old 1-2-3-4-5; new 1-4-2-5: 1's new rule jumps fwd to 4;
+        // 4's new rule jumps back to 2; 2's new rule jumps fwd to 5.
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 4, 2, 5], None);
+        assert!(i.is_forward(DpId(1)));
+        assert!(!i.is_forward(DpId(4)));
+        assert!(i.is_forward(DpId(2)));
+        // destination has no rule
+        assert!(!i.is_forward(DpId(5)));
+        // old-only has no new rule
+        assert!(!i.is_forward(DpId(3)));
+    }
+
+    #[test]
+    fn crossing_nodes_detected() {
+        // old 1-2-3-4-5 with waypoint 3; new 1-4-3-2-5.
+        // Switch 4: before w on new, after w on old -> crossing.
+        // Switch 2: before w on old, after w on new -> crossing.
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5], Some(3));
+        assert_eq!(i.crossing_nodes(), vec![DpId(2), DpId(4)]);
+    }
+
+    #[test]
+    fn crossing_free_instance() {
+        // old 1-2-3-4-5 wp 3; new 1-2-3-4-5 trivially, and a detour
+        // new 1-6-3-7-5 (6,7 new-only; shared 1,3,5 consistent sides).
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 6, 3, 7, 5], Some(3));
+        assert!(i.crossing_nodes().is_empty());
+        assert!(!i.is_trivial());
+    }
+
+    #[test]
+    fn no_waypoint_no_crossings() {
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5], None);
+        assert!(i.crossing_nodes().is_empty());
+    }
+
+    #[test]
+    fn trivial_instance() {
+        let i = inst(&[1, 2, 3], &[1, 2, 3], None);
+        assert!(i.is_trivial());
+    }
+
+    #[test]
+    fn display_mentions_waypoint() {
+        let i = inst(&[1, 2, 3], &[1, 2, 3], Some(2));
+        assert!(i.to_string().contains("waypoint s2"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Cross-validation of the three checker engines on randomized
+//! instances and rounds: the exact engines must agree with brute
+//! force, and the conservative oracle must never accept what brute
+//! force rejects (soundness).
+
+use proptest::prelude::*;
+
+use sdn_topo::route::RoutePath;
+use sdn_types::{DetRng, DpId};
+use update_core::checker::choice_graph::{check_round_slf, round_safe_conservative};
+use update_core::checker::decision_walk::check_round;
+use update_core::checker::exhaustive::check_round_exhaustive;
+use update_core::checker::sampling::check_round_sampled;
+use update_core::config::ConfigState;
+use update_core::model::{NodeRole, UpdateInstance};
+use update_core::properties::{Property, PropertySet};
+use update_core::schedule::RuleOp;
+
+/// Build a random instance plus a random (base, round) split of its
+/// shared activations, with optional waypoint.
+fn random_setup(
+    seed: u64,
+    n: u64,
+    with_waypoint: bool,
+) -> (UpdateInstance, Vec<RuleOp>, Vec<RuleOp>) {
+    let mut rng = DetRng::new(seed);
+    let pair = if with_waypoint {
+        sdn_topo::gen::waypointed(n.max(5), rng.chance(0.5), &mut rng)
+    } else {
+        sdn_topo::gen::random_permutation(n, &mut rng)
+    };
+    let inst = UpdateInstance::new(pair.old, pair.new, pair.waypoint).unwrap();
+    let mut base_ops = Vec::new();
+    let mut round_ops = Vec::new();
+    for (v, role) in inst.nodes() {
+        if v == inst.dst() {
+            continue;
+        }
+        match role {
+            NodeRole::Shared | NodeRole::NewOnly => match rng.index(3) {
+                0 => base_ops.push(RuleOp::Activate(v)),
+                1 => round_ops.push(RuleOp::Activate(v)),
+                _ => {}
+            },
+            NodeRole::OldOnly => {}
+        }
+    }
+    (inst, base_ops, round_ops)
+}
+
+fn apply_base<'a>(inst: &'a UpdateInstance, base_ops: &[RuleOp]) -> ConfigState<'a> {
+    let mut c = ConfigState::initial(inst);
+    c.apply_all(base_ops);
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decision-walk == exhaustive for the walk properties.
+    #[test]
+    fn decision_walk_matches_exhaustive(seed in 0u64..1_000_000, n in 4u64..9, wp: bool) {
+        let (inst, base_ops, round_ops) = random_setup(seed, n, wp);
+        prop_assume!(!round_ops.is_empty() && round_ops.len() <= 12);
+        let base = apply_base(&inst, &base_ops);
+        let props = if inst.waypoint().is_some() {
+            PropertySet::transiently_secure()
+        } else {
+            PropertySet::loop_free_relaxed()
+        };
+        let exact = check_round(&inst, &base, &round_ops, &props).is_ok();
+        let brute = check_round_exhaustive(&inst, &base, &round_ops, &props).is_ok();
+        prop_assert_eq!(exact, brute, "{} base={:?} round={:?}", inst, base_ops, round_ops);
+    }
+
+    /// Choice-graph SLF == exhaustive SLF.
+    #[test]
+    fn choice_graph_slf_matches_exhaustive(seed in 0u64..1_000_000, n in 4u64..9) {
+        let (inst, base_ops, round_ops) = random_setup(seed, n, false);
+        prop_assume!(!round_ops.is_empty() && round_ops.len() <= 12);
+        let base = apply_base(&inst, &base_ops);
+        let slf = PropertySet::none().with(Property::StrongLoopFreedom);
+        let exact = check_round_slf(&inst, &base, &round_ops).is_ok();
+        let brute = check_round_exhaustive(&inst, &base, &round_ops, &slf).is_ok();
+        prop_assert_eq!(exact, brute, "{} base={:?} round={:?}", inst, base_ops, round_ops);
+    }
+
+    /// The conservative oracle never accepts a round brute force
+    /// rejects (soundness; it may reject safe rounds).
+    #[test]
+    fn conservative_oracle_is_sound(seed in 0u64..1_000_000, n in 4u64..9, wp: bool) {
+        let (inst, base_ops, round_ops) = random_setup(seed, n, wp);
+        prop_assume!(!round_ops.is_empty() && round_ops.len() <= 12);
+        let base = apply_base(&inst, &base_ops);
+        let props = if inst.waypoint().is_some() {
+            PropertySet::transiently_secure()
+        } else {
+            PropertySet::loop_free_relaxed()
+        };
+        if round_safe_conservative(&inst, &base, &round_ops, &props) {
+            let brute = check_round_exhaustive(&inst, &base, &round_ops, &props);
+            prop_assert!(
+                brute.is_ok(),
+                "conservative accepted an unsafe round: {} base={:?} round={:?}\n{}",
+                inst, base_ops, round_ops, brute
+            );
+        }
+    }
+
+    /// Sampling finds only violations brute force also finds.
+    #[test]
+    fn sampling_is_a_subset_of_exhaustive(seed in 0u64..1_000_000, n in 4u64..8) {
+        let (inst, base_ops, round_ops) = random_setup(seed, n, false);
+        prop_assume!(!round_ops.is_empty() && round_ops.len() <= 10);
+        let base = apply_base(&inst, &base_ops);
+        let props = PropertySet::loop_free_relaxed();
+        let mut rng = DetRng::new(seed ^ 0xdead);
+        let sampled = check_round_sampled(&inst, &base, &round_ops, &props, 32, &mut rng);
+        if !sampled.is_ok() {
+            let brute = check_round_exhaustive(&inst, &base, &round_ops, &props);
+            prop_assert!(!brute.is_ok());
+        }
+    }
+}
+
+/// Exhaustive-enumeration soundness audit on a fixed reversal
+/// instance: over *every* (committed base, candidate round) split of
+/// the shared switches, the conservative oracle never accepts a round
+/// the exact engine rejects. (On some instances the two coincide
+/// exactly; the proptests above cover the randomized space.)
+#[test]
+fn conservative_oracle_sound_on_full_enumeration() {
+    let inst = UpdateInstance::new(
+        RoutePath::from_raw(&[1, 2, 3, 4, 5]).unwrap(),
+        RoutePath::from_raw(&[1, 4, 3, 2, 5]).unwrap(),
+        None,
+    )
+    .unwrap();
+    let props = PropertySet::loop_free_relaxed();
+    let shared: Vec<DpId> = inst
+        .nodes_with_role(NodeRole::Shared)
+        .into_iter()
+        .filter(|&v| v != inst.dst())
+        .collect();
+    let k = shared.len();
+    let mut agreements = 0u32;
+    let mut over_rejections = 0u32;
+    for base_mask in 0u32..(1 << k) {
+        for round_mask in 0u32..(1 << k) {
+            if base_mask & round_mask != 0 || round_mask == 0 {
+                continue;
+            }
+            let base_ops: Vec<RuleOp> = (0..k)
+                .filter(|i| base_mask & (1 << i) != 0)
+                .map(|i| RuleOp::Activate(shared[i]))
+                .collect();
+            let round_ops: Vec<RuleOp> = (0..k)
+                .filter(|i| round_mask & (1 << i) != 0)
+                .map(|i| RuleOp::Activate(shared[i]))
+                .collect();
+            let base = apply_base(&inst, &base_ops);
+            let conservative = round_safe_conservative(&inst, &base, &round_ops, &props);
+            let exact = check_round(&inst, &base, &round_ops, &props).is_ok();
+            assert!(
+                exact || !conservative,
+                "UNSOUND: conservative accepted unsafe round at base={base_ops:?} round={round_ops:?}"
+            );
+            if conservative == exact {
+                agreements += 1;
+            } else {
+                over_rejections += 1;
+            }
+        }
+    }
+    // every split audited; report shape for the record
+    assert!(agreements > 0);
+    // over-rejection is permitted but must not be the common case
+    assert!(
+        over_rejections <= agreements,
+        "oracle over-rejects {over_rejections} vs {agreements} agreements"
+    );
+}

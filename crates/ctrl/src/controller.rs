@@ -1,0 +1,288 @@
+//! The controller: a queue of update jobs processed one at a time.
+//!
+//! From the paper: *"create a message queue at the SDN controller side
+//! to enqueue the REST messages in a message queue for each round of
+//! network update... If the SDN controller starts to process a message,
+//! it begins with the first round... If the message object does not
+//! have a next round, the SDN controller deletes the message from the
+//! queue and starts processing the next message."*
+
+use std::collections::VecDeque;
+
+use sdn_openflow::messages::Envelope;
+use sdn_types::{DpId, SimDuration, SimTime};
+
+use crate::compile::CompiledUpdate;
+use crate::executor::{ExecConfig, ExecState, RoundExecutor, RoundTiming, XidAlloc};
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub struct ControllerConfig {
+    /// Round executor tuning.
+    pub exec: ExecConfig,
+}
+
+
+/// A command the controller wants carried out by the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtrlOutput {
+    /// Send a message to a switch.
+    Send(DpId, Envelope),
+}
+
+/// Completion record of one update job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Job label.
+    pub label: String,
+    /// When the first round was dispatched.
+    pub started: SimTime,
+    /// When the last barrier reply arrived (`None` = failed).
+    pub completed: Option<SimTime>,
+    /// Per-round timings.
+    pub rounds: Vec<RoundTiming>,
+}
+
+impl UpdateReport {
+    /// Total update time (dispatch of round 1 → last barrier reply).
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c.saturating_since(self.started))
+    }
+}
+
+/// The controller.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    config: ControllerConfig,
+    queue: VecDeque<CompiledUpdate>,
+    active: Option<(RoundExecutor, SimTime)>,
+    xids: XidAlloc,
+    reports: Vec<UpdateReport>,
+}
+
+impl Controller {
+    /// A controller with the given configuration.
+    pub fn new(config: ControllerConfig) -> Self {
+        Controller {
+            config,
+            queue: VecDeque::new(),
+            active: None,
+            xids: XidAlloc::new(),
+            reports: Vec::new(),
+        }
+    }
+
+    /// Enqueue an update job.
+    pub fn enqueue(&mut self, update: CompiledUpdate) {
+        self.queue.push_back(update);
+    }
+
+    /// Jobs waiting behind the active one.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no job is active and the queue is empty.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_none() && self.queue.is_empty()
+    }
+
+    /// Completed (or failed) job reports.
+    pub fn reports(&self) -> &[UpdateReport] {
+        &self.reports
+    }
+
+    /// Access to the active executor (diagnostics).
+    pub fn active_executor(&self) -> Option<&RoundExecutor> {
+        self.active.as_ref().map(|(e, _)| e)
+    }
+
+    /// Drive the controller: start the next job when idle, enforce
+    /// timeouts on the active one. Call regularly (each simulator step
+    /// or timer tick).
+    pub fn poll(&mut self, now: SimTime) -> Vec<CtrlOutput> {
+        let mut out = Vec::new();
+        // finish bookkeeping of a completed/failed job
+        self.reap(now);
+        if self.active.is_none() {
+            if let Some(update) = self.queue.pop_front() {
+                let mut ex = RoundExecutor::new(update, self.config.exec);
+                for (dp, env) in ex.start(now, &mut self.xids) {
+                    out.push(CtrlOutput::Send(dp, env));
+                }
+                self.active = Some((ex, now));
+                // an empty update may complete instantly
+                self.reap(now);
+            }
+        } else if let Some((ex, _)) = &mut self.active {
+            for (dp, env) in ex.on_tick(now, &mut self.xids) {
+                out.push(CtrlOutput::Send(dp, env));
+            }
+            self.reap(now);
+        }
+        out
+    }
+
+    /// Feed a message arriving from a switch.
+    pub fn on_message(&mut self, now: SimTime, from: DpId, env: &Envelope) -> Vec<CtrlOutput> {
+        let mut out = Vec::new();
+        if let Some((ex, _)) = &mut self.active {
+            for (dp, e) in ex.on_message(now, from, env, &mut self.xids) {
+                out.push(CtrlOutput::Send(dp, e));
+            }
+        }
+        self.reap(now);
+        out
+    }
+
+    fn reap(&mut self, now: SimTime) {
+        let done = matches!(
+            self.active.as_ref().map(|(e, _)| e.state()),
+            Some(ExecState::Done | ExecState::Failed)
+        );
+        if done {
+            let (ex, started) = self.active.take().expect("checked");
+            let completed = match ex.state() {
+                ExecState::Done => Some(
+                    ex.timings()
+                        .last()
+                        .and_then(|t| t.completed)
+                        .unwrap_or(now),
+                ),
+                _ => None,
+            };
+            self.reports.push(UpdateReport {
+                label: ex.label().to_string(),
+                started,
+                completed,
+                rounds: ex.timings().to_vec(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_openflow::flow::FlowMatch;
+    use sdn_openflow::messages::{FlowMod, FlowModCommand, OfMessage};
+    use sdn_types::HostId;
+
+    fn flowmod() -> OfMessage {
+        OfMessage::FlowMod(FlowMod {
+            command: FlowModCommand::Add,
+            priority: 100,
+            matcher: FlowMatch::dst_host(HostId(2)),
+            actions: vec![],
+            cookie: 0,
+        })
+    }
+
+    fn job(label: &str, rounds: Vec<Vec<u64>>) -> CompiledUpdate {
+        CompiledUpdate {
+            label: label.into(),
+            rounds: rounds
+                .into_iter()
+                .map(|dps| crate::compile::CompiledRound {
+                    msgs: dps.into_iter().map(|d| (DpId(d), flowmod())).collect(),
+                    pre_delay: sdn_types::SimDuration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    fn ack_all(ctrl: &mut Controller, now: SimTime, cmds: &[CtrlOutput]) -> Vec<CtrlOutput> {
+        let mut follow = Vec::new();
+        for c in cmds {
+            let CtrlOutput::Send(dp, env) = c;
+            if env.msg == OfMessage::BarrierRequest {
+                follow.extend(ctrl.on_message(
+                    now,
+                    *dp,
+                    &Envelope::new(env.xid, OfMessage::BarrierReply),
+                ));
+            }
+        }
+        follow
+    }
+
+    #[test]
+    fn queue_processed_in_order() {
+        let mut ctrl = Controller::new(ControllerConfig::default());
+        ctrl.enqueue(job("first", vec![vec![1]]));
+        ctrl.enqueue(job("second", vec![vec![2]]));
+        assert_eq!(ctrl.queued(), 2);
+
+        let cmds = ctrl.poll(SimTime(0));
+        assert!(!cmds.is_empty());
+        assert_eq!(ctrl.queued(), 1);
+        // finish job 1
+        let follow = ack_all(&mut ctrl, SimTime(1), &cmds);
+        assert!(follow.is_empty());
+        assert_eq!(ctrl.reports().len(), 1);
+        assert_eq!(ctrl.reports()[0].label, "first");
+
+        // poll starts job 2
+        let cmds2 = ctrl.poll(SimTime(2));
+        assert!(!cmds2.is_empty());
+        ack_all(&mut ctrl, SimTime(3), &cmds2);
+        assert_eq!(ctrl.reports().len(), 2);
+        assert!(ctrl.is_idle());
+    }
+
+    #[test]
+    fn multi_round_jobs_chain_rounds() {
+        let mut ctrl = Controller::new(ControllerConfig::default());
+        ctrl.enqueue(job("j", vec![vec![1], vec![2], vec![3]]));
+        let mut cmds = ctrl.poll(SimTime(0));
+        let mut hops = 0;
+        while !cmds.is_empty() && hops < 5 {
+            cmds = ack_all(&mut ctrl, SimTime(hops + 1), &cmds);
+            hops += 1;
+        }
+        assert_eq!(ctrl.reports().len(), 1);
+        let r = &ctrl.reports()[0];
+        assert_eq!(r.rounds.len(), 3);
+        assert!(r.duration().is_some());
+    }
+
+    #[test]
+    fn failed_job_reports_none_completed() {
+        let cfg = ControllerConfig {
+            exec: ExecConfig {
+                barrier_timeout: SimDuration::from_millis(1),
+                max_attempts: 1,
+            },
+        };
+        let mut ctrl = Controller::new(cfg);
+        ctrl.enqueue(job("doomed", vec![vec![1]]));
+        ctrl.poll(SimTime(0));
+        // no replies ever; tick past the deadline
+        ctrl.poll(SimTime(0) + SimDuration::from_millis(10));
+        assert_eq!(ctrl.reports().len(), 1);
+        assert_eq!(ctrl.reports()[0].completed, None);
+        assert!(ctrl.is_idle());
+    }
+
+    #[test]
+    fn empty_job_completes_without_traffic() {
+        let mut ctrl = Controller::new(ControllerConfig::default());
+        ctrl.enqueue(job("noop", vec![]));
+        let cmds = ctrl.poll(SimTime(7));
+        assert!(cmds.is_empty());
+        assert_eq!(ctrl.reports().len(), 1);
+        assert_eq!(ctrl.reports()[0].completed, Some(SimTime(7)));
+    }
+
+    #[test]
+    fn messages_while_idle_are_ignored() {
+        let mut ctrl = Controller::new(ControllerConfig::default());
+        let out = ctrl.on_message(
+            SimTime(0),
+            DpId(1),
+            &Envelope::new(sdn_types::Xid(5), OfMessage::BarrierReply),
+        );
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,501 @@
+//! The round executor: barrier-synchronized round dispatch.
+//!
+//! Mirrors the demo's §2 word for word: *"In the current round, there
+//! are a set of switches which have to be updated. The SDN controller
+//! retrieves the corresponding OpenFlow message for every switch in the
+//! set and sends them out to the switches. Later, the SDN controller
+//! sends a barrier request to every switch of the set and waits for
+//! barrier replies. For every barrier reply received by the SDN
+//! controller, it determines the source switch. This switch is removed
+//! from the set of switches of the current round... If the set is
+//! empty, the current round finishes."*
+//!
+//! On top of the paper's logic, the executor retries a round when
+//! barrier replies do not arrive within a timeout — FlowMods are
+//! idempotent (Add-replace / exact Delete), so resending to the
+//! unacknowledged switches is safe and makes updates reliable over a
+//! lossy channel.
+
+use std::collections::BTreeMap;
+
+use sdn_openflow::messages::{Envelope, OfMessage};
+use sdn_types::{DpId, SimDuration, SimTime, Xid};
+
+use crate::compile::CompiledUpdate;
+
+/// Allocates transaction ids.
+#[derive(Debug, Clone, Default)]
+pub struct XidAlloc {
+    next: Xid,
+}
+
+impl XidAlloc {
+    /// Start from 1 (0 is reserved for unsolicited messages).
+    pub fn new() -> Self {
+        XidAlloc { next: Xid(1) }
+    }
+
+    /// Allocate the next xid.
+    pub fn alloc(&mut self) -> Xid {
+        let x = self.next;
+        self.next = self.next.next();
+        x
+    }
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// How long to wait for a round's barrier replies before
+    /// retransmitting.
+    pub barrier_timeout: SimDuration,
+    /// Attempts per round before giving up (1 = no retries).
+    pub max_attempts: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            barrier_timeout: SimDuration::from_millis(250),
+            max_attempts: 8,
+        }
+    }
+}
+
+/// Executor lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecState {
+    /// Not started.
+    Idle,
+    /// Waiting out a drain grace period before dispatching the next
+    /// (rule-removing) round.
+    WaitingGrace,
+    /// A round is in flight, waiting for barrier replies.
+    AwaitingBarriers,
+    /// All rounds acknowledged.
+    Done,
+    /// A round exceeded its attempt budget.
+    Failed,
+}
+
+/// Timing record of one round (feeds the update-time evaluation, E2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundTiming {
+    /// Round index (0-based).
+    pub round: usize,
+    /// When the round's messages were first dispatched.
+    pub started: SimTime,
+    /// When the last barrier reply arrived.
+    pub completed: Option<SimTime>,
+    /// Dispatch attempts (1 = no retransmissions).
+    pub attempts: u32,
+}
+
+/// The per-update round executor.
+#[derive(Debug, Clone)]
+pub struct RoundExecutor {
+    update: CompiledUpdate,
+    config: ExecConfig,
+    state: ExecState,
+    current: usize,
+    /// Outstanding barrier xid per switch for the current round.
+    pending: BTreeMap<DpId, Xid>,
+    round_started: SimTime,
+    grace_until: SimTime,
+    attempts: u32,
+    timings: Vec<RoundTiming>,
+}
+
+impl RoundExecutor {
+    /// New executor for a compiled update.
+    pub fn new(update: CompiledUpdate, config: ExecConfig) -> Self {
+        RoundExecutor {
+            update,
+            config,
+            state: ExecState::Idle,
+            current: 0,
+            pending: BTreeMap::new(),
+            round_started: SimTime::ZERO,
+            grace_until: SimTime::ZERO,
+            attempts: 0,
+            timings: Vec::new(),
+        }
+    }
+
+    /// Lifecycle state.
+    pub fn state(&self) -> ExecState {
+        self.state
+    }
+
+    /// The update's label.
+    pub fn label(&self) -> &str {
+        &self.update.label
+    }
+
+    /// Per-round timing log.
+    pub fn timings(&self) -> &[RoundTiming] {
+        &self.timings
+    }
+
+    /// Index of the in-flight round.
+    pub fn current_round(&self) -> usize {
+        self.current
+    }
+
+    /// Begin execution: dispatch round 0 (or start its grace wait).
+    pub fn start(&mut self, now: SimTime, xids: &mut XidAlloc) -> Vec<(DpId, Envelope)> {
+        assert_eq!(self.state, ExecState::Idle, "start() called twice");
+        if self.update.rounds.is_empty() {
+            self.state = ExecState::Done;
+            return Vec::new();
+        }
+        self.begin_round(now, xids)
+    }
+
+    /// Enter the current round: honour its drain grace, then dispatch.
+    fn begin_round(&mut self, now: SimTime, xids: &mut XidAlloc) -> Vec<(DpId, Envelope)> {
+        let delay = self.update.rounds[self.current].pre_delay;
+        if delay > sdn_types::SimDuration::ZERO {
+            self.state = ExecState::WaitingGrace;
+            self.grace_until = now + delay;
+            Vec::new()
+        } else {
+            self.state = ExecState::AwaitingBarriers;
+            self.dispatch_current(now, xids, false)
+        }
+    }
+
+    /// Dispatch (or re-dispatch) the current round. With
+    /// `only_pending`, restrict to switches that have not acknowledged
+    /// (retransmission).
+    fn dispatch_current(
+        &mut self,
+        now: SimTime,
+        xids: &mut XidAlloc,
+        only_pending: bool,
+    ) -> Vec<(DpId, Envelope)> {
+        let round = &self.update.rounds[self.current].msgs;
+        let targets: Vec<DpId> = {
+            let mut t: Vec<DpId> = round.iter().map(|(dp, _)| *dp).collect();
+            t.sort();
+            t.dedup();
+            if only_pending {
+                t.retain(|dp| self.pending.contains_key(dp));
+            }
+            t
+        };
+        let mut out = Vec::new();
+        // FlowMods first...
+        for (dp, msg) in round {
+            if targets.contains(dp) {
+                out.push((*dp, Envelope::new(xids.alloc(), msg.clone())));
+            }
+        }
+        // ...then one barrier per switch (FIFO connection ⇒ the barrier
+        // fences everything above).
+        if !only_pending {
+            self.pending.clear();
+        }
+        for dp in targets {
+            let xid = xids.alloc();
+            self.pending.insert(dp, xid);
+            out.push((dp, Envelope::new(xid, OfMessage::BarrierRequest)));
+        }
+        if only_pending {
+            self.attempts += 1;
+        } else {
+            self.attempts = 1;
+            self.round_started = now;
+            self.timings.push(RoundTiming {
+                round: self.current,
+                started: now,
+                completed: None,
+                attempts: 1,
+            });
+        }
+        if let Some(t) = self.timings.last_mut() {
+            t.attempts = self.attempts;
+        }
+        out
+    }
+
+    /// Feed a message from a switch. Returns follow-up commands (the
+    /// next round's dispatch when this one completes).
+    pub fn on_message(
+        &mut self,
+        now: SimTime,
+        from: DpId,
+        env: &Envelope,
+        xids: &mut XidAlloc,
+    ) -> Vec<(DpId, Envelope)> {
+        if self.state != ExecState::AwaitingBarriers {
+            return Vec::new();
+        }
+        let OfMessage::BarrierReply = env.msg else {
+            return Vec::new(); // echo replies, errors, stats: ignored here
+        };
+        // "it determines the source switch. This switch is removed
+        // from the set of switches of the current round"
+        match self.pending.get(&from) {
+            Some(&expected) if expected == env.xid => {
+                self.pending.remove(&from);
+            }
+            _ => return Vec::new(), // stale/duplicate barrier reply
+        }
+        if !self.pending.is_empty() {
+            return Vec::new();
+        }
+        // round complete
+        if let Some(t) = self.timings.last_mut() {
+            t.completed = Some(now);
+        }
+        self.current += 1;
+        if self.current >= self.update.rounds.len() {
+            self.state = ExecState::Done;
+            return Vec::new();
+        }
+        self.begin_round(now, xids)
+    }
+
+    /// Clock tick: end grace waits, retransmit on timeout, fail when
+    /// out of attempts.
+    pub fn on_tick(&mut self, now: SimTime, xids: &mut XidAlloc) -> Vec<(DpId, Envelope)> {
+        if self.state == ExecState::WaitingGrace {
+            if now >= self.grace_until {
+                self.state = ExecState::AwaitingBarriers;
+                return self.dispatch_current(now, xids, false);
+            }
+            return Vec::new();
+        }
+        if self.state != ExecState::AwaitingBarriers {
+            return Vec::new();
+        }
+        if now.saturating_since(self.round_started)
+            < self.config.barrier_timeout.saturating_mul(self.attempts as u64)
+        {
+            return Vec::new();
+        }
+        if self.attempts >= self.config.max_attempts {
+            self.state = ExecState::Failed;
+            return Vec::new();
+        }
+        self.dispatch_current(now, xids, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_openflow::flow::FlowMatch;
+    use sdn_openflow::messages::{FlowMod, FlowModCommand};
+    use sdn_types::HostId;
+
+    fn flowmod() -> OfMessage {
+        OfMessage::FlowMod(FlowMod {
+            command: FlowModCommand::Add,
+            priority: 100,
+            matcher: FlowMatch::dst_host(HostId(2)),
+            actions: vec![],
+            cookie: 0,
+        })
+    }
+
+    fn update(rounds: Vec<Vec<u64>>) -> CompiledUpdate {
+        CompiledUpdate {
+            label: "test".into(),
+            rounds: rounds
+                .into_iter()
+                .map(|dps| crate::compile::CompiledRound {
+                    msgs: dps.into_iter().map(|d| (DpId(d), flowmod())).collect(),
+                    pre_delay: SimDuration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    fn barriers_of(cmds: &[(DpId, Envelope)]) -> Vec<(DpId, Xid)> {
+        cmds.iter()
+            .filter(|(_, e)| e.msg == OfMessage::BarrierRequest)
+            .map(|(d, e)| (*d, e.xid))
+            .collect()
+    }
+
+    #[test]
+    fn happy_path_two_rounds() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![5], vec![1, 3]]), ExecConfig::default());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        // round 1: flowmod to s5 + barrier to s5
+        assert_eq!(cmds.len(), 2);
+        let b = barriers_of(&cmds);
+        assert_eq!(b.len(), 1);
+        assert_eq!(ex.state(), ExecState::AwaitingBarriers);
+
+        // barrier reply completes round 1 and dispatches round 2
+        let next = ex.on_message(
+            SimTime(1),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert_eq!(ex.current_round(), 1);
+        let b2 = barriers_of(&next);
+        assert_eq!(b2.len(), 2, "round 2 barriers to s1 and s3");
+
+        // both replies finish the update
+        for (dp, xid) in b2 {
+            ex.on_message(
+                SimTime(2),
+                dp,
+                &Envelope::new(xid, OfMessage::BarrierReply),
+                &mut xids,
+            );
+        }
+        assert_eq!(ex.state(), ExecState::Done);
+        assert_eq!(ex.timings().len(), 2);
+        assert!(ex.timings().iter().all(|t| t.completed.is_some()));
+    }
+
+    #[test]
+    fn one_switch_acks_round_waits_for_other() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1, 3]]), ExecConfig::default());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let b = barriers_of(&cmds);
+        let out = ex.on_message(
+            SimTime(1),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert!(out.is_empty());
+        assert_eq!(ex.state(), ExecState::AwaitingBarriers);
+    }
+
+    #[test]
+    fn stale_xid_is_ignored() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1]]), ExecConfig::default());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let b = barriers_of(&cmds);
+        // wrong xid
+        ex.on_message(
+            SimTime(1),
+            b[0].0,
+            &Envelope::new(Xid(9999), OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::AwaitingBarriers);
+        // duplicate correct reply after completion is also ignored
+        ex.on_message(
+            SimTime(2),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::Done);
+        let out = ex.on_message(
+            SimTime(3),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn replies_from_unrelated_switch_ignored() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1]]), ExecConfig::default());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let b = barriers_of(&cmds);
+        ex.on_message(
+            SimTime(1),
+            DpId(42),
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::AwaitingBarriers);
+    }
+
+    #[test]
+    fn timeout_retransmits_to_pending_only() {
+        let mut xids = XidAlloc::new();
+        let cfg = ExecConfig {
+            barrier_timeout: SimDuration::from_millis(10),
+            max_attempts: 3,
+        };
+        let mut ex = RoundExecutor::new(update(vec![vec![1, 3]]), cfg);
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let b = barriers_of(&cmds);
+        // s1 acks, s3 does not
+        ex.on_message(
+            SimTime(1),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        // before timeout: nothing
+        assert!(ex
+            .on_tick(SimTime::ZERO + SimDuration::from_millis(5), &mut xids)
+            .is_empty());
+        // after timeout: resend only to s3
+        let re = ex.on_tick(SimTime::ZERO + SimDuration::from_millis(11), &mut xids);
+        assert!(!re.is_empty());
+        assert!(re.iter().all(|(dp, _)| *dp == b[1].0));
+        let rb = barriers_of(&re);
+        assert_eq!(rb.len(), 1);
+        // reply to the *new* barrier xid completes
+        ex.on_message(
+            SimTime::ZERO + SimDuration::from_millis(12),
+            rb[0].0,
+            &Envelope::new(rb[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::Done);
+        assert_eq!(ex.timings()[0].attempts, 2);
+    }
+
+    #[test]
+    fn attempt_budget_exhaustion_fails() {
+        let mut xids = XidAlloc::new();
+        let cfg = ExecConfig {
+            barrier_timeout: SimDuration::from_millis(10),
+            max_attempts: 2,
+        };
+        let mut ex = RoundExecutor::new(update(vec![vec![1]]), cfg);
+        ex.start(SimTime::ZERO, &mut xids);
+        ex.on_tick(SimTime::ZERO + SimDuration::from_millis(11), &mut xids);
+        assert_eq!(ex.state(), ExecState::AwaitingBarriers);
+        ex.on_tick(SimTime::ZERO + SimDuration::from_millis(40), &mut xids);
+        assert_eq!(ex.state(), ExecState::Failed);
+    }
+
+    #[test]
+    fn empty_update_is_immediately_done() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![]), ExecConfig::default());
+        assert!(ex.start(SimTime::ZERO, &mut xids).is_empty());
+        assert_eq!(ex.state(), ExecState::Done);
+    }
+
+    #[test]
+    fn flowmods_precede_barriers_in_dispatch_order() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1, 1, 3]]), ExecConfig::default());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        // per switch: all flowmods before its barrier
+        for dp in [DpId(1), DpId(3)] {
+            let msgs: Vec<&OfMessage> = cmds
+                .iter()
+                .filter(|(d, _)| *d == dp)
+                .map(|(_, e)| &e.msg)
+                .collect();
+            let barrier_pos = msgs
+                .iter()
+                .position(|m| **m == OfMessage::BarrierRequest)
+                .unwrap();
+            assert_eq!(barrier_pos, msgs.len() - 1);
+        }
+    }
+}

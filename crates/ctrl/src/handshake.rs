@@ -1,0 +1,215 @@
+//! Switch discovery handshake.
+//!
+//! Before the controller trusts a datapath with updates it performs the
+//! OpenFlow session setup: exchange `Hello`, then ask for features and
+//! match the `FeaturesReply` datapath id against the expected one — the
+//! step where Ryu learns "the switches ... are identified by integer
+//! values called datapaths" (§2). The round executor only targets
+//! switches that completed the handshake; experiments that model switch
+//! churn use [`Handshake::reset`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sdn_openflow::messages::{Envelope, OfMessage};
+use sdn_types::{DpId, Xid};
+
+use crate::executor::XidAlloc;
+
+/// Discovery state for one controller.
+#[derive(Debug, Clone, Default)]
+pub struct Handshake {
+    /// Switches greeted, waiting for their Hello back.
+    awaiting_hello: BTreeSet<DpId>,
+    /// FeaturesRequest xid → switch it was sent to.
+    awaiting_features: BTreeMap<Xid, DpId>,
+    /// Fully discovered switches and their port counts.
+    ready: BTreeMap<DpId, u32>,
+    /// Switches whose FeaturesReply contradicted the expected dpid.
+    mismatched: BTreeSet<DpId>,
+}
+
+impl Handshake {
+    /// Fresh, empty state.
+    pub fn new() -> Self {
+        Handshake::default()
+    }
+
+    /// Greet a set of switches: send `Hello` followed by
+    /// `FeaturesRequest` on each connection.
+    pub fn start(
+        &mut self,
+        switches: impl IntoIterator<Item = DpId>,
+        xids: &mut XidAlloc,
+    ) -> Vec<(DpId, Envelope)> {
+        let mut out = Vec::new();
+        for dp in switches {
+            self.awaiting_hello.insert(dp);
+            out.push((dp, Envelope::new(xids.alloc(), OfMessage::Hello)));
+            let xid = xids.alloc();
+            self.awaiting_features.insert(xid, dp);
+            out.push((dp, Envelope::new(xid, OfMessage::FeaturesRequest)));
+        }
+        out
+    }
+
+    /// Feed a reply from a switch. Returns `true` when the message was
+    /// consumed by the handshake.
+    pub fn on_message(&mut self, from: DpId, env: &Envelope) -> bool {
+        match &env.msg {
+            OfMessage::Hello => self.awaiting_hello.remove(&from),
+            OfMessage::FeaturesReply { dpid, n_ports } => {
+                let Some(expected) = self.awaiting_features.remove(&env.xid) else {
+                    return false;
+                };
+                if expected != from || *dpid != from {
+                    // the connection answered with a different datapath
+                    // id: refuse to mark it ready
+                    self.mismatched.insert(from);
+                } else {
+                    self.ready.insert(from, *n_ports);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether a switch finished the handshake cleanly.
+    pub fn is_ready(&self, dp: DpId) -> bool {
+        self.ready.contains_key(&dp)
+    }
+
+    /// Whether every greeted switch is ready.
+    pub fn all_ready(&self) -> bool {
+        self.awaiting_hello.is_empty()
+            && self.awaiting_features.is_empty()
+            && self.mismatched.is_empty()
+    }
+
+    /// Discovered switches with their port counts.
+    pub fn discovered(&self) -> impl Iterator<Item = (DpId, u32)> + '_ {
+        self.ready.iter().map(|(&d, &n)| (d, n))
+    }
+
+    /// Switches whose identity did not match.
+    pub fn mismatched(&self) -> impl Iterator<Item = DpId> + '_ {
+        self.mismatched.iter().copied()
+    }
+
+    /// Forget a switch entirely (connection loss / churn).
+    pub fn reset(&mut self, dp: DpId) {
+        self.awaiting_hello.remove(&dp);
+        self.awaiting_features.retain(|_, v| *v != dp);
+        self.ready.remove(&dp);
+        self.mismatched.remove(&dp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_switch::SoftSwitch;
+
+    fn drive(hs: &mut Handshake, sw: &mut SoftSwitch, cmds: &[(DpId, Envelope)]) {
+        for (dp, env) in cmds {
+            if *dp != sw.dpid() {
+                continue;
+            }
+            for reply in sw.handle_control(env.clone()) {
+                hs.on_message(sw.dpid(), &reply);
+            }
+        }
+    }
+
+    #[test]
+    fn full_handshake_with_real_switch() {
+        let mut hs = Handshake::new();
+        let mut xids = XidAlloc::new();
+        let mut sw = SoftSwitch::new(DpId(3), 8);
+        let cmds = hs.start([DpId(3)], &mut xids);
+        assert_eq!(cmds.len(), 2);
+        assert!(!hs.is_ready(DpId(3)));
+        drive(&mut hs, &mut sw, &cmds);
+        assert!(hs.is_ready(DpId(3)));
+        assert!(hs.all_ready());
+        assert_eq!(hs.discovered().collect::<Vec<_>>(), vec![(DpId(3), 8)]);
+    }
+
+    #[test]
+    fn multiple_switches() {
+        let mut hs = Handshake::new();
+        let mut xids = XidAlloc::new();
+        let mut s1 = SoftSwitch::new(DpId(1), 4);
+        let mut s2 = SoftSwitch::new(DpId(2), 4);
+        let cmds = hs.start([DpId(1), DpId(2)], &mut xids);
+        drive(&mut hs, &mut s1, &cmds);
+        assert!(hs.is_ready(DpId(1)));
+        assert!(!hs.all_ready(), "s2 still pending");
+        drive(&mut hs, &mut s2, &cmds);
+        assert!(hs.all_ready());
+    }
+
+    #[test]
+    fn dpid_mismatch_is_flagged() {
+        let mut hs = Handshake::new();
+        let mut xids = XidAlloc::new();
+        let cmds = hs.start([DpId(7)], &mut xids);
+        // an imposter switch with dpid 9 answers on s7's connection
+        let features_xid = cmds
+            .iter()
+            .find(|(_, e)| e.msg == OfMessage::FeaturesRequest)
+            .map(|(_, e)| e.xid)
+            .unwrap();
+        hs.on_message(DpId(7), &Envelope::new(features_xid, OfMessage::Hello));
+        hs.on_message(
+            DpId(7),
+            &Envelope::new(
+                features_xid,
+                OfMessage::FeaturesReply {
+                    dpid: DpId(9),
+                    n_ports: 4,
+                },
+            ),
+        );
+        assert!(!hs.is_ready(DpId(7)));
+        assert!(!hs.all_ready());
+        assert_eq!(hs.mismatched().collect::<Vec<_>>(), vec![DpId(7)]);
+    }
+
+    #[test]
+    fn unsolicited_features_reply_ignored() {
+        let mut hs = Handshake::new();
+        let consumed = hs.on_message(
+            DpId(1),
+            &Envelope::new(
+                Xid(999),
+                OfMessage::FeaturesReply {
+                    dpid: DpId(1),
+                    n_ports: 4,
+                },
+            ),
+        );
+        assert!(!consumed);
+        assert!(!hs.is_ready(DpId(1)));
+    }
+
+    #[test]
+    fn non_handshake_messages_pass_through() {
+        let mut hs = Handshake::new();
+        let consumed = hs.on_message(DpId(1), &Envelope::new(Xid(1), OfMessage::BarrierReply));
+        assert!(!consumed, "barrier replies belong to the executor");
+    }
+
+    #[test]
+    fn reset_forgets_switch() {
+        let mut hs = Handshake::new();
+        let mut xids = XidAlloc::new();
+        let mut sw = SoftSwitch::new(DpId(3), 8);
+        let cmds = hs.start([DpId(3)], &mut xids);
+        drive(&mut hs, &mut sw, &cmds);
+        assert!(hs.is_ready(DpId(3)));
+        hs.reset(DpId(3));
+        assert!(!hs.is_ready(DpId(3)));
+        assert!(hs.all_ready(), "no pending state after reset");
+    }
+}

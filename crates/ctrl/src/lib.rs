@@ -1,0 +1,35 @@
+//! # sdn-ctrl
+//!
+//! The SDN controller of the reproduction — the Rust counterpart of the
+//! demo's Ryu app `ofctl_rest_own.py` (§2 of the paper):
+//!
+//! * [`rest`] — the demo's REST/JSON update-request format
+//!   (`"oldpath"`, `"newpath"`, `"wp"`, `"interval"`), parsed by a
+//!   small hand-rolled JSON parser (no external JSON dependency);
+//! * [`compile`] — turns an abstract round [`Schedule`] into concrete
+//!   per-round FlowMods against a topology (ports, priorities,
+//!   version-tag rules for two-phase commit);
+//! * [`executor`] — the round state machine: dispatch the FlowMods of
+//!   the current round, send barrier requests, collect barrier
+//!   replies, advance; resend on timeout so lossy channels still
+//!   converge ("the barrier messages are utilized to ensure reliable
+//!   network updates");
+//! * [`controller`] — the message queue of update jobs, processed one
+//!   at a time exactly as the paper describes.
+//!
+//! [`Schedule`]: update_core::schedule::Schedule
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod controller;
+pub mod executor;
+pub mod handshake;
+pub mod rest;
+
+pub use compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
+pub use controller::{Controller, ControllerConfig, CtrlOutput, UpdateReport};
+pub use executor::{ExecState, RoundExecutor};
+pub use handshake::Handshake;
+pub use rest::request::UpdateRequest;

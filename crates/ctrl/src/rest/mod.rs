@@ -1,0 +1,5 @@
+//! The demo's REST interface: a JSON value model ([`json`]) and the
+//! WayUp request format ([`request`]).
+
+pub mod json;
+pub mod request;

@@ -1,0 +1,255 @@
+//! The WayUp REST request format.
+//!
+//! From the paper (§2): *"The WayUp REST request consists of a header
+//! part and a body part. The header part consists of the input
+//! parameters of WayUp. These are the old route, the new route, the
+//! waypoint, and the time interval."* Routes are lists of datapath
+//! numbers ordered "in the way they are passed by the network packets
+//! along the route".
+//!
+//! ```json
+//! {
+//!   "oldpath": [1, 2, 3, 4, 5, 6, 12],
+//!   "newpath": [1, 7, 3, 8, 9, 10, 11, 12],
+//!   "wp": 3,
+//!   "interval": 100
+//! }
+//! ```
+//!
+//! The body part of the original format carried raw OpenFlow messages
+//! for Ryu's `/stats/flowentry/add` endpoint; this controller compiles
+//! FlowMods from the routes itself (see [`crate::compile`]), so the
+//! body is optional and an `"algorithm"` field selects the scheduler
+//! instead.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sdn_topo::route::{RouteError, RoutePath};
+use sdn_types::DpId;
+use update_core::model::{InstanceError, UpdateInstance};
+
+use super::json::{self, Json};
+
+/// A parsed update request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateRequest {
+    /// The old route (datapath numbers, packet order).
+    pub old_path: Vec<u64>,
+    /// The new route.
+    pub new_path: Vec<u64>,
+    /// The waypoint, when the update must enforce one.
+    pub waypoint: Option<u64>,
+    /// Packet-injection interval in milliseconds (the demo uses this
+    /// to pace its probe traffic).
+    pub interval_ms: Option<u64>,
+    /// Scheduler selection: `"wayup"` (default when `wp` present),
+    /// `"peacock"`, `"slf-greedy"`, `"two-phase"`, `"one-shot"`.
+    pub algorithm: Option<String>,
+}
+
+/// Request parsing/validation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestError {
+    /// The document is not valid JSON.
+    BadJson(json::JsonError),
+    /// A required field is missing.
+    MissingField(&'static str),
+    /// A field has the wrong type/shape.
+    BadField(&'static str),
+    /// The routes do not form a valid path.
+    BadRoute(RouteError),
+    /// The routes/waypoint do not form a valid update instance.
+    BadInstance(InstanceError),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::BadJson(e) => write!(f, "{e}"),
+            RequestError::MissingField(k) => write!(f, "missing field \"{k}\""),
+            RequestError::BadField(k) => write!(f, "field \"{k}\" has the wrong type"),
+            RequestError::BadRoute(e) => write!(f, "bad route: {e}"),
+            RequestError::BadInstance(e) => write!(f, "bad update instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn path_field(v: &Json, key: &'static str) -> Result<Vec<u64>, RequestError> {
+    let arr = v
+        .get(key)
+        .ok_or(RequestError::MissingField(key))?
+        .as_array()
+        .ok_or(RequestError::BadField(key))?;
+    arr.iter()
+        .map(|x| x.as_u64().ok_or(RequestError::BadField(key)))
+        .collect()
+}
+
+impl UpdateRequest {
+    /// Parse a request document.
+    pub fn parse(doc: &str) -> Result<Self, RequestError> {
+        let v = json::parse(doc).map_err(RequestError::BadJson)?;
+        let old_path = path_field(&v, "oldpath")?;
+        let new_path = path_field(&v, "newpath")?;
+        let waypoint = match v.get("wp") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(x.as_u64().ok_or(RequestError::BadField("wp"))?),
+        };
+        let interval_ms = match v.get("interval") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(x.as_u64().ok_or(RequestError::BadField("interval"))?),
+        };
+        let algorithm = match v.get("algorithm") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(
+                x.as_str()
+                    .ok_or(RequestError::BadField("algorithm"))?
+                    .to_string(),
+            ),
+        };
+        Ok(UpdateRequest {
+            old_path,
+            new_path,
+            waypoint,
+            interval_ms,
+            algorithm,
+        })
+    }
+
+    /// Build the validated update instance this request describes.
+    pub fn to_instance(&self) -> Result<UpdateInstance, RequestError> {
+        let old = RoutePath::from_raw(&self.old_path).map_err(RequestError::BadRoute)?;
+        let new = RoutePath::from_raw(&self.new_path).map_err(RequestError::BadRoute)?;
+        UpdateInstance::new(old, new, self.waypoint.map(DpId))
+            .map_err(RequestError::BadInstance)
+    }
+
+    /// Serialize back to the REST format.
+    pub fn to_json(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "oldpath".to_string(),
+            Json::Arr(self.old_path.iter().map(|&x| Json::Num(x as f64)).collect()),
+        );
+        obj.insert(
+            "newpath".to_string(),
+            Json::Arr(self.new_path.iter().map(|&x| Json::Num(x as f64)).collect()),
+        );
+        if let Some(w) = self.waypoint {
+            obj.insert("wp".to_string(), Json::Num(w as f64));
+        }
+        if let Some(i) = self.interval_ms {
+            obj.insert("interval".to_string(), Json::Num(i as f64));
+        }
+        if let Some(a) = &self.algorithm {
+            obj.insert("algorithm".to_string(), Json::Str(a.clone()));
+        }
+        Json::Obj(obj).render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO_DOC: &str = r#"{
+        "oldpath": [1, 2, 3, 4, 5, 6, 12],
+        "newpath": [1, 7, 3, 8, 9, 10, 11, 12],
+        "wp": 3,
+        "interval": 100
+    }"#;
+
+    #[test]
+    fn parses_the_paper_example() {
+        let r = UpdateRequest::parse(DEMO_DOC).unwrap();
+        assert_eq!(r.old_path, vec![1, 2, 3, 4, 5, 6, 12]);
+        assert_eq!(r.new_path, vec![1, 7, 3, 8, 9, 10, 11, 12]);
+        assert_eq!(r.waypoint, Some(3));
+        assert_eq!(r.interval_ms, Some(100));
+        assert_eq!(r.algorithm, None);
+    }
+
+    #[test]
+    fn builds_valid_instance() {
+        let r = UpdateRequest::parse(DEMO_DOC).unwrap();
+        let inst = r.to_instance().unwrap();
+        assert_eq!(inst.waypoint(), Some(DpId(3)));
+        assert_eq!(inst.src(), DpId(1));
+        assert_eq!(inst.dst(), DpId(12));
+    }
+
+    #[test]
+    fn optional_fields_absent() {
+        let r = UpdateRequest::parse(r#"{"oldpath":[1,2],"newpath":[1,2]}"#).unwrap();
+        assert_eq!(r.waypoint, None);
+        assert_eq!(r.interval_ms, None);
+    }
+
+    #[test]
+    fn algorithm_selector() {
+        let r = UpdateRequest::parse(
+            r#"{"oldpath":[1,2],"newpath":[1,2],"algorithm":"peacock"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.algorithm.as_deref(), Some("peacock"));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        assert_eq!(
+            UpdateRequest::parse(r#"{"newpath":[1,2]}"#),
+            Err(RequestError::MissingField("oldpath"))
+        );
+        assert_eq!(
+            UpdateRequest::parse(r#"{"oldpath":[1,2]}"#),
+            Err(RequestError::MissingField("newpath"))
+        );
+    }
+
+    #[test]
+    fn wrong_types_rejected() {
+        assert_eq!(
+            UpdateRequest::parse(r#"{"oldpath":"nope","newpath":[1,2]}"#),
+            Err(RequestError::BadField("oldpath"))
+        );
+        assert_eq!(
+            UpdateRequest::parse(r#"{"oldpath":[1,-2],"newpath":[1,2]}"#),
+            Err(RequestError::BadField("oldpath"))
+        );
+        assert_eq!(
+            UpdateRequest::parse(r#"{"oldpath":[1,2],"newpath":[1,2],"wp":"x"}"#),
+            Err(RequestError::BadField("wp"))
+        );
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(matches!(
+            UpdateRequest::parse("{"),
+            Err(RequestError::BadJson(_))
+        ));
+    }
+
+    #[test]
+    fn bad_route_rejected() {
+        let r = UpdateRequest::parse(r#"{"oldpath":[1,2,1],"newpath":[1,2]}"#).unwrap();
+        assert!(matches!(r.to_instance(), Err(RequestError::BadRoute(_))));
+    }
+
+    #[test]
+    fn bad_instance_rejected() {
+        let r = UpdateRequest::parse(r#"{"oldpath":[1,2,3],"newpath":[1,4,3],"wp":2}"#).unwrap();
+        assert!(matches!(r.to_instance(), Err(RequestError::BadInstance(_))));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = UpdateRequest::parse(DEMO_DOC).unwrap();
+        let doc2 = r.to_json();
+        let r2 = UpdateRequest::parse(&doc2).unwrap();
+        assert_eq!(r, r2);
+    }
+}

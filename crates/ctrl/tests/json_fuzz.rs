@@ -1,0 +1,75 @@
+//! Property tests for the hand-rolled JSON parser: it must never
+//! panic, must round-trip everything it accepts, and must agree with
+//! itself on re-parse.
+
+use proptest::prelude::*;
+
+use sdn_ctrl::rest::json::{parse, Json};
+
+fn arb_json(depth: u32) -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // avoid NaN/inf (not representable in JSON)
+        (-1.0e12f64..1.0e12).prop_map(Json::Num),
+        "[a-zA-Z0-9 _\\-\\.\\\\\"\n\t⟨⟩€😀]{0,24}".prop_map(Json::Str),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        prop_oneof![
+            leaf,
+            proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Json::Arr),
+            proptest::collection::btree_map(
+                "[a-z]{1,8}",
+                arb_json(depth - 1),
+                0..4
+            )
+            .prop_map(Json::Obj),
+        ]
+        .boxed()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(input in ".{0,256}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_json_like_soup(
+        input in "[\\{\\}\\[\\]\",:0-9a-z\\\\ .eE+-]{0,128}"
+    ) {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn render_parse_roundtrip(v in arb_json(3)) {
+        let rendered = v.render();
+        let back = parse(&rendered).unwrap_or_else(|e| {
+            panic!("render produced unparseable JSON: {rendered:?}: {e}")
+        });
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_is_idempotent_through_render(v in arb_json(3)) {
+        let r1 = v.render();
+        let v2 = parse(&r1).unwrap();
+        let r2 = v2.render();
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly(n in -1.0e12f64..1.0e12) {
+        let v = Json::Num(n);
+        let back = parse(&v.render()).unwrap();
+        let got = back.as_f64().unwrap();
+        // integers render without fraction; everything within f64
+        // precision must survive
+        prop_assert!((got - n).abs() <= n.abs() * 1e-12 + 1e-9, "{n} -> {got}");
+    }
+}

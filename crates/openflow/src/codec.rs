@@ -1,0 +1,633 @@
+//! Binary wire codec.
+//!
+//! Every message is framed with the classic OpenFlow header:
+//!
+//! ```text
+//! +---------+---------+------------------+------------------+
+//! | version |  type   |      length      |       xid        |
+//! |  u8     |  u8     |  u16 big-endian  |  u32 big-endian  |
+//! +---------+---------+------------------+------------------+
+//! |                 type-specific body ...                  |
+//! ```
+//!
+//! `length` covers the whole frame including the 8-byte header.
+//! Decoding is strict: unknown types, bad versions, truncated bodies
+//! and trailing bytes all yield a typed [`CodecError`] — corrupted
+//! frames injected by the fault-injecting channel must never panic or
+//! be silently misparsed.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use std::fmt;
+
+use sdn_types::{DpId, HostId, PortNo, VersionTag, Xid};
+
+use crate::flow::{Action, FlowMatch};
+use crate::messages::{Envelope, FlowMod, FlowModCommand, OfMessage};
+
+/// Protocol version byte (OpenFlow 1.0 uses 0x01).
+pub const OFP_VERSION: u8 = 0x01;
+
+/// Frame header length in bytes.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on a frame (guards the framer against corrupted
+/// lengths). Deliberately below `u16::MAX` so flipped high bits in the
+/// length field are detectable.
+pub const MAX_FRAME_LEN: usize = 16 * 1024;
+
+/// Message type codes on the wire.
+mod type_code {
+    pub const HELLO: u8 = 0;
+    pub const ERROR: u8 = 1;
+    pub const ECHO_REQUEST: u8 = 2;
+    pub const ECHO_REPLY: u8 = 3;
+    pub const FEATURES_REQUEST: u8 = 5;
+    pub const FEATURES_REPLY: u8 = 6;
+    pub const PACKET_IN: u8 = 10;
+    pub const PACKET_OUT: u8 = 13;
+    pub const FLOW_MOD: u8 = 14;
+    pub const BARRIER_REQUEST: u8 = 18;
+    pub const BARRIER_REPLY: u8 = 19;
+    pub const FLOW_STATS_REQUEST: u8 = 16;
+    pub const FLOW_STATS_REPLY: u8 = 17;
+}
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame shorter than its declared body.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Unsupported protocol version byte.
+    BadVersion(u8),
+    /// Unknown message type code.
+    UnknownType(u8),
+    /// Unknown FlowMod command code.
+    UnknownCommand(u8),
+    /// Unknown action type code.
+    UnknownAction(u8),
+    /// Declared length smaller than the header or larger than
+    /// [`MAX_FRAME_LEN`].
+    BadLength(usize),
+    /// Body bytes left over after parsing.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            CodecError::BadVersion(v) => write!(f, "unsupported protocol version {v:#x}"),
+            CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            CodecError::UnknownCommand(c) => write!(f, "unknown flow-mod command {c}"),
+            CodecError::UnknownAction(a) => write!(f, "unknown action type {a}"),
+            CodecError::BadLength(l) => write!(f, "invalid frame length {l}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after body"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn type_of(msg: &OfMessage) -> u8 {
+    match msg {
+        OfMessage::Hello => type_code::HELLO,
+        OfMessage::ErrorMsg { .. } => type_code::ERROR,
+        OfMessage::EchoRequest(_) => type_code::ECHO_REQUEST,
+        OfMessage::EchoReply(_) => type_code::ECHO_REPLY,
+        OfMessage::FeaturesRequest => type_code::FEATURES_REQUEST,
+        OfMessage::FeaturesReply { .. } => type_code::FEATURES_REPLY,
+        OfMessage::PacketIn { .. } => type_code::PACKET_IN,
+        OfMessage::PacketOut { .. } => type_code::PACKET_OUT,
+        OfMessage::FlowMod(_) => type_code::FLOW_MOD,
+        OfMessage::BarrierRequest => type_code::BARRIER_REQUEST,
+        OfMessage::BarrierReply => type_code::BARRIER_REPLY,
+        OfMessage::FlowStatsRequest => type_code::FLOW_STATS_REQUEST,
+        OfMessage::FlowStatsReply { .. } => type_code::FLOW_STATS_REPLY,
+    }
+}
+
+fn put_match(buf: &mut BytesMut, m: &FlowMatch) {
+    let mut bitmap = 0u8;
+    if m.in_port.is_some() {
+        bitmap |= 1;
+    }
+    if m.src.is_some() {
+        bitmap |= 2;
+    }
+    if m.dst.is_some() {
+        bitmap |= 4;
+    }
+    if m.tag.is_some() {
+        bitmap |= 8;
+    }
+    buf.put_u8(bitmap);
+    if let Some(p) = m.in_port {
+        buf.put_u32(p.raw());
+    }
+    if let Some(s) = m.src {
+        buf.put_u32(s.0);
+    }
+    if let Some(d) = m.dst {
+        buf.put_u32(d.0);
+    }
+    if let Some(t) = m.tag {
+        buf.put_u16(t.0);
+    }
+}
+
+fn put_action(buf: &mut BytesMut, a: &Action) {
+    match a {
+        Action::Output(p) => {
+            buf.put_u8(0);
+            buf.put_u32(p.raw());
+        }
+        Action::SetTag(t) => {
+            buf.put_u8(1);
+            buf.put_u16(t.0);
+        }
+        Action::StripTag => buf.put_u8(2),
+        Action::Drop => buf.put_u8(3),
+        Action::ToController => buf.put_u8(4),
+    }
+}
+
+fn put_body(buf: &mut BytesMut, msg: &OfMessage) {
+    match msg {
+        OfMessage::Hello
+        | OfMessage::FeaturesRequest
+        | OfMessage::BarrierRequest
+        | OfMessage::BarrierReply
+        | OfMessage::FlowStatsRequest => {}
+        OfMessage::EchoRequest(p) | OfMessage::EchoReply(p) => buf.put_slice(p),
+        OfMessage::FeaturesReply { dpid, n_ports } => {
+            buf.put_u64(dpid.raw());
+            buf.put_u32(*n_ports);
+        }
+        OfMessage::FlowMod(fm) => {
+            buf.put_u8(match fm.command {
+                FlowModCommand::Add => 0,
+                FlowModCommand::Modify => 1,
+                FlowModCommand::Delete => 2,
+            });
+            buf.put_u16(fm.priority);
+            buf.put_u64(fm.cookie);
+            put_match(buf, &fm.matcher);
+            buf.put_u8(fm.actions.len() as u8);
+            for a in &fm.actions {
+                put_action(buf, a);
+            }
+        }
+        OfMessage::PacketIn {
+            buffer_id,
+            in_port,
+            data,
+        } => {
+            buf.put_u32(*buffer_id);
+            buf.put_u32(in_port.raw());
+            buf.put_u16(data.len() as u16);
+            buf.put_slice(data);
+        }
+        OfMessage::PacketOut {
+            buffer_id,
+            out_port,
+            data,
+        } => {
+            buf.put_u32(*buffer_id);
+            buf.put_u32(out_port.raw());
+            buf.put_u16(data.len() as u16);
+            buf.put_slice(data);
+        }
+        OfMessage::ErrorMsg { etype, code, data } => {
+            buf.put_u16(*etype);
+            buf.put_u16(*code);
+            buf.put_slice(data);
+        }
+        OfMessage::FlowStatsReply { entries, packets } => {
+            buf.put_u32(*entries);
+            buf.put_u64(*packets);
+        }
+    }
+}
+
+/// Encode an envelope into a self-contained frame.
+pub fn encode(env: &Envelope) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    put_body(&mut body, &env.msg);
+    let len = HEADER_LEN + body.len();
+    debug_assert!(len <= MAX_FRAME_LEN, "oversized frame");
+    let mut frame = BytesMut::with_capacity(len);
+    frame.put_u8(OFP_VERSION);
+    frame.put_u8(type_of(&env.msg));
+    frame.put_u16(len as u16);
+    frame.put_u32(env.xid.0);
+    frame.extend_from_slice(&body);
+    frame.freeze()
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn need(&self, n: usize) -> Result<(), CodecError> {
+        if self.pos + n > self.buf.len() {
+            Err(CodecError::Truncated {
+                expected: self.pos + n,
+                got: self.buf.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        self.need(2)?;
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        self.need(4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
+        self.pos += 4;
+        Ok(u32::from_be_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        self.need(8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(u64::from_be_bytes(b))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, CodecError> {
+        self.need(n)?;
+        let v = self.buf[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        Ok(v)
+    }
+
+    fn rest(&mut self) -> Vec<u8> {
+        let v = self.buf[self.pos..].to_vec();
+        self.pos = self.buf.len();
+        v
+    }
+
+    fn finish(&self) -> Result<(), CodecError> {
+        let left = self.buf.len() - self.pos;
+        if left == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes(left))
+        }
+    }
+}
+
+fn get_match(r: &mut Reader<'_>) -> Result<FlowMatch, CodecError> {
+    let bitmap = r.u8()?;
+    let mut m = FlowMatch::ANY;
+    if bitmap & 1 != 0 {
+        m.in_port = Some(PortNo(r.u32()?));
+    }
+    if bitmap & 2 != 0 {
+        m.src = Some(HostId(r.u32()?));
+    }
+    if bitmap & 4 != 0 {
+        m.dst = Some(HostId(r.u32()?));
+    }
+    if bitmap & 8 != 0 {
+        m.tag = Some(VersionTag(r.u16()?));
+    }
+    Ok(m)
+}
+
+fn get_action(r: &mut Reader<'_>) -> Result<Action, CodecError> {
+    match r.u8()? {
+        0 => Ok(Action::Output(PortNo(r.u32()?))),
+        1 => Ok(Action::SetTag(VersionTag(r.u16()?))),
+        2 => Ok(Action::StripTag),
+        3 => Ok(Action::Drop),
+        4 => Ok(Action::ToController),
+        t => Err(CodecError::UnknownAction(t)),
+    }
+}
+
+/// Decode one complete frame (header + body, exactly).
+pub fn decode(frame: &[u8]) -> Result<Envelope, CodecError> {
+    if frame.len() < HEADER_LEN {
+        return Err(CodecError::Truncated {
+            expected: HEADER_LEN,
+            got: frame.len(),
+        });
+    }
+    let version = frame[0];
+    if version != OFP_VERSION {
+        return Err(CodecError::BadVersion(version));
+    }
+    let tcode = frame[1];
+    let declared = u16::from_be_bytes([frame[2], frame[3]]) as usize;
+    if !(HEADER_LEN..=MAX_FRAME_LEN).contains(&declared) {
+        return Err(CodecError::BadLength(declared));
+    }
+    if declared != frame.len() {
+        return Err(CodecError::Truncated {
+            expected: declared,
+            got: frame.len(),
+        });
+    }
+    let xid = Xid(u32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]));
+    let mut r = Reader::new(&frame[HEADER_LEN..]);
+    let msg = match tcode {
+        type_code::HELLO => OfMessage::Hello,
+        type_code::FEATURES_REQUEST => OfMessage::FeaturesRequest,
+        type_code::BARRIER_REQUEST => OfMessage::BarrierRequest,
+        type_code::BARRIER_REPLY => OfMessage::BarrierReply,
+        type_code::FLOW_STATS_REQUEST => OfMessage::FlowStatsRequest,
+        type_code::ECHO_REQUEST => OfMessage::EchoRequest(r.rest()),
+        type_code::ECHO_REPLY => OfMessage::EchoReply(r.rest()),
+        type_code::FEATURES_REPLY => {
+            let dpid = DpId(r.u64()?);
+            let n_ports = r.u32()?;
+            OfMessage::FeaturesReply { dpid, n_ports }
+        }
+        type_code::FLOW_MOD => {
+            let command = match r.u8()? {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::Delete,
+                c => return Err(CodecError::UnknownCommand(c)),
+            };
+            let priority = r.u16()?;
+            let cookie = r.u64()?;
+            let matcher = get_match(&mut r)?;
+            let n_actions = r.u8()? as usize;
+            let mut actions = Vec::with_capacity(n_actions);
+            for _ in 0..n_actions {
+                actions.push(get_action(&mut r)?);
+            }
+            OfMessage::FlowMod(FlowMod {
+                command,
+                priority,
+                matcher,
+                actions,
+                cookie,
+            })
+        }
+        type_code::PACKET_IN => {
+            let buffer_id = r.u32()?;
+            let in_port = PortNo(r.u32()?);
+            let n = r.u16()? as usize;
+            let data = r.bytes(n)?;
+            OfMessage::PacketIn {
+                buffer_id,
+                in_port,
+                data,
+            }
+        }
+        type_code::PACKET_OUT => {
+            let buffer_id = r.u32()?;
+            let out_port = PortNo(r.u32()?);
+            let n = r.u16()? as usize;
+            let data = r.bytes(n)?;
+            OfMessage::PacketOut {
+                buffer_id,
+                out_port,
+                data,
+            }
+        }
+        type_code::ERROR => {
+            let etype = r.u16()?;
+            let code = r.u16()?;
+            let data = r.rest();
+            OfMessage::ErrorMsg { etype, code, data }
+        }
+        type_code::FLOW_STATS_REPLY => {
+            let entries = r.u32()?;
+            let packets = r.u64()?;
+            OfMessage::FlowStatsReply { entries, packets }
+        }
+        t => return Err(CodecError::UnknownType(t)),
+    };
+    r.finish()?;
+    Ok(Envelope::new(xid, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(env: Envelope) {
+        let bytes = encode(&env);
+        let back = decode(&bytes).expect("decodes");
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn roundtrip_simple_messages() {
+        for msg in [
+            OfMessage::Hello,
+            OfMessage::FeaturesRequest,
+            OfMessage::BarrierRequest,
+            OfMessage::BarrierReply,
+            OfMessage::FlowStatsRequest,
+        ] {
+            roundtrip(Envelope::new(Xid(42), msg));
+        }
+    }
+
+    #[test]
+    fn roundtrip_payload_messages() {
+        roundtrip(Envelope::new(Xid(1), OfMessage::EchoRequest(vec![1, 2, 3])));
+        roundtrip(Envelope::new(Xid(2), OfMessage::EchoReply(vec![])));
+        roundtrip(Envelope::new(
+            Xid(3),
+            OfMessage::FeaturesReply {
+                dpid: DpId(12),
+                n_ports: 48,
+            },
+        ));
+        roundtrip(Envelope::new(
+            Xid(4),
+            OfMessage::PacketIn {
+                buffer_id: 7,
+                in_port: PortNo(3),
+                data: vec![0xde, 0xad],
+            },
+        ));
+        roundtrip(Envelope::new(
+            Xid(5),
+            OfMessage::PacketOut {
+                buffer_id: u32::MAX,
+                out_port: PortNo(1),
+                data: vec![0xbe, 0xef, 0x00],
+            },
+        ));
+        roundtrip(Envelope::new(
+            Xid(6),
+            OfMessage::ErrorMsg {
+                etype: 3,
+                code: 9,
+                data: vec![1, 2, 3, 4],
+            },
+        ));
+        roundtrip(Envelope::new(
+            Xid(7),
+            OfMessage::FlowStatsReply {
+                entries: 10,
+                packets: 12345678901,
+            },
+        ));
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_full() {
+        roundtrip(Envelope::new(
+            Xid(9),
+            OfMessage::FlowMod(FlowMod {
+                command: FlowModCommand::Add,
+                priority: 100,
+                matcher: FlowMatch {
+                    in_port: Some(PortNo(2)),
+                    src: Some(HostId(1)),
+                    dst: Some(HostId(2)),
+                    tag: Some(VersionTag::NEW),
+                },
+                actions: vec![
+                    Action::SetTag(VersionTag::NEW),
+                    Action::Output(PortNo(3)),
+                    Action::StripTag,
+                    Action::Drop,
+                    Action::ToController,
+                ],
+                cookie: 0xdead_beef,
+            }),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_flow_mod_wildcards() {
+        for command in [
+            FlowModCommand::Add,
+            FlowModCommand::Modify,
+            FlowModCommand::Delete,
+        ] {
+            roundtrip(Envelope::new(
+                Xid(10),
+                OfMessage::FlowMod(FlowMod {
+                    command,
+                    priority: 0,
+                    matcher: FlowMatch::ANY,
+                    actions: vec![],
+                    cookie: 0,
+                }),
+            ));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&Envelope::new(Xid(1), OfMessage::Hello)).to_vec();
+        bytes[0] = 0x04;
+        assert_eq!(decode(&bytes), Err(CodecError::BadVersion(0x04)));
+    }
+
+    #[test]
+    fn rejects_unknown_type() {
+        let mut bytes = encode(&Envelope::new(Xid(1), OfMessage::Hello)).to_vec();
+        bytes[1] = 250;
+        assert_eq!(decode(&bytes), Err(CodecError::UnknownType(250)));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let bytes = encode(&Envelope::new(
+            Xid(1),
+            OfMessage::FeaturesReply {
+                dpid: DpId(1),
+                n_ports: 4,
+            },
+        ));
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(decode(cut), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let mut bytes = encode(&Envelope::new(Xid(1), OfMessage::Hello)).to_vec();
+        bytes.push(0); // actual frame longer than declared
+        assert!(matches!(decode(&bytes), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_declared_length() {
+        let mut bytes = encode(&Envelope::new(Xid(1), OfMessage::Hello)).to_vec();
+        bytes[2] = 0;
+        bytes[3] = 3; // declared length 3 < header
+        assert_eq!(decode(&bytes), Err(CodecError::BadLength(3)));
+    }
+
+    #[test]
+    fn rejects_unknown_action() {
+        let env = Envelope::new(
+            Xid(2),
+            OfMessage::FlowMod(FlowMod {
+                command: FlowModCommand::Add,
+                priority: 1,
+                matcher: FlowMatch::ANY,
+                actions: vec![Action::Drop],
+                cookie: 0,
+            }),
+        );
+        let mut bytes = encode(&env).to_vec();
+        // action type byte is the last-but-nothing byte: Drop encodes
+        // as a single trailing 0x03
+        let last = bytes.len() - 1;
+        bytes[last] = 99;
+        assert_eq!(decode(&bytes), Err(CodecError::UnknownAction(99)));
+    }
+
+    #[test]
+    fn rejects_unknown_flowmod_command() {
+        let env = Envelope::new(
+            Xid(2),
+            OfMessage::FlowMod(FlowMod {
+                command: FlowModCommand::Add,
+                priority: 1,
+                matcher: FlowMatch::ANY,
+                actions: vec![],
+                cookie: 0,
+            }),
+        );
+        let mut bytes = encode(&env).to_vec();
+        bytes[HEADER_LEN] = 7; // command byte
+        assert_eq!(decode(&bytes), Err(CodecError::UnknownCommand(7)));
+    }
+
+    #[test]
+    fn error_display_strings() {
+        assert!(CodecError::BadVersion(4).to_string().contains("0x4"));
+        assert!(CodecError::TrailingBytes(3).to_string().contains("3"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # sdn-openflow
+//!
+//! An OpenFlow-1.0-style control protocol for the transient-updates
+//! workspace: typed messages ([`messages`]), a match/action model
+//! ([`flow`]), a binary wire codec with the classic
+//! version/type/length/xid header ([`codec`]) and incremental framing
+//! over byte streams ([`framing`]).
+//!
+//! The subset mirrors what the demo's controller actually uses —
+//! FlowMod (add/modify/delete), BarrierRequest/BarrierReply for round
+//! synchronization, Echo for liveness, PacketIn/PacketOut and Error —
+//! while the codec exercises the real failure modes of a control
+//! channel: truncated frames, unknown types, corrupted lengths. Fault
+//! injection in `sdn-channel` flips bytes on the wire; every such
+//! corruption must surface as a typed [`codec::CodecError`], never a
+//! panic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod flow;
+pub mod framing;
+pub mod messages;
+
+pub use codec::{decode, encode, CodecError, OFP_VERSION};
+pub use flow::{Action, FlowMatch, PacketMeta};
+pub use framing::FrameCodec;
+pub use messages::{Envelope, FlowMod, FlowModCommand, OfMessage};

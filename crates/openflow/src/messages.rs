@@ -1,0 +1,164 @@
+//! Control messages.
+//!
+//! The subset of OpenFlow 1.0 the demo controller uses, as typed Rust
+//! values. An [`Envelope`] pairs a message with its transaction id
+//! ([`sdn_types::Xid`]); barrier replies echo the xid of their request,
+//! which is how the round executor attributes acknowledgements.
+
+use sdn_types::{DpId, PortNo, Xid};
+
+use crate::flow::{Action, FlowMatch};
+
+/// FlowMod sub-command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowModCommand {
+    /// Insert a new flow entry (replaces an identical match+priority).
+    Add,
+    /// Modify the actions of matching entries (falls back to add when
+    /// nothing matches, like OVS).
+    Modify,
+    /// Remove matching entries (exact match + priority).
+    Delete,
+}
+
+/// A flow table modification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowMod {
+    /// What to do.
+    pub command: FlowModCommand,
+    /// Entry priority (higher wins).
+    pub priority: u16,
+    /// The match.
+    pub matcher: FlowMatch,
+    /// Action list (empty = drop).
+    pub actions: Vec<Action>,
+    /// Opaque controller cookie (used to tag rule generations).
+    pub cookie: u64,
+}
+
+/// A control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OfMessage {
+    /// Version negotiation greeting.
+    Hello,
+    /// Liveness probe.
+    EchoRequest(Vec<u8>),
+    /// Liveness response (echoes the request payload).
+    EchoReply(Vec<u8>),
+    /// Ask the switch for its identity.
+    FeaturesRequest,
+    /// Switch identity answer.
+    FeaturesReply {
+        /// Datapath id of the switch.
+        dpid: DpId,
+        /// Number of physical ports.
+        n_ports: u32,
+    },
+    /// Flow table modification.
+    FlowMod(FlowMod),
+    /// Fence: the switch must finish all earlier messages of this
+    /// connection before answering.
+    BarrierRequest,
+    /// Fence acknowledgement (echoes the request xid).
+    BarrierReply,
+    /// Data packet punted to the controller.
+    PacketIn {
+        /// Switch buffer reference.
+        buffer_id: u32,
+        /// Port the packet arrived on.
+        in_port: PortNo,
+        /// Raw packet bytes.
+        data: Vec<u8>,
+    },
+    /// Controller-originated packet emission.
+    PacketOut {
+        /// Switch buffer reference (`u32::MAX` = data carried inline).
+        buffer_id: u32,
+        /// Port to emit on.
+        out_port: PortNo,
+        /// Raw packet bytes.
+        data: Vec<u8>,
+    },
+    /// Error report.
+    ErrorMsg {
+        /// Error type (OpenFlow-style numeric class).
+        etype: u16,
+        /// Error code within the class.
+        code: u16,
+        /// Offending message prefix.
+        data: Vec<u8>,
+    },
+    /// Request aggregate flow statistics.
+    FlowStatsRequest,
+    /// Aggregate flow statistics.
+    FlowStatsReply {
+        /// Number of table entries.
+        entries: u32,
+        /// Packets matched by all entries.
+        packets: u64,
+    },
+}
+
+impl OfMessage {
+    /// Short human-readable name (for traces and logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OfMessage::Hello => "hello",
+            OfMessage::EchoRequest(_) => "echo-request",
+            OfMessage::EchoReply(_) => "echo-reply",
+            OfMessage::FeaturesRequest => "features-request",
+            OfMessage::FeaturesReply { .. } => "features-reply",
+            OfMessage::FlowMod(_) => "flow-mod",
+            OfMessage::BarrierRequest => "barrier-request",
+            OfMessage::BarrierReply => "barrier-reply",
+            OfMessage::PacketIn { .. } => "packet-in",
+            OfMessage::PacketOut { .. } => "packet-out",
+            OfMessage::ErrorMsg { .. } => "error",
+            OfMessage::FlowStatsRequest => "flow-stats-request",
+            OfMessage::FlowStatsReply { .. } => "flow-stats-reply",
+        }
+    }
+}
+
+/// A message paired with its transaction id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Transaction id; replies echo the request's.
+    pub xid: Xid,
+    /// The message.
+    pub msg: OfMessage,
+}
+
+impl Envelope {
+    /// Convenience constructor.
+    pub fn new(xid: Xid, msg: OfMessage) -> Self {
+        Envelope { xid, msg }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let msgs = [
+            OfMessage::Hello,
+            OfMessage::BarrierRequest,
+            OfMessage::BarrierReply,
+            OfMessage::FeaturesRequest,
+        ];
+        let kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["hello", "barrier-request", "barrier-reply", "features-request"]
+        );
+    }
+
+    #[test]
+    fn envelope_carries_xid() {
+        let e = Envelope::new(Xid(7), OfMessage::BarrierRequest);
+        assert_eq!(e.xid, Xid(7));
+        assert_eq!(e.msg.kind(), "barrier-request");
+    }
+}

@@ -1,0 +1,164 @@
+//! The event queue: a time-ordered heap with FIFO tie-breaking.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+use sdn_openflow::flow::PacketMeta;
+use sdn_openflow::messages::Envelope;
+use sdn_types::{DpId, SimTime};
+
+/// A simulator event.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A control frame reaches a switch's connection.
+    FrameAtSwitch {
+        /// Destination switch.
+        dp: DpId,
+        /// Raw frame (possibly corrupted in transit).
+        frame: Bytes,
+    },
+    /// A decoded control message finishes the switch's serial
+    /// processing queue and takes effect.
+    ApplyAtSwitch {
+        /// The switch.
+        dp: DpId,
+        /// The message to apply.
+        env: Envelope,
+    },
+    /// A control frame reaches the controller.
+    FrameAtController {
+        /// Originating switch.
+        dp: DpId,
+        /// Raw frame.
+        frame: Bytes,
+    },
+    /// A data packet arrives at a switch.
+    PacketAtSwitch {
+        /// Packet id.
+        id: u64,
+        /// The switch.
+        dp: DpId,
+        /// Metadata (tag may change en route).
+        meta: PacketMeta,
+    },
+    /// A data packet arrives at a host (delivered).
+    PacketAtHost {
+        /// Packet id.
+        id: u64,
+    },
+    /// Inject the next probe packet of an injection plan.
+    Inject {
+        /// Injection plan index (one per flow).
+        plan: usize,
+        /// Sequence number within the plan.
+        seq: u64,
+    },
+    /// Periodic controller poll (timeouts, queue advance).
+    CtrlPoll,
+}
+
+/// Time-ordered event queue. Events at equal times pop in push order.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Pop the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Earliest scheduled time, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), Event::CtrlPoll);
+        q.push(SimTime(10), Event::Inject { plan: 0, seq: 0 });
+        q.push(SimTime(20), Event::CtrlPoll);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.0).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), Event::Inject { plan: 0, seq: 1 });
+        q.push(SimTime(5), Event::Inject { plan: 0, seq: 2 });
+        q.push(SimTime(5), Event::Inject { plan: 0, seq: 3 });
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::Inject { seq, .. } => seq,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(9), Event::CtrlPoll);
+        assert_eq!(q.peek_time(), Some(SimTime(9)));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sdn-sim
+//!
+//! The deterministic discrete-event simulator: controller, asynchronous
+//! control channel, software switches and end hosts in one virtual-time
+//! world. This is the Mininet stand-in that the experiments run on.
+//!
+//! What it models (and the paper cares about):
+//!
+//! * FlowMods and barriers to *different switches* race on independent
+//!   connections ([`sdn_channel::SimChannel`]);
+//! * each switch applies control messages serially with a configurable
+//!   per-message processing delay ("update time of flow tables");
+//! * probe packets are injected from the source host *during* the
+//!   update and forwarded hop by hop against the flow tables as they
+//!   are at that instant — transient loops, blackholes and waypoint
+//!   bypasses happen exactly as they would in the testbed;
+//! * every packet's fate is recorded and judged
+//!   ([`report::PacketOutcome`]).
+//!
+//! [`scenario`] wraps the whole thing into one-call experiment runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod report;
+pub mod scenario;
+pub mod world;
+
+pub use report::{PacketOutcome, PacketRecord, SimReport, ViolationCounts};
+pub use scenario::{run_scenario, AlgoChoice, Scenario, ScenarioOutcome};
+pub use world::{World, WorldConfig};

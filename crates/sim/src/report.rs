@@ -1,0 +1,174 @@
+//! Simulation outcome records.
+
+use std::fmt;
+
+use sdn_channel::sim::ChannelStats;
+use sdn_ctrl::controller::UpdateReport;
+use sdn_types::{DpId, SimTime};
+
+/// How a probe packet ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketOutcome {
+    /// Reached the destination host.
+    Delivered {
+        /// Whether the waypoint was traversed (always `true` when no
+        /// waypoint is configured).
+        via_waypoint: bool,
+    },
+    /// Dropped at a switch (table miss or Drop action).
+    Dropped {
+        /// Where.
+        at: DpId,
+    },
+    /// Exceeded the hop budget: a forwarding loop.
+    Looped,
+    /// Still in flight when the simulation ended (should not happen in
+    /// drained runs).
+    InFlight,
+}
+
+/// One probe packet's life.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Packet id (injection sequence).
+    pub id: u64,
+    /// Injection time at the source host.
+    pub injected_at: SimTime,
+    /// Completion time (delivery/drop/loop detection).
+    pub finished_at: Option<SimTime>,
+    /// Switches traversed, in order (with repeats when looping).
+    pub path: Vec<DpId>,
+    /// The verdict.
+    pub outcome: PacketOutcome,
+}
+
+/// Aggregated transient-security violations over all probes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViolationCounts {
+    /// Probes injected.
+    pub total: u64,
+    /// Probes delivered (waypoint or not).
+    pub delivered: u64,
+    /// Probes delivered *bypassing* the waypoint — the security
+    /// violation of the title.
+    pub waypoint_bypasses: u64,
+    /// Probes dropped (blackholes).
+    pub blackholes: u64,
+    /// Probes caught looping.
+    pub loops: u64,
+}
+
+impl ViolationCounts {
+    /// Whether any transient property was violated.
+    pub fn any(&self) -> bool {
+        self.waypoint_bypasses > 0 || self.blackholes > 0 || self.loops > 0
+    }
+
+    /// Violations per injected probe.
+    pub fn violation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.waypoint_bypasses + self.blackholes + self.loops) as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for ViolationCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} probes: {} delivered, {} bypassed wp, {} blackholed, {} looped",
+            self.total, self.delivered, self.waypoint_bypasses, self.blackholes, self.loops
+        )
+    }
+}
+
+/// Full simulation report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Update jobs completed by the controller, with round timings.
+    pub updates: Vec<UpdateReport>,
+    /// Every probe packet's record.
+    pub packets: Vec<PacketRecord>,
+    /// Aggregated violations.
+    pub violations: ViolationCounts,
+    /// Channel mischief statistics.
+    pub channel: ChannelStats,
+    /// Control frames that failed to decode (corruption casualties).
+    pub decode_errors: u64,
+    /// Virtual time when the simulation drained.
+    pub finished_at: SimTime,
+}
+
+impl SimReport {
+    /// Compute violation counts from packet records.
+    pub fn tally(packets: &[PacketRecord]) -> ViolationCounts {
+        let mut v = ViolationCounts {
+            total: packets.len() as u64,
+            ..Default::default()
+        };
+        for p in packets {
+            match &p.outcome {
+                PacketOutcome::Delivered { via_waypoint } => {
+                    v.delivered += 1;
+                    if !via_waypoint {
+                        v.waypoint_bypasses += 1;
+                    }
+                }
+                PacketOutcome::Dropped { .. } => v.blackholes += 1,
+                PacketOutcome::Looped => v.loops += 1,
+                PacketOutcome::InFlight => {}
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(outcome: PacketOutcome) -> PacketRecord {
+        PacketRecord {
+            id: 0,
+            injected_at: SimTime::ZERO,
+            finished_at: Some(SimTime(1)),
+            path: vec![],
+            outcome,
+        }
+    }
+
+    #[test]
+    fn tally_counts_each_kind() {
+        let packets = vec![
+            rec(PacketOutcome::Delivered { via_waypoint: true }),
+            rec(PacketOutcome::Delivered { via_waypoint: false }),
+            rec(PacketOutcome::Dropped { at: DpId(3) }),
+            rec(PacketOutcome::Looped),
+        ];
+        let v = SimReport::tally(&packets);
+        assert_eq!(v.total, 4);
+        assert_eq!(v.delivered, 2);
+        assert_eq!(v.waypoint_bypasses, 1);
+        assert_eq!(v.blackholes, 1);
+        assert_eq!(v.loops, 1);
+        assert!(v.any());
+        assert!((v.violation_rate() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_tally() {
+        let packets = vec![rec(PacketOutcome::Delivered { via_waypoint: true })];
+        let v = SimReport::tally(&packets);
+        assert!(!v.any());
+        assert_eq!(v.violation_rate(), 0.0);
+        assert!(v.to_string().contains("1 probes"));
+    }
+
+    #[test]
+    fn empty_tally() {
+        let v = SimReport::tally(&[]);
+        assert_eq!(v.violation_rate(), 0.0);
+    }
+}

@@ -1,0 +1,716 @@
+//! The simulation world.
+//!
+//! Owns the topology, the switches, the controller, the channel and the
+//! virtual clock; advances by draining the event queue. All randomness
+//! derives from one seed — identical configurations replay identical
+//! histories, which the tests rely on to pin down specific transient
+//! interleavings.
+
+use std::collections::BTreeMap;
+
+use sdn_channel::config::ChannelConfig;
+use sdn_channel::sim::{ConnId, SimChannel};
+use sdn_ctrl::compile::CompiledUpdate;
+use sdn_ctrl::controller::{Controller, ControllerConfig, CtrlOutput};
+use sdn_openflow::codec::{decode, encode};
+use sdn_openflow::flow::PacketMeta;
+use sdn_openflow::messages::OfMessage;
+use sdn_switch::SoftSwitch;
+use sdn_topo::graph::{PortPeer, Topology};
+use sdn_types::{DetRng, DpId, HostId, SimDuration, SimTime};
+
+use crate::event::{Event, EventQueue};
+use crate::report::{PacketOutcome, PacketRecord, SimReport};
+
+/// World tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WorldConfig {
+    /// Control channel behaviour.
+    pub channel: ChannelConfig,
+    /// Controller behaviour (barrier timeout, retries).
+    pub ctrl: ControllerConfig,
+    /// Serial processing time per control message at a switch — the
+    /// flow-table update time the demo measures.
+    pub flowmod_proc_delay: SimDuration,
+    /// Per-hop pipeline latency for data packets.
+    pub packet_proc_delay: SimDuration,
+    /// Controller poll period (drives timeout retransmissions).
+    pub poll_interval: SimDuration,
+    /// Hop budget before a packet is declared looping.
+    pub max_hops: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            channel: ChannelConfig::lan(),
+            ctrl: ControllerConfig::default(),
+            flowmod_proc_delay: SimDuration::from_micros(100),
+            packet_proc_delay: SimDuration::from_micros(10),
+            poll_interval: SimDuration::from_millis(10),
+            max_hops: 64,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PacketInFlight {
+    injected_at: SimTime,
+    path: Vec<DpId>,
+    /// Waypoint this packet is judged against (captured from the
+    /// active waypoint when its flow was planned).
+    waypoint: Option<DpId>,
+    finished: Option<(SimTime, PacketOutcome)>,
+}
+
+#[derive(Debug, Clone)]
+struct InjectPlan {
+    src: HostId,
+    dst: HostId,
+    interval: SimDuration,
+    remaining: u64,
+    waypoint: Option<DpId>,
+}
+
+/// The simulator.
+pub struct World {
+    cfg: WorldConfig,
+    topo: Topology,
+    switches: BTreeMap<DpId, SoftSwitch>,
+    busy_until: BTreeMap<DpId, SimTime>,
+    controller: Controller,
+    channel: SimChannel,
+    rng: DetRng,
+    queue: EventQueue,
+    now: SimTime,
+    packets: BTreeMap<u64, PacketInFlight>,
+    next_packet_id: u64,
+    injects: Vec<InjectPlan>,
+    waypoint: Option<DpId>,
+    decode_errors: u64,
+    polling: bool,
+}
+
+impl World {
+    /// Build a world over a topology.
+    pub fn new(topo: Topology, cfg: WorldConfig) -> Self {
+        let switches: BTreeMap<DpId, SoftSwitch> = topo
+            .switches()
+            .map(|s| {
+                (
+                    s.dpid,
+                    SoftSwitch::new(s.dpid, 64), // generous port budget
+                )
+            })
+            .collect();
+        let rng = DetRng::new(cfg.seed);
+        World {
+            controller: Controller::new(cfg.ctrl),
+            channel: SimChannel::new(cfg.channel),
+            switches,
+            busy_until: BTreeMap::new(),
+            rng: rng.derive("world", 0),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            packets: BTreeMap::new(),
+            next_packet_id: 0,
+            injects: Vec::new(),
+            waypoint: None,
+            decode_errors: 0,
+            polling: false,
+            topo,
+            cfg,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Inspect a switch (tests, experiments).
+    pub fn switch(&self, dp: DpId) -> Option<&SoftSwitch> {
+        self.switches.get(&dp)
+    }
+
+    /// The waypoint against which deliveries are judged.
+    pub fn set_waypoint(&mut self, wp: Option<DpId>) {
+        self.waypoint = wp;
+    }
+
+    /// Apply the baseline configuration directly (pre-experiment
+    /// state; not part of the measured update).
+    pub fn install_initial(&mut self, mods: &[(DpId, OfMessage)]) {
+        let mut xid = sdn_types::Xid(0xffff_0000);
+        for (dp, msg) in mods {
+            if let Some(sw) = self.switches.get_mut(dp) {
+                let _ = sw.handle_control(sdn_openflow::messages::Envelope::new(
+                    xid,
+                    msg.clone(),
+                ));
+                xid = xid.next();
+            }
+        }
+    }
+
+    /// Enqueue an update job on the controller.
+    pub fn enqueue_update(&mut self, update: CompiledUpdate) {
+        self.controller.enqueue(update);
+        if !self.polling {
+            self.polling = true;
+            self.queue.push(self.now, Event::CtrlPoll);
+        }
+    }
+
+    /// Plan probe injection: `count` packets from `src` to `dst`,
+    /// spaced `interval` apart, starting at `start`. Several plans may
+    /// run concurrently (multiple flows); each flow's packets are
+    /// judged against the waypoint active when the plan was created.
+    pub fn plan_injection(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        interval: SimDuration,
+        count: u64,
+        start: SimTime,
+    ) {
+        assert!(self.topo.host(src).is_some(), "unknown source host");
+        assert!(self.topo.host(dst).is_some(), "unknown destination host");
+        let plan = self.injects.len();
+        self.injects.push(InjectPlan {
+            src,
+            dst,
+            interval,
+            remaining: count,
+            waypoint: self.waypoint,
+        });
+        if count > 0 {
+            self.queue.push(start, Event::Inject { plan, seq: 0 });
+        }
+    }
+
+    /// Drain events until the queue empties or `horizon` passes.
+    /// Returns the final report.
+    pub fn run(&mut self, horizon: SimTime) -> SimReport {
+        while let Some((at, event)) = self.queue.pop() {
+            if at > horizon {
+                break;
+            }
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.handle(event);
+        }
+        self.finish_report()
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::CtrlPoll => {
+                let outs = self.controller.poll(self.now);
+                self.dispatch(outs);
+                if self.controller.is_idle() {
+                    self.polling = false;
+                } else {
+                    self.queue
+                        .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
+                }
+            }
+            Event::FrameAtSwitch { dp, frame } => match decode(&frame) {
+                Ok(env) => {
+                    let start = self
+                        .busy_until
+                        .get(&dp)
+                        .copied()
+                        .unwrap_or(SimTime::ZERO)
+                        .max(self.now);
+                    let done = start + self.cfg.flowmod_proc_delay;
+                    self.busy_until.insert(dp, done);
+                    self.queue.push(done, Event::ApplyAtSwitch { dp, env });
+                }
+                Err(_) => self.decode_errors += 1,
+            },
+            Event::ApplyAtSwitch { dp, env } => {
+                let Some(sw) = self.switches.get_mut(&dp) else {
+                    return;
+                };
+                let replies = sw.handle_control(env);
+                for reply in replies {
+                    let frame = encode(&reply);
+                    for (at, bytes) in self.channel.send(
+                        ConnId::to_controller(dp),
+                        self.now,
+                        frame,
+                        &mut self.rng,
+                    ) {
+                        self.queue
+                            .push(at, Event::FrameAtController { dp, frame: bytes });
+                    }
+                }
+            }
+            Event::FrameAtController { dp, frame } => match decode(&frame) {
+                Ok(env) => {
+                    let outs = self.controller.on_message(self.now, dp, &env);
+                    self.dispatch(outs);
+                }
+                Err(_) => self.decode_errors += 1,
+            },
+            Event::Inject { plan, seq } => self.inject_probe(plan, seq),
+            Event::PacketAtSwitch { id, dp, meta } => self.packet_at_switch(id, dp, meta),
+            Event::PacketAtHost { id } => {
+                if let Some(p) = self.packets.get_mut(&id) {
+                    let via_waypoint = p.waypoint.is_none_or(|w| p.path.contains(&w));
+                    p.finished = Some((self.now, PacketOutcome::Delivered { via_waypoint }));
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, outs: Vec<CtrlOutput>) {
+        for CtrlOutput::Send(dp, env) in outs {
+            let frame = encode(&env);
+            for (at, bytes) in
+                self.channel
+                    .send(ConnId::to_switch(dp), self.now, frame, &mut self.rng)
+            {
+                self.queue
+                    .push(at, Event::FrameAtSwitch { dp, frame: bytes });
+            }
+        }
+        // controller may have more work (next job) — keep polling alive
+        if !self.controller.is_idle() && !self.polling {
+            self.polling = true;
+            self.queue
+                .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
+        }
+    }
+
+    fn inject_probe(&mut self, plan_idx: usize, seq: u64) {
+        let Some(plan) = self.injects.get(plan_idx).cloned() else {
+            return;
+        };
+        if plan.remaining == 0 {
+            return;
+        }
+        let src_host = self.topo.host(plan.src).expect("validated").clone();
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        self.packets.insert(
+            id,
+            PacketInFlight {
+                injected_at: self.now,
+                path: Vec::new(),
+                waypoint: plan.waypoint,
+                finished: None,
+            },
+        );
+        let meta = PacketMeta {
+            in_port: src_host.port,
+            src: plan.src,
+            dst: plan.dst,
+            tag: None,
+        };
+        self.queue.push(
+            self.now + src_host.latency,
+            Event::PacketAtSwitch {
+                id,
+                dp: src_host.attached_to,
+                meta,
+            },
+        );
+        // schedule the next probe of this plan
+        let interval = plan.interval;
+        let more = {
+            let p = &mut self.injects[plan_idx];
+            p.remaining -= 1;
+            p.remaining > 0
+        };
+        if more {
+            self.queue.push(
+                self.now + interval,
+                Event::Inject {
+                    plan: plan_idx,
+                    seq: seq + 1,
+                },
+            );
+        }
+    }
+
+    fn packet_at_switch(&mut self, id: u64, dp: DpId, meta: PacketMeta) {
+        let max_hops = self.cfg.max_hops;
+        {
+            let Some(p) = self.packets.get_mut(&id) else {
+                return;
+            };
+            if p.finished.is_some() {
+                return;
+            }
+            p.path.push(dp);
+            if p.path.len() > max_hops {
+                p.finished = Some((self.now, PacketOutcome::Looped));
+                return;
+            }
+        }
+        let Some(sw) = self.switches.get_mut(&dp) else {
+            return;
+        };
+        let result = sw.process_packet(meta);
+        if result.dropped || result.emitted.is_empty() {
+            if let Some(p) = self.packets.get_mut(&id) {
+                p.finished = Some((self.now, PacketOutcome::Dropped { at: dp }));
+            }
+            return;
+        }
+        // unicast routing rules: forward the first emitted copy
+        let (port, out_meta) = result.emitted[0];
+        match self.topo.port_peer(dp, port) {
+            Some(PortPeer::Switch(nb, lat)) => {
+                let in_port = self
+                    .topo
+                    .egress_port(nb, dp)
+                    .expect("links are bidirectional");
+                let meta2 = PacketMeta {
+                    in_port,
+                    ..out_meta
+                };
+                self.queue.push(
+                    self.now + self.cfg.packet_proc_delay + lat,
+                    Event::PacketAtSwitch {
+                        id,
+                        dp: nb,
+                        meta: meta2,
+                    },
+                );
+            }
+            Some(PortPeer::Host(_h, lat)) => {
+                self.queue.push(
+                    self.now + self.cfg.packet_proc_delay + lat,
+                    Event::PacketAtHost { id },
+                );
+            }
+            None => {
+                // rule points at an unwired port: drop
+                if let Some(p) = self.packets.get_mut(&id) {
+                    p.finished = Some((self.now, PacketOutcome::Dropped { at: dp }));
+                }
+            }
+        }
+    }
+
+    fn finish_report(&mut self) -> SimReport {
+        let mut packets: Vec<PacketRecord> = self
+            .packets
+            .iter()
+            .map(|(&id, p)| PacketRecord {
+                id,
+                injected_at: p.injected_at,
+                finished_at: p.finished.as_ref().map(|(t, _)| *t),
+                path: p.path.clone(),
+                outcome: p
+                    .finished
+                    .as_ref()
+                    .map(|(_, o)| o.clone())
+                    .unwrap_or(PacketOutcome::InFlight),
+            })
+            .collect();
+        packets.sort_by_key(|p| p.id);
+        let violations = SimReport::tally(&packets);
+        SimReport {
+            updates: self.controller.reports().to_vec(),
+            packets,
+            violations,
+            channel: self.channel.stats(),
+            decode_errors: self.decode_errors,
+            finished_at: self.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
+    use sdn_topo::builders::figure1;
+    use sdn_types::SimDuration;
+    use update_core::algorithms::{OneShot, UpdateScheduler, WayUp};
+    use update_core::model::UpdateInstance;
+
+    fn horizon() -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(600)
+    }
+
+    fn fig1_world(cfg: WorldConfig) -> (World, UpdateInstance, FlowSpec) {
+        let f = figure1();
+        let inst = UpdateInstance::new(
+            f.old_route.clone(),
+            f.new_route.clone(),
+            Some(f.waypoint),
+        )
+        .unwrap();
+        let spec = FlowSpec {
+            src: f.h1,
+            dst: f.h2,
+        };
+        let mut w = World::new(f.topo.clone(), cfg);
+        w.set_waypoint(Some(f.waypoint));
+        let init = initial_flowmods(&f.topo, &f.old_route, &spec).unwrap();
+        w.install_initial(&init);
+        (w, inst, spec)
+    }
+
+    #[test]
+    fn steady_state_delivery_on_old_route() {
+        let (mut w, _inst, _spec) = fig1_world(WorldConfig::default());
+        w.plan_injection(
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(1),
+            20,
+            SimTime::ZERO,
+        );
+        let r = w.run(horizon());
+        assert_eq!(r.violations.total, 20);
+        assert_eq!(r.violations.delivered, 20);
+        assert!(!r.violations.any(), "{}", r.violations);
+        // every probe followed the old route
+        for p in &r.packets {
+            assert_eq!(p.path.len(), 7, "path {:?}", p.path);
+        }
+    }
+
+    #[test]
+    fn wayup_update_completes_and_switches_route() {
+        let (mut w, inst, spec) = fig1_world(WorldConfig::default());
+        let sched = WayUp::default().schedule(&inst).unwrap();
+        let f = figure1();
+        let c = compile_schedule(&f.topo, &inst, &sched, &spec).unwrap();
+        let n_rounds = c.round_count();
+        w.enqueue_update(c);
+        let r = w.run(horizon());
+        assert_eq!(r.updates.len(), 1);
+        let u = &r.updates[0];
+        assert!(u.completed.is_some(), "update must finish");
+        assert_eq!(u.rounds.len(), n_rounds);
+        assert!(u.duration().unwrap() > SimDuration::ZERO);
+
+        // data plane converged to the new route: probe it
+        w.plan_injection(
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(1),
+            5,
+            w.now(),
+        );
+        let r2 = w.run(horizon());
+        let last = r2.packets.last().unwrap();
+        assert_eq!(
+            last.path,
+            f.new_route.hops().to_vec(),
+            "must follow the new route"
+        );
+    }
+
+    #[test]
+    fn wayup_under_traffic_has_no_violations() {
+        let cfg = WorldConfig {
+            channel: ChannelConfig::jittery(SimDuration::from_millis(5)),
+            seed: 42,
+            ..WorldConfig::default()
+        };
+        let (mut w, inst, spec) = fig1_world(cfg);
+        let f = figure1();
+        let sched = WayUp::default().schedule(&inst).unwrap();
+        let c = compile_schedule(&f.topo, &inst, &sched, &spec).unwrap();
+        w.enqueue_update(c);
+        w.plan_injection(
+            HostId(1),
+            HostId(2),
+            SimDuration::from_micros(200),
+            500,
+            SimTime::ZERO,
+        );
+        let r = w.run(horizon());
+        assert!(r.updates[0].completed.is_some());
+        assert_eq!(r.violations.total, 500);
+        assert!(
+            !r.violations.any(),
+            "WayUp must be transiently secure: {}",
+            r.violations
+        );
+    }
+
+    #[test]
+    fn oneshot_under_jitter_violates() {
+        // Find a seed exposing the race; determinism makes it stable.
+        let mut any_violation = false;
+        for seed in 0..12 {
+            let cfg = WorldConfig {
+                channel: ChannelConfig::jittery(SimDuration::from_millis(20)),
+                seed,
+                ..WorldConfig::default()
+            };
+            let (mut w, inst, spec) = fig1_world(cfg);
+            let f = figure1();
+            let sched = OneShot.schedule(&inst).unwrap();
+            let c = compile_schedule(&f.topo, &inst, &sched, &spec).unwrap();
+            w.enqueue_update(c);
+            w.plan_injection(
+                HostId(1),
+                HostId(2),
+                SimDuration::from_micros(100),
+                1500,
+                SimTime::ZERO,
+            );
+            let r = w.run(horizon());
+            if r.violations.any() {
+                any_violation = true;
+                break;
+            }
+        }
+        assert!(
+            any_violation,
+            "one-shot under heavy jitter should expose at least one transient violation"
+        );
+    }
+
+    #[test]
+    fn lossy_channel_still_converges() {
+        let cfg = WorldConfig {
+            channel: ChannelConfig::lossy(0.2),
+            seed: 7,
+            ..WorldConfig::default()
+        };
+        let (mut w, inst, spec) = fig1_world(cfg);
+        let f = figure1();
+        let sched = WayUp::default().schedule(&inst).unwrap();
+        let c = compile_schedule(&f.topo, &inst, &sched, &spec).unwrap();
+        w.enqueue_update(c);
+        let r = w.run(horizon());
+        assert!(
+            r.updates[0].completed.is_some(),
+            "barrier retransmission must push the update through"
+        );
+        // losses happened (statistically certain with 20% drop)
+        assert!(r.channel.dropped > 0);
+        // retransmissions occurred
+        assert!(r.updates[0].rounds.iter().any(|t| t.attempts > 1));
+    }
+
+    #[test]
+    fn corrupted_frames_are_counted_not_fatal() {
+        let cfg = WorldConfig {
+            channel: ChannelConfig::lan().with_corruption(0.3),
+            seed: 3,
+            ..WorldConfig::default()
+        };
+        let (mut w, inst, spec) = fig1_world(cfg);
+        let f = figure1();
+        let sched = WayUp::default().schedule(&inst).unwrap();
+        let c = compile_schedule(&f.topo, &inst, &sched, &spec).unwrap();
+        w.enqueue_update(c);
+        let r = w.run(horizon());
+        assert!(r.decode_errors > 0, "corruption should surface as decode errors");
+        assert!(r.updates[0].completed.is_some());
+    }
+
+    #[test]
+    fn truncated_horizon_reports_in_flight_probes() {
+        let (mut w, _inst, _spec) = fig1_world(WorldConfig::default());
+        w.plan_injection(
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(1),
+            10,
+            SimTime::ZERO,
+        );
+        // stop before anything can traverse the 7-hop path
+        let r = w.run(SimTime::ZERO + SimDuration::from_micros(150));
+        assert!(r
+            .packets
+            .iter()
+            .any(|p| p.outcome == crate::report::PacketOutcome::InFlight));
+        assert!(r.finished_at <= SimTime::ZERO + SimDuration::from_micros(150));
+    }
+
+    #[test]
+    fn ttl_exceeded_is_classified_as_loop() {
+        // Install a deliberate 2-cycle between s1 and s2 and inject.
+        use sdn_openflow::flow::{Action, FlowMatch};
+        use sdn_openflow::messages::{FlowMod, FlowModCommand};
+        let f = figure1();
+        let mut w = World::new(f.topo.clone(), WorldConfig::default());
+        let p12 = f.topo.egress_port(DpId(1), DpId(2)).unwrap();
+        let p21 = f.topo.egress_port(DpId(2), DpId(1)).unwrap();
+        let mk = |out| {
+            sdn_openflow::messages::OfMessage::FlowMod(FlowMod {
+                command: FlowModCommand::Add,
+                priority: 10,
+                matcher: FlowMatch::dst_host(HostId(2)),
+                actions: vec![Action::Output(out)],
+                cookie: 0,
+            })
+        };
+        w.install_initial(&[(DpId(1), mk(p12)), (DpId(2), mk(p21))]);
+        w.plan_injection(
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(1),
+            1,
+            SimTime::ZERO,
+        );
+        let r = w.run(SimTime::ZERO + SimDuration::from_secs(60));
+        assert_eq!(r.violations.loops, 1, "{}", r.violations);
+        let p = &r.packets[0];
+        assert!(p.path.len() > 60, "TTL must bound the walk");
+    }
+
+    #[test]
+    fn probes_after_horizonless_drain_leave_empty_queue() {
+        let (mut w, _inst, _spec) = fig1_world(WorldConfig::default());
+        w.plan_injection(
+            HostId(1),
+            HostId(2),
+            SimDuration::from_millis(2),
+            5,
+            SimTime::ZERO,
+        );
+        let r1 = w.run(SimTime::ZERO + SimDuration::from_secs(600));
+        assert_eq!(r1.violations.total, 5);
+        // a second run with nothing planned terminates immediately
+        let r2 = w.run(SimTime::ZERO + SimDuration::from_secs(1200));
+        assert_eq!(r2.violations.total, 5, "no new probes appear");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run_once = || {
+            let cfg = WorldConfig {
+                channel: ChannelConfig::jittery(SimDuration::from_millis(3)),
+                seed: 11,
+                ..WorldConfig::default()
+            };
+            let (mut w, inst, spec) = fig1_world(cfg);
+            let f = figure1();
+            let sched = WayUp::default().schedule(&inst).unwrap();
+            let c = compile_schedule(&f.topo, &inst, &sched, &spec).unwrap();
+            w.enqueue_update(c);
+            w.plan_injection(
+                HostId(1),
+                HostId(2),
+                SimDuration::from_millis(1),
+                50,
+                SimTime::ZERO,
+            );
+            let r = w.run(horizon());
+            (
+                r.finished_at,
+                r.updates[0].completed,
+                r.violations,
+                r.packets.len(),
+            )
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,25 @@
+//! # sdn-switch
+//!
+//! A software OpenFlow switch model — the OVS stand-in of the
+//! reproduction. Per the demo's footnote, the experiments are "just
+//! about the asynchronicity of the control channel", so the switch
+//! implements exactly the semantics the update machinery relies on:
+//!
+//! * a priority [`flow_table::FlowTable`] with
+//!   add/modify/delete FlowMod semantics and highest-priority matching;
+//! * in-order processing of control messages per connection, with
+//!   `BarrierRequest` answered only after every earlier message has
+//!   been applied (the OpenFlow barrier contract the round executor
+//!   depends on);
+//! * a packet pipeline applying action lists (output, version-tag
+//!   push/strip, drop, punt-to-controller).
+//!
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow_table;
+pub mod switch;
+
+pub use flow_table::{FlowEntry, FlowTable, TableChange};
+pub use switch::{ForwardResult, SoftSwitch, SwitchStats};

@@ -1,0 +1,195 @@
+//! Graph algorithms over [`Topology`]: BFS shortest path (hop count),
+//! Dijkstra (latency), reachability and connectivity.
+//!
+//! These are used by the topology builders (sanity checks), the
+//! workload generators (finding alternative routes) and the examples.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, VecDeque};
+
+use sdn_types::{DpId, SimDuration};
+
+use crate::graph::Topology;
+use crate::route::RoutePath;
+
+/// Shortest path by hop count from `src` to `dst`, as a [`RoutePath`].
+/// Returns `None` if unreachable or `src == dst`.
+pub fn bfs_path(topo: &Topology, src: DpId, dst: DpId) -> Option<RoutePath> {
+    if src == dst || !topo.has_switch(src) || !topo.has_switch(dst) {
+        return None;
+    }
+    let mut prev: BTreeMap<DpId, DpId> = BTreeMap::new();
+    let mut seen: BTreeSet<DpId> = BTreeSet::new();
+    let mut q = VecDeque::new();
+    seen.insert(src);
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        if u == dst {
+            break;
+        }
+        for v in topo.neighbors(u) {
+            if seen.insert(v) {
+                prev.insert(v, u);
+                q.push_back(v);
+            }
+        }
+    }
+    reconstruct(src, dst, &prev)
+}
+
+/// Shortest path by accumulated link latency (Dijkstra).
+pub fn dijkstra_path(topo: &Topology, src: DpId, dst: DpId) -> Option<RoutePath> {
+    if src == dst || !topo.has_switch(src) || !topo.has_switch(dst) {
+        return None;
+    }
+    let mut dist: BTreeMap<DpId, u64> = BTreeMap::new();
+    let mut prev: BTreeMap<DpId, DpId> = BTreeMap::new();
+    // max-heap on Reverse(cost)
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, DpId)>> = BinaryHeap::new();
+    dist.insert(src, 0);
+    heap.push(std::cmp::Reverse((0, src)));
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        if u == dst {
+            break;
+        }
+        if dist.get(&u).copied().unwrap_or(u64::MAX) < d {
+            continue;
+        }
+        for v in topo.neighbors(u) {
+            let w = topo
+                .link_between(u, v)
+                .map(|l| l.latency.as_nanos())
+                .unwrap_or(u64::MAX);
+            let nd = d.saturating_add(w);
+            if nd < dist.get(&v).copied().unwrap_or(u64::MAX) {
+                dist.insert(v, nd);
+                prev.insert(v, u);
+                heap.push(std::cmp::Reverse((nd, v)));
+            }
+        }
+    }
+    reconstruct(src, dst, &prev)
+}
+
+fn reconstruct(src: DpId, dst: DpId, prev: &BTreeMap<DpId, DpId>) -> Option<RoutePath> {
+    if !prev.contains_key(&dst) {
+        return None;
+    }
+    let mut hops = vec![dst];
+    let mut cur = dst;
+    while cur != src {
+        cur = *prev.get(&cur)?;
+        hops.push(cur);
+    }
+    hops.reverse();
+    RoutePath::new(hops).ok()
+}
+
+/// All switches reachable from `src` (including `src`).
+pub fn reachable_from(topo: &Topology, src: DpId) -> BTreeSet<DpId> {
+    let mut seen = BTreeSet::new();
+    if !topo.has_switch(src) {
+        return seen;
+    }
+    let mut q = VecDeque::new();
+    seen.insert(src);
+    q.push_back(src);
+    while let Some(u) = q.pop_front() {
+        for v in topo.neighbors(u) {
+            if seen.insert(v) {
+                q.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether every switch can reach every other switch.
+pub fn is_connected(topo: &Topology) -> bool {
+    let mut ids = topo.switch_ids();
+    match ids.next() {
+        None => true,
+        Some(first) => reachable_from(topo, first).len() == topo.switch_count(),
+    }
+}
+
+/// Total one-way latency along a route (sum of link latencies).
+/// Returns `None` if a hop is not physically linked.
+pub fn route_latency(topo: &Topology, route: &RoutePath) -> Option<SimDuration> {
+    let mut total = SimDuration::ZERO;
+    for (a, b) in route.edges() {
+        total += topo.link_between(a, b)?.latency;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat(ms: u64) -> SimDuration {
+        SimDuration::from_millis(ms)
+    }
+
+    /// 1 -- 2 -- 3
+    ///  \________/   (1--4--3 with cheap links)
+    fn diamond() -> Topology {
+        let mut t = Topology::new();
+        t.add_switches(4).unwrap();
+        t.add_link(DpId(1), DpId(2), lat(5)).unwrap();
+        t.add_link(DpId(2), DpId(3), lat(5)).unwrap();
+        t.add_link(DpId(1), DpId(4), lat(1)).unwrap();
+        t.add_link(DpId(4), DpId(3), lat(1)).unwrap();
+        t
+    }
+
+    #[test]
+    fn bfs_finds_min_hops() {
+        let t = diamond();
+        let p = bfs_path(&t, DpId(1), DpId(3)).unwrap();
+        assert_eq!(p.len(), 3); // either 1-2-3 or 1-4-3
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_links() {
+        let t = diamond();
+        let p = dijkstra_path(&t, DpId(1), DpId(3)).unwrap();
+        assert_eq!(p.raw(), vec![1, 4, 3]);
+        assert_eq!(route_latency(&t, &p), Some(lat(2)));
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut t = diamond();
+        t.add_switch(DpId(9)).unwrap();
+        assert!(bfs_path(&t, DpId(1), DpId(9)).is_none());
+        assert!(dijkstra_path(&t, DpId(1), DpId(9)).is_none());
+    }
+
+    #[test]
+    fn same_node_returns_none() {
+        let t = diamond();
+        assert!(bfs_path(&t, DpId(1), DpId(1)).is_none());
+    }
+
+    #[test]
+    fn reachability_and_connectivity() {
+        let mut t = diamond();
+        assert!(is_connected(&t));
+        assert_eq!(reachable_from(&t, DpId(1)).len(), 4);
+        t.add_switch(DpId(9)).unwrap();
+        assert!(!is_connected(&t));
+        assert_eq!(reachable_from(&t, DpId(9)).len(), 1);
+    }
+
+    #[test]
+    fn empty_topology_is_connected() {
+        assert!(is_connected(&Topology::new()));
+    }
+
+    #[test]
+    fn route_latency_missing_link() {
+        let t = diamond();
+        let bogus = RoutePath::from_raw(&[1, 3]).unwrap();
+        assert!(route_latency(&t, &bogus).is_none());
+    }
+}

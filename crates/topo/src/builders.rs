@@ -1,0 +1,236 @@
+//! Canonical topologies.
+//!
+//! The star of the module is [`figure1`], the paper's evaluation setup:
+//! *"the test setup for transiently secure network updates tool consists
+//! of 12 nodes or OpenFlow (OVS) switches with host h1 connected to
+//! switch 1 and host h2 connected to switch 12 in mininet. Node/switch 3
+//! is the waypoint, e.g., Firewall or IDS. The edges having a solid
+//! line, build the old route ... The edges having a dashed line, build
+//! the new route."*
+//!
+//! The figure shows but does not list the exact solid/dashed edges, so
+//! the concrete routes below are a documented reconstruction with the
+//! stated invariants: 12 switches, h1@s1, h2@s12, waypoint s3 on *both*
+//! routes, old and new routes otherwise disjoint in the middle. See
+//! EXPERIMENTS.md (E1).
+//!
+//! The remaining builders (line, ring, grid, fat-tree) supply shapes for
+//! the scaling experiments (E2/E3).
+
+use sdn_types::{DpId, HostId, SimDuration};
+
+use crate::graph::{Topology, TopologyError};
+use crate::route::RoutePath;
+
+/// Default one-way link latency used by the builders (1 ms, a typical
+/// intra-datacenter figure and Mininet's default order of magnitude).
+pub const DEFAULT_LINK_LATENCY: SimDuration = SimDuration::from_millis(1);
+
+/// Default host access latency (100 µs).
+pub const DEFAULT_HOST_LATENCY: SimDuration = SimDuration::from_micros(100);
+
+/// The paper's Figure 1 scenario: topology plus the old (solid) and new
+/// (dashed) routing policies and the waypoint.
+#[derive(Debug, Clone)]
+pub struct Figure1 {
+    /// 12-switch topology with h1@s1 and h2@s12 attached.
+    pub topo: Topology,
+    /// The old routing policy (solid edges): ⟨1,2,3,4,5,6,12⟩.
+    pub old_route: RoutePath,
+    /// The new routing policy (dashed edges): ⟨1,7,3,8,9,10,11,12⟩.
+    pub new_route: RoutePath,
+    /// The waypoint (firewall / IDS): s3, on both routes.
+    pub waypoint: DpId,
+    /// Source host (h1, attached to s1).
+    pub h1: HostId,
+    /// Destination host (h2, attached to s12).
+    pub h2: HostId,
+}
+
+/// Build the Figure 1 scenario.
+pub fn figure1() -> Figure1 {
+    let mut topo = Topology::new();
+    topo.add_switches(12).expect("fresh topology");
+
+    let old_route = RoutePath::from_raw(&[1, 2, 3, 4, 5, 6, 12]).expect("valid");
+    let new_route = RoutePath::from_raw(&[1, 7, 3, 8, 9, 10, 11, 12]).expect("valid");
+
+    for (a, b) in old_route.edges().chain(new_route.edges()) {
+        // Routes share s1->... edges only at the waypoint junctions;
+        // add_link rejects duplicates, so skip already-present pairs.
+        if !topo.adjacent(a, b) {
+            topo.add_link(a, b, DEFAULT_LINK_LATENCY).expect("valid link");
+        }
+    }
+
+    topo.attach_host(HostId(1), DpId(1), DEFAULT_HOST_LATENCY)
+        .expect("s1 exists");
+    topo.attach_host(HostId(2), DpId(12), DEFAULT_HOST_LATENCY)
+        .expect("s12 exists");
+
+    Figure1 {
+        topo,
+        old_route,
+        new_route,
+        waypoint: DpId(3),
+        h1: HostId(1),
+        h2: HostId(2),
+    }
+}
+
+/// A line (path) topology `s1 -- s2 -- ... -- sn`.
+pub fn line(n: u64, latency: SimDuration) -> Result<Topology, TopologyError> {
+    let mut t = Topology::new();
+    t.add_switches(n)?;
+    for i in 1..n {
+        t.add_link(DpId(i), DpId(i + 1), latency)?;
+    }
+    Ok(t)
+}
+
+/// A ring topology `s1 -- s2 -- ... -- sn -- s1` (n ≥ 3).
+pub fn ring(n: u64, latency: SimDuration) -> Result<Topology, TopologyError> {
+    let mut t = line(n, latency)?;
+    if n >= 3 {
+        t.add_link(DpId(n), DpId(1), latency)?;
+    }
+    Ok(t)
+}
+
+/// A `w × h` grid; switch at row r (0-based), column c has dpid
+/// `r*w + c + 1`.
+pub fn grid(w: u64, h: u64, latency: SimDuration) -> Result<Topology, TopologyError> {
+    let mut t = Topology::new();
+    t.add_switches(w * h)?;
+    let id = |r: u64, c: u64| DpId(r * w + c + 1);
+    for r in 0..h {
+        for c in 0..w {
+            if c + 1 < w {
+                t.add_link(id(r, c), id(r, c + 1), latency)?;
+            }
+            if r + 1 < h {
+                t.add_link(id(r, c), id(r + 1, c), latency)?;
+            }
+        }
+    }
+    Ok(t)
+}
+
+/// A k-ary fat-tree (k even, k ≥ 2): `(k/2)^2` core switches, `k` pods
+/// of `k/2` aggregation plus `k/2` edge switches.
+///
+/// Dpid layout: cores first (1..=(k/2)^2), then per pod `p`
+/// (0-based): aggregation `(k/2)^2 + p*k + 1 ..`, then edge switches.
+pub fn fat_tree(k: u64, latency: SimDuration) -> Result<Topology, TopologyError> {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    let half = k / 2;
+    let cores = half * half;
+    let mut t = Topology::new();
+    let total = cores + k * k; // each pod has k switches (k/2 agg + k/2 edge)
+    t.add_switches(total)?;
+
+    let core_id = |i: u64| DpId(i + 1);
+    let agg_id = |pod: u64, i: u64| DpId(cores + pod * k + i + 1);
+    let edge_id = |pod: u64, i: u64| DpId(cores + pod * k + half + i + 1);
+
+    for pod in 0..k {
+        for a in 0..half {
+            // aggregation <-> core: agg `a` connects to cores
+            // [a*half, (a+1)*half)
+            for c in 0..half {
+                t.add_link(agg_id(pod, a), core_id(a * half + c), latency)?;
+            }
+            // aggregation <-> edge, full bipartite within pod
+            for e in 0..half {
+                t.add_link(agg_id(pod, a), edge_id(pod, e), latency)?;
+            }
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{is_connected, route_latency};
+
+    #[test]
+    fn figure1_matches_paper_invariants() {
+        let f = figure1();
+        assert_eq!(f.topo.switch_count(), 12, "12 nodes per the paper");
+        assert_eq!(f.topo.host(f.h1).unwrap().attached_to, DpId(1));
+        assert_eq!(f.topo.host(f.h2).unwrap().attached_to, DpId(12));
+        assert_eq!(f.waypoint, DpId(3));
+        // waypoint on both routes
+        assert!(f.old_route.contains(f.waypoint));
+        assert!(f.new_route.contains(f.waypoint));
+        // routes start/end at the host switches
+        assert_eq!(f.old_route.src(), DpId(1));
+        assert_eq!(f.old_route.dst(), DpId(12));
+        assert_eq!(f.new_route.src(), DpId(1));
+        assert_eq!(f.new_route.dst(), DpId(12));
+        // both physically realizable
+        f.old_route.validate_on(&f.topo).unwrap();
+        f.new_route.validate_on(&f.topo).unwrap();
+        assert!(is_connected(&f.topo));
+    }
+
+    #[test]
+    fn figure1_routes_have_latency() {
+        let f = figure1();
+        let ol = route_latency(&f.topo, &f.old_route).unwrap();
+        let nl = route_latency(&f.topo, &f.new_route).unwrap();
+        assert_eq!(ol, DEFAULT_LINK_LATENCY.saturating_mul(6));
+        assert_eq!(nl, DEFAULT_LINK_LATENCY.saturating_mul(7));
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = line(5, DEFAULT_LINK_LATENCY).unwrap();
+        assert_eq!(t.switch_count(), 5);
+        assert_eq!(t.link_count(), 4);
+        assert!(t.adjacent(DpId(1), DpId(2)));
+        assert!(!t.adjacent(DpId(1), DpId(3)));
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn ring_closes_the_loop() {
+        let t = ring(6, DEFAULT_LINK_LATENCY).unwrap();
+        assert_eq!(t.link_count(), 6);
+        assert!(t.adjacent(DpId(6), DpId(1)));
+    }
+
+    #[test]
+    fn small_ring_degenerates_to_line() {
+        let t = ring(2, DEFAULT_LINK_LATENCY).unwrap();
+        assert_eq!(t.link_count(), 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(3, 2, DEFAULT_LINK_LATENCY).unwrap();
+        assert_eq!(t.switch_count(), 6);
+        // 3x2 grid: horizontal 2*2=4 + vertical 3*1=3 = 7 links
+        assert_eq!(t.link_count(), 7);
+        assert!(is_connected(&t));
+        // corners have degree 2
+        assert_eq!(t.neighbors(DpId(1)).count(), 2);
+    }
+
+    #[test]
+    fn fat_tree_k4() {
+        let t = fat_tree(4, DEFAULT_LINK_LATENCY).unwrap();
+        // 4 cores + 4 pods * 4 switches = 20
+        assert_eq!(t.switch_count(), 20);
+        // links: per pod: 2 agg * 2 cores + 2*2 agg-edge = 8 -> 32 total
+        assert_eq!(t.link_count(), 32);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn fat_tree_odd_rejected() {
+        let _ = fat_tree(3, DEFAULT_LINK_LATENCY);
+    }
+}

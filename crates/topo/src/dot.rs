@@ -1,0 +1,107 @@
+//! Graphviz (DOT) export.
+//!
+//! Renders a topology in the visual language of the paper's Figure 1:
+//! old-route edges solid and bold, new-route edges dashed, the waypoint
+//! filled black, hosts as boxes.
+
+use std::fmt::Write as _;
+
+use sdn_types::DpId;
+
+use crate::graph::Topology;
+use crate::route::RoutePath;
+
+/// Styling inputs for [`render`].
+#[derive(Debug, Clone, Default)]
+pub struct DotStyle<'a> {
+    /// Old (solid) route, if any.
+    pub old_route: Option<&'a RoutePath>,
+    /// New (dashed) route, if any.
+    pub new_route: Option<&'a RoutePath>,
+    /// Waypoint to fill black, if any.
+    pub waypoint: Option<DpId>,
+}
+
+/// Render the topology as a DOT `graph`.
+pub fn render(topo: &Topology, style: &DotStyle<'_>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph topology {{");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+
+    for sw in topo.switches() {
+        let mut attrs = String::new();
+        if style.waypoint == Some(sw.dpid) {
+            attrs.push_str(" style=filled fillcolor=black fontcolor=white");
+        }
+        let _ = writeln!(out, "  \"{}\" [label=\"{}\"{}];", sw.dpid, sw.name, attrs);
+    }
+    for h in topo.hosts() {
+        let _ = writeln!(out, "  \"{}\" [shape=box];", h.id);
+        let _ = writeln!(out, "  \"{}\" -- \"{}\" [style=dotted];", h.id, h.attached_to);
+    }
+
+    let on_route = |r: Option<&RoutePath>, a: DpId, b: DpId| -> bool {
+        r.is_some_and(|r| {
+            r.edges()
+                .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+        })
+    };
+
+    for l in topo.links() {
+        let old = on_route(style.old_route, l.a, l.b);
+        let new = on_route(style.new_route, l.a, l.b);
+        let attr = match (old, new) {
+            (true, true) => " [style=bold color=\"black:black\"]",
+            (true, false) => " [style=bold]",
+            (false, true) => " [style=dashed]",
+            (false, false) => " [color=gray]",
+        };
+        let _ = writeln!(out, "  \"{}\" -- \"{}\"{};", l.a, l.b, attr);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::figure1;
+
+    #[test]
+    fn figure1_renders_with_styles() {
+        let f = figure1();
+        let dot = render(
+            &f.topo,
+            &DotStyle {
+                old_route: Some(&f.old_route),
+                new_route: Some(&f.new_route),
+                waypoint: Some(f.waypoint),
+            },
+        );
+        assert!(dot.starts_with("graph topology {"));
+        assert!(dot.contains("\"s3\" [label=\"s3\" style=filled"));
+        assert!(dot.contains("style=bold"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("\"h1\" [shape=box]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn unstyled_render_is_gray() {
+        let f = figure1();
+        let dot = render(&f.topo, &DotStyle::default());
+        assert!(dot.contains("color=gray"));
+        assert!(!dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn edge_count_matches_topology() {
+        let f = figure1();
+        let dot = render(&f.topo, &DotStyle::default());
+        let edge_lines = dot
+            .lines()
+            .filter(|l| l.contains("--") && !l.contains("dotted"))
+            .count();
+        assert_eq!(edge_lines, f.topo.link_count());
+    }
+}

@@ -1,0 +1,37 @@
+//! # sdn-topo
+//!
+//! Network topology model for the transient-updates workspace.
+//!
+//! A [`graph::Topology`] is an undirected multigraph of
+//! switches (identified by [`sdn_types::DpId`]) connected by links with
+//! per-direction port numbers and propagation latency, plus end hosts
+//! attached to switches. Routing policies are expressed as
+//! [`route::RoutePath`]s — simple switch sequences — which is
+//! exactly the representation the demo paper's REST interface uses
+//! (`"oldpath":[<dp-num>,...]`).
+//!
+//! The crate also provides:
+//!
+//! * [`builders`] — canonical topologies, including the paper's
+//!   **Figure 1** (12 switches, hosts `h1`/`h2`, waypoint `s3`) plus
+//!   line/ring/grid/fat-tree shapes for scaling experiments;
+//! * [`gen`] — workload generators producing old/new route pairs
+//!   (reversals, random jumps, waypointed variants) for the
+//!   round-scaling and violation experiments;
+//! * [`algo`] — BFS/Dijkstra path computation and reachability;
+//! * [`dot`] — Graphviz export that renders old routes solid and new
+//!   routes dashed, mirroring the paper's figure style.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod builders;
+pub mod dot;
+pub mod gen;
+pub mod graph;
+pub mod route;
+
+pub use builders::Figure1;
+pub use graph::{Host, Link, Switch, Topology, TopologyError};
+pub use route::{RouteError, RoutePath};

@@ -1,0 +1,282 @@
+//! Routing policies as switch paths.
+//!
+//! The demo's REST interface describes a policy as an ordered list of
+//! datapath numbers "in the way they are passed by the network packets
+//! along the route" (§2). [`RoutePath`] is that list, with validation:
+//! a route must be *simple* (no repeated switch) and non-trivial, and
+//! can be checked against a [`Topology`] for physical realizability.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use sdn_types::DpId;
+
+use crate::graph::Topology;
+
+/// Errors raised by route construction / validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Fewer than two switches.
+    TooShort,
+    /// A switch appears twice in the route.
+    RepeatedSwitch(DpId),
+    /// The route uses a switch the topology does not contain.
+    UnknownSwitch(DpId),
+    /// Two consecutive route switches are not adjacent in the topology.
+    MissingLink(DpId, DpId),
+    /// The given waypoint is not on the route.
+    WaypointNotOnRoute(DpId),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::TooShort => write!(f, "route needs at least two switches"),
+            RouteError::RepeatedSwitch(dp) => write!(f, "switch {dp} repeated in route"),
+            RouteError::UnknownSwitch(dp) => write!(f, "route uses unknown switch {dp}"),
+            RouteError::MissingLink(a, b) => {
+                write!(f, "route hops {a} -> {b} but no such link exists")
+            }
+            RouteError::WaypointNotOnRoute(dp) => {
+                write!(f, "waypoint {dp} is not on the route")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// A simple (loop-free) path of switches, e.g. `⟨s1, s2, s3, s12⟩`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RoutePath {
+    hops: Vec<DpId>,
+}
+
+impl RoutePath {
+    /// Build a route, validating simplicity and minimum length.
+    pub fn new(hops: Vec<DpId>) -> Result<Self, RouteError> {
+        if hops.len() < 2 {
+            return Err(RouteError::TooShort);
+        }
+        let mut seen = HashSet::with_capacity(hops.len());
+        for &h in &hops {
+            if !seen.insert(h) {
+                return Err(RouteError::RepeatedSwitch(h));
+            }
+        }
+        Ok(RoutePath { hops })
+    }
+
+    /// Build a route from raw datapath numbers (REST convenience).
+    pub fn from_raw(ids: &[u64]) -> Result<Self, RouteError> {
+        RoutePath::new(ids.iter().map(|&i| DpId(i)).collect())
+    }
+
+    /// First switch (ingress; attached to the source host).
+    pub fn src(&self) -> DpId {
+        self.hops[0]
+    }
+
+    /// Last switch (egress; attached to the destination host).
+    pub fn dst(&self) -> DpId {
+        *self.hops.last().expect("non-empty by construction")
+    }
+
+    /// All switches in order.
+    pub fn hops(&self) -> &[DpId] {
+        &self.hops
+    }
+
+    /// Number of switches on the route.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Routes are never empty; kept for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the route contains the switch.
+    pub fn contains(&self, dp: DpId) -> bool {
+        self.hops.contains(&dp)
+    }
+
+    /// Position of a switch on the route.
+    pub fn position(&self, dp: DpId) -> Option<usize> {
+        self.hops.iter().position(|&h| h == dp)
+    }
+
+    /// The switch after `dp` on this route (its "rule" under this
+    /// policy), or `None` if `dp` is the egress or not on the route.
+    pub fn next_hop(&self, dp: DpId) -> Option<DpId> {
+        let i = self.position(dp)?;
+        self.hops.get(i + 1).copied()
+    }
+
+    /// The switch before `dp` on this route.
+    pub fn prev_hop(&self, dp: DpId) -> Option<DpId> {
+        let i = self.position(dp)?;
+        if i == 0 {
+            None
+        } else {
+            Some(self.hops[i - 1])
+        }
+    }
+
+    /// Directed edges `(from, to)` along the route.
+    pub fn edges(&self) -> impl Iterator<Item = (DpId, DpId)> + '_ {
+        self.hops.windows(2).map(|w| (w[0], w[1]))
+    }
+
+    /// Validate the route against a topology: all switches exist and
+    /// consecutive hops are physically linked.
+    pub fn validate_on(&self, topo: &Topology) -> Result<(), RouteError> {
+        for &h in &self.hops {
+            if !topo.has_switch(h) {
+                return Err(RouteError::UnknownSwitch(h));
+            }
+        }
+        for (a, b) in self.edges() {
+            if !topo.adjacent(a, b) {
+                return Err(RouteError::MissingLink(a, b));
+            }
+        }
+        Ok(())
+    }
+
+    /// Check a waypoint lies on this route.
+    pub fn check_waypoint(&self, wp: DpId) -> Result<(), RouteError> {
+        if self.contains(wp) {
+            Ok(())
+        } else {
+            Err(RouteError::WaypointNotOnRoute(wp))
+        }
+    }
+
+    /// The reversed route (used by workload generators).
+    pub fn reversed(&self) -> RoutePath {
+        let mut hops = self.hops.clone();
+        hops.reverse();
+        RoutePath { hops }
+    }
+
+    /// Raw datapath numbers (REST serialization).
+    pub fn raw(&self) -> Vec<u64> {
+        self.hops.iter().map(|d| d.raw()).collect()
+    }
+}
+
+impl fmt::Debug for RoutePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, h) in self.hops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{h}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+impl fmt::Display for RoutePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_types::SimDuration;
+
+    fn path(ids: &[u64]) -> RoutePath {
+        RoutePath::from_raw(ids).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let p = path(&[2, 1, 3]);
+        assert_eq!(p.src(), DpId(2));
+        assert_eq!(p.dst(), DpId(3));
+        assert_eq!(p.len(), 3);
+        assert!(p.contains(DpId(1)));
+        assert!(!p.contains(DpId(9)));
+        assert_eq!(p.position(DpId(1)), Some(1));
+        assert_eq!(p.raw(), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn next_and_prev_hop() {
+        let p = path(&[1, 2, 3, 4]);
+        assert_eq!(p.next_hop(DpId(1)), Some(DpId(2)));
+        assert_eq!(p.next_hop(DpId(4)), None);
+        assert_eq!(p.next_hop(DpId(7)), None);
+        assert_eq!(p.prev_hop(DpId(1)), None);
+        assert_eq!(p.prev_hop(DpId(3)), Some(DpId(2)));
+    }
+
+    #[test]
+    fn edges_enumerated_in_order() {
+        let p = path(&[1, 2, 3]);
+        let e: Vec<_> = p.edges().collect();
+        assert_eq!(e, vec![(DpId(1), DpId(2)), (DpId(2), DpId(3))]);
+    }
+
+    #[test]
+    fn rejects_too_short() {
+        assert_eq!(RoutePath::from_raw(&[]), Err(RouteError::TooShort));
+        assert_eq!(RoutePath::from_raw(&[1]), Err(RouteError::TooShort));
+    }
+
+    #[test]
+    fn rejects_repeats() {
+        assert_eq!(
+            RoutePath::from_raw(&[1, 2, 1]),
+            Err(RouteError::RepeatedSwitch(DpId(1)))
+        );
+    }
+
+    #[test]
+    fn waypoint_check() {
+        let p = path(&[1, 3, 5]);
+        assert!(p.check_waypoint(DpId(3)).is_ok());
+        assert_eq!(
+            p.check_waypoint(DpId(4)),
+            Err(RouteError::WaypointNotOnRoute(DpId(4)))
+        );
+    }
+
+    #[test]
+    fn reversed_roundtrip() {
+        let p = path(&[1, 2, 3]);
+        assert_eq!(p.reversed().raw(), vec![3, 2, 1]);
+        assert_eq!(p.reversed().reversed(), p);
+    }
+
+    #[test]
+    fn validate_against_topology() {
+        let mut t = Topology::new();
+        t.add_switches(3).unwrap();
+        t.add_link(DpId(1), DpId(2), SimDuration::from_millis(1))
+            .unwrap();
+        t.add_link(DpId(2), DpId(3), SimDuration::from_millis(1))
+            .unwrap();
+        assert!(path(&[1, 2, 3]).validate_on(&t).is_ok());
+        assert_eq!(
+            path(&[1, 3]).validate_on(&t),
+            Err(RouteError::MissingLink(DpId(1), DpId(3)))
+        );
+        assert_eq!(
+            path(&[1, 4]).validate_on(&t),
+            Err(RouteError::UnknownSwitch(DpId(4)))
+        );
+    }
+
+    #[test]
+    fn display_uses_angle_brackets() {
+        let p = path(&[2, 1, 3]);
+        assert_eq!(p.to_string(), "⟨s2, s1, s3⟩");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for workload generators and topology builders:
+//! every generated pair must be a valid, endpoint-consistent instance,
+//! and materialization must physically support both routes.
+
+use proptest::prelude::*;
+
+use sdn_topo::algo::{is_connected, route_latency};
+use sdn_topo::builders;
+use sdn_topo::gen;
+use sdn_types::{DetRng, SimDuration};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reversal_pairs_share_endpoints(n in 3u64..64) {
+        let p = gen::reversal(n);
+        prop_assert_eq!(p.old.src(), p.new.src());
+        prop_assert_eq!(p.old.dst(), p.new.dst());
+        prop_assert_eq!(p.old.len(), p.new.len());
+    }
+
+    #[test]
+    fn permutation_pairs_are_valid(n in 3u64..48, seed in 0u64..10_000) {
+        let mut rng = DetRng::new(seed);
+        let p = gen::random_permutation(n, &mut rng);
+        prop_assert_eq!(p.old.src(), p.new.src());
+        prop_assert_eq!(p.old.dst(), p.new.dst());
+        // new route visits exactly the old switches (permutation)
+        let mut old_ids = p.old.raw();
+        let mut new_ids = p.new.raw();
+        old_ids.sort_unstable();
+        new_ids.sort_unstable();
+        prop_assert_eq!(old_ids, new_ids);
+    }
+
+    #[test]
+    fn waypointed_pairs_keep_waypoint_interior(
+        n in 5u64..40, crossing: bool, seed in 0u64..10_000
+    ) {
+        let mut rng = DetRng::new(seed);
+        let p = gen::waypointed(n, crossing, &mut rng);
+        let w = p.waypoint.expect("waypointed always sets one");
+        prop_assert!(p.old.contains(w));
+        prop_assert!(p.new.contains(w));
+        prop_assert_ne!(w, p.old.src());
+        prop_assert_ne!(w, p.old.dst());
+    }
+
+    #[test]
+    fn materialized_topologies_support_both_routes(
+        n in 5u64..32, crossing: bool, seed in 0u64..10_000
+    ) {
+        let mut rng = DetRng::new(seed);
+        let p = gen::waypointed(n, crossing, &mut rng);
+        let t = gen::materialize(&p);
+        p.old.validate_on(&t).expect("old route realizable");
+        p.new.validate_on(&t).expect("new route realizable");
+        prop_assert!(is_connected(&t));
+        prop_assert!(route_latency(&t, &p.old).is_some());
+        prop_assert!(route_latency(&t, &p.new).is_some());
+    }
+
+    #[test]
+    fn subsequence_is_increasing(n in 3u64..48, keep in 0.0f64..1.0, seed in 0u64..10_000) {
+        let mut rng = DetRng::new(seed);
+        let p = gen::random_subsequence(n, keep, &mut rng);
+        let raw = p.new.raw();
+        prop_assert!(raw.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn line_and_ring_shapes(n in 2u64..64) {
+        let lat = SimDuration::from_millis(1);
+        let line = builders::line(n, lat).unwrap();
+        prop_assert_eq!(line.switch_count(), n as usize);
+        prop_assert_eq!(line.link_count(), (n - 1) as usize);
+        prop_assert!(is_connected(&line));
+        if n >= 3 {
+            let ring = builders::ring(n, lat).unwrap();
+            prop_assert_eq!(ring.link_count(), n as usize);
+        }
+    }
+
+    #[test]
+    fn grids_are_connected(w in 1u64..8, h in 1u64..8) {
+        let t = builders::grid(w, h, SimDuration::from_millis(1)).unwrap();
+        prop_assert_eq!(t.switch_count(), (w * h) as usize);
+        prop_assert!(is_connected(&t));
+    }
+}
+
+#[test]
+fn fat_trees_are_connected_and_sized() {
+    for k in [2u64, 4, 6, 8] {
+        let t = builders::fat_tree(k, SimDuration::from_millis(1)).unwrap();
+        let half = k / 2;
+        assert_eq!(t.switch_count() as u64, half * half + k * k);
+        assert!(is_connected(&t), "k={k}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Why scheduling matters: the same update, dispatched naively in one
+//! shot, drops and misroutes packets while the FlowMods race each
+//! other; dispatched in WayUp rounds it stays clean.
+//!
+//! ```sh
+//! cargo run --example asynchrony_matters
+//! ```
+
+use sdn_channel::config::ChannelConfig;
+use sdn_sim::scenario::{run_scenario, AlgoChoice, Scenario};
+use sdn_topo::gen::UpdatePair;
+use sdn_types::SimDuration;
+
+fn fig1_pair() -> UpdatePair {
+    let f = sdn_topo::builders::figure1();
+    UpdatePair {
+        old: f.old_route,
+        new: f.new_route,
+        waypoint: Some(f.waypoint),
+    }
+}
+
+fn main() {
+    println!("The asynchronous control channel reorders FlowMod effects across");
+    println!("switches. Watch the same policy change with and without rounds:\n");
+
+    for algo in [AlgoChoice::OneShot, AlgoChoice::WayUp, AlgoChoice::TwoPhase] {
+        let mut bypass = 0u64;
+        let mut blackholes = 0u64;
+        let mut loops = 0u64;
+        let mut total = 0u64;
+        for seed in 0..6u64 {
+            let mut sc = Scenario::new(format!("{algo}"), fig1_pair(), algo)
+                .with_channel(ChannelConfig::jittery(SimDuration::from_millis(10)))
+                .with_seed(1000 + seed);
+            sc.inject_interval = SimDuration::from_micros(100);
+            sc.inject_count = 2000;
+            sc.verify = false;
+            let out = run_scenario(&sc).expect("scenario runs");
+            let v = out.sim.violations;
+            total += v.total;
+            bypass += v.waypoint_bypasses;
+            blackholes += v.blackholes;
+            loops += v.loops;
+        }
+        println!(
+            "{:>10}: {total} probes -> {bypass} bypassed the firewall, \
+             {blackholes} blackholed, {loops} looped",
+            algo.name()
+        );
+    }
+
+    println!("\nThe one-shot row is the motivation for the paper; the scheduled");
+    println!("rows are its contribution.");
+}

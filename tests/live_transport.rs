@@ -1,0 +1,126 @@
+//! The round executor over real threads: true concurrency, genuine
+//! races on the reply channel, scaled wall-clock delays.
+
+use std::time::{Duration, Instant};
+
+use sdn_channel::config::ChannelConfig;
+use sdn_channel::live::LoopbackTransport;
+use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
+use sdn_ctrl::executor::{ExecConfig, ExecState, RoundExecutor, XidAlloc};
+use sdn_openflow::messages::Envelope;
+use sdn_switch::SoftSwitch;
+use sdn_topo::builders::figure1;
+use sdn_types::{SimDuration, SimTime, Xid};
+use update_core::algorithms::{UpdateScheduler, WayUp};
+use update_core::model::UpdateInstance;
+
+fn drive_to_completion(
+    transport: &LoopbackTransport,
+    executor: &mut RoundExecutor,
+    xids: &mut XidAlloc,
+    deadline: Duration,
+) {
+    let start = Instant::now();
+    let now = || SimTime(start.elapsed().as_nanos() as u64);
+    for (dp, env) in executor.start(now(), xids) {
+        assert!(transport.send(dp, &env));
+    }
+    while !matches!(executor.state(), ExecState::Done | ExecState::Failed) {
+        assert!(
+            start.elapsed() < deadline,
+            "live execution did not converge within {deadline:?}"
+        );
+        if let Some(reply) = transport.recv_timeout(Duration::from_millis(20)) {
+            for (dp, env) in executor.on_message(now(), reply.dpid, &reply.env, xids) {
+                assert!(transport.send(dp, &env));
+            }
+        }
+        for (dp, env) in executor.on_tick(now(), xids) {
+            assert!(transport.send(dp, &env));
+        }
+    }
+}
+
+fn boot_figure1() -> (Vec<SoftSwitch>, UpdateInstance, FlowSpec) {
+    let f = figure1();
+    let inst = UpdateInstance::new(
+        f.old_route.clone(),
+        f.new_route.clone(),
+        Some(f.waypoint),
+    )
+    .unwrap();
+    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let mut switches: Vec<SoftSwitch> = f
+        .topo
+        .switches()
+        .map(|s| SoftSwitch::new(s.dpid, 16))
+        .collect();
+    for (dp, msg) in initial_flowmods(&f.topo, &f.old_route, &spec).unwrap() {
+        switches
+            .iter_mut()
+            .find(|s| s.dpid() == dp)
+            .unwrap()
+            .handle_control(Envelope::new(Xid(0), msg));
+    }
+    (switches, inst, spec)
+}
+
+#[test]
+fn wayup_rounds_complete_over_threads() {
+    let (switches, inst, spec) = boot_figure1();
+    let f = figure1();
+    let transport = LoopbackTransport::spawn(
+        switches,
+        ChannelConfig::jittery(SimDuration::from_millis(2)),
+        1234,
+        0.01,
+    );
+    let schedule = WayUp::default().schedule(&inst).unwrap();
+    let compiled = compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap();
+    let mut xids = XidAlloc::new();
+    let mut executor = RoundExecutor::new(compiled, ExecConfig::default());
+
+    drive_to_completion(&transport, &mut executor, &mut xids, Duration::from_secs(30));
+    assert_eq!(executor.state(), ExecState::Done);
+
+    // Final flow tables: the new-route switches have rules, and they
+    // route toward their new next hops.
+    let finals = transport.shutdown();
+    for dp in inst.new_route().hops() {
+        let sw = finals.iter().find(|s| s.dpid() == *dp).unwrap();
+        assert!(
+            !sw.table().is_empty(),
+            "{dp} has an empty table after the update"
+        );
+    }
+}
+
+#[test]
+fn lossy_live_channel_retries_until_done() {
+    let (switches, inst, spec) = boot_figure1();
+    let f = figure1();
+    let transport = LoopbackTransport::spawn(
+        switches,
+        ChannelConfig::lossy(0.25),
+        777,
+        0.01,
+    );
+    let schedule = WayUp::default().schedule(&inst).unwrap();
+    let compiled = compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap();
+    let mut xids = XidAlloc::new();
+    // tight timeout so wall-clock retries kick in quickly
+    let mut executor = RoundExecutor::new(
+        compiled,
+        ExecConfig {
+            barrier_timeout: SimDuration::from_millis(40),
+            max_attempts: 50,
+        },
+    );
+    drive_to_completion(&transport, &mut executor, &mut xids, Duration::from_secs(60));
+    assert_eq!(executor.state(), ExecState::Done);
+    assert!(
+        executor.timings().iter().any(|t| t.attempts > 1),
+        "25% loss should force at least one retransmission"
+    );
+    transport.shutdown();
+}

@@ -1,0 +1,109 @@
+//! The demo's REST workflow, end to end: JSON request → validated
+//! instance → schedule → FlowMods → simulated execution.
+
+use sdn_channel::config::ChannelConfig;
+use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
+use sdn_ctrl::rest::request::UpdateRequest;
+use sdn_sim::scenario::AlgoChoice;
+use sdn_sim::world::{World, WorldConfig};
+use sdn_topo::builders::figure1;
+use sdn_types::{DpId, HostId, SimDuration, SimTime};
+use update_core::checker::verify_schedule;
+use update_core::properties::PropertySet;
+
+const PAPER_REQUEST: &str = r#"{
+    "oldpath": [1, 2, 3, 4, 5, 6, 12],
+    "newpath": [1, 7, 3, 8, 9, 10, 11, 12],
+    "wp": 3,
+    "interval": 100
+}"#;
+
+#[test]
+fn paper_request_parses_to_figure1_instance() {
+    let req = UpdateRequest::parse(PAPER_REQUEST).unwrap();
+    let inst = req.to_instance().unwrap();
+    let f = figure1();
+    assert_eq!(inst.old(), &f.old_route);
+    assert_eq!(inst.new_route(), &f.new_route);
+    assert_eq!(inst.waypoint(), Some(f.waypoint));
+}
+
+#[test]
+fn rest_to_execution_is_transiently_secure() {
+    let req = UpdateRequest::parse(PAPER_REQUEST).unwrap();
+    let inst = req.to_instance().unwrap();
+    let algo = req
+        .algorithm
+        .as_deref()
+        .and_then(AlgoChoice::from_name)
+        .unwrap_or(AlgoChoice::WayUp);
+    let schedule = algo.scheduler().schedule(&inst).unwrap();
+    assert!(verify_schedule(&inst, &schedule, PropertySet::transiently_secure()).is_ok());
+
+    let f = figure1();
+    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let mut world = World::new(
+        f.topo.clone(),
+        WorldConfig {
+            channel: ChannelConfig::jittery(SimDuration::from_millis(4)),
+            seed: 17,
+            ..WorldConfig::default()
+        },
+    );
+    world.set_waypoint(inst.waypoint());
+    world.install_initial(&initial_flowmods(&f.topo, inst.old(), &spec).unwrap());
+    world.enqueue_update(compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap());
+    // probe at the REST interval
+    let interval = SimDuration::from_millis(req.interval_ms.unwrap());
+    world.plan_injection(HostId(1), HostId(2), interval, 30, SimTime::ZERO);
+    let report = world.run(SimTime::ZERO + SimDuration::from_secs(3600));
+    assert!(report.updates[0].completed.is_some());
+    assert!(!report.violations.any(), "{}", report.violations);
+}
+
+#[test]
+fn algorithm_field_selects_scheduler() {
+    for (name, expect_rounds_at_most) in [("two-phase", 3), ("one-shot", 2)] {
+        let doc = format!(
+            r#"{{"oldpath":[1,2,3,4,5,6,12],"newpath":[1,7,3,8,9,10,11,12],"wp":3,"algorithm":"{name}"}}"#
+        );
+        let req = UpdateRequest::parse(&doc).unwrap();
+        let inst = req.to_instance().unwrap();
+        let algo = AlgoChoice::from_name(req.algorithm.as_deref().unwrap()).unwrap();
+        let schedule = algo.scheduler().schedule(&inst).unwrap();
+        assert!(
+            schedule.round_count() <= expect_rounds_at_most,
+            "{name}: {} rounds",
+            schedule.round_count()
+        );
+    }
+}
+
+#[test]
+fn rejected_requests_do_not_reach_the_controller() {
+    // route through a switch that repeats
+    let bad = r#"{"oldpath":[1,2,1],"newpath":[1,2]}"#;
+    let req = UpdateRequest::parse(bad).unwrap();
+    assert!(req.to_instance().is_err());
+
+    // waypoint off the new route
+    let bad2 = r#"{"oldpath":[1,2,3],"newpath":[1,4,3],"wp":2}"#;
+    let req2 = UpdateRequest::parse(bad2).unwrap();
+    assert!(req2.to_instance().is_err());
+}
+
+#[test]
+fn compiled_flowmods_address_every_scheduled_switch() {
+    let req = UpdateRequest::parse(PAPER_REQUEST).unwrap();
+    let inst = req.to_instance().unwrap();
+    let schedule = AlgoChoice::WayUp.scheduler().schedule(&inst).unwrap();
+    let f = figure1();
+    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let compiled = compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap();
+    assert_eq!(compiled.round_count(), schedule.round_count());
+    // round 1 of WayUp on Figure 1 installs the five new-only switches
+    let r1: Vec<DpId> = compiled.rounds[0].msgs.iter().map(|(dp, _)| *dp).collect();
+    for dp in [7u64, 8, 9, 10, 11] {
+        assert!(r1.contains(&DpId(dp)), "s{dp} missing from round 1");
+    }
+}
