@@ -10,12 +10,8 @@ use update_core::properties::PropertySet;
 
 fn bench_checker(c: &mut Criterion) {
     let f = figure1();
-    let fig_inst = UpdateInstance::new(
-        f.old_route.clone(),
-        f.new_route.clone(),
-        Some(f.waypoint),
-    )
-    .unwrap();
+    let fig_inst =
+        UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint)).unwrap();
     let fig_sched = WayUp::default().schedule(&fig_inst).unwrap();
 
     c.bench_function("checker/verify_fig1_wayup", |b| {

@@ -11,9 +11,11 @@ fn bench_schedulers(c: &mut Criterion) {
     for n in [8u64, 32, 64] {
         let rev = sdn_topo::gen::reversal(n);
         let rev_inst = UpdateInstance::new(rev.old, rev.new, None).unwrap();
-        group.bench_with_input(BenchmarkId::new("peacock_reversal", n), &rev_inst, |b, i| {
-            b.iter(|| Peacock::default().schedule(black_box(i)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("peacock_reversal", n),
+            &rev_inst,
+            |b, i| b.iter(|| Peacock::default().schedule(black_box(i)).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("slf_greedy_reversal", n),
             &rev_inst,

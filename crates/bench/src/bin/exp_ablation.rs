@@ -27,7 +27,10 @@ fn main() {
     );
     for (name, ord) in [
         ("off-path-first", CandidateOrdering::OffPathFirst),
-        ("alternating-backward", CandidateOrdering::AlternatingBackward),
+        (
+            "alternating-backward",
+            CandidateOrdering::AlternatingBackward,
+        ),
         ("new-route-reverse", CandidateOrdering::NewRouteReverse),
         ("old-route-position", CandidateOrdering::OldRoutePosition),
     ] {

@@ -111,8 +111,7 @@ fn main() {
                 times.push(d.as_millis_f64());
                 completed += 1;
             }
-            max_attempts = max_attempts
-                .max(u.rounds.iter().map(|r| r.attempts).max().unwrap_or(1));
+            max_attempts = max_attempts.max(u.rounds.iter().map(|r| r.attempts).max().unwrap_or(1));
         }
         t3.row(vec![
             format!("{:.0}", drop * 100.0),

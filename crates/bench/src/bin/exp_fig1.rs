@@ -27,12 +27,8 @@ fn main() {
     println!("  new (dashed): {}", f.new_route);
     println!();
 
-    let inst = UpdateInstance::new(
-        f.old_route.clone(),
-        f.new_route.clone(),
-        Some(f.waypoint),
-    )
-    .expect("figure 1 is a valid instance");
+    let inst = UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint))
+        .expect("figure 1 is a valid instance");
     println!(
         "  crossing switches: {:?} (crossing-free ⇒ rule-replacement WayUp applies)",
         inst.crossing_nodes()
@@ -47,12 +43,21 @@ fn main() {
     assert!(report.is_ok(), "Figure 1 schedule must verify");
 
     // --- execute over the asynchronous channel with live traffic -----
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
     let mut results = Table::new(
         "Figure-1 execution under exponential control-channel jitter (mean 5 ms)",
         &[
-            "algorithm", "rounds", "update ms", "probes", "delivered", "bypassed wp",
-            "blackholed", "looped",
+            "algorithm",
+            "rounds",
+            "update ms",
+            "probes",
+            "delivered",
+            "bypassed wp",
+            "blackholed",
+            "looped",
         ],
     );
 
@@ -72,7 +77,13 @@ fn main() {
         let rounds = compiled.round_count();
         world.enqueue_update(compiled);
         // the demo's REST "interval": probes every 100 µs during the update
-        world.plan_injection(f.h1, f.h2, SimDuration::from_micros(100), 2000, SimTime::ZERO);
+        world.plan_injection(
+            f.h1,
+            f.h2,
+            SimDuration::from_micros(100),
+            2000,
+            SimTime::ZERO,
+        );
         let sim = world.run(SimTime::ZERO + SimDuration::from_secs(600));
         let update = &sim.updates[0];
         let v = sim.violations;
@@ -93,7 +104,13 @@ fn main() {
         if name == "wayup" {
             let mut per_round = Table::new(
                 "WayUp per-round barrier timings",
-                &["round", "dispatched ms", "completed ms", "duration ms", "attempts"],
+                &[
+                    "round",
+                    "dispatched ms",
+                    "completed ms",
+                    "duration ms",
+                    "attempts",
+                ],
             );
             for t in &update.rounds {
                 let done = t.completed.expect("completed");

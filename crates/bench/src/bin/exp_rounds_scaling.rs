@@ -76,8 +76,7 @@ fn main() {
             let pair = sdn_topo::gen::random_permutation(n, &mut rng);
             let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
             backs.push(Contracted::of(&inst).backward_count() as f64);
-            slf_rounds
-                .push(SlfGreedy::default().schedule(&inst).unwrap().round_count() as f64);
+            slf_rounds.push(SlfGreedy::default().schedule(&inst).unwrap().round_count() as f64);
             pea_rounds.push(Peacock::default().schedule(&inst).unwrap().round_count() as f64);
         }
         t2.row(vec![

@@ -115,7 +115,11 @@ fn main() {
         &hdr2,
     );
     let mut r2 = Table::new("rounds vs path length (same runs)", &hdr2);
-    for algo in [AlgoChoice::Peacock, AlgoChoice::SlfGreedy, AlgoChoice::TwoPhase] {
+    for algo in [
+        AlgoChoice::Peacock,
+        AlgoChoice::SlfGreedy,
+        AlgoChoice::TwoPhase,
+    ] {
         let mut time_cells = Vec::new();
         let mut round_cells = Vec::new();
         for &n in &sizes {

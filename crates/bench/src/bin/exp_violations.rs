@@ -32,7 +32,12 @@ fn main() {
     let mut t = Table::new(
         "aggregated probe verdicts",
         &[
-            "algorithm", "jitter ms", "probes", "bypassed wp", "blackholed", "looped",
+            "algorithm",
+            "jitter ms",
+            "probes",
+            "bypassed wp",
+            "blackholed",
+            "looped",
             "violation rate",
         ],
     );

@@ -192,13 +192,13 @@ mod tests {
 
     #[test]
     fn presets() {
-        assert_eq!(ChannelConfig::ideal(SimDuration::from_millis(1)).drop_prob, 0.0);
+        assert_eq!(
+            ChannelConfig::ideal(SimDuration::from_millis(1)).drop_prob,
+            0.0
+        );
         assert!(ChannelConfig::lossy(0.2).drop_prob > 0.1);
         assert!(!ChannelConfig::lan().without_fifo().fifo);
-        assert_eq!(
-            ChannelConfig::lan().with_corruption(0.1).corrupt_prob,
-            0.1
-        );
+        assert_eq!(ChannelConfig::lan().with_corruption(0.1).corrupt_prob, 0.1);
         assert_eq!(
             ChannelConfig::lan().with_duplication(0.2).duplicate_prob,
             0.2

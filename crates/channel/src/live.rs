@@ -178,8 +178,7 @@ mod tests {
     use sdn_types::{SimDuration, Xid};
 
     fn transport(n: u64) -> LoopbackTransport {
-        let switches: Vec<SoftSwitch> =
-            (1..=n).map(|i| SoftSwitch::new(DpId(i), 4)).collect();
+        let switches: Vec<SoftSwitch> = (1..=n).map(|i| SoftSwitch::new(DpId(i), 4)).collect();
         LoopbackTransport::spawn(
             switches,
             ChannelConfig::ideal(SimDuration::from_micros(100)),
@@ -191,7 +190,10 @@ mod tests {
     #[test]
     fn echo_roundtrip_over_threads() {
         let t = transport(2);
-        assert!(t.send(DpId(1), &Envelope::new(Xid(1), OfMessage::EchoRequest(vec![7]))));
+        assert!(t.send(
+            DpId(1),
+            &Envelope::new(Xid(1), OfMessage::EchoRequest(vec![7]))
+        ));
         let got = t.recv_timeout(Duration::from_secs(5)).expect("reply");
         assert_eq!(got.dpid, DpId(1));
         assert_eq!(got.env.msg, OfMessage::EchoReply(vec![7]));
@@ -202,7 +204,10 @@ mod tests {
     fn barriers_from_multiple_switches() {
         let t = transport(3);
         for i in 1..=3u64 {
-            assert!(t.send(DpId(i), &Envelope::new(Xid(i as u32), OfMessage::BarrierRequest)));
+            assert!(t.send(
+                DpId(i),
+                &Envelope::new(Xid(i as u32), OfMessage::BarrierRequest)
+            ));
         }
         let mut got = Vec::new();
         for _ in 0..3 {

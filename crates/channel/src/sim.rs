@@ -165,7 +165,12 @@ mod tests {
     fn ideal_channel_constant_delay() {
         let mut ch = SimChannel::new(ChannelConfig::ideal(SimDuration::from_millis(2)));
         let mut rng = DetRng::new(1);
-        let out = ch.send(ConnId::to_switch(DpId(1)), SimTime::ZERO, frame(8), &mut rng);
+        let out = ch.send(
+            ConnId::to_switch(DpId(1)),
+            SimTime::ZERO,
+            frame(8),
+            &mut rng,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].0, SimTime::ZERO + SimDuration::from_millis(2));
         assert_eq!(out[0].1, frame(8));
@@ -268,7 +273,12 @@ mod tests {
         let cfg = ChannelConfig::ideal(SimDuration::from_millis(1)).with_duplication(1.0);
         let mut ch = SimChannel::new(cfg);
         let mut rng = DetRng::new(6);
-        let out = ch.send(ConnId::to_switch(DpId(1)), SimTime::ZERO, frame(4), &mut rng);
+        let out = ch.send(
+            ConnId::to_switch(DpId(1)),
+            SimTime::ZERO,
+            frame(4),
+            &mut rng,
+        );
         assert_eq!(out.len(), 2);
         assert_eq!(ch.stats().duplicated, 1);
         assert_eq!(ch.stats().delivered, 2);
@@ -280,7 +290,12 @@ mod tests {
         let mut ch = SimChannel::new(cfg);
         let mut rng = DetRng::new(8);
         let orig = frame(16);
-        let out = ch.send(ConnId::to_switch(DpId(1)), SimTime::ZERO, orig.clone(), &mut rng);
+        let out = ch.send(
+            ConnId::to_switch(DpId(1)),
+            SimTime::ZERO,
+            orig.clone(),
+            &mut rng,
+        );
         assert_eq!(out.len(), 1);
         let diff: u32 = orig
             .iter()

@@ -96,10 +96,8 @@ pub(crate) fn order_candidates(
             let back: Vec<DpId> = if alternating {
                 // interleave: every other backward switch first, the
                 // skipped ones afterwards — the halving pattern
-                let (evens, odds): (Vec<_>, Vec<_>) = back
-                    .iter()
-                    .enumerate()
-                    .partition(|(i, _)| i % 2 == 0);
+                let (evens, odds): (Vec<_>, Vec<_>) =
+                    back.iter().enumerate().partition(|(i, _)| i % 2 == 0);
                 evens
                     .into_iter()
                     .chain(odds)
@@ -221,7 +219,11 @@ mod tests {
             true,
         )
         .unwrap();
-        assert!(rounds.len() >= 3, "SLF should cost rounds, got {}", rounds.len());
+        assert!(
+            rounds.len() >= 3,
+            "SLF should cost rounds, got {}",
+            rounds.len()
+        );
     }
 
     #[test]

@@ -177,7 +177,14 @@ mod tests {
     #[test]
     fn assemble_skips_empty_rounds() {
         let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4]);
-        let s = assemble("t", &i, vec![Round::default(), Round::new(vec![RuleOp::Activate(DpId(1))])]);
+        let s = assemble(
+            "t",
+            &i,
+            vec![
+                Round::default(),
+                Round::new(vec![RuleOp::Activate(DpId(1))]),
+            ],
+        );
         assert_eq!(s.round_count(), 3); // new-only, activation, cleanup
         assert!(s.validate(&i).is_ok());
     }
@@ -188,6 +195,9 @@ mod tests {
             remaining: vec![DpId(2), DpId(3)],
         };
         assert!(e.to_string().contains("s2"));
-        assert_eq!(SchedulerError::NoWaypoint.to_string(), "instance has no waypoint");
+        assert_eq!(
+            SchedulerError::NoWaypoint.to_string(),
+            "instance has no waypoint"
+        );
     }
 }

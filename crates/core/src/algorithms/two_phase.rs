@@ -39,9 +39,7 @@ impl UpdateScheduler for TwoPhaseCommit {
 
         let cleanup: Vec<RuleOp> = inst
             .nodes()
-            .filter(|&(v, role)| {
-                v != dst && matches!(role, NodeRole::Shared | NodeRole::OldOnly)
-            })
+            .filter(|&(v, role)| v != dst && matches!(role, NodeRole::Shared | NodeRole::OldOnly))
             .map(|(v, _)| RuleOp::RemoveOld(v))
             .collect();
 

@@ -97,8 +97,7 @@ impl WayUp {
             if phase.is_empty() {
                 continue;
             }
-            let phase_rounds =
-                greedy_rounds(inst, &mut base, phase, &props, self.ordering, true)?;
+            let phase_rounds = greedy_rounds(inst, &mut base, phase, &props, self.ordering, true)?;
             rounds.extend(phase_rounds);
         }
         Ok(assemble(self.name(), inst, rounds))
@@ -213,7 +212,10 @@ mod tests {
             let s = WayUp::default().schedule(&i).unwrap();
             let r = verify_schedule(&i, &s, PropertySet::transiently_secure());
             assert!(r.is_ok(), "trial {trial} ({i}): {r}");
-            assert!(!s.fallback, "trial {trial}: unexpected fallback for {i}\n{s}");
+            assert!(
+                !s.fallback,
+                "trial {trial}: unexpected fallback for {i}\n{s}"
+            );
         }
     }
 

@@ -53,9 +53,21 @@ fn possible_nexts(
     let pend_remove = ops.contains(&RuleOp::RemoveOld(v));
     let pend_tagged = ops.contains(&RuleOp::InstallTagged(v));
 
-    let activated_states: &[bool] = if pend_activate { &[false, true] } else { &[false] };
-    let removed_states: &[bool] = if pend_remove { &[false, true] } else { &[false] };
-    let tagged_states: &[bool] = if pend_tagged { &[false, true] } else { &[false] };
+    let activated_states: &[bool] = if pend_activate {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    let removed_states: &[bool] = if pend_remove {
+        &[false, true]
+    } else {
+        &[false]
+    };
+    let tagged_states: &[bool] = if pend_tagged {
+        &[false, true]
+    } else {
+        &[false]
+    };
 
     for &act in activated_states {
         for &rem in removed_states {
@@ -227,9 +239,7 @@ pub fn round_safe_conservative(
     ops: &[RuleOp],
     props: &PropertySet,
 ) -> bool {
-    if props.contains(Property::StrongLoopFreedom)
-        && !check_round_slf(inst, base, ops).is_ok()
-    {
+    if props.contains(Property::StrongLoopFreedom) && !check_round_slf(inst, base, ops).is_ok() {
         return false;
     }
 

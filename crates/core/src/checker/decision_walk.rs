@@ -131,8 +131,8 @@ impl Explorer<'_, '_> {
         if v == self.inst.src() && flipped {
             return self.inst.new_next(v);
         }
-        let activated = self.base.is_activated(v)
-            || self.decided(decisions, RuleOp::Activate(v)) == Some(true);
+        let activated =
+            self.base.is_activated(v) || self.decided(decisions, RuleOp::Activate(v)) == Some(true);
         let removed = self.base.is_old_removed(v)
             || self.decided(decisions, RuleOp::RemoveOld(v)) == Some(true);
         let tagged = self.base.is_tagged_installed(v)
@@ -151,8 +151,8 @@ impl Explorer<'_, '_> {
 
     fn start_walk(&mut self, decisions: &mut Vec<Option<bool>>) {
         let src = self.inst.src();
-        let flipped = self.base.is_flipped()
-            || self.decided(decisions, RuleOp::FlipIngress) == Some(true);
+        let flipped =
+            self.base.is_flipped() || self.decided(decisions, RuleOp::FlipIngress) == Some(true);
         let tag = if flipped {
             VersionTag::NEW
         } else {
@@ -254,7 +254,9 @@ impl Explorer<'_, '_> {
                     property: Property::WaypointEnforcement,
                     kind: ViolationKind::BadWalk(Walk {
                         visited: snapshot,
-                        outcome: WalkOutcome::Delivered { via_waypoint: false },
+                        outcome: WalkOutcome::Delivered {
+                            via_waypoint: false,
+                        },
                     }),
                 })
             }

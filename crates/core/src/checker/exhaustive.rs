@@ -97,7 +97,9 @@ mod tests {
     fn rejects_oversized_rounds() {
         let i = inst(&[1, 2, 3], &[1, 4, 3]);
         let base = ConfigState::initial(&i);
-        let ops: Vec<RuleOp> = (0..21).map(|k| RuleOp::RemoveOld(DpId(k % 3 + 1))).collect();
+        let ops: Vec<RuleOp> = (0..21)
+            .map(|k| RuleOp::RemoveOld(DpId(k % 3 + 1)))
+            .collect();
         let _ = check_round_exhaustive(&i, &base, &ops, &PropertySet::all());
     }
 }

@@ -325,7 +325,13 @@ mod tests {
             OracleMode::Conservative
         ));
         let bad = [RuleOp::Activate(DpId(4)), RuleOp::Activate(DpId(1))];
-        assert!(!round_admissible(&i, &base, &bad, &props, OracleMode::Exact));
+        assert!(!round_admissible(
+            &i,
+            &base,
+            &bad,
+            &props,
+            OracleMode::Exact
+        ));
         assert!(!round_admissible(
             &i,
             &base,

@@ -68,7 +68,15 @@ impl fmt::Display for Walk {
         }
         match &self.outcome {
             WalkOutcome::Delivered { via_waypoint } => {
-                write!(f, " [delivered{}]", if *via_waypoint { ", via wp" } else { ", BYPASSED WP" })
+                write!(
+                    f,
+                    " [delivered{}]",
+                    if *via_waypoint {
+                        ", via wp"
+                    } else {
+                        ", BYPASSED WP"
+                    }
+                )
             }
             WalkOutcome::Looped { at } => write!(f, " [LOOP at {at}]"),
             WalkOutcome::Blackhole { at } => write!(f, " [BLACKHOLE at {at}]"),
@@ -450,7 +458,7 @@ mod tests {
         let new_edges = c.class_edges(VersionTag::NEW);
         assert!(old_edges.contains(&(DpId(3), DpId(4)))); // old rule 3->4
         assert!(new_edges.contains(&(DpId(3), DpId(4)))); // new rule 3->4 too
-        // 2's rule identical in both classes (no tagged install)
+                                                          // 2's rule identical in both classes (no tagged install)
         assert!(old_edges.contains(&(DpId(2), DpId(3))));
         assert!(new_edges.contains(&(DpId(2), DpId(3))));
     }

@@ -60,11 +60,8 @@ impl Contracted {
     /// Contract an instance.
     pub fn of(inst: &UpdateInstance) -> Self {
         let old_nodes: Vec<DpId> = inst.old().hops().to_vec();
-        let pos: BTreeMap<DpId, usize> = old_nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
+        let pos: BTreeMap<DpId, usize> =
+            old_nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
         let mut new_positions = Vec::new();
         let mut jumps = Vec::new();

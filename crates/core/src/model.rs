@@ -184,7 +184,10 @@ impl UpdateInstance {
     /// the old route and the successor lies strictly ahead). Forward
     /// rules can never close a loop with old rules alone.
     pub fn is_forward(&self, v: DpId) -> bool {
-        match (self.old.position(v), self.new_next(v).and_then(|t| self.old.position(t))) {
+        match (
+            self.old.position(v),
+            self.new_next(v).and_then(|t| self.old.position(t)),
+        ) {
             (Some(pv), Some(pt)) => pt > pv,
             _ => false,
         }
@@ -257,7 +260,10 @@ mod tests {
     #[test]
     fn nodes_with_role_sorted() {
         let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
-        assert_eq!(i.nodes_with_role(NodeRole::Shared), vec![DpId(1), DpId(3), DpId(4)]);
+        assert_eq!(
+            i.nodes_with_role(NodeRole::Shared),
+            vec![DpId(1), DpId(3), DpId(4)]
+        );
         assert_eq!(i.nodes_with_role(NodeRole::OldOnly), vec![DpId(2)]);
         assert_eq!(i.nodes_with_role(NodeRole::NewOnly), vec![DpId(5)]);
     }

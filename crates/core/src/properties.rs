@@ -212,9 +212,9 @@ pub fn check_config(cfg: &ConfigState<'_>, props: &PropertySet) -> Vec<PropertyV
                     kind: ViolationKind::BadWalk(walk.clone()),
                 });
             }
-            WalkOutcome::Delivered { via_waypoint: false }
-                if props.contains(Property::WaypointEnforcement) =>
-            {
+            WalkOutcome::Delivered {
+                via_waypoint: false,
+            } if props.contains(Property::WaypointEnforcement) => {
                 out.push(PropertyViolation {
                     property: Property::WaypointEnforcement,
                     kind: ViolationKind::BadWalk(walk.clone()),

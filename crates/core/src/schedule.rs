@@ -223,16 +223,12 @@ impl Schedule {
                 match op {
                     RuleOp::Activate(v) => match inst.role(*v) {
                         None => return Err(ScheduleError::UnknownSwitch(*v)),
-                        Some(NodeRole::OldOnly) => {
-                            return Err(ScheduleError::ActivateOldOnly(*v))
-                        }
+                        Some(NodeRole::OldOnly) => return Err(ScheduleError::ActivateOldOnly(*v)),
                         _ => {}
                     },
                     RuleOp::RemoveOld(v) => match inst.role(*v) {
                         None => return Err(ScheduleError::UnknownSwitch(*v)),
-                        Some(NodeRole::NewOnly) => {
-                            return Err(ScheduleError::RemoveOldNewOnly(*v))
-                        }
+                        Some(NodeRole::NewOnly) => return Err(ScheduleError::RemoveOldNewOnly(*v)),
                         _ => {}
                     },
                     RuleOp::InstallTagged(v) => {
@@ -386,10 +382,7 @@ mod tests {
 
     #[test]
     fn display_lists_rounds() {
-        let s = Schedule::replacement(
-            "peacock",
-            vec![Round::new(vec![RuleOp::Activate(DpId(5))])],
-        );
+        let s = Schedule::replacement("peacock", vec![Round::new(vec![RuleOp::Activate(DpId(5))])]);
         let out = s.to_string();
         assert!(out.contains("peacock"));
         assert!(out.contains("round 1: activate(s5)"));

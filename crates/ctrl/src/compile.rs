@@ -270,12 +270,8 @@ mod tests {
 
     fn setup() -> (sdn_topo::Figure1, UpdateInstance, FlowSpec) {
         let f = figure1();
-        let inst = UpdateInstance::new(
-            f.old_route.clone(),
-            f.new_route.clone(),
-            Some(f.waypoint),
-        )
-        .unwrap();
+        let inst = UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint))
+            .unwrap();
         let spec = FlowSpec {
             src: f.h1,
             dst: f.h2,
@@ -291,7 +287,9 @@ mod tests {
         // egress switch outputs toward the host port
         let (dp, msg) = mods.last().unwrap();
         assert_eq!(*dp, DpId(12));
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         let host_port = f.topo.host(f.h2).unwrap().port;
         assert_eq!(fm.actions, vec![Action::Output(host_port)]);
     }
@@ -309,10 +307,11 @@ mod tests {
     #[test]
     fn activate_points_to_new_next_hop() {
         let (f, inst, spec) = setup();
-        let (dp, msg) =
-            compile_op(&f.topo, &inst, &spec, &RuleOp::Activate(DpId(1))).unwrap();
+        let (dp, msg) = compile_op(&f.topo, &inst, &spec, &RuleOp::Activate(DpId(1))).unwrap();
         assert_eq!(dp, DpId(1));
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert_eq!(fm.command, FlowModCommand::Add);
         assert_eq!(fm.priority, BASE_PRIORITY);
         // s1's new next hop is s7
@@ -324,7 +323,9 @@ mod tests {
     fn remove_old_is_a_delete() {
         let (f, inst, spec) = setup();
         let (_, msg) = compile_op(&f.topo, &inst, &spec, &RuleOp::RemoveOld(DpId(2))).unwrap();
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert_eq!(fm.command, FlowModCommand::Delete);
         assert_eq!(fm.priority, BASE_PRIORITY);
     }
@@ -336,14 +337,18 @@ mod tests {
         let c = compile_schedule(&f.topo, &inst, &s, &spec).unwrap();
         // round 1: tagged installs at new-route interior switches
         for (_, msg) in &c.rounds[0].msgs {
-            let OfMessage::FlowMod(fm) = msg else { panic!() };
+            let OfMessage::FlowMod(fm) = msg else {
+                panic!()
+            };
             assert_eq!(fm.priority, TAGGED_PRIORITY);
             assert_eq!(fm.matcher.tag, Some(VersionTag::NEW));
         }
         // round 2: the flip at the source
         let (dp, msg) = &c.rounds[1].msgs[0];
         assert_eq!(*dp, DpId(1));
-        let OfMessage::FlowMod(fm) = msg else { panic!() };
+        let OfMessage::FlowMod(fm) = msg else {
+            panic!()
+        };
         assert_eq!(fm.priority, FLIP_PRIORITY);
         assert_eq!(fm.actions[0], Action::SetTag(VersionTag::NEW));
     }

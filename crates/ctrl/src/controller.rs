@@ -16,13 +16,11 @@ use crate::compile::CompiledUpdate;
 use crate::executor::{ExecConfig, ExecState, RoundExecutor, RoundTiming, XidAlloc};
 
 /// Controller configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ControllerConfig {
     /// Round executor tuning.
     pub exec: ExecConfig,
 }
-
 
 /// A command the controller wants carried out by the transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -144,12 +142,9 @@ impl Controller {
         if done {
             let (ex, started) = self.active.take().expect("checked");
             let completed = match ex.state() {
-                ExecState::Done => Some(
-                    ex.timings()
-                        .last()
-                        .and_then(|t| t.completed)
-                        .unwrap_or(now),
-                ),
+                ExecState::Done => {
+                    Some(ex.timings().last().and_then(|t| t.completed).unwrap_or(now))
+                }
                 _ => None,
             };
             self.reports.push(UpdateReport {

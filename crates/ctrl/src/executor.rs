@@ -271,7 +271,10 @@ impl RoundExecutor {
             return Vec::new();
         }
         if now.saturating_since(self.round_started)
-            < self.config.barrier_timeout.saturating_mul(self.attempts as u64)
+            < self
+                .config
+                .barrier_timeout
+                .saturating_mul(self.attempts as u64)
         {
             return Vec::new();
         }

@@ -355,7 +355,9 @@ impl Parser<'_> {
     fn hex4(&mut self) -> Result<u16, JsonError> {
         let mut v: u16 = 0;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = match b {
                 b'0'..=b'9' => b - b'0',
                 b'a'..=b'f' => b - b'a' + 10,

@@ -123,8 +123,7 @@ impl UpdateRequest {
     pub fn to_instance(&self) -> Result<UpdateInstance, RequestError> {
         let old = RoutePath::from_raw(&self.old_path).map_err(RequestError::BadRoute)?;
         let new = RoutePath::from_raw(&self.new_path).map_err(RequestError::BadRoute)?;
-        UpdateInstance::new(old, new, self.waypoint.map(DpId))
-            .map_err(RequestError::BadInstance)
+        UpdateInstance::new(old, new, self.waypoint.map(DpId)).map_err(RequestError::BadInstance)
     }
 
     /// Serialize back to the REST format.
@@ -190,10 +189,8 @@ mod tests {
 
     #[test]
     fn algorithm_selector() {
-        let r = UpdateRequest::parse(
-            r#"{"oldpath":[1,2],"newpath":[1,2],"algorithm":"peacock"}"#,
-        )
-        .unwrap();
+        let r = UpdateRequest::parse(r#"{"oldpath":[1,2],"newpath":[1,2],"algorithm":"peacock"}"#)
+            .unwrap();
         assert_eq!(r.algorithm.as_deref(), Some("peacock"));
     }
 

@@ -20,12 +20,8 @@ fn arb_json(depth: u32) -> BoxedStrategy<Json> {
         prop_oneof![
             leaf,
             proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Json::Arr),
-            proptest::collection::btree_map(
-                "[a-z]{1,8}",
-                arb_json(depth - 1),
-                0..4
-            )
-            .prop_map(Json::Obj),
+            proptest::collection::btree_map("[a-z]{1,8}", arb_json(depth - 1), 0..4)
+                .prop_map(Json::Obj),
         ]
         .boxed()
     }

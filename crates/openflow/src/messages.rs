@@ -151,7 +151,12 @@ mod tests {
         let kinds: Vec<_> = msgs.iter().map(|m| m.kind()).collect();
         assert_eq!(
             kinds,
-            vec!["hello", "barrier-request", "barrier-reply", "features-request"]
+            vec![
+                "hello",
+                "barrier-request",
+                "barrier-reply",
+                "features-request"
+            ]
         );
     }
 

@@ -67,27 +67,36 @@ fn arb_message() -> impl Strategy<Value = OfMessage> {
                     cookie,
                 })
             }),
-        (any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..128)).prop_map(
-            |(b, p, data)| OfMessage::PacketIn {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(b, p, data)| OfMessage::PacketIn {
                 buffer_id: b,
                 in_port: PortNo(p),
                 data
-            }
-        ),
-        (any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..128)).prop_map(
-            |(b, p, data)| OfMessage::PacketOut {
+            }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(b, p, data)| OfMessage::PacketOut {
                 buffer_id: b,
                 out_port: PortNo(p),
                 data
-            }
-        ),
-        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(
-            |(t, c, data)| OfMessage::ErrorMsg {
+            }),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(t, c, data)| OfMessage::ErrorMsg {
                 etype: t,
                 code: c,
                 data
-            }
-        ),
+            }),
         (any::<u32>(), any::<u64>()).prop_map(|(e, p)| OfMessage::FlowStatsReply {
             entries: e,
             packets: p

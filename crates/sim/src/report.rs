@@ -143,7 +143,9 @@ mod tests {
     fn tally_counts_each_kind() {
         let packets = vec![
             rec(PacketOutcome::Delivered { via_waypoint: true }),
-            rec(PacketOutcome::Delivered { via_waypoint: false }),
+            rec(PacketOutcome::Delivered {
+                via_waypoint: false,
+            }),
             rec(PacketOutcome::Dropped { at: DpId(3) }),
             rec(PacketOutcome::Looped),
         ];

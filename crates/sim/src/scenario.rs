@@ -183,12 +183,8 @@ impl std::error::Error for ScenarioError {}
 /// Run one scenario end to end.
 pub fn run_scenario(sc: &Scenario) -> Result<ScenarioOutcome, ScenarioError> {
     let topo = materialize(&sc.pair);
-    let inst = UpdateInstance::new(
-        sc.pair.old.clone(),
-        sc.pair.new.clone(),
-        sc.pair.waypoint,
-    )
-    .map_err(ScenarioError::BadInstance)?;
+    let inst = UpdateInstance::new(sc.pair.old.clone(), sc.pair.new.clone(), sc.pair.waypoint)
+        .map_err(ScenarioError::BadInstance)?;
     let spec = FlowSpec {
         src: HostId(1),
         dst: HostId(2),
@@ -307,7 +303,11 @@ mod tests {
         let pair = gen::waypointed(8, true, &mut rng);
         let sc = Scenario::new("2pc", pair, AlgoChoice::TwoPhase).with_seed(2);
         let out = run_scenario(&sc).unwrap();
-        assert!(out.check.as_ref().unwrap().is_ok(), "{}", out.check.unwrap());
+        assert!(
+            out.check.as_ref().unwrap().is_ok(),
+            "{}",
+            out.check.unwrap()
+        );
         assert!(!out.sim.violations.any());
     }
 }

@@ -147,10 +147,7 @@ impl World {
         let mut xid = sdn_types::Xid(0xffff_0000);
         for (dp, msg) in mods {
             if let Some(sw) = self.switches.get_mut(dp) {
-                let _ = sw.handle_control(sdn_openflow::messages::Envelope::new(
-                    xid,
-                    msg.clone(),
-                ));
+                let _ = sw.handle_control(sdn_openflow::messages::Envelope::new(xid, msg.clone()));
                 xid = xid.next();
             }
         }
@@ -239,12 +236,10 @@ impl World {
                 let replies = sw.handle_control(env);
                 for reply in replies {
                     let frame = encode(&reply);
-                    for (at, bytes) in self.channel.send(
-                        ConnId::to_controller(dp),
-                        self.now,
-                        frame,
-                        &mut self.rng,
-                    ) {
+                    for (at, bytes) in
+                        self.channel
+                            .send(ConnId::to_controller(dp), self.now, frame, &mut self.rng)
+                    {
                         self.queue
                             .push(at, Event::FrameAtController { dp, frame: bytes });
                     }
@@ -443,12 +438,8 @@ mod tests {
 
     fn fig1_world(cfg: WorldConfig) -> (World, UpdateInstance, FlowSpec) {
         let f = figure1();
-        let inst = UpdateInstance::new(
-            f.old_route.clone(),
-            f.new_route.clone(),
-            Some(f.waypoint),
-        )
-        .unwrap();
+        let inst = UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint))
+            .unwrap();
         let spec = FlowSpec {
             src: f.h1,
             dst: f.h2,
@@ -611,7 +602,10 @@ mod tests {
         let c = compile_schedule(&f.topo, &inst, &sched, &spec).unwrap();
         w.enqueue_update(c);
         let r = w.run(horizon());
-        assert!(r.decode_errors > 0, "corruption should surface as decode errors");
+        assert!(
+            r.decode_errors > 0,
+            "corruption should surface as decode errors"
+        );
         assert!(r.updates[0].completed.is_some());
     }
 

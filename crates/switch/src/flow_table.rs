@@ -176,7 +176,11 @@ impl fmt::Display for FlowTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "flow table ({} entries):", self.len())?;
         let mut sorted: Vec<&FlowEntry> = self.entries.iter().collect();
-        sorted.sort_by(|a, b| b.priority.cmp(&a.priority).then(a.installed_seq.cmp(&b.installed_seq)));
+        sorted.sort_by(|a, b| {
+            b.priority
+                .cmp(&a.priority)
+                .then(a.installed_seq.cmp(&b.installed_seq))
+        });
         for e in sorted {
             writeln!(
                 f,
@@ -216,7 +220,10 @@ mod tests {
     fn add_and_lookup() {
         let mut t = FlowTable::new();
         let m = FlowMatch::dst_host(HostId(2));
-        assert_eq!(t.apply(&fm(FlowModCommand::Add, 10, m, 3)), TableChange::Added);
+        assert_eq!(
+            t.apply(&fm(FlowModCommand::Add, 10, m, 3)),
+            TableChange::Added
+        );
         assert_eq!(t.len(), 1);
         assert_eq!(
             t.lookup(&pkt(2, None)),
@@ -246,7 +253,12 @@ mod tests {
     fn higher_priority_wins() {
         let mut t = FlowTable::new();
         t.apply(&fm(FlowModCommand::Add, 1, FlowMatch::ANY, 9));
-        t.apply(&fm(FlowModCommand::Add, 100, FlowMatch::dst_host(HostId(2)), 3));
+        t.apply(&fm(
+            FlowModCommand::Add,
+            100,
+            FlowMatch::dst_host(HostId(2)),
+            3,
+        ));
         assert_eq!(
             t.lookup(&pkt(2, None)),
             Some(vec![Action::Output(PortNo(3))])
@@ -262,7 +274,12 @@ mod tests {
     fn tagged_rule_outranks_untagged_at_higher_priority() {
         // the two-phase-commit table layout
         let mut t = FlowTable::new();
-        t.apply(&fm(FlowModCommand::Add, 10, FlowMatch::dst_host(HostId(2)), 1));
+        t.apply(&fm(
+            FlowModCommand::Add,
+            10,
+            FlowMatch::dst_host(HostId(2)),
+            1,
+        ));
         t.apply(&fm(
             FlowModCommand::Add,
             20,
@@ -325,7 +342,12 @@ mod tests {
     fn specificity_breaks_priority_ties() {
         let mut t = FlowTable::new();
         t.apply(&fm(FlowModCommand::Add, 10, FlowMatch::ANY, 1));
-        t.apply(&fm(FlowModCommand::Add, 10, FlowMatch::dst_host(HostId(2)), 2));
+        t.apply(&fm(
+            FlowModCommand::Add,
+            10,
+            FlowMatch::dst_host(HostId(2)),
+            2,
+        ));
         assert_eq!(
             t.lookup(&pkt(2, None)),
             Some(vec![Action::Output(PortNo(2))])
@@ -344,7 +366,12 @@ mod tests {
     fn display_sorted_by_priority() {
         let mut t = FlowTable::new();
         t.apply(&fm(FlowModCommand::Add, 1, FlowMatch::ANY, 1));
-        t.apply(&fm(FlowModCommand::Add, 9, FlowMatch::dst_host(HostId(2)), 2));
+        t.apply(&fm(
+            FlowModCommand::Add,
+            9,
+            FlowMatch::dst_host(HostId(2)),
+            2,
+        ));
         let s = t.to_string();
         let p9 = s.find("prio     9").unwrap();
         let p1 = s.find("prio     1").unwrap();

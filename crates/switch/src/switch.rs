@@ -259,7 +259,10 @@ mod tests {
     fn barrier_echoes_xid() {
         let mut s = sw();
         let replies = s.handle_control(Envelope::new(Xid(42), OfMessage::BarrierRequest));
-        assert_eq!(replies, vec![Envelope::new(Xid(42), OfMessage::BarrierReply)]);
+        assert_eq!(
+            replies,
+            vec![Envelope::new(Xid(42), OfMessage::BarrierReply)]
+        );
         assert_eq!(s.stats().barriers, 1);
     }
 
@@ -361,7 +364,11 @@ mod tests {
         ));
         assert!(matches!(
             replies[0].msg,
-            OfMessage::ErrorMsg { etype: 2, code: 4, .. }
+            OfMessage::ErrorMsg {
+                etype: 2,
+                code: 4,
+                ..
+            }
         ));
     }
 

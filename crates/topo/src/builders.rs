@@ -59,7 +59,8 @@ pub fn figure1() -> Figure1 {
         // Routes share s1->... edges only at the waypoint junctions;
         // add_link rejects duplicates, so skip already-present pairs.
         if !topo.adjacent(a, b) {
-            topo.add_link(a, b, DEFAULT_LINK_LATENCY).expect("valid link");
+            topo.add_link(a, b, DEFAULT_LINK_LATENCY)
+                .expect("valid link");
         }
     }
 
@@ -122,7 +123,10 @@ pub fn grid(w: u64, h: u64, latency: SimDuration) -> Result<Topology, TopologyEr
 /// Dpid layout: cores first (1..=(k/2)^2), then per pod `p`
 /// (0-based): aggregation `(k/2)^2 + p*k + 1 ..`, then edge switches.
 pub fn fat_tree(k: u64, latency: SimDuration) -> Result<Topology, TopologyError> {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat-tree arity must be even and >= 2"
+    );
     let half = k / 2;
     let cores = half * half;
     let mut t = Topology::new();

@@ -37,7 +37,11 @@ pub fn render(topo: &Topology, style: &DotStyle<'_>) -> String {
     }
     for h in topo.hosts() {
         let _ = writeln!(out, "  \"{}\" [shape=box];", h.id);
-        let _ = writeln!(out, "  \"{}\" -- \"{}\" [style=dotted];", h.id, h.attached_to);
+        let _ = writeln!(
+            out,
+            "  \"{}\" -- \"{}\" [style=dotted];",
+            h.id, h.attached_to
+        );
     }
 
     let on_route = |r: Option<&RoutePath>, a: DpId, b: DpId| -> bool {

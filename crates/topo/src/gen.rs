@@ -215,7 +215,11 @@ pub fn materialize(pair: &UpdatePair) -> Topology {
 /// [`materialize`] with an explicit link latency.
 pub fn materialize_with(pair: &UpdatePair, latency: SimDuration) -> Topology {
     assert_eq!(pair.old.src(), pair.new.src(), "routes must share source");
-    assert_eq!(pair.old.dst(), pair.new.dst(), "routes must share destination");
+    assert_eq!(
+        pair.old.dst(),
+        pair.new.dst(),
+        "routes must share destination"
+    );
     let mut t = Topology::new();
     for &dp in pair.old.hops().iter().chain(pair.new.hops()) {
         if !t.has_switch(dp) {
@@ -301,11 +305,7 @@ mod tests {
                     continue;
                 }
                 if let (Some(po), Some(pn)) = (p.old.position(dp), p.new.position(dp)) {
-                    assert_eq!(
-                        po < wo,
-                        pn < wn,
-                        "switch {dp} crossed the waypoint (n={n})"
-                    );
+                    assert_eq!(po < wo, pn < wn, "switch {dp} crossed the waypoint (n={n})");
                 }
             }
         }
@@ -390,9 +390,6 @@ mod tests {
         let mut a = DetRng::new(7);
         let mut b = DetRng::new(7);
         assert_eq!(random_permutation(9, &mut a), random_permutation(9, &mut b));
-        assert_eq!(
-            waypointed(9, true, &mut a),
-            waypointed(9, true, &mut b)
-        );
+        assert_eq!(waypointed(9, true, &mut a), waypointed(9, true, &mut b));
     }
 }

@@ -276,7 +276,10 @@ impl Topology {
 
     /// The link between two switches, if any.
     pub fn link_between(&self, a: DpId, b: DpId) -> Option<&Link> {
-        self.adj.get(&a).and_then(|m| m.get(&b)).map(|&i| &self.links[i])
+        self.adj
+            .get(&a)
+            .and_then(|m| m.get(&b))
+            .map(|&i| &self.links[i])
     }
 
     /// The egress port on `from` toward adjacent switch `to`.

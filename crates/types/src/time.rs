@@ -224,10 +224,7 @@ mod tests {
     fn saturation_on_overflow() {
         let t = SimTime(u64::MAX) + SimDuration::from_secs(10);
         assert_eq!(t.0, u64::MAX);
-        assert_eq!(
-            SimDuration(u64::MAX).saturating_mul(3).as_nanos(),
-            u64::MAX
-        );
+        assert_eq!(SimDuration(u64::MAX).saturating_mul(3).as_nanos(), u64::MAX);
     }
 
     #[test]

@@ -16,13 +16,12 @@ use transient_updates::prelude::*;
 
 fn main() {
     let f = figure1();
-    let inst = UpdateInstance::new(
-        f.old_route.clone(),
-        f.new_route.clone(),
-        Some(f.waypoint),
-    )
-    .expect("figure 1 instance");
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let inst = UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint))
+        .expect("figure 1 instance");
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
 
     let schedule = WayUp::default().schedule(&inst).expect("schedulable");
     println!("{schedule}");
@@ -38,7 +37,13 @@ fn main() {
     world.set_waypoint(Some(f.waypoint));
     world.install_initial(&initial_flowmods(&f.topo, &f.old_route, &spec).unwrap());
     world.enqueue_update(compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap());
-    world.plan_injection(f.h1, f.h2, SimDuration::from_micros(100), 3000, SimTime::ZERO);
+    world.plan_injection(
+        f.h1,
+        f.h2,
+        SimDuration::from_micros(100),
+        3000,
+        SimTime::ZERO,
+    );
 
     let report = world.run(SimTime::ZERO + SimDuration::from_secs(600));
     let update = &report.updates[0];
@@ -57,7 +62,10 @@ fn main() {
         );
     }
     println!("\nprobe verdicts: {}", report.violations);
-    assert!(!report.violations.any(), "WayUp must keep all probes secure");
+    assert!(
+        !report.violations.any(),
+        "WayUp must keep all probes secure"
+    );
 
     // Show a couple of interesting probe paths: one before, one after.
     let first = &report.packets[0];

@@ -20,13 +20,12 @@ use transient_updates::prelude::*;
 
 fn main() {
     let f = figure1();
-    let inst = UpdateInstance::new(
-        f.old_route.clone(),
-        f.new_route.clone(),
-        Some(f.waypoint),
-    )
-    .expect("figure 1 instance");
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let inst = UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint))
+        .expect("figure 1 instance");
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
 
     // Boot one thread per switch, preloaded with the old policy.
     let mut switches: Vec<SoftSwitch> = f
@@ -72,8 +71,7 @@ fn main() {
                 reply.env.msg.kind(),
                 reply.dpid
             );
-            for (dp, env) in executor.on_message(virtual_now, reply.dpid, &reply.env, &mut xids)
-            {
+            for (dp, env) in executor.on_message(virtual_now, reply.dpid, &reply.env, &mut xids) {
                 transport.send(dp, &env);
             }
         }

@@ -48,12 +48,18 @@ fn main() {
 
     // -- execute against the Figure-1 topology --------------------------
     let f = figure1();
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
-    let mut world = World::new(f.topo.clone(), WorldConfig {
-        channel: ChannelConfig::lan(),
-        seed: 7,
-        ..WorldConfig::default()
-    });
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
+    let mut world = World::new(
+        f.topo.clone(),
+        WorldConfig {
+            channel: ChannelConfig::lan(),
+            seed: 7,
+            ..WorldConfig::default()
+        },
+    );
     world.set_waypoint(inst.waypoint());
     world.install_initial(&initial_flowmods(&f.topo, inst.old(), &spec).unwrap());
     world.enqueue_update(compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap());

@@ -1,0 +1,772 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal property-testing harness exposing the `proptest`
+//! surface its tests use: the [`proptest!`] macro (both `x in strategy`
+//! and `x: Type` parameter forms, with `#![proptest_config(..)]`),
+//! [`strategy::Strategy`] with `prop_map`/`boxed`, `prop_oneof!`,
+//! [`arbitrary::any`], range and regex-like string strategies, and the
+//! `collection`/`option` modules.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case panics with its inputs via the
+//!   normal assertion message, plus the deterministic case number;
+//! * **regex strategies** support the subset actually used: a single
+//!   char class (or `.`) with a `{m,n}` repetition;
+//! * each test's random stream is derived from the test's module path
+//!   and the case index, so runs are reproducible without a seed file.
+//!   Set `PROPTEST_CASES` to override the default case count.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case scheduling: configuration and the per-case
+    //! random source handed to strategies.
+
+    /// Subset of proptest's run configuration: the number of cases.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run each property this many times.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic random source (xoshiro256++ seeded via SplitMix64
+    /// from the test identity and case index).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Derive the stream for one (test, case) pair.
+        pub fn deterministic(test_id: &str, case: u64) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_id.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut state = h ^ case.rotate_left(32) ^ 0x5eed_5eed_5eed_5eed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value below `n` (panics if `n == 0`).
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with a function.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type
+    /// (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Build from type-erased arms (panics if empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    // Span arithmetic is widened to i128 so signed ranges (e.g.
+    // `-100i8..100`) neither overflow in debug nor wrap in release.
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// `&str` strategies: a regex-like pattern generating matching
+    /// strings (see [`crate::string`] for the supported subset).
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident)+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A B);
+    impl_tuple_strategy!(A B C);
+    impl_tuple_strategy!(A B C D);
+    impl_tuple_strategy!(A B C D E);
+    impl_tuple_strategy!(A B C D E F);
+}
+
+pub mod arbitrary {
+    //! Default strategies per type ([`any`]).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // finite values across a wide magnitude span
+            let mag = rng.unit_f64() * 600.0 - 300.0;
+            let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+            sign * rng.unit_f64() * 10f64.powf(mag / 10.0)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            crate::string::arbitrary_char(rng)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct ArbitraryStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        ArbitraryStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of values from `element`, length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// Generate maps with sizes in `size` (duplicate keys merge, so
+    /// the realized size may fall below the draw, as in proptest).
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let len = self.size.start + rng.below(span as u64) as usize;
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generate `None` about a quarter of the time, `Some` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-like string generation for `&str` strategies.
+    //!
+    //! Supported patterns: one atom — `.` or a character class
+    //! `[...]` (escapes, literal unicode, `a-z` ranges) — followed by
+    //! an optional `{m}` / `{m,n}` repetition. Anything else is
+    //! treated as a literal string.
+
+    use crate::test_runner::TestRng;
+
+    const EXTRA_CHARS: &[char] = &['é', 'ß', '⟨', '⟩', '€', 'λ', '😀', '中'];
+
+    /// A char usable by the `.` atom and `any::<char>()`: printable
+    /// ASCII most of the time, occasionally wider unicode. Never a
+    /// newline (regex `.` excludes it).
+    pub fn arbitrary_char(rng: &mut TestRng) -> char {
+        if rng.below(16) == 0 {
+            EXTRA_CHARS[rng.below(EXTRA_CHARS.len() as u64) as usize]
+        } else {
+            char::from(0x20 + rng.below(0x5f) as u8)
+        }
+    }
+
+    enum Atom {
+        Dot,
+        Class(Vec<char>),
+    }
+
+    struct Parsed {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Option<Parsed> {
+        let mut chars = pattern.chars().peekable();
+        let atom = match chars.next()? {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut pool: Vec<char> = Vec::new();
+                loop {
+                    let c = match chars.next()? {
+                        ']' => break,
+                        '\\' => unescape(chars.next()?),
+                        c => c,
+                    };
+                    // range like a-z: '-' between two chars, and the
+                    // upcoming char is not the closing bracket
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // the '-'
+                        match ahead.peek() {
+                            Some(&']') | None => pool.push(c),
+                            Some(_) => {
+                                chars.next(); // consume '-'
+                                let end = match chars.next()? {
+                                    '\\' => unescape(chars.next()?),
+                                    e => e,
+                                };
+                                for u in (c as u32)..=(end as u32) {
+                                    if let Some(ch) = char::from_u32(u) {
+                                        pool.push(ch);
+                                    }
+                                }
+                            }
+                        }
+                    } else {
+                        pool.push(c);
+                    }
+                }
+                if pool.is_empty() {
+                    return None;
+                }
+                Atom::Class(pool)
+            }
+            _ => return None,
+        };
+        let (min, max) = match chars.next() {
+            None => (1, 1),
+            Some('{') => {
+                let rest: String = chars.collect();
+                let body = rest.strip_suffix('}')?;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+                    None => {
+                        let n = body.trim().parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+            Some(_) => return None,
+        };
+        if min > max {
+            return None;
+        }
+        Some(Parsed { atom, min, max })
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// Generate a string matching `pattern` (or the literal pattern
+    /// itself when it is not in the supported subset).
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let Some(p) = parse(pattern) else {
+            return pattern.to_string();
+        };
+        let len = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| match &p.atom {
+                Atom::Dot => arbitrary_char(rng),
+                Atom::Class(pool) => pool[rng.below(pool.len() as u64) as usize],
+            })
+            .collect()
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    /// The crate itself, so `proptest::collection::...` works after
+    /// `use proptest::prelude::*`.
+    pub use crate::{self as proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert a condition inside a property (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skip the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies yielding one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define deterministic random-case tests; see the crate docs for the
+/// supported parameter forms.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case as u64,
+                );
+                let mut run_one = || {
+                    $crate::__proptest_bind!(__proptest_rng $($params)*);
+                    $body
+                };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || run_one(),
+                ));
+                if let Err(payload) = outcome {
+                    eprintln!(
+                        "proptest shim: property {}::{} failed at case {} of {} \
+                         (stream is keyed by that pair; re-run is deterministic)",
+                        module_path!(),
+                        stringify!($name),
+                        case,
+                        config.cases,
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident) => {};
+    ($rng:ident $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+    ($rng:ident $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+    };
+    ($rng:ident $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::strategy::Strategy::generate(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__proptest_bind!($rng $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_are_in_bounds() {
+        let mut rng = TestRng::deterministic("shim::ranges", 0);
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3u64..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let s = Strategy::generate(&(-100i8..100), &mut rng);
+            assert!((-100..100).contains(&s));
+            let w = Strategy::generate(&(i64::MIN..i64::MAX), &mut rng);
+            assert!(w < i64::MAX);
+            let v = Strategy::generate(&(-5i32..=5), &mut rng);
+            assert!((-5..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_class() {
+        let mut rng = TestRng::deterministic("shim::strings", 0);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            let t = Strategy::generate(&".{0,16}", &mut rng);
+            assert!(t.chars().count() <= 16);
+            assert!(!t.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_collections_compose() {
+        let mut rng = TestRng::deterministic("shim::compose", 1);
+        let strat = prop_oneof![
+            Just(0u32),
+            any::<u8>().prop_map(u32::from),
+            (1u32..5).prop_map(|x| x * 100),
+        ];
+        let v = Strategy::generate(&proptest::collection::vec(strat, 0..10), &mut rng);
+        assert!(v.len() < 10);
+        let m = Strategy::generate(
+            &proptest::collection::btree_map("[a-c]{1,2}", 0u32..5, 0..4),
+            &mut rng,
+        );
+        assert!(m.len() < 4);
+        let o = Strategy::generate(&proptest::option::of(0u64..3), &mut rng);
+        if let Some(x) = o {
+            assert!(x < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_both_forms(a in 0u64..100, b: bool, s in "[xy]{2,3}") {
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -135,7 +135,10 @@ fn crossing_workloads_complete_via_fallback() {
         sc.inject_interval = SimDuration::from_micros(200);
         sc.inject_count = 500;
         let out = run_scenario(&sc).expect("runs");
-        assert!(out.schedule.fallback, "crossing must trigger the 2PC fallback");
+        assert!(
+            out.schedule.fallback,
+            "crossing must trigger the 2PC fallback"
+        );
         assert!(out.check.as_ref().unwrap().is_ok());
         assert!(
             !out.sim.violations.any(),
@@ -154,28 +157,26 @@ fn queued_updates_execute_sequentially() {
     use update_core::model::UpdateInstance;
 
     let f = sdn_topo::builders::figure1();
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
-    let forward = UpdateInstance::new(
-        f.old_route.clone(),
-        f.new_route.clone(),
-        Some(f.waypoint),
-    )
-    .unwrap();
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
+    let forward =
+        UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint)).unwrap();
     // queue two jobs: migrate old -> new (WayUp), then new -> old (2PC,
     // since the reverse direction also crosses nothing but exercise the
     // other machinery)
-    let backward = UpdateInstance::new(
-        f.new_route.clone(),
-        f.old_route.clone(),
-        Some(f.waypoint),
-    )
-    .unwrap();
+    let backward =
+        UpdateInstance::new(f.new_route.clone(), f.old_route.clone(), Some(f.waypoint)).unwrap();
 
-    let mut world = World::new(f.topo.clone(), WorldConfig {
-        channel: ChannelConfig::lan(),
-        seed: 3,
-        ..WorldConfig::default()
-    });
+    let mut world = World::new(
+        f.topo.clone(),
+        WorldConfig {
+            channel: ChannelConfig::lan(),
+            seed: 3,
+            ..WorldConfig::default()
+        },
+    );
     world.set_waypoint(Some(f.waypoint));
     world.install_initial(&initial_flowmods(&f.topo, &f.old_route, &spec).unwrap());
 
@@ -191,7 +192,13 @@ fn queued_updates_execute_sequentially() {
     assert!(report.updates[1].started >= report.updates[0].completed.unwrap());
 
     // after both, the flow is back on the old route
-    world.plan_injection(HostId(1), HostId(2), SimDuration::from_millis(1), 3, world.now());
+    world.plan_injection(
+        HostId(1),
+        HostId(2),
+        SimDuration::from_millis(1),
+        3,
+        world.now(),
+    );
     let r2 = world.run(SimTime::ZERO + SimDuration::from_secs(7200));
     let last = r2.packets.last().unwrap();
     assert_eq!(last.path, f.old_route.hops().to_vec());

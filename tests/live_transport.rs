@@ -43,13 +43,12 @@ fn drive_to_completion(
 
 fn boot_figure1() -> (Vec<SoftSwitch>, UpdateInstance, FlowSpec) {
     let f = figure1();
-    let inst = UpdateInstance::new(
-        f.old_route.clone(),
-        f.new_route.clone(),
-        Some(f.waypoint),
-    )
-    .unwrap();
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let inst =
+        UpdateInstance::new(f.old_route.clone(), f.new_route.clone(), Some(f.waypoint)).unwrap();
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
     let mut switches: Vec<SoftSwitch> = f
         .topo
         .switches()
@@ -80,7 +79,12 @@ fn wayup_rounds_complete_over_threads() {
     let mut xids = XidAlloc::new();
     let mut executor = RoundExecutor::new(compiled, ExecConfig::default());
 
-    drive_to_completion(&transport, &mut executor, &mut xids, Duration::from_secs(30));
+    drive_to_completion(
+        &transport,
+        &mut executor,
+        &mut xids,
+        Duration::from_secs(30),
+    );
     assert_eq!(executor.state(), ExecState::Done);
 
     // Final flow tables: the new-route switches have rules, and they
@@ -99,12 +103,7 @@ fn wayup_rounds_complete_over_threads() {
 fn lossy_live_channel_retries_until_done() {
     let (switches, inst, spec) = boot_figure1();
     let f = figure1();
-    let transport = LoopbackTransport::spawn(
-        switches,
-        ChannelConfig::lossy(0.25),
-        777,
-        0.01,
-    );
+    let transport = LoopbackTransport::spawn(switches, ChannelConfig::lossy(0.25), 777, 0.01);
     let schedule = WayUp::default().schedule(&inst).unwrap();
     let compiled = compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap();
     let mut xids = XidAlloc::new();
@@ -116,7 +115,12 @@ fn lossy_live_channel_retries_until_done() {
             max_attempts: 50,
         },
     );
-    drive_to_completion(&transport, &mut executor, &mut xids, Duration::from_secs(60));
+    drive_to_completion(
+        &transport,
+        &mut executor,
+        &mut xids,
+        Duration::from_secs(60),
+    );
     assert_eq!(executor.state(), ExecState::Done);
     assert!(
         executor.timings().iter().any(|t| t.attempts > 1),

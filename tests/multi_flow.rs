@@ -34,7 +34,8 @@ fn two_flow_world() -> (Topology, UpdateInstance, UpdateInstance, FlowSpec, Flow
         (2, 8),
         (8, 4),
     ] {
-        topo.add_link(DpId(a), DpId(b), DEFAULT_LINK_LATENCY).unwrap();
+        topo.add_link(DpId(a), DpId(b), DEFAULT_LINK_LATENCY)
+            .unwrap();
     }
     let lat = SimDuration::from_micros(100);
     topo.attach_host(HostId(1), DpId(1), lat).unwrap();
@@ -70,9 +71,7 @@ fn two_flows_update_sequentially_without_violations() {
     let (topo, flow_a, flow_b, spec_a, spec_b) = two_flow_world();
 
     let sched_a = WayUp::default().schedule(&flow_a).unwrap();
-    assert!(
-        verify_schedule(&flow_a, &sched_a, PropertySet::transiently_secure()).is_ok()
-    );
+    assert!(verify_schedule(&flow_a, &sched_a, PropertySet::transiently_secure()).is_ok());
     let sched_b = Peacock::default().schedule(&flow_b).unwrap();
     assert!(verify_schedule(&flow_b, &sched_b, PropertySet::loop_free_relaxed()).is_ok());
 
@@ -94,9 +93,21 @@ fn two_flows_update_sequentially_without_violations() {
 
     // concurrent probe traffic on both flows; flow A judged against s3
     world.set_waypoint(Some(DpId(3)));
-    world.plan_injection(HostId(1), HostId(2), SimDuration::from_micros(200), 1500, SimTime::ZERO);
+    world.plan_injection(
+        HostId(1),
+        HostId(2),
+        SimDuration::from_micros(200),
+        1500,
+        SimTime::ZERO,
+    );
     world.set_waypoint(None); // flow B has no waypoint
-    world.plan_injection(HostId(3), HostId(4), SimDuration::from_micros(200), 1500, SimTime::ZERO);
+    world.plan_injection(
+        HostId(3),
+        HostId(4),
+        SimDuration::from_micros(200),
+        1500,
+        SimTime::ZERO,
+    );
 
     let report = world.run(SimTime::ZERO + SimDuration::from_secs(3600));
 
@@ -130,8 +141,20 @@ fn flows_are_isolated_by_destination_match() {
     // update ONLY flow B; flow A's traffic must keep its old route
     let sched_b = Peacock::default().schedule(&flow_b).unwrap();
     world.enqueue_update(compile_schedule(&topo, &flow_b, &sched_b, &spec_b).unwrap());
-    world.plan_injection(HostId(1), HostId(2), SimDuration::from_millis(1), 100, SimTime::ZERO);
-    world.plan_injection(HostId(3), HostId(4), SimDuration::from_millis(1), 100, SimTime::ZERO);
+    world.plan_injection(
+        HostId(1),
+        HostId(2),
+        SimDuration::from_millis(1),
+        100,
+        SimTime::ZERO,
+    );
+    world.plan_injection(
+        HostId(3),
+        HostId(4),
+        SimDuration::from_millis(1),
+        100,
+        SimTime::ZERO,
+    );
     let report = world.run(SimTime::ZERO + SimDuration::from_secs(3600));
 
     assert!(!report.violations.any(), "{}", report.violations);
@@ -153,7 +176,8 @@ fn flows_are_isolated_by_destination_match() {
     // flow B's last probes follow the new route 2-8-4
     let last_b = report
         .packets
-        .iter().rfind(|p| p.path.first() == Some(&DpId(2)))
+        .iter()
+        .rfind(|p| p.path.first() == Some(&DpId(2)))
         .unwrap();
     assert_eq!(last_b.path, vec![DpId(2), DpId(8), DpId(4)]);
 }

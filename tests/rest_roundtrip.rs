@@ -41,7 +41,10 @@ fn rest_to_execution_is_transiently_secure() {
     assert!(verify_schedule(&inst, &schedule, PropertySet::transiently_secure()).is_ok());
 
     let f = figure1();
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
     let mut world = World::new(
         f.topo.clone(),
         WorldConfig {
@@ -98,7 +101,10 @@ fn compiled_flowmods_address_every_scheduled_switch() {
     let inst = req.to_instance().unwrap();
     let schedule = AlgoChoice::WayUp.scheduler().schedule(&inst).unwrap();
     let f = figure1();
-    let spec = FlowSpec { src: f.h1, dst: f.h2 };
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
     let compiled = compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap();
     assert_eq!(compiled.round_count(), schedule.round_count());
     // round 1 of WayUp on Figure 1 installs the five new-only switches

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use sdn_types::DetRng;
-use update_core::algorithms::{
-    Peacock, SlfGreedy, TwoPhaseCommit, UpdateScheduler, WayUp,
-};
+use update_core::algorithms::{Peacock, SlfGreedy, TwoPhaseCommit, UpdateScheduler, WayUp};
 use update_core::checker::verify_schedule;
 use update_core::contract::Contracted;
 use update_core::metrics::ScheduleStats;
