@@ -1,4 +1,9 @@
 //! Micro-benchmark: schedule computation cost vs instance size.
+//!
+//! The scaling sizes (256/512/1024) exercise the incremental
+//! `AdmissionProbe` session — the stateless oracle made these sizes
+//! intractable (~26 ms at reversal/64 before PR 2). Set
+//! `SCHED_BENCH_MAX_N` to cap the sizes (CI smoke uses 256).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -6,9 +11,17 @@ use sdn_types::DetRng;
 use update_core::algorithms::{Peacock, SlfGreedy, TwoPhaseCommit, UpdateScheduler, WayUp};
 use update_core::model::UpdateInstance;
 
+fn max_n() -> u64 {
+    std::env::var("SCHED_BENCH_MAX_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
 fn bench_schedulers(c: &mut Criterion) {
+    let cap = max_n();
     let mut group = c.benchmark_group("schedulers");
-    for n in [8u64, 32, 64] {
+    for n in [8u64, 32, 64].into_iter().filter(|&n| n <= cap) {
         let rev = sdn_topo::gen::reversal(n);
         let rev_inst = UpdateInstance::new(rev.old, rev.new, None).unwrap();
         group.bench_with_input(
@@ -33,6 +46,35 @@ fn bench_schedulers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("wayup_waypointed", n), &wp_inst, |b, i| {
             b.iter(|| WayUp::default().schedule(black_box(i)).unwrap())
         });
+    }
+
+    // Scaling tier: reversal (the SLF worst case) and random
+    // permutations at datacenter-ish path lengths.
+    for n in [256u64, 512, 1024].into_iter().filter(|&n| n <= cap) {
+        let rev = sdn_topo::gen::reversal(n);
+        let rev_inst = UpdateInstance::new(rev.old, rev.new, None).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("peacock_reversal", n),
+            &rev_inst,
+            |b, i| b.iter(|| Peacock::default().schedule(black_box(i)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("slf_greedy_reversal", n),
+            &rev_inst,
+            |b, i| b.iter(|| SlfGreedy::default().schedule(black_box(i)).unwrap()),
+        );
+
+        let mut rng = DetRng::new(n ^ 0xabcd);
+        let perm = sdn_topo::gen::random_permutation(n, &mut rng);
+        let perm_inst = UpdateInstance::new(perm.old, perm.new, None).unwrap();
+        group.bench_with_input(BenchmarkId::new("peacock_perm", n), &perm_inst, |b, i| {
+            b.iter(|| Peacock::default().schedule(black_box(i)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("slf_greedy_perm", n),
+            &perm_inst,
+            |b, i| b.iter(|| SlfGreedy::default().schedule(black_box(i)).unwrap()),
+        );
     }
     group.finish();
 }

@@ -4,8 +4,23 @@
 //! needs Θ(n) rounds in the worst case, relaxed ("weak") loop freedom
 //! needs only O(log n) — Peacock's raison d'être. We scale the
 //! old-route length on the reversal workload (the known SLF worst
-//! case) and on random permutations, counting scheduler rounds.
+//! case), on rotations (tunable backward-jump overlap), on the comb
+//! interleave and on random permutations, counting scheduler rounds
+//! *and* wall-clock schedule time — the incremental
+//! [`AdmissionProbe`](update_core::checker::AdmissionProbe) session
+//! keeps the greedy schedulers tractable at n = 1024 (a reversal
+//! schedule must complete well under a second).
+//!
+//! Flags:
+//!
+//! * `--max-n <N>` — cap the workload sizes (CI smoke uses 256).
+//! * `--json` — additionally write machine-readable records to
+//!   `BENCH_PR2.json` so the perf trajectory is tracked across PRs;
+//!   `--json-out <PATH>` writes them to PATH instead.
 
+use std::time::Instant;
+
+use sdn_bench::json::Json;
 use sdn_bench::stats::Summary;
 use sdn_bench::table::{f2, Table};
 use sdn_types::DetRng;
@@ -13,36 +28,151 @@ use update_core::algorithms::{Peacock, SlfGreedy, TwoPhaseCommit, UpdateSchedule
 use update_core::contract::Contracted;
 use update_core::model::UpdateInstance;
 
-fn main() {
-    println!("E3: scheduler rounds vs old-route length n\n");
+/// One machine-readable measurement.
+struct Record {
+    workload: &'static str,
+    algo: &'static str,
+    n: u64,
+    rounds: f64,
+    ms: f64,
+}
 
-    let sizes = [4u64, 8, 16, 32, 64, 128, 256];
+impl Record {
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::str(self.workload)),
+            ("algo", Json::str(self.algo)),
+            ("n", Json::Int(self.n as i64)),
+            ("rounds", Json::Num(self.rounds)),
+            ("ms", Json::Num(self.ms)),
+        ])
+    }
+}
+
+/// Schedule once, returning (rounds, milliseconds).
+fn timed(sched: &dyn UpdateScheduler, inst: &UpdateInstance) -> (usize, f64) {
+    let start = Instant::now();
+    let s = sched.schedule(inst).expect("schedulable workload");
+    let ms = start.elapsed().as_secs_f64() * 1e3;
+    (s.round_count(), ms)
+}
+
+fn main() {
+    let mut max_n = 1024u64;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--max-n" => {
+                max_n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-n needs a number");
+            }
+            "--json" => {
+                json_path = Some("BENCH_PR2.json".to_string());
+            }
+            "--json-out" => {
+                json_path = Some(args.next().expect("--json-out needs a path"));
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: exp_rounds_scaling [--max-n N] [--json | --json-out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("E3: scheduler rounds and schedule time vs old-route length n\n");
+
+    let sizes: Vec<u64> = [4u64, 8, 16, 32, 64, 128, 256, 512, 1024]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect();
+    let mut records: Vec<Record> = Vec::new();
 
     // --- reversal (SLF worst case) ------------------------------------
     let mut t = Table::new(
         "reversal workload (new route = old route reversed)",
-        &["n", "slf-greedy", "peacock", "two-phase", "log2(n)"],
+        &[
+            "n",
+            "slf-greedy",
+            "slf ms",
+            "peacock",
+            "peacock ms",
+            "two-phase",
+            "log2(n)",
+        ],
     );
     for &n in &sizes {
         let pair = sdn_topo::gen::reversal(n);
         let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
-        let slf = SlfGreedy::default().schedule(&inst).unwrap().round_count();
-        let pea = Peacock::default().schedule(&inst).unwrap().round_count();
-        let tpc = TwoPhaseCommit.schedule(&inst).unwrap().round_count();
+        let (slf, slf_ms) = timed(&SlfGreedy::default(), &inst);
+        let (pea, pea_ms) = timed(&Peacock::default(), &inst);
+        let (tpc, _) = timed(&TwoPhaseCommit, &inst);
         t.row(vec![
             n.to_string(),
             slf.to_string(),
+            f2(slf_ms),
             pea.to_string(),
+            f2(pea_ms),
             tpc.to_string(),
             f2((n as f64).log2()),
         ]);
+        for (algo, rounds, ms) in [("slf-greedy", slf, slf_ms), ("peacock", pea, pea_ms)] {
+            records.push(Record {
+                workload: "reversal",
+                algo,
+                n,
+                rounds: rounds as f64,
+                ms,
+            });
+        }
     }
     println!("{t}");
+
+    // --- interior rotation (overlapping backward spans, tunable) -------
+    let mut tr = Table::new(
+        "rotation workload (interior rotated by half, k=(n-2)/2)",
+        &["n", "slf-greedy", "slf ms", "peacock", "peacock ms"],
+    );
+    for &n in &sizes {
+        if n < 8 {
+            continue;
+        }
+        let pair = sdn_topo::gen::rotation(n, (n - 2) / 2);
+        let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+        let (slf, slf_ms) = timed(&SlfGreedy::default(), &inst);
+        let (pea, pea_ms) = timed(&Peacock::default(), &inst);
+        tr.row(vec![
+            n.to_string(),
+            slf.to_string(),
+            f2(slf_ms),
+            pea.to_string(),
+            f2(pea_ms),
+        ]);
+        for (algo, rounds, ms) in [("slf-greedy", slf, slf_ms), ("peacock", pea, pea_ms)] {
+            records.push(Record {
+                workload: "rotation",
+                algo,
+                n,
+                rounds: rounds as f64,
+                ms,
+            });
+        }
+    }
+    println!("{tr}");
 
     // --- comb interleave (overlapping backward spans) -------------------
     let mut tc = Table::new(
         "comb workload (interleaved halves; overlapping backward jumps)",
-        &["n", "slf-greedy", "peacock", "two-phase"],
+        &[
+            "n",
+            "slf-greedy",
+            "slf ms",
+            "peacock",
+            "peacock ms",
+            "two-phase",
+        ],
     );
     for &n in &sizes {
         if n < 6 {
@@ -50,44 +180,126 @@ fn main() {
         }
         let pair = sdn_topo::gen::comb(n);
         let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
-        let slf = SlfGreedy::default().schedule(&inst).unwrap().round_count();
-        let pea = Peacock::default().schedule(&inst).unwrap().round_count();
-        let tpc = TwoPhaseCommit.schedule(&inst).unwrap().round_count();
+        let (slf, slf_ms) = timed(&SlfGreedy::default(), &inst);
+        let (pea, pea_ms) = timed(&Peacock::default(), &inst);
+        let (tpc, _) = timed(&TwoPhaseCommit, &inst);
         tc.row(vec![
             n.to_string(),
             slf.to_string(),
+            f2(slf_ms),
             pea.to_string(),
+            f2(pea_ms),
             tpc.to_string(),
         ]);
+        for (algo, rounds, ms) in [("slf-greedy", slf, slf_ms), ("peacock", pea, pea_ms)] {
+            records.push(Record {
+                workload: "comb",
+                algo,
+                n,
+                rounds: rounds as f64,
+                ms,
+            });
+        }
     }
     println!("{tc}");
 
     // --- random permutations ------------------------------------------
     let mut t2 = Table::new(
         "random interior permutations (mean over 10 seeds)",
-        &["n", "slf-greedy", "peacock", "backward jumps"],
+        &[
+            "n",
+            "slf-greedy",
+            "slf ms",
+            "peacock",
+            "peacock ms",
+            "backward jumps",
+        ],
     );
     for &n in &sizes {
         let mut slf_rounds = Vec::new();
         let mut pea_rounds = Vec::new();
+        let mut slf_ms = Vec::new();
+        let mut pea_ms = Vec::new();
         let mut backs = Vec::new();
         for seed in 0..10u64 {
             let mut rng = DetRng::new(seed * 7919 + n);
             let pair = sdn_topo::gen::random_permutation(n, &mut rng);
             let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
             backs.push(Contracted::of(&inst).backward_count() as f64);
-            slf_rounds.push(SlfGreedy::default().schedule(&inst).unwrap().round_count() as f64);
-            pea_rounds.push(Peacock::default().schedule(&inst).unwrap().round_count() as f64);
+            let (r, ms) = timed(&SlfGreedy::default(), &inst);
+            slf_rounds.push(r as f64);
+            slf_ms.push(ms);
+            let (r, ms) = timed(&Peacock::default(), &inst);
+            pea_rounds.push(r as f64);
+            pea_ms.push(ms);
         }
         t2.row(vec![
             n.to_string(),
             f2(Summary::of(&slf_rounds).mean),
+            f2(Summary::of(&slf_ms).mean),
             f2(Summary::of(&pea_rounds).mean),
+            f2(Summary::of(&pea_ms).mean),
             f2(Summary::of(&backs).mean),
         ]);
+        for (algo, rounds, ms) in [
+            ("slf-greedy", &slf_rounds, &slf_ms),
+            ("peacock", &pea_rounds, &pea_ms),
+        ] {
+            records.push(Record {
+                workload: "random_permutation",
+                algo,
+                n,
+                rounds: Summary::of(rounds).mean,
+                ms: Summary::of(ms).mean,
+            });
+        }
     }
     println!("{t2}");
     println!("expected shape: slf-greedy grows ~linearly on reversals while");
     println!("peacock stays flat (relaxed loop freedom updates off-path");
     println!("switches for free); two-phase is constant but doubles rules.");
+    println!("schedule time must stay sub-second everywhere — the session");
+    println!("oracle (AdmissionProbe) is what makes n=1024 tractable.");
+
+    // The acceptance bar this experiment guards: every schedule —
+    // including a full n=1024 reversal — in well under a second. The
+    // CI bench smoke runs this binary in release mode, so a scaling
+    // regression in the admission-probe session fails the build. Debug
+    // builds are 10–40× slower and exist for exploration, not timing,
+    // so the budget only binds under optimization.
+    if !cfg!(debug_assertions) {
+        for r in &records {
+            assert!(
+                r.ms < 1000.0,
+                "{} {} n={} took {:.1} ms (budget 1000 ms)",
+                r.workload,
+                r.algo,
+                r.n,
+                r.ms
+            );
+        }
+    }
+    if let Some(r) = records
+        .iter()
+        .find(|r| r.workload == "reversal" && r.algo == "slf-greedy" && r.n == 1024)
+    {
+        println!(
+            "\nn=1024 reversal slf-greedy: {:.1} ms (< 1 s budget)",
+            r.ms
+        );
+    }
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("experiment", Json::str("rounds_scaling")),
+            ("source", Json::str("exp_rounds_scaling --json")),
+            ("max_n", Json::Int(max_n as i64)),
+            (
+                "records",
+                Json::Arr(records.iter().map(Record::json).collect()),
+            ),
+        ]);
+        std::fs::write(&path, format!("{doc}\n")).expect("write json export");
+        println!("wrote {} records to {path}", records.len());
+    }
 }

@@ -17,8 +17,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod stats;
 pub mod table;
 
+pub use json::Json;
 pub use stats::Summary;
 pub use table::Table;

@@ -2,11 +2,19 @@
 //!
 //! Each round, candidates are proposed in an algorithm-specific order
 //! and admitted while the round stays safe according to the property
-//! oracle ([`round_admissible`]). The conservative (polynomial) oracle
-//! is consulted first; if a whole round would come out empty, the
-//! engine retries with the exact oracle before declaring the instance
-//! stuck — so conservative over-rejection can cost rounds, never
-//! correctness or spurious failure.
+//! oracle. The engine opens one [`AdmissionProbe`] session per round
+//! and grows the candidate set one operation at a time: the session
+//! maintains the choice graph, the topological order (incremental
+//! cycle detection) and the walk state across probes, so each
+//! admission question costs amortized polylogarithmic work instead of
+//! the full re-verification the stateless
+//! [`round_admissible`](crate::checker::round_admissible) pays. The
+//! decisions are identical — the stateless oracle remains the
+//! cross-validation reference. The conservative (polynomial) oracle is
+//! consulted first; if a whole round would come out empty, the engine
+//! retries with the exact oracle before declaring the instance stuck —
+//! so conservative over-rejection can cost rounds, never correctness
+//! or spurious failure.
 //!
 //! Progress argument (no-waypoint case): the *deepest pending switch in
 //! new-route order* is always admissible — all its new-route successors
@@ -18,9 +26,11 @@
 //! crossing-free instances; otherwise the engine reports
 //! [`SchedulerError::Stuck`] and WayUp falls back to two-phase commit.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use sdn_types::DpId;
 
-use crate::checker::{round_admissible, OracleMode};
+use crate::checker::{AdmissionProbe, OracleMode};
 use crate::config::ConfigState;
 use crate::model::UpdateInstance;
 use crate::properties::PropertySet;
@@ -58,18 +68,25 @@ pub(crate) fn order_candidates(
     match ordering {
         CandidateOrdering::OldRoutePosition => {
             let mut v = pending.to_vec();
-            v.sort_by_key(|&x| inst.old().position(x).unwrap_or(usize::MAX));
+            v.sort_by_key(|&x| inst.old_position(x).unwrap_or(usize::MAX));
             v
         }
         CandidateOrdering::NewRouteReverse => {
             let mut v = pending.to_vec();
-            v.sort_by_key(|&x| std::cmp::Reverse(inst.new_route().position(x).unwrap_or(0)));
+            v.sort_by_key(|&x| std::cmp::Reverse(inst.new_position(x).unwrap_or(0)));
             v
         }
         CandidateOrdering::OffPathFirst | CandidateOrdering::AlternatingBackward => {
             let alternating = ordering == CandidateOrdering::AlternatingBackward;
             let walk = base.walk();
-            let pos_on_walk = |x: DpId| walk.visited.iter().position(|&y| y == x);
+            // Position of each switch's *first* visit on the committed
+            // walk, indexed once — classifying the pending set was
+            // O(n²) when every switch rescanned the walk.
+            let mut walk_pos: BTreeMap<DpId, usize> = BTreeMap::new();
+            for (p, &y) in walk.visited.iter().enumerate() {
+                walk_pos.entry(y).or_insert(p);
+            }
+            let pos_on_walk = |x: DpId| walk_pos.get(&x).copied();
             let mut off: Vec<DpId> = Vec::new();
             let mut fwd: Vec<(usize, DpId)> = Vec::new();
             let mut back: Vec<(usize, DpId)> = Vec::new();
@@ -128,11 +145,17 @@ pub(crate) fn greedy_rounds(
     let mut rounds = Vec::new();
     while !pending.is_empty() {
         let round = next_round(inst, base, &pending, props, ordering, prefer_conservative)?;
-        for op in &round.ops {
-            if let RuleOp::Activate(v) = op {
-                pending.retain(|&x| x != *v);
-            }
-        }
+        // Remove all of the round's activations in one pass (a retain
+        // per activated op made this quadratic per round).
+        let activated: BTreeSet<DpId> = round
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                RuleOp::Activate(v) => Some(*v),
+                _ => None,
+            })
+            .collect();
+        pending.retain(|v| !activated.contains(v));
         base.apply_all(&round.ops);
         rounds.push(round);
     }
@@ -155,15 +178,12 @@ pub(crate) fn next_round(
         &[OracleMode::Exact]
     };
     for &mode in modes {
-        let mut ops: Vec<RuleOp> = Vec::new();
+        let mut probe = AdmissionProbe::open(inst, base, *props, mode);
         for &v in &ordered {
-            ops.push(RuleOp::Activate(v));
-            if !round_admissible(inst, base, &ops, props, mode) {
-                ops.pop();
-            }
+            probe.try_push(RuleOp::Activate(v));
         }
-        if !ops.is_empty() {
-            return Ok(Round::new(ops));
+        if !probe.is_empty() {
+            return Ok(Round::new(probe.into_ops()));
         }
     }
     Err(SchedulerError::Stuck {

@@ -19,6 +19,12 @@
 //! * [`TwoPhaseCommit`] — Reitblatt-style per-packet versioning
 //!   (always consistent, but doubles rules and ignores rule-space
 //!   cost).
+//!
+//! The greedy schedulers share one admission path: the engine in
+//! [`greedy`] opens a stateful
+//! [`AdmissionProbe`](crate::checker::AdmissionProbe) session per
+//! round, so safety probing scales to four-digit switch counts (see
+//! `exp_rounds_scaling` and the `schedulers` bench).
 
 mod greedy;
 mod oneshot;

@@ -12,9 +12,13 @@
 //! notes*) realizes the relaxation as a maximal-safe-set greedy:
 //! candidates are proposed off-path first, then forward jumps, then
 //! backward jumps deepest-first, and admitted while the round passes
-//! the relaxed-loop-freedom oracle. On the canonical reversal
-//! instances it needs 3 activation rounds independent of n; experiment
-//! E3 measures the scaling against the SLF baseline.
+//! the relaxed-loop-freedom oracle — one stateful
+//! [`AdmissionProbe`](crate::checker::AdmissionProbe) session per
+//! round, whose cached reachability makes the common case (an
+//! off-path switch no packet reaches) an O(1) admission. On the
+//! canonical reversal instances it needs 3 activation rounds
+//! independent of n; experiment E3 measures the scaling against the
+//! SLF baseline.
 
 use crate::config::ConfigState;
 use crate::model::UpdateInstance;
@@ -88,6 +92,20 @@ mod tests {
             let r = verify_schedule(&i, &s, PropertySet::loop_free_relaxed());
             assert!(r.is_ok(), "n={n}: {r}");
         }
+    }
+
+    #[test]
+    fn large_reversal_stays_constant_rounds() {
+        let pair = gen::reversal(512);
+        let i = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+        let s = Peacock::default().schedule(&i).unwrap();
+        assert!(
+            s.round_count() <= 4,
+            "n=512 reversal should still be O(1) rounds, got {}",
+            s.round_count()
+        );
+        let total: usize = s.rounds.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 511);
     }
 
     #[test]

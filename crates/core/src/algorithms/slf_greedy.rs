@@ -10,6 +10,13 @@
 //! is why reversal-style updates degenerate to one switch per round
 //! (Θ(n) rounds) — the behaviour Peacock's relaxation eliminates
 //! (PODC'15, reproduced in experiment E3).
+//!
+//! Admission runs on the greedy engine's per-round
+//! [`AdmissionProbe`](crate::checker::AdmissionProbe) session: the
+//! choice graph's topological order is maintained incrementally across
+//! the round's probes (Pearce–Kelly), so the Θ(n²) probes a reversal
+//! schedule needs stay cheap and n = 1024 instances schedule in
+//! milliseconds (see `exp_rounds_scaling`).
 
 use crate::config::ConfigState;
 use crate::model::UpdateInstance;
@@ -113,6 +120,23 @@ mod tests {
             let r = verify_schedule(&i, &s, PropertySet::loop_free_strong());
             assert!(r.is_ok(), "{r}");
         }
+    }
+
+    #[test]
+    fn large_reversal_schedules_completely() {
+        // The session oracle must keep large reversals tractable: all
+        // interior switches scheduled, linear round growth intact.
+        let n = 256u64;
+        let pair = sdn_topo::gen::reversal(n);
+        let i = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+        let s = SlfGreedy::default().schedule(&i).unwrap();
+        let total: usize = s.rounds.iter().map(|r| r.len()).sum();
+        assert_eq!(total, n as usize - 1, "every shared switch activated");
+        assert!(
+            s.round_count() >= (n as usize - 2) / 2,
+            "reversal must still cost ~linear rounds, got {}",
+            s.round_count()
+        );
     }
 
     #[test]

@@ -15,9 +15,11 @@
 //! 4. cleanup.
 //!
 //! Each phase is internally scheduled loop-free by the greedy engine
-//! under the *combined* waypoint-enforcement + loop-freedom oracle, so
-//! phase membership is a heuristic for round quality while correctness
-//! is enforced per round. The demo pairs WayUp's waypoint enforcement
+//! under the *combined* waypoint-enforcement + loop-freedom oracle
+//! (one [`AdmissionProbe`](crate::checker::AdmissionProbe) session per
+//! round, including the waypoint-detour reachability check), so phase
+//! membership is a heuristic for round quality while correctness is
+//! enforced per round. The demo pairs WayUp's waypoint enforcement
 //! with Peacock's weak loop freedom ("ensuring waypoint enforcement
 //! \[5\], weak loop freedom \[4\]") — the default here; strong loop
 //! freedom is available as an option.
@@ -78,8 +80,7 @@ impl WayUp {
     fn try_replacement(&self, inst: &UpdateInstance) -> Result<Schedule, SchedulerError> {
         let w = inst.waypoint().ok_or(SchedulerError::NoWaypoint)?;
         let wo = inst
-            .old()
-            .position(w)
+            .old_position(w)
             .expect("validated: waypoint on old route");
         let props = self.props();
 
@@ -90,7 +91,7 @@ impl WayUp {
 
         let (suffix, prefix): (Vec<DpId>, Vec<DpId>) = pending_shared(inst)
             .into_iter()
-            .partition(|&v| inst.old().position(v).expect("shared is on old route") >= wo);
+            .partition(|&v| inst.old_position(v).expect("shared is on old route") >= wo);
 
         let mut rounds = Vec::new();
         for phase in [suffix, prefix] {

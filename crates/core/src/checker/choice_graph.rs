@@ -38,7 +38,10 @@ use super::{CheckReport, Violation};
 /// The possible forwarding targets of `v` for tag class `tag`, across
 /// all 2^k states of the pending operations touching `v`. `None` in
 /// the result set means "could have no matching rule" (blackhole).
-fn possible_nexts(
+///
+/// `pub(crate)` so [`super::incremental`] can assert its dense
+/// per-switch delta computation reproduces this set exactly.
+pub(crate) fn possible_nexts(
     inst: &UpdateInstance,
     base: &ConfigState<'_>,
     ops: &[RuleOp],

@@ -17,6 +17,9 @@
 //! configurable leaf budget guards against adversarial blowup; the
 //! report flags when it is hit.
 
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
 use sdn_types::{DpId, VersionTag};
 
 use crate::config::{ConfigState, Walk, WalkOutcome};
@@ -52,13 +55,85 @@ pub fn check_round_with_budget(
     props: &PropertySet,
     leaf_budget: u64,
 ) -> CheckReport {
+    explore(inst, base, ops, props, leaf_budget, None)
+}
+
+/// [`check_round_with_budget`] that additionally records, into
+/// `touched`, every switch any explored branch visited. The stateful
+/// [`super::incremental::AdmissionProbe`] uses this set to skip
+/// re-exploration for candidate operations at switches no walk can
+/// reach: behaviour at unvisited switches cannot influence any branch,
+/// so both the verdict and the touched set are provably unchanged.
+pub(crate) fn check_round_collecting(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+    props: &PropertySet,
+    leaf_budget: u64,
+    touched: &mut BTreeSet<DpId>,
+) -> CheckReport {
+    explore(inst, base, ops, props, leaf_budget, Some(touched))
+}
+
+/// Per-switch index of the round's operations, preserving ops order,
+/// so the walk resolves "which pending ops matter at `v`" in O(log n)
+/// instead of rescanning the whole round per step.
+struct OpIndex {
+    by_switch: BTreeMap<DpId, SwitchOps>,
+}
+
+#[derive(Default, Clone)]
+struct SwitchOps {
+    /// Indices into `ops` touching this switch, ascending.
+    list: Vec<usize>,
+    /// First index of each op kind at this switch, if present.
+    activate: Option<usize>,
+    remove: Option<usize>,
+    tagged: Option<usize>,
+}
+
+impl OpIndex {
+    fn build(ops: &[RuleOp]) -> Self {
+        let mut by_switch: BTreeMap<DpId, SwitchOps> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            let Some(v) = op.switch() else { continue };
+            let entry = by_switch.entry(v).or_default();
+            entry.list.push(i);
+            let slot = match op {
+                RuleOp::Activate(_) => &mut entry.activate,
+                RuleOp::RemoveOld(_) => &mut entry.remove,
+                RuleOp::InstallTagged(_) => &mut entry.tagged,
+                RuleOp::FlipIngress => unreachable!("has no switch"),
+            };
+            if slot.is_none() {
+                *slot = Some(i);
+            }
+        }
+        OpIndex { by_switch }
+    }
+
+    fn at(&self, v: DpId) -> Option<&SwitchOps> {
+        self.by_switch.get(&v)
+    }
+}
+
+fn explore(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    ops: &[RuleOp],
+    props: &PropertySet,
+    leaf_budget: u64,
+    touched: Option<&mut BTreeSet<DpId>>,
+) -> CheckReport {
     let mut ex = Explorer {
         inst,
         base,
         ops,
+        index: OpIndex::build(ops),
         props,
         report: CheckReport::default(),
         leaves_left: leaf_budget,
+        touched,
     };
     let mut decisions: Vec<Option<bool>> = vec![None; ops.len()];
 
@@ -77,44 +152,54 @@ pub fn check_round_with_budget(
     ex.report
 }
 
-struct Explorer<'a, 'b> {
+struct Explorer<'a, 'b, 'c> {
     inst: &'a UpdateInstance,
     base: &'b ConfigState<'a>,
     ops: &'b [RuleOp],
+    index: OpIndex,
     props: &'b PropertySet,
     report: CheckReport,
     leaves_left: u64,
+    touched: Option<&'c mut BTreeSet<DpId>>,
 }
 
-impl Explorer<'_, '_> {
+impl Explorer<'_, '_, '_> {
     fn decided(&self, decisions: &[Option<bool>], op: RuleOp) -> Option<bool> {
-        self.ops
-            .iter()
-            .position(|o| *o == op)
-            .and_then(|i| decisions[i])
+        if let RuleOp::FlipIngress = op {
+            return self
+                .ops
+                .iter()
+                .position(|o| matches!(o, RuleOp::FlipIngress))
+                .and_then(|i| decisions[i]);
+        }
+        let v = op.switch().expect("non-flip op names a switch");
+        let sw = self.index.at(v)?;
+        let first = match op {
+            RuleOp::Activate(_) => sw.activate,
+            RuleOp::RemoveOld(_) => sw.remove,
+            RuleOp::InstallTagged(_) => sw.tagged,
+            RuleOp::FlipIngress => unreachable!(),
+        };
+        first.and_then(|i| decisions[i])
     }
 
-    /// Indices of pending, undecided ops that influence forwarding at
-    /// `v` for tag class `tag`.
-    fn relevant_undecided(
+    /// First pending, undecided op (in round order) that influences
+    /// forwarding at `v` for tag class `tag`.
+    fn first_relevant_undecided(
         &self,
         decisions: &[Option<bool>],
         v: DpId,
         tag: VersionTag,
-    ) -> Vec<usize> {
-        self.ops
-            .iter()
-            .enumerate()
-            .filter(|(i, op)| {
-                decisions[*i].is_none()
-                    && match op {
-                        RuleOp::Activate(x) | RuleOp::RemoveOld(x) => *x == v,
-                        RuleOp::InstallTagged(x) => *x == v && tag == VersionTag::NEW,
-                        RuleOp::FlipIngress => false, // decided up front
-                    }
-            })
-            .map(|(i, _)| i)
-            .collect()
+    ) -> Option<usize> {
+        let sw = self.index.at(v)?;
+        sw.list.iter().copied().find(|&i| {
+            decisions[i].is_none()
+                && match self.ops[i] {
+                    RuleOp::Activate(_) | RuleOp::RemoveOld(_) => true,
+                    RuleOp::InstallTagged(_) => tag == VersionTag::NEW,
+                    RuleOp::FlipIngress => false, // decided up front
+                }
+        })
     }
 
     /// Forwarding at `v` once every relevant op is decided.
@@ -170,12 +255,15 @@ impl Explorer<'_, '_> {
         visited: &mut Vec<DpId>,
         decisions: &mut Vec<Option<bool>>,
     ) {
+        if let Some(t) = self.touched.as_deref_mut() {
+            t.insert(v);
+        }
         if self.leaves_left == 0 {
             self.report.budget_exhausted = true;
             return;
         }
         // Branch on the first relevant undecided op, if any.
-        if let Some(&i) = self.relevant_undecided(decisions, v, tag).first() {
+        if let Some(i) = self.first_relevant_undecided(decisions, v, tag) {
             for applied in [false, true] {
                 decisions[i] = Some(applied);
                 self.walk(v, tag, flipped, visited, decisions);
@@ -396,6 +484,28 @@ mod tests {
         ];
         let rep = check_round_with_budget(&i, &base, &ops, &PropertySet::all(), 1);
         assert!(rep.budget_exhausted);
+    }
+
+    #[test]
+    fn collecting_reports_visited_switches() {
+        // old 1-2-3, new 1-4-3 with only 4 pending: the walk stays on
+        // the old route, so 4 is never touched.
+        let i = inst(&[1, 2, 3], &[1, 4, 3], None);
+        let base = ConfigState::initial(&i);
+        let ops = [RuleOp::Activate(DpId(4))];
+        let mut touched = BTreeSet::new();
+        let rep = check_round_collecting(
+            &i,
+            &base,
+            &ops,
+            &PropertySet::all(),
+            DEFAULT_LEAF_BUDGET,
+            &mut touched,
+        );
+        assert!(rep.is_ok());
+        assert!(touched.contains(&DpId(1)));
+        assert!(touched.contains(&DpId(2)));
+        assert!(!touched.contains(&DpId(4)));
     }
 
     #[test]

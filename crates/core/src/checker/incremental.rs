@@ -1,0 +1,1062 @@
+//! The stateful admission oracle: a per-round probe session for the
+//! greedy schedulers.
+//!
+//! [`round_admissible`](super::round_admissible) answers each
+//! admissibility question from scratch: it rebuilds the choice graph,
+//! re-runs cycle detection and re-walks the configuration for every
+//! candidate probe. The greedy engine asks O(n) such questions per
+//! round over candidate sets that differ by a *single* operation,
+//! which made the oracle the scheduler bottleneck (cubic and worse on
+//! reversal workloads).
+//!
+//! [`AdmissionProbe`] keeps the state alive across the probes of one
+//! round:
+//!
+//! * **Choice graph** — per tag class, maintained by per-switch edge
+//!   deltas: pushing one operation adds at most one rule edge per
+//!   class and never removes one, so the graph only ever grows within
+//!   a round.
+//! * **Strong loop freedom** — incremental cycle detection by
+//!   topological-order maintenance (Pearce–Kelly): an edge insertion
+//!   that would close a cycle is detected during the discovery phase,
+//!   *before* any mutation, so the common rejection case is O(affected
+//!   region) with nothing to undo; accepted insertions reorder only
+//!   the region between the edge endpoints.
+//! * **Conservative walk safety** — the source-reachable set is
+//!   cached. A candidate at a switch the cached set does not reach
+//!   cannot change any walk-based verdict (its new edges hang off an
+//!   unreachable node), so the probe answers in O(1). Conservative
+//!   verdicts are monotone in the edge set, which also lets a base
+//!   configuration that already fails short-circuit every probe.
+//! * **Exact decision walks** — memoized by the *touched set*: the
+//!   switches any explored branch visited. A candidate at an untouched
+//!   switch provably cannot change the verdict or the touched set (no
+//!   branch consults its rules), so only candidates on — or newly
+//!   reachable from — the walk frontier pay for re-exploration.
+//!
+//! Every [`AdmissionProbe::try_push`] either commits (the candidate
+//! joins the round) or rolls back to the exact prior state through an
+//! undo log. The stateless oracle remains authoritative as the
+//! cross-validation reference:
+//! `crates/core/tests/checker_cross_validation.rs` asserts decision
+//! equality against [`round_admissible`](super::round_admissible) on
+//! randomized permutation, reversal and waypointed workloads in both
+//! oracle modes.
+
+use std::collections::BTreeSet;
+
+use sdn_types::{DpId, VersionTag};
+
+use crate::config::ConfigState;
+use crate::model::UpdateInstance;
+use crate::properties::{Property, PropertySet};
+use crate::schedule::RuleOp;
+
+use super::decision_walk;
+use super::OracleMode;
+
+/// Pending-operation bit flags per switch (mirrors the three local op
+/// kinds [`possible_nexts`](super::choice_graph) enumerates).
+const F_ACT: u8 = 1;
+const F_REM: u8 = 2;
+const F_TAG: u8 = 4;
+
+/// Dense switch indexing for one instance.
+struct Nodes {
+    ids: Vec<DpId>,
+}
+
+impl Nodes {
+    fn of(inst: &UpdateInstance) -> Self {
+        Nodes {
+            ids: inst.nodes().map(|(v, _)| v).collect(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn idx(&self, v: DpId) -> Option<u32> {
+        self.ids.binary_search(&v).ok().map(|i| i as u32)
+    }
+}
+
+/// Pearce–Kelly incremental topological order over one class graph.
+struct Pk {
+    /// Topological position per node (a permutation of 0..n).
+    ord: Vec<u32>,
+    /// Reverse adjacency (needed for the backward discovery pass).
+    ins: Vec<Vec<u32>>,
+    /// The *base* graph already contained a cycle: no candidate set can
+    /// ever be SLF-safe, matching the stateless checker.
+    poisoned: bool,
+    /// Epoch-stamped visit marks (scratch for discovery).
+    mark: Vec<u64>,
+    epoch: u64,
+}
+
+impl Pk {
+    fn init(out: &[Vec<u32>]) -> Self {
+        let n = out.len();
+        let mut indeg = vec![0u32; n];
+        let mut ins: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (x, targets) in out.iter().enumerate() {
+            for &y in targets {
+                indeg[y as usize] += 1;
+                ins[y as usize].push(x as u32);
+            }
+        }
+        let mut ord = vec![u32::MAX; n];
+        let mut queue: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut next_ord = 0u32;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let v = queue[qi];
+            qi += 1;
+            ord[v as usize] = next_ord;
+            next_ord += 1;
+            for &t in &out[v as usize] {
+                indeg[t as usize] -= 1;
+                if indeg[t as usize] == 0 {
+                    queue.push(t);
+                }
+            }
+        }
+        let poisoned = (next_ord as usize) < n;
+        if poisoned {
+            // Keep `ord` a permutation so later restores stay sane;
+            // the values are never consulted once poisoned.
+            for o in ord.iter_mut().filter(|o| **o == u32::MAX) {
+                *o = next_ord;
+                next_ord += 1;
+            }
+        }
+        Pk {
+            ord,
+            ins,
+            poisoned,
+            mark: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    /// Insert edge `x → y` into `out`, maintaining the topological
+    /// order (Pearce–Kelly). Returns `false` — mutating nothing — when
+    /// the edge would close a cycle. Every overwritten topological
+    /// position is appended to `ords` as `(node, previous ord)` so the
+    /// caller can roll the insertion back.
+    fn insert(&mut self, out: &mut [Vec<u32>], x: u32, y: u32, ords: &mut Vec<(u32, u32)>) -> bool {
+        if self.poisoned {
+            return false;
+        }
+        if x == y {
+            return false;
+        }
+        let (ox, oy) = (self.ord[x as usize], self.ord[y as usize]);
+        if ox < oy {
+            out[x as usize].push(y);
+            self.ins[y as usize].push(x);
+            return true;
+        }
+        // Discovery. Forward from y over nodes ordered before x; if x
+        // itself is a neighbor anywhere in that region the edge closes
+        // a cycle and we abort with zero mutations — rejection is free.
+        self.epoch += 2;
+        let (fm, bm) = (self.epoch - 1, self.epoch);
+        let mut fwd: Vec<u32> = vec![y];
+        self.mark[y as usize] = fm;
+        let mut qi = 0;
+        while qi < fwd.len() {
+            let z = fwd[qi];
+            qi += 1;
+            for &w in &out[z as usize] {
+                if w == x {
+                    return false;
+                }
+                if self.ord[w as usize] < ox && self.mark[w as usize] != fm {
+                    self.mark[w as usize] = fm;
+                    fwd.push(w);
+                }
+            }
+        }
+        // Backward from x over nodes ordered after y.
+        let mut bwd: Vec<u32> = vec![x];
+        self.mark[x as usize] = bm;
+        qi = 0;
+        while qi < bwd.len() {
+            let z = bwd[qi];
+            qi += 1;
+            for &w in &self.ins[z as usize] {
+                if self.ord[w as usize] > oy && self.mark[w as usize] != bm {
+                    self.mark[w as usize] = bm;
+                    bwd.push(w);
+                }
+            }
+        }
+        // Reorder the affected region: everything reaching x moves
+        // before everything reachable from y, preserving relative
+        // order inside each group.
+        fwd.sort_unstable_by_key(|&z| self.ord[z as usize]);
+        bwd.sort_unstable_by_key(|&z| self.ord[z as usize]);
+        let mut slots: Vec<u32> = bwd
+            .iter()
+            .chain(fwd.iter())
+            .map(|&z| self.ord[z as usize])
+            .collect();
+        slots.sort_unstable();
+        for (k, &z) in bwd.iter().chain(fwd.iter()).enumerate() {
+            ords.push((z, self.ord[z as usize]));
+            self.ord[z as usize] = slots[k];
+        }
+        out[x as usize].push(y);
+        self.ins[y as usize].push(x);
+        true
+    }
+}
+
+/// One tag class of the choice graph, maintained incrementally.
+struct ClassGraph {
+    tag: VersionTag,
+    /// Forward adjacency: every rule edge a switch could expose given
+    /// the committed base plus the accepted candidate operations.
+    out: Vec<Vec<u32>>,
+    /// Whether a switch could end up with no matching rule.
+    may_blackhole: Vec<bool>,
+    /// Present iff strong loop freedom is among the checked properties.
+    pk: Option<Pk>,
+    /// Cached source-reachable set of the *accepted* state
+    /// (conservative mode only; empty otherwise).
+    reach: Vec<bool>,
+}
+
+/// Undo log of one tentative push.
+#[derive(Default)]
+struct Undo {
+    /// Edges appended this push, in order: `(class, from, to)`.
+    edges: Vec<(usize, u32, u32)>,
+    /// Topological positions overwritten this push: `(class, node,
+    /// previous ord)`.
+    ords: Vec<(usize, u32, u32)>,
+    /// `may_blackhole` bits set this push.
+    blackholes: Vec<(usize, u32)>,
+    /// A lazily-built class graph to drop again (flip pushes).
+    drop_class: bool,
+    /// Previous pending-flag byte of the touched switch.
+    flags: Option<(u32, u8)>,
+    /// `flip_pending` was set by this push.
+    flip_set: bool,
+}
+
+/// State updates to apply only once a push is accepted.
+#[derive(Default)]
+struct Commit {
+    reaches: Vec<(usize, Vec<bool>)>,
+    memo: Option<(bool, BTreeSet<DpId>)>,
+}
+
+/// Memoized exact decision-walk state.
+struct WalkMemo {
+    /// Verdict of the accepted candidate set.
+    ok: bool,
+    /// Every switch some explored branch visited.
+    touched: BTreeSet<DpId>,
+}
+
+/// A stateful admission session for one scheduling round.
+///
+/// Open one per round, [`try_push`](AdmissionProbe::try_push) each
+/// candidate in the algorithm's order, and read the admitted round
+/// from [`into_ops`](AdmissionProbe::into_ops). Each push decision
+/// equals the stateless
+/// [`round_admissible`](super::round_admissible)`(inst, base, accepted
+/// ∪ {op}, props, mode)`.
+pub struct AdmissionProbe<'a, 'b> {
+    inst: &'a UpdateInstance,
+    base: &'b ConfigState<'a>,
+    props: PropertySet,
+    walk_props: PropertySet,
+    mode: OracleMode,
+    nodes: Nodes,
+    src: u32,
+    dst: u32,
+    waypoint: Option<u32>,
+    /// Target of the ingress' new rule (the overlay edge the
+    /// conservative checker adds for the NEW class).
+    src_new_edge: Option<u32>,
+    /// Per-switch committed-base flags (activated/removed/tagged).
+    base_flags: Vec<u8>,
+    /// Dense successor tables.
+    old_nexts: Vec<Option<u32>>,
+    new_nexts: Vec<Option<u32>>,
+    /// Per-switch accepted pending-op flags.
+    flags: Vec<u8>,
+    flip_pending: bool,
+    accepted: Vec<RuleOp>,
+    classes: Vec<ClassGraph>,
+    /// No candidate set can ever be admissible again (cyclic base
+    /// class graph under SLF, or a conservative base violation —
+    /// conservative verdicts are monotone in the edge set).
+    dead: bool,
+    memo: Option<WalkMemo>,
+    probes: u64,
+}
+
+impl<'a, 'b> AdmissionProbe<'a, 'b> {
+    /// Open a session for one round: `base` is the committed
+    /// configuration the round starts from.
+    pub fn open(
+        inst: &'a UpdateInstance,
+        base: &'b ConfigState<'a>,
+        props: PropertySet,
+        mode: OracleMode,
+    ) -> Self {
+        let nodes = Nodes::of(inst);
+        let n = nodes.len();
+        let idx = |v: DpId| nodes.idx(v).expect("route switch is a participant");
+        let src = idx(inst.src());
+        let dst = idx(inst.dst());
+        let waypoint = inst.waypoint().map(idx);
+        let src_new_edge = inst.new_next(inst.src()).map(idx);
+        let mut base_flags = vec![0u8; n];
+        let mut old_nexts = vec![None; n];
+        let mut new_nexts = vec![None; n];
+        for (i, &v) in nodes.ids.iter().enumerate() {
+            let mut f = 0u8;
+            if base.is_activated(v) {
+                f |= F_ACT;
+            }
+            if base.is_old_removed(v) {
+                f |= F_REM;
+            }
+            if base.is_tagged_installed(v) {
+                f |= F_TAG;
+            }
+            base_flags[i] = f;
+            old_nexts[i] = inst.old_next(v).map(idx);
+            new_nexts[i] = inst.new_next(v).map(idx);
+        }
+
+        let walk_props = props.without(Property::StrongLoopFreedom);
+        let mut probe = AdmissionProbe {
+            inst,
+            base,
+            props,
+            walk_props,
+            mode,
+            nodes,
+            src,
+            dst,
+            waypoint,
+            src_new_edge,
+            base_flags,
+            old_nexts,
+            new_nexts,
+            flags: vec![0u8; n],
+            flip_pending: false,
+            accepted: Vec::new(),
+            classes: Vec::new(),
+            dead: false,
+            memo: None,
+            probes: 0,
+        };
+
+        if probe.need_class_graphs() {
+            let mut tags = Vec::new();
+            if !base.is_flipped() {
+                tags.push(VersionTag::OLD);
+            }
+            if base.is_flipped() {
+                tags.push(VersionTag::NEW);
+            }
+            for tag in tags {
+                let cg = probe.build_class(tag);
+                if cg.pk.as_ref().is_some_and(|pk| pk.poisoned) {
+                    probe.dead = true;
+                }
+                probe.classes.push(cg);
+            }
+            if probe.mode == OracleMode::Conservative && !probe.walk_props.is_empty() {
+                for ci in 0..probe.classes.len() {
+                    match probe.conservative_check(ci) {
+                        Some(reach) => probe.classes[ci].reach = reach,
+                        // Conservative violations are monotone in the
+                        // edge set: the base already fails, so every
+                        // superset fails too.
+                        None => probe.dead = true,
+                    }
+                }
+            }
+        }
+
+        if probe.mode == OracleMode::Exact && !probe.walk_props.is_empty() {
+            let mut touched = BTreeSet::new();
+            let rep = decision_walk::check_round_collecting(
+                inst,
+                base,
+                &probe.accepted,
+                &probe.walk_props,
+                decision_walk::DEFAULT_LEAF_BUDGET,
+                &mut touched,
+            );
+            probe.memo = Some(WalkMemo {
+                ok: rep.is_ok(),
+                touched,
+            });
+        }
+        probe
+    }
+
+    /// Whether any choice-graph class state is needed at all.
+    fn need_class_graphs(&self) -> bool {
+        self.props.contains(Property::StrongLoopFreedom)
+            || (self.mode == OracleMode::Conservative && !self.walk_props.is_empty())
+    }
+
+    /// Operations admitted so far.
+    pub fn ops(&self) -> &[RuleOp] {
+        &self.accepted
+    }
+
+    /// Number of admitted operations.
+    pub fn len(&self) -> usize {
+        self.accepted.len()
+    }
+
+    /// Whether nothing has been admitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.accepted.is_empty()
+    }
+
+    /// Number of admissibility probes answered.
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Consume the session, returning the admitted round operations.
+    pub fn into_ops(self) -> Vec<RuleOp> {
+        self.accepted
+    }
+
+    /// Probe one candidate: commit it if the grown set stays
+    /// admissible, otherwise leave the session exactly unchanged.
+    pub fn try_push(&mut self, op: RuleOp) -> bool {
+        self.probes += 1;
+        if self.dead {
+            return false;
+        }
+        let mut undo = Undo::default();
+        match self.eval(op, &mut undo) {
+            Some(commit) => {
+                for (ci, reach) in commit.reaches {
+                    self.classes[ci].reach = reach;
+                }
+                if let Some((ok, touched)) = commit.memo {
+                    self.memo = Some(WalkMemo { ok, touched });
+                }
+                self.accepted.push(op);
+                true
+            }
+            None => {
+                self.rollback(undo);
+                false
+            }
+        }
+    }
+
+    /// Evaluate one candidate; `None` means inadmissible (caller rolls
+    /// back whatever `undo` recorded).
+    fn eval(&mut self, op: RuleOp, undo: &mut Undo) -> Option<Commit> {
+        let mut commit = Commit::default();
+        match op {
+            RuleOp::FlipIngress => {
+                if self.base.is_flipped() || self.flip_pending {
+                    // Duplicate: the candidate set is semantically
+                    // unchanged, so the verdict is the current one.
+                    return self.verdict_unchanged(commit);
+                }
+                self.flip_pending = true;
+                undo.flip_set = true;
+                // The NEW class becomes relevant; build it against the
+                // full current candidate set.
+                if self.need_class_graphs() {
+                    let cg = self.build_class(VersionTag::NEW);
+                    if cg.pk.as_ref().is_some_and(|pk| pk.poisoned) {
+                        return None;
+                    }
+                    self.classes.push(cg);
+                    undo.drop_class = true;
+                    if self.mode == OracleMode::Conservative && !self.walk_props.is_empty() {
+                        let ci = self.classes.len() - 1;
+                        let reach = self.conservative_check(ci)?;
+                        commit.reaches.push((ci, reach));
+                    }
+                }
+                if self.mode == OracleMode::Exact && self.memo.is_some() {
+                    // The flip changes the ingress tag class: always
+                    // re-explore.
+                    commit.memo = Some(self.recompute_walk(op)?);
+                }
+                Some(commit)
+            }
+            RuleOp::Activate(v) | RuleOp::RemoveOld(v) | RuleOp::InstallTagged(v) => {
+                let Some(i) = self.nodes.idx(v) else {
+                    // A switch outside the instance never matches any
+                    // rule edge or walk step: semantically a no-op.
+                    return self.verdict_unchanged(commit);
+                };
+                let bit = match op {
+                    RuleOp::Activate(_) => F_ACT,
+                    RuleOp::RemoveOld(_) => F_REM,
+                    RuleOp::InstallTagged(_) => F_TAG,
+                    RuleOp::FlipIngress => unreachable!(),
+                };
+                let before = self.flags[i as usize];
+                if before & bit != 0 {
+                    return self.verdict_unchanged(commit);
+                }
+                undo.flags = Some((i, before));
+                self.flags[i as usize] = before | bit;
+
+                // Structural deltas per relevant class. Adding an
+                // operation only adds exposure combinations, so the
+                // per-switch edge set grows monotonically.
+                for ci in 0..self.classes.len() {
+                    let tag = self.classes[ci].tag;
+                    let (old_targets, old_none) = self.local_nexts(i, tag, before);
+                    let (new_targets, new_none) = self.local_nexts(i, tag, before | bit);
+                    let mut changed = false;
+                    for t in new_targets {
+                        if old_targets.contains(&t) {
+                            continue;
+                        }
+                        changed = true;
+                        if !self.add_edge(ci, i, t, undo) {
+                            return None; // SLF cycle
+                        }
+                    }
+                    if new_none && !old_none && !self.classes[ci].may_blackhole[i as usize] {
+                        self.classes[ci].may_blackhole[i as usize] = true;
+                        undo.blackholes.push((ci, i));
+                        changed = true;
+                    }
+                    if changed
+                        && self.mode == OracleMode::Conservative
+                        && !self.walk_props.is_empty()
+                        && self.classes[ci].reach[i as usize]
+                    {
+                        // The switch is reachable: the walk-safety
+                        // verdict may genuinely change — re-traverse.
+                        let reach = self.conservative_check(ci)?;
+                        commit.reaches.push((ci, reach));
+                    }
+                    // Unreachable switch (or no structural change):
+                    // the reachable subgraph is untouched, so every
+                    // walk-based verdict — and the cached reach set —
+                    // carries over.
+                }
+
+                if self.mode == OracleMode::Exact {
+                    if let Some(memo) = &self.memo {
+                        if memo.touched.contains(&v) {
+                            commit.memo = Some(self.recompute_walk(op)?);
+                        } else if !memo.ok {
+                            // No branch consults v: the verdict stays
+                            // whatever it was.
+                            return None;
+                        }
+                    }
+                }
+                Some(commit)
+            }
+        }
+    }
+
+    /// A semantically empty candidate: admissible iff the current
+    /// accepted state is admissible.
+    fn verdict_unchanged(&self, commit: Commit) -> Option<Commit> {
+        // `dead` was already checked; conservative state is safe by
+        // invariant. Only the exact walk memo can carry a negative
+        // verdict forward.
+        if let Some(memo) = &self.memo {
+            if !memo.ok {
+                return None;
+            }
+        }
+        Some(commit)
+    }
+
+    /// Re-run the exact decision walk over `accepted ∪ {op}`.
+    fn recompute_walk(&self, op: RuleOp) -> Option<(bool, BTreeSet<DpId>)> {
+        let mut trial = Vec::with_capacity(self.accepted.len() + 1);
+        trial.extend_from_slice(&self.accepted);
+        trial.push(op);
+        let mut touched = BTreeSet::new();
+        let rep = decision_walk::check_round_collecting(
+            self.inst,
+            self.base,
+            &trial,
+            &self.walk_props,
+            decision_walk::DEFAULT_LEAF_BUDGET,
+            &mut touched,
+        );
+        if rep.is_ok() {
+            Some((true, touched))
+        } else {
+            None
+        }
+    }
+
+    /// All forwarding targets switch `i` could expose for `tag`, under
+    /// base state plus the given pending flags — the dense mirror of
+    /// [`choice_graph::possible_nexts`](super::choice_graph).
+    fn local_nexts(&self, i: u32, tag: VersionTag, flags: u8) -> (Vec<u32>, bool) {
+        let mut targets: Vec<u32> = Vec::with_capacity(3);
+        let mut has_none = false;
+        if i == self.dst {
+            return (targets, has_none);
+        }
+        let base = self.base_flags[i as usize];
+        for mask in 0u8..8 {
+            // Enumerate only applied-subsets of the pending flags.
+            if mask & !flags != 0 {
+                continue;
+            }
+            let eff = base | mask;
+            let next = if (tag == VersionTag::NEW && eff & F_TAG != 0) || eff & F_ACT != 0 {
+                self.new_nexts[i as usize]
+            } else if eff & F_REM != 0 {
+                None
+            } else {
+                self.old_nexts[i as usize]
+            };
+            match next {
+                Some(t) => {
+                    if !targets.contains(&t) {
+                        targets.push(t);
+                    }
+                }
+                None => has_none = true,
+            }
+        }
+        (targets, has_none)
+    }
+
+    /// Build one class graph from the base plus all current flags.
+    fn build_class(&self, tag: VersionTag) -> ClassGraph {
+        let n = self.nodes.len();
+        let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut may_blackhole = vec![false; n];
+        for i in 0..n as u32 {
+            let (targets, has_none) = self.local_nexts(i, tag, self.flags[i as usize]);
+            out[i as usize] = targets;
+            may_blackhole[i as usize] = has_none && i != self.dst;
+        }
+        let pk = self
+            .props
+            .contains(Property::StrongLoopFreedom)
+            .then(|| Pk::init(&out));
+        ClassGraph {
+            tag,
+            out,
+            may_blackhole,
+            pk,
+            reach: Vec::new(),
+        }
+    }
+
+    /// Insert one choice-graph edge; with SLF enabled this is the
+    /// Pearce–Kelly step ([`Pk::insert`]) and returns `false` when the
+    /// edge would close a cycle (in which case nothing is mutated).
+    fn add_edge(&mut self, ci: usize, x: u32, y: u32, undo: &mut Undo) -> bool {
+        let ClassGraph { out, pk, .. } = &mut self.classes[ci];
+        let Some(pk) = pk else {
+            out[x as usize].push(y);
+            undo.edges.push((ci, x, y));
+            return true;
+        };
+        let mut ords = Vec::new();
+        if !pk.insert(out, x, y, &mut ords) {
+            return false;
+        }
+        undo.ords.extend(ords.into_iter().map(|(z, o)| (ci, z, o)));
+        undo.edges.push((ci, x, y));
+        true
+    }
+
+    /// Full conservative walk-safety check of one class against the
+    /// current (tentatively updated) adjacency; mirrors
+    /// [`round_safe_conservative`](super::choice_graph::round_safe_conservative)
+    /// exactly. Returns the reachable set on success.
+    fn conservative_check(&self, ci: usize) -> Option<Vec<bool>> {
+        let cg = &self.classes[ci];
+        let n = self.nodes.len();
+        // The ingress' new-rule edge is always exposable to NEW-tagged
+        // packets, independent of the candidate set.
+        let overlay = (cg.tag == VersionTag::NEW)
+            .then_some(self.src_new_edge)
+            .flatten();
+        // Out-edges of `u`, including the ingress overlay.
+        let edges = |u: u32, k: usize| -> Option<u32> {
+            let outs = &cg.out[u as usize];
+            if k < outs.len() {
+                Some(outs[k])
+            } else if k == outs.len() && u == self.src {
+                overlay
+            } else {
+                None
+            }
+        };
+
+        // Reachability from the source (the destination absorbs).
+        let mut reach = vec![false; n];
+        let mut queue = vec![self.src];
+        reach[self.src as usize] = true;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let u = queue[qi];
+            qi += 1;
+            if u == self.dst {
+                continue;
+            }
+            let mut k = 0;
+            while let Some(t) = edges(u, k) {
+                k += 1;
+                if !reach[t as usize] {
+                    reach[t as usize] = true;
+                    queue.push(t);
+                }
+            }
+        }
+
+        // Blackhole freedom: no reachable switch may lose its rule.
+        if self.walk_props.contains(Property::BlackholeFreedom)
+            && reach
+                .iter()
+                .zip(cg.may_blackhole.iter())
+                .any(|(&r, &b)| r && b)
+        {
+            return None;
+        }
+
+        // Relaxed loop freedom: no cycle within the reachable part.
+        if self.walk_props.contains(Property::RelaxedLoopFreedom) {
+            let mut color = vec![0u8; n]; // 0 white, 1 gray, 2 black
+            for start in 0..n as u32 {
+                if !reach[start as usize] || color[start as usize] != 0 {
+                    continue;
+                }
+                // Iterative DFS over the reachable subgraph.
+                let mut stack: Vec<(u32, usize)> = vec![(start, 0)];
+                color[start as usize] = 1;
+                while let Some(&mut (u, ref mut child)) = stack.last_mut() {
+                    let k = *child;
+                    *child += 1;
+                    match edges(u, k) {
+                        Some(t) => {
+                            if !reach[t as usize] {
+                                continue;
+                            }
+                            match color[t as usize] {
+                                0 => {
+                                    color[t as usize] = 1;
+                                    stack.push((t, 0));
+                                }
+                                1 => return None, // reachable cycle
+                                _ => {}
+                            }
+                        }
+                        None => {
+                            color[u as usize] = 2;
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Waypoint enforcement: with the waypoint removed, the
+        // destination must be unreachable.
+        if self.walk_props.contains(Property::WaypointEnforcement) {
+            if let Some(w) = self.waypoint {
+                let mut reach2 = vec![false; n];
+                let mut queue2 = Vec::new();
+                if self.src != w {
+                    reach2[self.src as usize] = true;
+                    queue2.push(self.src);
+                }
+                let mut qi = 0;
+                while qi < queue2.len() {
+                    let u = queue2[qi];
+                    qi += 1;
+                    if u == self.dst {
+                        continue;
+                    }
+                    let mut k = 0;
+                    while let Some(t) = edges(u, k) {
+                        k += 1;
+                        if t != w && !reach2[t as usize] {
+                            reach2[t as usize] = true;
+                            queue2.push(t);
+                        }
+                    }
+                }
+                if reach2[self.dst as usize] {
+                    return None;
+                }
+            }
+        }
+        Some(reach)
+    }
+
+    /// Restore the exact pre-push state.
+    fn rollback(&mut self, undo: Undo) {
+        for &(ci, x, y) in undo.edges.iter().rev() {
+            let ClassGraph { out, pk, .. } = &mut self.classes[ci];
+            let popped = out[x as usize].pop();
+            debug_assert_eq!(popped, Some(y));
+            if let Some(pk) = pk {
+                let popped = pk.ins[y as usize].pop();
+                debug_assert_eq!(popped, Some(x));
+            }
+        }
+        for &(ci, node, old) in undo.ords.iter().rev() {
+            self.classes[ci]
+                .pk
+                .as_mut()
+                .expect("ord undo implies pk")
+                .ord[node as usize] = old;
+        }
+        for &(ci, node) in undo.blackholes.iter().rev() {
+            self.classes[ci].may_blackhole[node as usize] = false;
+        }
+        if undo.drop_class {
+            self.classes.pop();
+        }
+        if let Some((node, prev)) = undo.flags {
+            self.flags[node as usize] = prev;
+        }
+        if undo.flip_set {
+            self.flip_pending = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::round_admissible;
+    use sdn_topo::route::RoutePath;
+    use sdn_types::DetRng;
+
+    fn inst(old: &[u64], new: &[u64], wp: Option<u64>) -> UpdateInstance {
+        UpdateInstance::new(
+            RoutePath::from_raw(old).unwrap(),
+            RoutePath::from_raw(new).unwrap(),
+            wp.map(DpId),
+        )
+        .unwrap()
+    }
+
+    /// Drive a probe and the stateless oracle side by side.
+    fn check_agreement(
+        inst: &UpdateInstance,
+        base: &ConfigState<'_>,
+        candidates: &[RuleOp],
+        props: PropertySet,
+        mode: OracleMode,
+    ) {
+        let mut probe = AdmissionProbe::open(inst, base, props, mode);
+        let mut accepted: Vec<RuleOp> = Vec::new();
+        for &op in candidates {
+            let mut trial = accepted.clone();
+            trial.push(op);
+            let expect = round_admissible(inst, base, &trial, &props, mode);
+            let got = probe.try_push(op);
+            assert_eq!(
+                got, expect,
+                "mode {mode:?} props {props:?}: {inst} accepted={accepted:?} op={op:?}"
+            );
+            if got {
+                accepted.push(op);
+            }
+        }
+        assert_eq!(probe.ops(), accepted.as_slice());
+    }
+
+    #[test]
+    fn agrees_on_reversal_activations() {
+        for n in [4u64, 6, 9] {
+            let pair = sdn_topo::gen::reversal(n);
+            let i = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+            let base = ConfigState::initial(&i);
+            let cands: Vec<RuleOp> = (1..n).map(|v| RuleOp::Activate(DpId(v))).collect();
+            for mode in [OracleMode::Conservative, OracleMode::Exact] {
+                for props in [
+                    PropertySet::loop_free_relaxed(),
+                    PropertySet::loop_free_strong(),
+                ] {
+                    check_agreement(&i, &base, &cands, props, mode);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_waypoint() {
+        let i = inst(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5], Some(3));
+        let base = ConfigState::initial(&i);
+        let cands: Vec<RuleOp> = (1..5).map(|v| RuleOp::Activate(DpId(v))).collect();
+        for mode in [OracleMode::Conservative, OracleMode::Exact] {
+            check_agreement(&i, &base, &cands, PropertySet::transiently_secure(), mode);
+        }
+    }
+
+    #[test]
+    fn rejection_leaves_state_unchanged() {
+        // After a rejected push, later decisions must match a fresh
+        // session that never saw the rejected candidate.
+        let pair = sdn_topo::gen::reversal(8);
+        let i = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+        let base = ConfigState::initial(&i);
+        let props = PropertySet::loop_free_strong();
+        let mut probe = AdmissionProbe::open(&i, &base, props, OracleMode::Conservative);
+        assert!(probe.try_push(RuleOp::Activate(DpId(2))));
+        assert!(!probe.try_push(RuleOp::Activate(DpId(3)))); // SLF cycle with 2
+        let mut fresh = AdmissionProbe::open(&i, &base, props, OracleMode::Conservative);
+        assert!(fresh.try_push(RuleOp::Activate(DpId(2))));
+        for v in 4..8u64 {
+            let a = probe.try_push(RuleOp::Activate(DpId(v)));
+            let b = fresh.try_push(RuleOp::Activate(DpId(v)));
+            assert_eq!(a, b, "divergence after rollback at v={v}");
+        }
+    }
+
+    #[test]
+    fn flip_and_tagged_pushes_agree() {
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        let base = ConfigState::initial(&i);
+        let cands = [
+            RuleOp::InstallTagged(DpId(3)),
+            RuleOp::InstallTagged(DpId(2)),
+            RuleOp::FlipIngress,
+            RuleOp::InstallTagged(DpId(1)),
+        ];
+        for mode in [OracleMode::Conservative, OracleMode::Exact] {
+            for props in [PropertySet::loop_free_relaxed(), PropertySet::all()] {
+                check_agreement(&i, &base, &cands, props, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_foreign_ops_are_noops() {
+        let i = inst(&[1, 2, 3], &[1, 2, 3], None);
+        let base = ConfigState::initial(&i);
+        let props = PropertySet::loop_free_relaxed();
+        for mode in [OracleMode::Conservative, OracleMode::Exact] {
+            let mut probe = AdmissionProbe::open(&i, &base, props, mode);
+            assert!(probe.try_push(RuleOp::Activate(DpId(1))));
+            assert!(probe.try_push(RuleOp::Activate(DpId(1)))); // duplicate
+            assert!(probe.try_push(RuleOp::Activate(DpId(99)))); // not a participant
+        }
+    }
+
+    #[test]
+    fn local_nexts_matches_possible_nexts() {
+        use crate::checker::choice_graph::possible_nexts;
+        let mut rng = DetRng::new(7);
+        for _ in 0..20 {
+            let pair = sdn_topo::gen::random_permutation(7, &mut rng);
+            let i = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+            let mut base = ConfigState::initial(&i);
+            let mut ops: Vec<RuleOp> = Vec::new();
+            for (v, _) in i.nodes() {
+                match rng.index(5) {
+                    0 => base.apply(&RuleOp::Activate(v)),
+                    1 => ops.push(RuleOp::Activate(v)),
+                    2 => ops.push(RuleOp::RemoveOld(v)),
+                    3 => ops.push(RuleOp::InstallTagged(v)),
+                    _ => {}
+                }
+            }
+            let probe =
+                AdmissionProbe::open(&i, &base, PropertySet::all(), OracleMode::Conservative);
+            for tag in [VersionTag::OLD, VersionTag::NEW] {
+                for (v, _) in i.nodes() {
+                    let vi = probe.nodes.idx(v).unwrap();
+                    let mut flags = 0u8;
+                    for op in &ops {
+                        flags |= match op {
+                            RuleOp::Activate(x) if *x == v => F_ACT,
+                            RuleOp::RemoveOld(x) if *x == v => F_REM,
+                            RuleOp::InstallTagged(x) if *x == v => F_TAG,
+                            _ => 0,
+                        };
+                    }
+                    let (targets, has_none) = probe.local_nexts(vi, tag, flags);
+                    let reference = possible_nexts(&i, &base, &ops, v, tag);
+                    let mut got: BTreeSet<Option<DpId>> = targets
+                        .into_iter()
+                        .map(|t| Some(probe.nodes.ids[t as usize]))
+                        .collect();
+                    if has_none {
+                        got.insert(None);
+                    }
+                    assert_eq!(got, reference, "{i} v={v} tag={tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pearce_kelly_matches_naive_cycle_check() {
+        // Random edge insertions over a small node set: PK must accept
+        // exactly the edges that keep the graph acyclic.
+        let mut rng = DetRng::new(42);
+        for trial in 0..50 {
+            let n = 8usize;
+            let out: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut pk = Pk::init(&out);
+            let mut probe_out = out;
+            let mut naive: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for _ in 0..20 {
+                let x = rng.index(n) as u32;
+                let y = rng.index(n) as u32;
+                if x == y || probe_out[x as usize].contains(&y) {
+                    continue;
+                }
+                let accepted = pk.insert(&mut probe_out, x, y, &mut Vec::new());
+                naive[x as usize].push(y);
+                let cyclic = has_cycle(&naive);
+                assert_eq!(accepted, !cyclic, "trial {trial}: edge {x}->{y}");
+                if !accepted {
+                    naive[x as usize].pop();
+                }
+                // Invariant: accepted edges respect the order.
+                for (a, ts) in probe_out.iter().enumerate() {
+                    for &b in ts {
+                        assert!(pk.ord[a] < pk.ord[b as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn has_cycle(adj: &[Vec<u32>]) -> bool {
+        let n = adj.len();
+        let mut color = vec![0u8; n];
+        fn dfs(v: usize, adj: &[Vec<u32>], color: &mut [u8]) -> bool {
+            color[v] = 1;
+            for &t in &adj[v] {
+                let c = color[t as usize];
+                if c == 1 || (c == 0 && dfs(t as usize, adj, color)) {
+                    return true;
+                }
+            }
+            color[v] = 2;
+            false
+        }
+        (0..n).any(|v| color[v] == 0 && dfs(v, adj, &mut color))
+    }
+}

@@ -23,12 +23,22 @@
 //!   cross-validate the other two in tests and for small rounds.
 //!
 //! [`verify_schedule`] orchestrates them; [`round_admissible`] exposes
-//! the same machinery as a safety oracle for the greedy schedulers.
+//! the same machinery as a *stateless* safety oracle, and
+//! [`incremental::AdmissionProbe`] is its stateful per-round session
+//! form: the greedy schedulers open one probe per round and grow the
+//! candidate set one operation at a time against incrementally
+//! maintained choice-graph, cycle-detection and walk state — the
+//! decisions are identical (cross-validated in
+//! `tests/checker_cross_validation.rs`), the cost per probe drops from
+//! a full re-verification to amortized polylogarithmic work.
 
 pub mod choice_graph;
 pub mod decision_walk;
 pub mod exhaustive;
+pub mod incremental;
 pub mod sampling;
+
+pub use incremental::AdmissionProbe;
 
 use std::fmt;
 

@@ -1,7 +1,9 @@
-//! Cross-validation of the three checker engines on randomized
-//! instances and rounds: the exact engines must agree with brute
-//! force, and the conservative oracle must never accept what brute
-//! force rejects (soundness).
+//! Cross-validation of the checker engines on randomized instances
+//! and rounds: the exact engines must agree with brute force, the
+//! conservative oracle must never accept what brute force rejects
+//! (soundness), and the stateful [`AdmissionProbe`] session must make
+//! exactly the decisions of the stateless [`round_admissible`] oracle
+//! in both oracle modes.
 
 use proptest::prelude::*;
 
@@ -11,6 +13,7 @@ use update_core::checker::choice_graph::{check_round_slf, round_safe_conservativ
 use update_core::checker::decision_walk::check_round;
 use update_core::checker::exhaustive::check_round_exhaustive;
 use update_core::checker::sampling::check_round_sampled;
+use update_core::checker::{round_admissible, AdmissionProbe, OracleMode};
 use update_core::config::ConfigState;
 use update_core::model::{NodeRole, UpdateInstance};
 use update_core::properties::{Property, PropertySet};
@@ -52,6 +55,58 @@ fn apply_base<'a>(inst: &'a UpdateInstance, base_ops: &[RuleOp]) -> ConfigState<
     let mut c = ConfigState::initial(inst);
     c.apply_all(base_ops);
     c
+}
+
+/// Build an instance from one of the three workload families plus a
+/// random (committed base, candidate sequence) split — the candidate
+/// sequence mixes activations with removals, tagged installs and the
+/// occasional ingress flip, so every session code path is exercised.
+fn probe_setup(seed: u64, n: u64, family: u8) -> (UpdateInstance, Vec<RuleOp>, Vec<RuleOp>) {
+    let mut rng = DetRng::new(seed);
+    let pair = match family {
+        0 => sdn_topo::gen::random_permutation(n, &mut rng),
+        1 => sdn_topo::gen::reversal(n),
+        _ => sdn_topo::gen::waypointed(n.max(5), rng.chance(0.5), &mut rng),
+    };
+    let inst = UpdateInstance::new(pair.old, pair.new, pair.waypoint).unwrap();
+    let mut base_ops = Vec::new();
+    let mut candidates = Vec::new();
+    for (v, role) in inst.nodes() {
+        if v == inst.dst() {
+            continue;
+        }
+        match role {
+            NodeRole::Shared | NodeRole::NewOnly => match rng.index(4) {
+                0 => base_ops.push(RuleOp::Activate(v)),
+                1 | 2 => candidates.push(RuleOp::Activate(v)),
+                _ => {}
+            },
+            NodeRole::OldOnly => {
+                if rng.chance(0.25) {
+                    candidates.push(RuleOp::RemoveOld(v));
+                }
+            }
+        }
+        if role == NodeRole::Shared && rng.chance(0.15) {
+            candidates.push(RuleOp::InstallTagged(v));
+        }
+        // Occasionally start from a base that already carries tagged
+        // rules, so sessions open onto non-trivial NEW-class state.
+        if role == NodeRole::Shared && rng.chance(0.1) {
+            base_ops.push(RuleOp::InstallTagged(v));
+        }
+    }
+    if rng.chance(0.25) {
+        candidates.push(RuleOp::FlipIngress);
+    }
+    // Occasionally the base is already flipped: the session must then
+    // open with the NEW tag class only (and treat further flips as
+    // no-ops), matching the stateless oracle.
+    if rng.chance(0.15) {
+        base_ops.push(RuleOp::FlipIngress);
+    }
+    rng.shuffle(&mut candidates);
+    (inst, base_ops, candidates)
 }
 
 proptest! {
@@ -107,6 +162,53 @@ proptest! {
         }
     }
 
+    /// The stateful session oracle makes exactly the stateless
+    /// decisions, in both oracle modes, across the three workload
+    /// families (random permutation, reversal, waypointed).
+    #[test]
+    fn admission_probe_matches_stateless_oracle(
+        seed in 0u64..1_000_000,
+        n in 4u64..9,
+        family in 0u8..3,
+    ) {
+        let (inst, base_ops, candidates) = probe_setup(seed, n, family);
+        prop_assume!(!candidates.is_empty());
+        let base = apply_base(&inst, &base_ops);
+        let mut prop_sets = vec![
+            PropertySet::loop_free_relaxed(),
+            PropertySet::loop_free_strong(),
+        ];
+        if inst.waypoint().is_some() {
+            prop_sets.push(PropertySet::transiently_secure());
+            prop_sets.push(PropertySet::all());
+        }
+        for props in prop_sets {
+            for mode in [OracleMode::Conservative, OracleMode::Exact] {
+                let mut probe = AdmissionProbe::open(&inst, &base, props, mode);
+                let mut accepted: Vec<RuleOp> = Vec::new();
+                for &op in &candidates {
+                    let mut trial = accepted.clone();
+                    trial.push(op);
+                    let expect = round_admissible(&inst, &base, &trial, &props, mode);
+                    let got = probe.try_push(op);
+                    prop_assert_eq!(
+                        got, expect,
+                        "mode {:?} props {:?}: {} base={:?} accepted={:?} op={:?}",
+                        mode, props, inst, base_ops, accepted, op
+                    );
+                    if got {
+                        accepted.push(op);
+                    }
+                }
+                prop_assert_eq!(probe.ops(), accepted.as_slice());
+                // The admitted set must itself be admissible.
+                if !accepted.is_empty() {
+                    prop_assert!(round_admissible(&inst, &base, &accepted, &props, mode));
+                }
+            }
+        }
+    }
+
     /// Sampling finds only violations brute force also finds.
     #[test]
     fn sampling_is_a_subset_of_exhaustive(seed in 0u64..1_000_000, n in 4u64..8) {
@@ -119,6 +221,48 @@ proptest! {
         if !sampled.is_ok() {
             let brute = check_round_exhaustive(&inst, &base, &round_ops, &props);
             prop_assert!(!brute.is_ok());
+        }
+    }
+}
+
+/// Deterministic session-vs-stateless audit along a realistic greedy
+/// trajectory: schedule a reversal instance round by round exactly as
+/// the greedy engine would (reverse new-route candidate order,
+/// committed base advancing each round), asserting every single probe
+/// decision against the stateless oracle in both modes.
+#[test]
+fn admission_probe_matches_along_greedy_reversal_schedule() {
+    let pair = sdn_topo::gen::reversal(24);
+    let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+    let props = PropertySet::loop_free_strong();
+    for mode in [OracleMode::Conservative, OracleMode::Exact] {
+        let mut base = ConfigState::initial(&inst);
+        let mut pending: Vec<DpId> = inst
+            .nodes_with_role(NodeRole::Shared)
+            .into_iter()
+            .filter(|&v| v != inst.dst())
+            .collect();
+        pending.sort_by_key(|&v| std::cmp::Reverse(inst.new_position(v).unwrap_or(0)));
+        let mut guard = 0;
+        while !pending.is_empty() {
+            guard += 1;
+            assert!(guard <= 64, "schedule did not converge");
+            let mut probe = AdmissionProbe::open(&inst, &base, props, mode);
+            let mut accepted: Vec<RuleOp> = Vec::new();
+            for &v in &pending {
+                let op = RuleOp::Activate(v);
+                let mut trial = accepted.clone();
+                trial.push(op);
+                let expect = round_admissible(&inst, &base, &trial, &props, mode);
+                let got = probe.try_push(op);
+                assert_eq!(got, expect, "round {guard} mode {mode:?} candidate {v}");
+                if got {
+                    accepted.push(op);
+                }
+            }
+            assert!(!accepted.is_empty(), "greedy must make progress");
+            base.apply_all(&accepted);
+            pending.retain(|&v| !accepted.contains(&RuleOp::Activate(v)));
         }
     }
 }

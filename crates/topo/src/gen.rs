@@ -172,6 +172,25 @@ pub fn comb(n: u64) -> UpdatePair {
     UpdatePair::plain(old, new)
 }
 
+/// Old ⟨1,…,n⟩; new route rotates the interior left by `k`:
+/// ⟨1, 2+k, 3+k, …, n−1, 2, 3, …, 1+k, n⟩. Every switch in the moved
+/// suffix jumps backward by n−2−k positions with overlapping spans —
+/// a tunable middle ground between the all-backward [`reversal`] and
+/// the all-forward [`random_subsequence`], used by the scheduler
+/// scaling experiments at n ≥ 256.
+pub fn rotation(n: u64, k: u64) -> UpdatePair {
+    assert!(n >= 4, "rotation needs n >= 4");
+    let interior = n - 2; // switches 2..=n-1
+    let k = k % interior;
+    let old = RoutePath::from_raw(&(1..=n).collect::<Vec<_>>()).expect("valid");
+    let mut ids = vec![1];
+    ids.extend(2 + k..n);
+    ids.extend(2..2 + k);
+    ids.push(n);
+    let new = RoutePath::from_raw(&ids).expect("valid");
+    UpdatePair::plain(old, new)
+}
+
 /// A parameterized Figure-1 shape: old route ⟨1,…,k,…,n⟩, new route
 /// that shares only the source, waypoint `k` and destination, detouring
 /// through fresh switches `n+1, n+2, …` elsewhere.
@@ -365,6 +384,31 @@ mod tests {
         let t = materialize(&p);
         p.old.validate_on(&t).unwrap();
         p.new.validate_on(&t).unwrap();
+    }
+
+    #[test]
+    fn rotation_shape() {
+        let p = rotation(8, 3);
+        assert_eq!(p.old.raw(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(p.new.raw(), vec![1, 5, 6, 7, 2, 3, 4, 8]);
+    }
+
+    #[test]
+    fn rotation_visits_every_switch_once() {
+        for n in [4u64, 9, 33, 257] {
+            for k in [0u64, 1, 5, n] {
+                let p = rotation(n, k);
+                let mut ids = p.new.raw();
+                ids.sort_unstable();
+                assert_eq!(ids, (1..=n).collect::<Vec<_>>(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_zero_is_identity() {
+        let p = rotation(6, 0);
+        assert_eq!(p.new, p.old);
     }
 
     #[test]
