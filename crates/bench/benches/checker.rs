@@ -1,10 +1,14 @@
-//! Micro-benchmark: transient verification cost.
+//! Micro-benchmark: transient verification cost — the stateless
+//! verifier against the incremental (cross-round session) and
+//! parallel engines on the same schedules.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use sdn_topo::builders::figure1;
-use update_core::algorithms::{Peacock, UpdateScheduler, WayUp};
-use update_core::checker::verify_schedule;
+use update_core::algorithms::{Peacock, SlfGreedy, UpdateScheduler, WayUp};
+use update_core::checker::{
+    verify_schedule, verify_schedule_incremental, verify_schedule_parallel,
+};
 use update_core::model::UpdateInstance;
 use update_core::properties::PropertySet;
 
@@ -43,6 +47,41 @@ fn bench_checker(c: &mut Criterion) {
                 black_box(&rev_inst),
                 black_box(&rev_sched),
                 PropertySet::loop_free_strong(),
+            )
+        })
+    });
+
+    // Whole-schedule verification at scale: the Θ(n)-round SLF
+    // schedule is where per-round rebuilds hurt; the incremental
+    // verifier reuses the cross-round session state instead.
+    let big = sdn_topo::gen::reversal(256);
+    let big_inst = UpdateInstance::new(big.old, big.new, None).unwrap();
+    let big_sched = SlfGreedy::default().schedule(&big_inst).unwrap();
+    c.bench_function("checker/verify_reversal256_slf_stateless", |b| {
+        b.iter(|| {
+            verify_schedule(
+                black_box(&big_inst),
+                black_box(&big_sched),
+                PropertySet::loop_free_strong(),
+            )
+        })
+    });
+    c.bench_function("checker/verify_reversal256_slf_incremental", |b| {
+        b.iter(|| {
+            verify_schedule_incremental(
+                black_box(&big_inst),
+                black_box(&big_sched),
+                PropertySet::loop_free_strong(),
+            )
+        })
+    });
+    c.bench_function("checker/verify_reversal256_slf_parallel2", |b| {
+        b.iter(|| {
+            verify_schedule_parallel(
+                black_box(&big_inst),
+                black_box(&big_sched),
+                PropertySet::loop_free_strong(),
+                2,
             )
         })
     });

@@ -1,9 +1,12 @@
 //! Micro-benchmark: schedule computation cost vs instance size.
 //!
-//! The scaling sizes (256/512/1024) exercise the incremental
+//! The scaling sizes (256–1024 by default) exercise the cross-round
 //! `AdmissionProbe` session — the stateless oracle made these sizes
-//! intractable (~26 ms at reversal/64 before PR 2). Set
-//! `SCHED_BENCH_MAX_N` to cap the sizes (CI smoke uses 256).
+//! intractable (~26 ms at reversal/64 before PR 2), and per-round
+//! session re-opens capped the sweep at n = 1024 before PR 3. Set
+//! `SCHED_BENCH_MAX_N` to cap (CI smoke uses 256) or raise (2048 and
+//! 4096 are registered but opt-in, to keep default runs short) the
+//! sizes.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -49,8 +52,12 @@ fn bench_schedulers(c: &mut Criterion) {
     }
 
     // Scaling tier: reversal (the SLF worst case) and random
-    // permutations at datacenter-ish path lengths.
-    for n in [256u64, 512, 1024].into_iter().filter(|&n| n <= cap) {
+    // permutations at datacenter-ish path lengths. 2048/4096 run only
+    // when SCHED_BENCH_MAX_N raises the cap.
+    for n in [256u64, 512, 1024, 2048, 4096]
+        .into_iter()
+        .filter(|&n| n <= cap)
+    {
         let rev = sdn_topo::gen::reversal(n);
         let rev_inst = UpdateInstance::new(rev.old, rev.new, None).unwrap();
         group.bench_with_input(

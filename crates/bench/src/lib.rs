@@ -11,6 +11,7 @@
 //! | `exp_violations`      | E4 — transient violations, one-shot vs scheduled |
 //! | `exp_barrier_overhead`| E5 — barrier cost decomposition, loss sensitivity |
 //! | `exp_ablation`        | E6 — orderings, oracles, FIFO, sub-schedulers |
+//! | `bench_check`         | CI perf-regression gate over the JSON exports |
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
@@ -18,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod regression;
 pub mod stats;
 pub mod table;
 

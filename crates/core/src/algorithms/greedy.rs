@@ -2,19 +2,23 @@
 //!
 //! Each round, candidates are proposed in an algorithm-specific order
 //! and admitted while the round stays safe according to the property
-//! oracle. The engine opens one [`AdmissionProbe`] session per round
-//! and grows the candidate set one operation at a time: the session
-//! maintains the choice graph, the topological order (incremental
-//! cycle detection) and the walk state across probes, so each
-//! admission question costs amortized polylogarithmic work instead of
-//! the full re-verification the stateless
-//! [`round_admissible`](crate::checker::round_admissible) pays. The
-//! decisions are identical — the stateless oracle remains the
+//! oracle. The engine opens **one [`AdmissionProbe`] session per
+//! schedule** and grows each round's candidate set one operation at a
+//! time: the session maintains the choice graph, the topological
+//! order (incremental cycle detection) and the walk state across
+//! probes, and [`AdmissionProbe::commit_round`] re-seeds those
+//! structures from the committed round's deltas instead of rebuilding
+//! them — so a full greedy schedule costs O(total probes · amortized
+//! polylog) instead of the former O(rounds × n) session re-opens
+//! (which capped reversal workloads near n ≈ 1024). The decisions are
+//! identical — the stateless
+//! [`round_admissible`](crate::checker::round_admissible) remains the
 //! cross-validation reference. The conservative (polynomial) oracle is
 //! consulted first; if a whole round would come out empty, the engine
-//! retries with the exact oracle before declaring the instance stuck —
-//! so conservative over-rejection can cost rounds, never correctness
-//! or spurious failure.
+//! retries with a fresh exact-oracle probe before declaring the
+//! instance stuck, then advances the conservative session past the
+//! exact round — so conservative over-rejection can cost rounds,
+//! never correctness or spurious failure.
 //!
 //! Progress argument (no-waypoint case): the *deepest pending switch in
 //! new-route order* is always admissible — all its new-route successors
@@ -143,12 +147,59 @@ pub(crate) fn greedy_rounds(
     prefer_conservative: bool,
 ) -> Result<Vec<Round>, SchedulerError> {
     let mut rounds = Vec::new();
+    if pending.is_empty() {
+        return Ok(rounds);
+    }
+    let primary = if prefer_conservative {
+        OracleMode::Conservative
+    } else {
+        OracleMode::Exact
+    };
+    // One session for the whole schedule: `commit_round` re-seeds it
+    // from each round's deltas instead of re-opening per round.
+    let mut session = AdmissionProbe::open(inst, base, *props, primary);
+    // Base-independent orderings are sorted once and only shrink;
+    // walk-dependent orderings are recomputed per round.
+    let static_order = matches!(
+        ordering,
+        CandidateOrdering::NewRouteReverse | CandidateOrdering::OldRoutePosition
+    );
+    if static_order {
+        pending = order_candidates(ordering, inst, base, &pending);
+    }
     while !pending.is_empty() {
-        let round = next_round(inst, base, &pending, props, ordering, prefer_conservative)?;
+        let reordered;
+        let ordered: &[DpId] = if static_order {
+            &pending
+        } else {
+            reordered = order_candidates(ordering, inst, base, &pending);
+            &reordered
+        };
+        for &v in ordered {
+            session.try_push(RuleOp::Activate(v));
+        }
+        let ops = if !session.is_empty() {
+            session.commit_round()
+        } else if prefer_conservative {
+            // Conservative over-rejection emptied the round: retry the
+            // round with a fresh exact probe, then advance the
+            // conservative session past the exactly-decided round.
+            let mut exact = AdmissionProbe::open(inst, base, *props, OracleMode::Exact);
+            for &v in ordered {
+                exact.try_push(RuleOp::Activate(v));
+            }
+            if exact.is_empty() {
+                return Err(SchedulerError::Stuck { remaining: pending });
+            }
+            let ops = exact.into_ops();
+            session.advance(&ops);
+            ops
+        } else {
+            return Err(SchedulerError::Stuck { remaining: pending });
+        };
         // Remove all of the round's activations in one pass (a retain
         // per activated op made this quadratic per round).
-        let activated: BTreeSet<DpId> = round
-            .ops
+        let activated: BTreeSet<DpId> = ops
             .iter()
             .filter_map(|op| match op {
                 RuleOp::Activate(v) => Some(*v),
@@ -156,39 +207,10 @@ pub(crate) fn greedy_rounds(
             })
             .collect();
         pending.retain(|v| !activated.contains(v));
-        base.apply_all(&round.ops);
-        rounds.push(round);
+        base.apply_all(&ops);
+        rounds.push(Round::new(ops));
     }
     Ok(rounds)
-}
-
-/// Compute one maximal safe round from `pending`.
-pub(crate) fn next_round(
-    inst: &UpdateInstance,
-    base: &ConfigState<'_>,
-    pending: &[DpId],
-    props: &PropertySet,
-    ordering: CandidateOrdering,
-    prefer_conservative: bool,
-) -> Result<Round, SchedulerError> {
-    let ordered = order_candidates(ordering, inst, base, pending);
-    let modes: &[OracleMode] = if prefer_conservative {
-        &[OracleMode::Conservative, OracleMode::Exact]
-    } else {
-        &[OracleMode::Exact]
-    };
-    for &mode in modes {
-        let mut probe = AdmissionProbe::open(inst, base, *props, mode);
-        for &v in &ordered {
-            probe.try_push(RuleOp::Activate(v));
-        }
-        if !probe.is_empty() {
-            return Ok(Round::new(probe.into_ops()));
-        }
-    }
-    Err(SchedulerError::Stuck {
-        remaining: pending.to_vec(),
-    })
 }
 
 #[cfg(test)]

@@ -20,11 +20,15 @@
 //!   (always consistent, but doubles rules and ignores rule-space
 //!   cost).
 //!
-//! The greedy schedulers share one admission path: the engine in
-//! [`greedy`] opens a stateful
+//! The greedy schedulers share one admission path: the internal
+//! greedy engine opens a stateful
 //! [`AdmissionProbe`](crate::checker::AdmissionProbe) session per
-//! round, so safety probing scales to four-digit switch counts (see
-//! `exp_rounds_scaling` and the `schedulers` bench).
+//! *schedule* and carries it across rounds
+//! ([`AdmissionProbe::commit_round`](crate::checker::AdmissionProbe::commit_round)
+//! re-seeds the incremental state from each committed round's deltas),
+//! so safety probing scales to n = 4096 reversal schedules in a few
+//! hundred milliseconds (see `exp_rounds_scaling` and the
+//! `schedulers` bench).
 
 mod greedy;
 mod oneshot;

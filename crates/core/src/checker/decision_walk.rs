@@ -55,7 +55,7 @@ pub fn check_round_with_budget(
     props: &PropertySet,
     leaf_budget: u64,
 ) -> CheckReport {
-    explore(inst, base, ops, props, leaf_budget, None)
+    explore(inst, base, ops, props, leaf_budget, false, None)
 }
 
 /// [`check_round_with_budget`] that additionally records, into
@@ -64,15 +64,31 @@ pub fn check_round_with_budget(
 /// re-exploration for candidate operations at switches no walk can
 /// reach: behaviour at unvisited switches cannot influence any branch,
 /// so both the verdict and the touched set are provably unchanged.
+///
+/// With `fail_fast`, exploration stops at the first violating leaf —
+/// the probe session only needs a verdict, not witnesses. The touched
+/// set is then truncated, which is sound for the session's memo: a
+/// failing verdict rejects every further candidate regardless of the
+/// touched set (any superset round still contains the violating
+/// transient subset), and a passing verdict never fails fast.
 pub(crate) fn check_round_collecting(
     inst: &UpdateInstance,
     base: &ConfigState<'_>,
     ops: &[RuleOp],
     props: &PropertySet,
     leaf_budget: u64,
+    fail_fast: bool,
     touched: &mut BTreeSet<DpId>,
 ) -> CheckReport {
-    explore(inst, base, ops, props, leaf_budget, Some(touched))
+    explore(
+        inst,
+        base,
+        ops,
+        props,
+        leaf_budget,
+        fail_fast,
+        Some(touched),
+    )
 }
 
 /// Per-switch index of the round's operations, preserving ops order,
@@ -123,6 +139,7 @@ fn explore(
     ops: &[RuleOp],
     props: &PropertySet,
     leaf_budget: u64,
+    fail_fast: bool,
     touched: Option<&mut BTreeSet<DpId>>,
 ) -> CheckReport {
     let mut ex = Explorer {
@@ -133,6 +150,7 @@ fn explore(
         props,
         report: CheckReport::default(),
         leaves_left: leaf_budget,
+        fail_fast,
         touched,
     };
     let mut decisions: Vec<Option<bool>> = vec![None; ops.len()];
@@ -160,6 +178,7 @@ struct Explorer<'a, 'b, 'c> {
     props: &'b PropertySet,
     report: CheckReport,
     leaves_left: u64,
+    fail_fast: bool,
     touched: Option<&'c mut BTreeSet<DpId>>,
 }
 
@@ -255,6 +274,9 @@ impl Explorer<'_, '_, '_> {
         visited: &mut Vec<DpId>,
         decisions: &mut Vec<Option<bool>>,
     ) {
+        if self.fail_fast && !self.report.violations.is_empty() {
+            return;
+        }
         if let Some(t) = self.touched.as_deref_mut() {
             t.insert(v);
         }
@@ -500,6 +522,7 @@ mod tests {
             &ops,
             &PropertySet::all(),
             DEFAULT_LEAF_BUDGET,
+            false,
             &mut touched,
         );
         assert!(rep.is_ok());

@@ -1,5 +1,5 @@
-//! The stateful admission oracle: a per-round probe session for the
-//! greedy schedulers.
+//! The stateful admission oracle: a probe session for the greedy
+//! schedulers, carried **across rounds**.
 //!
 //! [`round_admissible`](super::round_admissible) answers each
 //! admissibility question from scratch: it rebuilds the choice graph,
@@ -10,18 +10,23 @@
 //! reversal workloads).
 //!
 //! [`AdmissionProbe`] keeps the state alive across the probes of one
-//! round:
+//! round — and, since PR 3, across *rounds*:
 //!
 //! * **Choice graph** — per tag class, maintained by per-switch edge
 //!   deltas: pushing one operation adds at most one rule edge per
 //!   class and never removes one, so the graph only ever grows within
-//!   a round.
+//!   a round. Committing a round collapses each touched switch's
+//!   pending-subset union to its fully-applied edge set — a pure
+//!   *narrowing*, handled by [`AdmissionProbe::advance`] as per-switch
+//!   edge deletions in O(round deltas) instead of an O(n) rebuild.
 //! * **Strong loop freedom** — incremental cycle detection by
 //!   topological-order maintenance (Pearce–Kelly): an edge insertion
 //!   that would close a cycle is detected during the discovery phase,
 //!   *before* any mutation, so the common rejection case is O(affected
 //!   region) with nothing to undo; accepted insertions reorder only
-//!   the region between the edge endpoints.
+//!   the region between the edge endpoints. Edge deletions never
+//!   invalidate a topological order, so the maintained order survives
+//!   round commits untouched.
 //! * **Conservative walk safety** — the source-reachable set is
 //!   cached. A candidate at a switch the cached set does not reach
 //!   cannot change any walk-based verdict (its new edges hang off an
@@ -36,12 +41,15 @@
 //!
 //! Every [`AdmissionProbe::try_push`] either commits (the candidate
 //! joins the round) or rolls back to the exact prior state through an
-//! undo log. The stateless oracle remains authoritative as the
-//! cross-validation reference:
+//! undo log; [`AdmissionProbe::commit_round`] folds the admitted round
+//! into the session's owned base configuration and re-seeds the caches
+//! for the next round. A session advanced this way is observationally
+//! identical to a freshly opened one. The stateless oracle remains
+//! authoritative as the cross-validation reference:
 //! `crates/core/tests/checker_cross_validation.rs` asserts decision
 //! equality against [`round_admissible`](super::round_admissible) on
-//! randomized permutation, reversal and waypointed workloads in both
-//! oracle modes.
+//! randomized permutation, reversal, waypointed and fat-tree workloads
+//! in both oracle modes, per probe and along full greedy trajectories.
 
 use std::collections::BTreeSet;
 
@@ -61,16 +69,32 @@ const F_ACT: u8 = 1;
 const F_REM: u8 = 2;
 const F_TAG: u8 = 4;
 
-/// Dense switch indexing for one instance.
-struct Nodes {
-    ids: Vec<DpId>,
+/// Dense switch indexing for one instance, borrowing the instance's
+/// precomputed participant list.
+struct Nodes<'a> {
+    ids: &'a [DpId],
+    /// Direct dpid→index table when the id span is compact (generated
+    /// workloads use 1..=n); empty means fall back to binary search.
+    lookup: Vec<u32>,
+    min: u64,
 }
 
-impl Nodes {
-    fn of(inst: &UpdateInstance) -> Self {
-        Nodes {
-            ids: inst.nodes().map(|(v, _)| v).collect(),
+impl<'a> Nodes<'a> {
+    fn of(inst: &'a UpdateInstance) -> Self {
+        let ids = inst.participants();
+        let (min, max) = match (ids.first(), ids.last()) {
+            (Some(a), Some(b)) => (a.0, b.0),
+            _ => (0, 0),
+        };
+        let span = (max - min) as usize + 1;
+        let mut lookup = Vec::new();
+        if !ids.is_empty() && span <= ids.len().saturating_mul(8) {
+            lookup = vec![u32::MAX; span];
+            for (i, v) in ids.iter().enumerate() {
+                lookup[(v.0 - min) as usize] = i as u32;
+            }
         }
+        Nodes { ids, lookup, min }
     }
 
     fn len(&self) -> usize {
@@ -78,7 +102,42 @@ impl Nodes {
     }
 
     fn idx(&self, v: DpId) -> Option<u32> {
-        self.ids.binary_search(&v).ok().map(|i| i as u32)
+        if self.lookup.is_empty() {
+            return self.ids.binary_search(&v).ok().map(|i| i as u32);
+        }
+        let off = v.0.checked_sub(self.min)? as usize;
+        match self.lookup.get(off) {
+            Some(&i) if i != u32::MAX => Some(i),
+            _ => None,
+        }
+    }
+}
+
+/// The forwarding targets one switch could expose for a tag class —
+/// at most two distinct successors (old rule, new rule) plus the
+/// possibility of having no rule. Fixed-size so the per-probe hot
+/// path never allocates.
+#[derive(Clone, Copy, Default)]
+struct LocalNexts {
+    targets: [u32; 2],
+    len: u8,
+    none: bool,
+}
+
+impl LocalNexts {
+    fn push(&mut self, t: u32) {
+        if !self.contains(t) {
+            self.targets[self.len as usize] = t;
+            self.len += 1;
+        }
+    }
+
+    fn contains(&self, t: u32) -> bool {
+        self.targets[..self.len as usize].contains(&t)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.targets[..self.len as usize].iter().copied()
     }
 }
 
@@ -263,21 +322,50 @@ struct WalkMemo {
     touched: BTreeSet<DpId>,
 }
 
-/// A stateful admission session for one scheduling round.
+/// A cached rejection certificate for one switch: pushing the `bit`
+/// operation while the switch's flag state was `(base, before)` was
+/// rejected because the new edge to `y` would close a direct 2-cycle
+/// (`y`'s edge back was present in the `tag` class graph).
 ///
-/// Open one per round, [`try_push`](AdmissionProbe::try_push) each
-/// candidate in the algorithm's order, and read the admitted round
-/// from [`into_ops`](AdmissionProbe::into_ops). Each push decision
+/// The certificate is never *trusted* — it is re-proven at each use:
+/// if the flag state is unchanged the push would attempt the same
+/// edge, and if `y` still points back the insertion still closes a
+/// cycle, so the verdict is `reject` without entering discovery. Any
+/// mismatch falls through to the full evaluation. This turns the
+/// dominant probe pattern of reversal-style workloads — the same
+/// blocked candidate re-probed every round — into a few comparisons.
+#[derive(Clone, Copy)]
+struct RejectCert {
+    bit: u8,
+    before: u8,
+    base: u8,
+    tag: VersionTag,
+    y: u32,
+}
+
+/// A stateful admission session.
+///
+/// Open one per schedule (or per round — both work), [`try_push`]
+/// each candidate in the algorithm's order, then either read the
+/// admitted round destructively with [`into_ops`] or fold it into the
+/// session's base with [`commit_round`] and keep probing the next
+/// round against the advanced configuration. Each push decision
 /// equals the stateless
 /// [`round_admissible`](super::round_admissible)`(inst, base, accepted
-/// ∪ {op}, props, mode)`.
-pub struct AdmissionProbe<'a, 'b> {
+/// ∪ {op}, props, mode)` for the session's current base.
+///
+/// [`try_push`]: AdmissionProbe::try_push
+/// [`into_ops`]: AdmissionProbe::into_ops
+/// [`commit_round`]: AdmissionProbe::commit_round
+pub struct AdmissionProbe<'a> {
     inst: &'a UpdateInstance,
-    base: &'b ConfigState<'a>,
+    /// The committed configuration the session probes against — owned,
+    /// so it can advance across rounds without re-opening.
+    base: ConfigState<'a>,
     props: PropertySet,
     walk_props: PropertySet,
     mode: OracleMode,
-    nodes: Nodes,
+    nodes: Nodes<'a>,
     src: u32,
     dst: u32,
     waypoint: Option<u32>,
@@ -294,20 +382,26 @@ pub struct AdmissionProbe<'a, 'b> {
     flip_pending: bool,
     accepted: Vec<RuleOp>,
     classes: Vec<ClassGraph>,
-    /// No candidate set can ever be admissible again (cyclic base
-    /// class graph under SLF, or a conservative base violation —
-    /// conservative verdicts are monotone in the edge set).
+    /// No candidate set can ever be admissible against the current
+    /// base (cyclic base class graph under SLF, or a conservative base
+    /// violation — conservative verdicts are monotone in the edge
+    /// set). Recomputed when the base advances.
     dead: bool,
     memo: Option<WalkMemo>,
+    /// Per-switch revalidated rejection shortcuts (see [`RejectCert`]).
+    certs: Vec<Option<RejectCert>>,
+    /// An exact decision walk hit its leaf budget at least once.
+    budget_hit: bool,
     probes: u64,
 }
 
-impl<'a, 'b> AdmissionProbe<'a, 'b> {
-    /// Open a session for one round: `base` is the committed
-    /// configuration the round starts from.
+impl<'a> AdmissionProbe<'a> {
+    /// Open a session: `base` is the committed configuration probing
+    /// starts from (copied; the session advances its own copy on
+    /// [`commit_round`](AdmissionProbe::commit_round)).
     pub fn open(
         inst: &'a UpdateInstance,
-        base: &'b ConfigState<'a>,
+        base: &ConfigState<'a>,
         props: PropertySet,
         mode: OracleMode,
     ) -> Self {
@@ -340,7 +434,7 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
         let walk_props = props.without(Property::StrongLoopFreedom);
         let mut probe = AdmissionProbe {
             inst,
-            base,
+            base: base.clone(),
             props,
             walk_props,
             mode,
@@ -358,52 +452,12 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
             classes: Vec::new(),
             dead: false,
             memo: None,
+            certs: vec![None; n],
+            budget_hit: false,
             probes: 0,
         };
-
-        if probe.need_class_graphs() {
-            let mut tags = Vec::new();
-            if !base.is_flipped() {
-                tags.push(VersionTag::OLD);
-            }
-            if base.is_flipped() {
-                tags.push(VersionTag::NEW);
-            }
-            for tag in tags {
-                let cg = probe.build_class(tag);
-                if cg.pk.as_ref().is_some_and(|pk| pk.poisoned) {
-                    probe.dead = true;
-                }
-                probe.classes.push(cg);
-            }
-            if probe.mode == OracleMode::Conservative && !probe.walk_props.is_empty() {
-                for ci in 0..probe.classes.len() {
-                    match probe.conservative_check(ci) {
-                        Some(reach) => probe.classes[ci].reach = reach,
-                        // Conservative violations are monotone in the
-                        // edge set: the base already fails, so every
-                        // superset fails too.
-                        None => probe.dead = true,
-                    }
-                }
-            }
-        }
-
-        if probe.mode == OracleMode::Exact && !probe.walk_props.is_empty() {
-            let mut touched = BTreeSet::new();
-            let rep = decision_walk::check_round_collecting(
-                inst,
-                base,
-                &probe.accepted,
-                &probe.walk_props,
-                decision_walk::DEFAULT_LEAF_BUDGET,
-                &mut touched,
-            );
-            probe.memo = Some(WalkMemo {
-                ok: rep.is_ok(),
-                touched,
-            });
-        }
+        probe.rebuild_classes();
+        probe.reseed();
         probe
     }
 
@@ -413,7 +467,7 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
             || (self.mode == OracleMode::Conservative && !self.walk_props.is_empty())
     }
 
-    /// Operations admitted so far.
+    /// Operations admitted so far (since the last round commit).
     pub fn ops(&self) -> &[RuleOp] {
         &self.accepted
     }
@@ -431,6 +485,19 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
     /// Number of admissibility probes answered.
     pub fn probes(&self) -> u64 {
         self.probes
+    }
+
+    /// The committed configuration the session currently probes
+    /// against.
+    pub fn base(&self) -> &ConfigState<'a> {
+        &self.base
+    }
+
+    /// Whether any exact decision walk hit its leaf budget; verdicts
+    /// are then only exact up to the budget (the session-side mirror
+    /// of [`CheckReport::budget_exhausted`](super::CheckReport)).
+    pub fn walk_budget_exhausted(&self) -> bool {
+        self.budget_hit
     }
 
     /// Consume the session, returning the admitted round operations.
@@ -461,6 +528,195 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
                 self.rollback(undo);
                 false
             }
+        }
+    }
+
+    /// Fold the accepted round into the committed base and re-seed for
+    /// the next round, returning the round's operations. Equivalent to
+    /// — but much cheaper than — applying the ops to a config and
+    /// opening a fresh session on it.
+    pub fn commit_round(&mut self) -> Vec<RuleOp> {
+        let ops = std::mem::take(&mut self.accepted);
+        self.advance(&ops);
+        ops
+    }
+
+    /// Advance the committed base by `ops` and re-seed the session,
+    /// reusing the per-class graphs, the maintained topological order
+    /// and the successor tables.
+    ///
+    /// Committing a round *narrows* each touched switch's exposable
+    /// edge set (the pending-subset union collapses to the fully
+    /// applied state), and edge deletions never invalidate a
+    /// topological order — so the per-class state is patched per
+    /// touched switch in O(round deltas) instead of rebuilt in O(n).
+    /// Only the rare structural breaks (an ingress flip changing the
+    /// tag-class set; a poisoned class possibly healed by deletions; a
+    /// forced-through inadmissible round re-introducing edges that
+    /// close a cycle) fall back to a full rebuild.
+    ///
+    /// `ops` must cover the currently accepted set: use
+    /// [`commit_round`](AdmissionProbe::commit_round) to commit what
+    /// the session admitted, or call this with nothing accepted to
+    /// advance past a round decided elsewhere (the greedy engine's
+    /// exact-oracle fallback, the incremental verifier's violating
+    /// rounds).
+    pub fn advance(&mut self, ops: &[RuleOp]) {
+        debug_assert!(
+            self.accepted.iter().all(|a| ops.contains(a)),
+            "advance must cover the accepted set"
+        );
+        let was_flipped = self.base.is_flipped();
+        let mut touched: Vec<u32> = Vec::with_capacity(ops.len());
+        for op in ops {
+            self.base.apply(op);
+            if let Some(v) = op.switch() {
+                if let Some(i) = self.nodes.idx(v) {
+                    let bit = match op {
+                        RuleOp::Activate(_) => F_ACT,
+                        RuleOp::RemoveOld(_) => F_REM,
+                        RuleOp::InstallTagged(_) => F_TAG,
+                        RuleOp::FlipIngress => unreachable!("flip has no switch"),
+                    };
+                    self.base_flags[i as usize] |= bit;
+                    self.flags[i as usize] = 0;
+                    touched.push(i);
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        self.accepted.clear();
+        self.flip_pending = false;
+
+        let flip_committed = self.base.is_flipped() && !was_flipped;
+        let poisoned = self
+            .classes
+            .iter()
+            .any(|c| c.pk.as_ref().is_some_and(|pk| pk.poisoned));
+        if flip_committed || poisoned || self.classes.len() != usize::from(self.need_class_graphs())
+        {
+            self.rebuild_classes();
+        } else {
+            for ci in 0..self.classes.len() {
+                for &i in &touched {
+                    if !self.patch_switch(ci, i) {
+                        // A forced-through round re-introduced an edge
+                        // that closes a cycle: rebuild the class (it
+                        // comes back poisoned, deadening the session).
+                        self.rebuild_class_at(ci);
+                        break;
+                    }
+                }
+            }
+        }
+        self.reseed();
+    }
+
+    /// Build the per-tag-class graphs from the committed base (no
+    /// pending state).
+    fn rebuild_classes(&mut self) {
+        self.classes.clear();
+        if !self.need_class_graphs() {
+            return;
+        }
+        let tag = if self.base.is_flipped() {
+            VersionTag::NEW
+        } else {
+            VersionTag::OLD
+        };
+        let cg = self.build_class(tag);
+        self.classes.push(cg);
+    }
+
+    fn rebuild_class_at(&mut self, ci: usize) {
+        let tag = self.classes[ci].tag;
+        self.classes[ci] = self.build_class(tag);
+    }
+
+    /// Re-derive switch `i`'s committed edges in class `ci` after a
+    /// round commit: stale edges are deleted (the topological order
+    /// stays valid), `may_blackhole` is refreshed, and — only when a
+    /// round was forced through with inadmissible operations — new
+    /// edges are inserted through Pearce–Kelly. Returns `false` when
+    /// such an insertion would close a cycle (caller rebuilds).
+    fn patch_switch(&mut self, ci: usize, i: u32) -> bool {
+        let tag = self.classes[ci].tag;
+        let ln = self.local_nexts(i, tag, 0);
+        let ClassGraph {
+            out,
+            pk,
+            may_blackhole,
+            ..
+        } = &mut self.classes[ci];
+        let mut k = 0;
+        while k < out[i as usize].len() {
+            let t = out[i as usize][k];
+            if ln.contains(t) {
+                k += 1;
+                continue;
+            }
+            out[i as usize].swap_remove(k);
+            if let Some(pk) = pk.as_mut() {
+                let ins = &mut pk.ins[t as usize];
+                let pos = ins.iter().position(|&x| x == i).expect("ins mirrors out");
+                ins.swap_remove(pos);
+            }
+        }
+        for t in ln.iter() {
+            if out[i as usize].contains(&t) {
+                continue;
+            }
+            match pk.as_mut() {
+                None => out[i as usize].push(t),
+                Some(pk) => {
+                    let mut ords = Vec::new();
+                    if !pk.insert(out, i, t, &mut ords) {
+                        return false;
+                    }
+                }
+            }
+        }
+        may_blackhole[i as usize] = ln.none;
+        true
+    }
+
+    /// Recompute the derived caches — dead flag, conservative reach
+    /// sets, exact walk memo — for the committed base with no pending
+    /// operations. Shared by [`open`](AdmissionProbe::open) and
+    /// [`advance`](AdmissionProbe::advance).
+    fn reseed(&mut self) {
+        self.dead = self
+            .classes
+            .iter()
+            .any(|c| c.pk.as_ref().is_some_and(|pk| pk.poisoned));
+        if self.mode == OracleMode::Conservative && !self.walk_props.is_empty() {
+            for ci in 0..self.classes.len() {
+                match self.conservative_check(ci) {
+                    Some(reach) => self.classes[ci].reach = reach,
+                    // Conservative violations are monotone in the edge
+                    // set: the base already fails, so every superset
+                    // fails too.
+                    None => self.dead = true,
+                }
+            }
+        }
+        if self.mode == OracleMode::Exact && !self.walk_props.is_empty() {
+            let mut touched = BTreeSet::new();
+            let rep = decision_walk::check_round_collecting(
+                self.inst,
+                &self.base,
+                &self.accepted,
+                &self.walk_props,
+                decision_walk::DEFAULT_LEAF_BUDGET,
+                true,
+                &mut touched,
+            );
+            self.budget_hit |= rep.budget_exhausted;
+            self.memo = Some(WalkMemo {
+                ok: rep.is_ok(),
+                touched,
+            });
         }
     }
 
@@ -515,6 +771,22 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
                 if before & bit != 0 {
                     return self.verdict_unchanged(commit);
                 }
+                // Revalidate a cached rejection certificate: identical
+                // flag state means the push would attempt the same
+                // edge, and a still-present back edge still closes the
+                // cycle — reject without re-entering discovery.
+                if let [cg] = &self.classes[..] {
+                    if let Some(cert) = self.certs[i as usize] {
+                        if cert.bit == bit
+                            && cert.before == before
+                            && cert.base == self.base_flags[i as usize]
+                            && cert.tag == cg.tag
+                            && cg.out[cert.y as usize].contains(&i)
+                        {
+                            return None;
+                        }
+                    }
+                }
                 undo.flags = Some((i, before));
                 self.flags[i as usize] = before | bit;
 
@@ -523,19 +795,35 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
                 // per-switch edge set grows monotonically.
                 for ci in 0..self.classes.len() {
                     let tag = self.classes[ci].tag;
-                    let (old_targets, old_none) = self.local_nexts(i, tag, before);
-                    let (new_targets, new_none) = self.local_nexts(i, tag, before | bit);
+                    let old_nexts = self.local_nexts(i, tag, before);
+                    let new_nexts = self.local_nexts(i, tag, before | bit);
                     let mut changed = false;
-                    for t in new_targets {
-                        if old_targets.contains(&t) {
+                    for t in new_nexts.iter() {
+                        if old_nexts.contains(t) {
                             continue;
                         }
                         changed = true;
                         if !self.add_edge(ci, i, t, undo) {
-                            return None; // SLF cycle
+                            // SLF cycle. Cache the direct 2-cycle case
+                            // as a revalidated rejection certificate.
+                            if self.classes.len() == 1
+                                && self.classes[ci].out[t as usize].contains(&i)
+                            {
+                                self.certs[i as usize] = Some(RejectCert {
+                                    bit,
+                                    before,
+                                    base: self.base_flags[i as usize],
+                                    tag,
+                                    y: t,
+                                });
+                            }
+                            return None;
                         }
                     }
-                    if new_none && !old_none && !self.classes[ci].may_blackhole[i as usize] {
+                    if new_nexts.none
+                        && !old_nexts.none
+                        && !self.classes[ci].may_blackhole[i as usize]
+                    {
                         self.classes[ci].may_blackhole[i as usize] = true;
                         undo.blackholes.push((ci, i));
                         changed = true;
@@ -557,10 +845,14 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
                 }
 
                 if self.mode == OracleMode::Exact {
-                    if let Some(memo) = &self.memo {
-                        if memo.touched.contains(&v) {
+                    let (touches_walk, memo_ok) = match &self.memo {
+                        Some(memo) => (memo.touched.contains(&v), memo.ok),
+                        None => (false, true),
+                    };
+                    if self.memo.is_some() {
+                        if touches_walk {
                             commit.memo = Some(self.recompute_walk(op)?);
-                        } else if !memo.ok {
+                        } else if !memo_ok {
                             // No branch consults v: the verdict stays
                             // whatever it was.
                             return None;
@@ -587,19 +879,21 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
     }
 
     /// Re-run the exact decision walk over `accepted ∪ {op}`.
-    fn recompute_walk(&self, op: RuleOp) -> Option<(bool, BTreeSet<DpId>)> {
+    fn recompute_walk(&mut self, op: RuleOp) -> Option<(bool, BTreeSet<DpId>)> {
         let mut trial = Vec::with_capacity(self.accepted.len() + 1);
         trial.extend_from_slice(&self.accepted);
         trial.push(op);
         let mut touched = BTreeSet::new();
         let rep = decision_walk::check_round_collecting(
             self.inst,
-            self.base,
+            &self.base,
             &trial,
             &self.walk_props,
             decision_walk::DEFAULT_LEAF_BUDGET,
+            true,
             &mut touched,
         );
+        self.budget_hit |= rep.budget_exhausted;
         if rep.is_ok() {
             Some((true, touched))
         } else {
@@ -608,13 +902,13 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
     }
 
     /// All forwarding targets switch `i` could expose for `tag`, under
-    /// base state plus the given pending flags — the dense mirror of
+    /// base state plus the given pending flags — the dense,
+    /// allocation-free mirror of
     /// [`choice_graph::possible_nexts`](super::choice_graph).
-    fn local_nexts(&self, i: u32, tag: VersionTag, flags: u8) -> (Vec<u32>, bool) {
-        let mut targets: Vec<u32> = Vec::with_capacity(3);
-        let mut has_none = false;
+    fn local_nexts(&self, i: u32, tag: VersionTag, flags: u8) -> LocalNexts {
+        let mut nexts = LocalNexts::default();
         if i == self.dst {
-            return (targets, has_none);
+            return nexts;
         }
         let base = self.base_flags[i as usize];
         for mask in 0u8..8 {
@@ -631,15 +925,11 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
                 self.old_nexts[i as usize]
             };
             match next {
-                Some(t) => {
-                    if !targets.contains(&t) {
-                        targets.push(t);
-                    }
-                }
-                None => has_none = true,
+                Some(t) => nexts.push(t),
+                None => nexts.none = true,
             }
         }
-        (targets, has_none)
+        nexts
     }
 
     /// Build one class graph from the base plus all current flags.
@@ -648,9 +938,9 @@ impl<'a, 'b> AdmissionProbe<'a, 'b> {
         let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut may_blackhole = vec![false; n];
         for i in 0..n as u32 {
-            let (targets, has_none) = self.local_nexts(i, tag, self.flags[i as usize]);
-            out[i as usize] = targets;
-            may_blackhole[i as usize] = has_none && i != self.dst;
+            let ln = self.local_nexts(i, tag, self.flags[i as usize]);
+            out[i as usize] = ln.iter().collect();
+            may_blackhole[i as usize] = ln.none && i != self.dst;
         }
         let pk = self
             .props
@@ -962,6 +1252,112 @@ mod tests {
         }
     }
 
+    /// Cross-round: a session advanced with `commit_round` must make
+    /// exactly the decisions of a session freshly opened on the
+    /// advanced base, round after round, until the schedule completes.
+    #[test]
+    fn committed_session_matches_fresh_sessions() {
+        for (n, props) in [
+            (12u64, PropertySet::loop_free_strong()),
+            (12u64, PropertySet::loop_free_relaxed()),
+        ] {
+            let pair = sdn_topo::gen::reversal(n);
+            let i = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+            for mode in [OracleMode::Conservative, OracleMode::Exact] {
+                let mut base = ConfigState::initial(&i);
+                let mut session = AdmissionProbe::open(&i, &base, props, mode);
+                let mut pending: Vec<u64> = (1..n).collect();
+                pending.sort_by_key(|&v| std::cmp::Reverse(i.new_position(DpId(v)).unwrap_or(0)));
+                let mut guard = 0;
+                while !pending.is_empty() {
+                    guard += 1;
+                    assert!(guard <= 2 * n, "schedule did not converge");
+                    let mut fresh = AdmissionProbe::open(&i, &base, props, mode);
+                    for &v in &pending {
+                        let op = RuleOp::Activate(DpId(v));
+                        assert_eq!(
+                            session.try_push(op),
+                            fresh.try_push(op),
+                            "mode {mode:?} round {guard} candidate {v}"
+                        );
+                    }
+                    let ops = session.commit_round();
+                    assert_eq!(ops, fresh.into_ops(), "round {guard} admitted sets differ");
+                    assert!(!ops.is_empty(), "greedy must make progress");
+                    base.apply_all(&ops);
+                    assert_eq!(session.base(), &base);
+                    pending.retain(|&v| !ops.contains(&RuleOp::Activate(DpId(v))));
+                }
+            }
+        }
+    }
+
+    /// Cross-round with externally decided rounds: `advance` must
+    /// leave the session indistinguishable from a fresh open even when
+    /// the committed ops were never probed through this session.
+    #[test]
+    fn advance_by_external_ops_matches_fresh_session() {
+        let mut rng = DetRng::new(0xa11);
+        for trial in 0..15 {
+            let pair = sdn_topo::gen::random_permutation(9, &mut rng);
+            let i = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+            for mode in [OracleMode::Conservative, OracleMode::Exact] {
+                let props = PropertySet::loop_free_relaxed();
+                let base0 = ConfigState::initial(&i);
+                let mut session = AdmissionProbe::open(&i, &base0, props, mode);
+                // Commit two externally-chosen rounds without probing.
+                let mut base = base0.clone();
+                for round in [
+                    vec![RuleOp::Activate(DpId(2)), RuleOp::Activate(DpId(5))],
+                    vec![RuleOp::Activate(DpId(3)), RuleOp::RemoveOld(DpId(4))],
+                ] {
+                    session.advance(&round);
+                    base.apply_all(&round);
+                }
+                let mut fresh = AdmissionProbe::open(&i, &base, props, mode);
+                for v in 1..=9u64 {
+                    let op = RuleOp::Activate(DpId(v));
+                    assert_eq!(
+                        session.try_push(op),
+                        fresh.try_push(op),
+                        "trial {trial} mode {mode:?} candidate {v} after external advance"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Advancing past a round that creates an SLF cycle in the base
+    /// (only the verifier does this) must match a fresh session on the
+    /// now-cyclic base: everything rejects, and a later round that
+    /// removes the cycle revives the session.
+    #[test]
+    fn advance_past_violating_round_matches_fresh_session() {
+        // old 1-2-3-4, new 1-3-2-4: committing both 2 and 3 leaves the
+        // final (acyclic) state, but committing only 3 while 2 keeps
+        // its old rule yields the 2<->3 cycle in the base class graph.
+        let i = inst(&[1, 2, 3, 4], &[1, 3, 2, 4], None);
+        let props = PropertySet::loop_free_strong();
+        let base0 = ConfigState::initial(&i);
+        let mut session = AdmissionProbe::open(&i, &base0, props, OracleMode::Conservative);
+        let bad_round = [RuleOp::Activate(DpId(3))];
+        session.advance(&bad_round);
+        let mut base = base0.clone();
+        base.apply_all(&bad_round);
+        let mut fresh = AdmissionProbe::open(&i, &base, props, OracleMode::Conservative);
+        for v in [1u64, 2] {
+            let op = RuleOp::Activate(DpId(v));
+            assert_eq!(session.try_push(op), fresh.try_push(op), "on cyclic base");
+        }
+        // Healing round: activating 2 removes its old rule edge.
+        let heal = [RuleOp::Activate(DpId(2))];
+        session.advance(&heal);
+        base.apply_all(&heal);
+        let mut fresh = AdmissionProbe::open(&i, &base, props, OracleMode::Conservative);
+        let op = RuleOp::Activate(DpId(1));
+        assert_eq!(session.try_push(op), fresh.try_push(op), "after healing");
+    }
+
     #[test]
     fn local_nexts_matches_possible_nexts() {
         use crate::checker::choice_graph::possible_nexts;
@@ -994,18 +1390,38 @@ mod tests {
                             _ => 0,
                         };
                     }
-                    let (targets, has_none) = probe.local_nexts(vi, tag, flags);
+                    let ln = probe.local_nexts(vi, tag, flags);
                     let reference = possible_nexts(&i, &base, &ops, v, tag);
-                    let mut got: BTreeSet<Option<DpId>> = targets
-                        .into_iter()
+                    let mut got: BTreeSet<Option<DpId>> = ln
+                        .iter()
                         .map(|t| Some(probe.nodes.ids[t as usize]))
                         .collect();
-                    if has_none {
+                    if ln.none {
                         got.insert(None);
                     }
                     assert_eq!(got, reference, "{i} v={v} tag={tag}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_node_indexing_agree() {
+        // Sparse dpids force the binary-search fallback; dense ones use
+        // the direct table. Both must answer identically.
+        let dense = inst(&[1, 2, 3, 4, 5], &[1, 4, 3, 2, 5], None);
+        let sparse = inst(
+            &[1, 1000, 2_000_000, 3_000_000_000],
+            &[1, 3_000_000_000],
+            None,
+        );
+        for i in [&dense, &sparse] {
+            let nodes = Nodes::of(i);
+            for (k, &v) in i.participants().iter().enumerate() {
+                assert_eq!(nodes.idx(v), Some(k as u32), "{i} {v}");
+            }
+            assert_eq!(nodes.idx(DpId(999_999_999_999)), None);
+            assert_eq!(nodes.idx(DpId(0)), None);
         }
     }
 

@@ -36,16 +36,18 @@ pub mod choice_graph;
 pub mod decision_walk;
 pub mod exhaustive;
 pub mod incremental;
+pub mod parallel;
 pub mod sampling;
 
 pub use incremental::AdmissionProbe;
+pub use parallel::verify_schedule_parallel;
 
 use std::fmt;
 
 use crate::config::ConfigState;
 use crate::model::UpdateInstance;
 use crate::properties::{check_config, Property, PropertySet, PropertyViolation};
-use crate::schedule::{RuleOp, Schedule};
+use crate::schedule::{Round, RuleOp, Schedule};
 
 pub use crate::properties::ViolationKind;
 
@@ -178,10 +180,21 @@ pub fn verify_schedule(
         base.apply_all(&round.ops);
     }
 
-    // Final-configuration checks: all properties plus policy
-    // conformance (the packet must follow the *new* route).
+    final_config_checks(inst, &base, &props, &mut report);
+    report
+}
+
+/// Final-configuration checks shared by every whole-schedule verifier:
+/// all properties must hold, and the packet must follow the *new*
+/// route (policy conformance).
+fn final_config_checks(
+    inst: &UpdateInstance,
+    base: &ConfigState<'_>,
+    props: &PropertySet,
+    report: &mut CheckReport,
+) {
     report.configs_checked += 1;
-    for pv in check_config(&base, &props) {
+    for pv in check_config(base, props) {
         report.violations.push(Violation {
             round: None,
             witness: Vec::new(),
@@ -200,6 +213,103 @@ pub fn verify_schedule(
             },
         });
     }
+}
+
+/// Verify a contiguous run of rounds through one cross-round
+/// [`AdmissionProbe`] session opened on `base`, reporting violations
+/// with round indices offset by `first_round`.
+///
+/// Each round's operations are pushed into the session one by one. If
+/// every push is admitted, the round as a whole is exactly safe (the
+/// admitted set *is* the round). If any push is rejected, the round is
+/// provably unsafe — a round's transient states are all subsets of its
+/// operation set, so the subset that made the push inadmissible is a
+/// transient state of the full round too — and the stateless engines
+/// re-check that round from scratch to reconstruct the exact violation
+/// witnesses. Either way the session then advances past the *full*
+/// round (violating schedules apply their rounds regardless), reusing
+/// the maintained topological order, touched sets and reach caches.
+pub(crate) fn check_rounds_incremental(
+    inst: &UpdateInstance,
+    rounds: &[Round],
+    first_round: usize,
+    base: &ConfigState<'_>,
+    props: &PropertySet,
+) -> CheckReport {
+    let mut report = CheckReport::default();
+    let mut session = AdmissionProbe::open(inst, base, *props, OracleMode::Exact);
+    for (k, round) in rounds.iter().enumerate() {
+        let ri = first_round + k;
+        report.rounds_checked += 1;
+        let mut admitted = true;
+        for &op in &round.ops {
+            if !session.try_push(op) {
+                admitted = false;
+                break;
+            }
+        }
+        if !admitted {
+            // Slow path (violating round): reconstruct exact witnesses
+            // with the stateless engines, exactly as `verify_schedule`
+            // would.
+            if props.contains(Property::StrongLoopFreedom) {
+                let mut sub = choice_graph::check_round_slf(inst, session.base(), &round.ops);
+                for v in &mut sub.violations {
+                    v.round = Some(ri);
+                }
+                report.merge(sub);
+            }
+            let walk_props = props.without(Property::StrongLoopFreedom);
+            if !walk_props.is_empty() {
+                let mut sub =
+                    decision_walk::check_round(inst, session.base(), &round.ops, &walk_props);
+                for v in &mut sub.violations {
+                    v.round = Some(ri);
+                }
+                report.merge(sub);
+            }
+        }
+        session.advance(&round.ops);
+    }
+    // Probes are the incremental analogue of examined configurations.
+    report.configs_checked += session.probes();
+    report.budget_exhausted |= session.walk_budget_exhausted();
+    report
+}
+
+/// Incremental whole-schedule verification: round-to-round state reuse
+/// instead of `verify_schedule`'s per-round rebuilds.
+///
+/// One exact-mode [`AdmissionProbe`] session is carried across the
+/// whole schedule; the per-round cost is proportional to the round's
+/// deltas (plus walk re-exploration where the round actually touches
+/// the walk), so verifying an n-round schedule costs O(total deltas ·
+/// polylog) instead of O(rounds × n). Violating rounds fall back to
+/// the stateless engines for exact witness reconstruction, which makes
+/// the reported violations **identical** to [`verify_schedule`]'s —
+/// the stateless verifier remains the cross-validation reference
+/// (`checker_cross_validation.rs`). `configs_checked` counts probe
+/// evaluations rather than explored leaves, so only the verdict and
+/// violations are comparable between the two verifiers.
+pub fn verify_schedule_incremental(
+    inst: &UpdateInstance,
+    schedule: &Schedule,
+    props: PropertySet,
+) -> CheckReport {
+    let mut report = CheckReport::default();
+    if let Err(e) = schedule.validate(inst) {
+        report.structural_error = Some(e.to_string());
+        return report;
+    }
+    let base = ConfigState::initial(inst);
+    let sub = check_rounds_incremental(inst, &schedule.rounds, 0, &base, &props);
+    report.rounds_checked = sub.rounds_checked;
+    report.merge(sub);
+    let mut final_base = base;
+    for round in &schedule.rounds {
+        final_base.apply_all(&round.ops);
+    }
+    final_config_checks(inst, &final_base, &props, &mut report);
     report
 }
 

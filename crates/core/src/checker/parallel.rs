@@ -1,0 +1,179 @@
+//! Parallel whole-schedule verification.
+//!
+//! A round's transient check depends only on the *base configuration*
+//! the round starts from — rounds are otherwise independent. The
+//! parallel verifier exploits this: one cheap sequential pass computes
+//! the base configuration at chunk boundaries, then contiguous round
+//! chunks are distributed to worker threads over crossbeam channels.
+//! Each worker replays its chunk through its own cross-round
+//! [`AdmissionProbe`](super::AdmissionProbe) session (the same engine
+//! [`verify_schedule_incremental`](super::verify_schedule_incremental)
+//! drives sequentially), so state reuse *within* a chunk and
+//! parallelism *across* chunks compose. Chunks are cut finer than the
+//! worker count so wide rounds — whose exact checks dominate — spread
+//! across workers instead of serializing behind one.
+//!
+//! The merged report's violations are identical, in order, to the
+//! sequential verifiers' (each violating round is reconstructed by
+//! the same stateless engines on the same base), which the
+//! cross-validation suite asserts against [`verify_schedule`].
+//!
+//! [`verify_schedule`]: super::verify_schedule
+
+use crossbeam::channel;
+
+use crate::config::ConfigState;
+use crate::model::UpdateInstance;
+use crate::properties::PropertySet;
+use crate::schedule::Schedule;
+
+use super::{check_rounds_incremental, final_config_checks, CheckReport};
+
+/// Verify a schedule with `threads` worker threads (`0` = one per
+/// available CPU). Equivalent to — and cross-validated against —
+/// [`verify_schedule`](super::verify_schedule); see the module docs
+/// for the execution model.
+pub fn verify_schedule_parallel(
+    inst: &UpdateInstance,
+    schedule: &Schedule,
+    props: PropertySet,
+    threads: usize,
+) -> CheckReport {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let threads = threads.min(schedule.rounds.len().max(1));
+    if threads <= 1 {
+        return super::verify_schedule_incremental(inst, schedule, props);
+    }
+
+    let mut report = CheckReport::default();
+    if let Err(e) = schedule.validate(inst) {
+        report.structural_error = Some(e.to_string());
+        return report;
+    }
+    let rounds = &schedule.rounds;
+
+    // Sequential prefix pass: the base configuration at every chunk
+    // boundary. Cutting more chunks than workers load-balances uneven
+    // (wide) rounds.
+    let per = rounds.len().div_ceil(threads * 4).max(1);
+    let mut chunks: Vec<(usize, ConfigState<'_>)> = Vec::new();
+    let mut cur = ConfigState::initial(inst);
+    for (ri, round) in rounds.iter().enumerate() {
+        if ri % per == 0 {
+            chunks.push((ri, cur.clone()));
+        }
+        cur.apply_all(&round.ops);
+    }
+
+    let (tx_task, rx_task) = channel::unbounded::<(usize, usize, ConfigState<'_>)>();
+    let (tx_res, rx_res) = channel::unbounded::<(usize, CheckReport)>();
+    for (ci, (first, base)) in chunks.into_iter().enumerate() {
+        tx_task.send((ci, first, base)).expect("receiver alive");
+    }
+    drop(tx_task);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let rx = rx_task.clone();
+            let tx = tx_res.clone();
+            s.spawn(move || {
+                while let Ok((ci, first, base)) = rx.recv() {
+                    let last = (first + per).min(rounds.len());
+                    let rep =
+                        check_rounds_incremental(inst, &rounds[first..last], first, &base, &props);
+                    let _ = tx.send((ci, rep));
+                }
+            });
+        }
+        drop(tx_res);
+        drop(rx_task);
+    });
+
+    // All workers joined: drain the buffered per-chunk reports and
+    // merge them in chunk order so the violation order matches the
+    // sequential verifiers exactly.
+    let mut parts: Vec<(usize, CheckReport)> = Vec::new();
+    while let Ok(part) = rx_res.try_recv() {
+        parts.push(part);
+    }
+    parts.sort_by_key(|&(ci, _)| ci);
+    for (_, sub) in parts {
+        report.rounds_checked += sub.rounds_checked;
+        report.merge(sub);
+    }
+    final_config_checks(inst, &cur, &props, &mut report);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{OneShot, Peacock, SlfGreedy, UpdateScheduler, WayUp};
+    use crate::checker::verify_schedule;
+    use crate::model::UpdateInstance;
+    use sdn_types::DetRng;
+
+    /// Same verdict, same violations, same order — for every thread
+    /// count, against the stateless reference.
+    fn assert_matches_stateless(
+        inst: &UpdateInstance,
+        schedule: &crate::schedule::Schedule,
+        props: PropertySet,
+    ) {
+        let reference = verify_schedule(inst, schedule, props);
+        for threads in [0usize, 1, 2, 4] {
+            let got = verify_schedule_parallel(inst, schedule, props, threads);
+            assert_eq!(got.is_ok(), reference.is_ok(), "threads={threads}");
+            assert_eq!(
+                got.violations, reference.violations,
+                "threads={threads} on {inst}"
+            );
+            assert_eq!(got.rounds_checked, reference.rounds_checked);
+        }
+    }
+
+    #[test]
+    fn safe_schedules_verify_in_parallel() {
+        let pair = sdn_topo::gen::reversal(24);
+        let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+        let s = Peacock::default().schedule(&inst).unwrap();
+        assert_matches_stateless(&inst, &s, PropertySet::loop_free_relaxed());
+        let s = SlfGreedy::default().schedule(&inst).unwrap();
+        assert_matches_stateless(&inst, &s, PropertySet::loop_free_strong());
+    }
+
+    #[test]
+    fn violating_schedules_report_identically_in_parallel() {
+        let mut rng = DetRng::new(0x9a7);
+        for trial in 0..8 {
+            let pair = sdn_topo::gen::random_permutation(7 + trial % 4, &mut rng);
+            let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+            let s = OneShot.schedule(&inst).unwrap();
+            assert_matches_stateless(&inst, &s, PropertySet::loop_free_relaxed());
+        }
+    }
+
+    #[test]
+    fn waypointed_schedules_verify_in_parallel() {
+        let mut rng = DetRng::new(0x77);
+        let pair = sdn_topo::gen::waypointed(11, true, &mut rng);
+        let inst = UpdateInstance::new(pair.old, pair.new, pair.waypoint).unwrap();
+        let s = WayUp::default().schedule(&inst).unwrap();
+        assert_matches_stateless(&inst, &s, PropertySet::transiently_secure());
+    }
+
+    #[test]
+    fn structural_errors_short_circuit() {
+        let pair = sdn_topo::gen::reversal(6);
+        let inst = UpdateInstance::new(pair.old, pair.new, None).unwrap();
+        let mut s = Peacock::default().schedule(&inst).unwrap();
+        // Duplicate an op to make the schedule structurally invalid.
+        let op = s.rounds[0].ops[0];
+        s.rounds[0].ops.push(op);
+        let rep = verify_schedule_parallel(&inst, &s, PropertySet::loop_free_relaxed(), 2);
+        assert!(rep.structural_error.is_some());
+    }
+}

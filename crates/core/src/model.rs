@@ -80,6 +80,7 @@ pub struct UpdateInstance {
     new: RoutePath,
     waypoint: Option<DpId>,
     roles: BTreeMap<DpId, NodeRole>,
+    participants: Vec<DpId>,
     old_next: BTreeMap<DpId, DpId>,
     new_next: BTreeMap<DpId, DpId>,
     old_pos: BTreeMap<DpId, usize>,
@@ -133,11 +134,13 @@ impl UpdateInstance {
         };
         let (old_next, old_pos) = index(&old);
         let (new_next, new_pos) = index(&new);
+        let participants: Vec<DpId> = roles.keys().copied().collect();
         Ok(UpdateInstance {
             old,
             new,
             waypoint,
             roles,
+            participants,
             old_next,
             new_next,
             old_pos,
@@ -183,6 +186,13 @@ impl UpdateInstance {
     /// Number of participating switches.
     pub fn node_count(&self) -> usize {
         self.roles.len()
+    }
+
+    /// All participating switches as a sorted slice (precomputed; the
+    /// admission session indexes it densely instead of re-collecting
+    /// the role map on every open).
+    pub fn participants(&self) -> &[DpId] {
+        &self.participants
     }
 
     /// Switches with the given role, in dpid order.
@@ -292,6 +302,17 @@ mod tests {
         assert_eq!(i.role(DpId(4)), Some(NodeRole::Shared));
         assert_eq!(i.role(DpId(9)), None);
         assert_eq!(i.node_count(), 5);
+    }
+
+    #[test]
+    fn participants_sorted_and_complete() {
+        let i = inst(&[1, 2, 3, 4], &[1, 5, 3, 4], None);
+        assert_eq!(
+            i.participants(),
+            &[DpId(1), DpId(2), DpId(3), DpId(4), DpId(5)]
+        );
+        let from_nodes: Vec<DpId> = i.nodes().map(|(v, _)| v).collect();
+        assert_eq!(i.participants(), from_nodes.as_slice());
     }
 
     #[test]

@@ -1,23 +1,34 @@
 //! Cross-validation of the checker engines on randomized instances
 //! and rounds: the exact engines must agree with brute force, the
 //! conservative oracle must never accept what brute force rejects
-//! (soundness), and the stateful [`AdmissionProbe`] session must make
+//! (soundness), the stateful [`AdmissionProbe`] session must make
 //! exactly the decisions of the stateless [`round_admissible`] oracle
-//! in both oracle modes.
+//! in both oracle modes — per round *and* carried across rounds
+//! through `commit_round`/`advance` along full greedy trajectories —
+//! and the incremental and parallel whole-schedule verifiers must
+//! report exactly the stateless [`verify_schedule`]'s violations on
+//! permutation, reversal, waypointed and fat-tree workloads,
+//! violating schedules included.
 
 use proptest::prelude::*;
 
 use sdn_topo::route::RoutePath;
 use sdn_types::{DetRng, DpId};
+use update_core::algorithms::{
+    OneShot, Peacock, SlfGreedy, TwoPhaseCommit, UpdateScheduler, WayUp,
+};
 use update_core::checker::choice_graph::{check_round_slf, round_safe_conservative};
 use update_core::checker::decision_walk::check_round;
 use update_core::checker::exhaustive::check_round_exhaustive;
 use update_core::checker::sampling::check_round_sampled;
-use update_core::checker::{round_admissible, AdmissionProbe, OracleMode};
+use update_core::checker::{
+    round_admissible, verify_schedule, verify_schedule_incremental, verify_schedule_parallel,
+    AdmissionProbe, OracleMode,
+};
 use update_core::config::ConfigState;
 use update_core::model::{NodeRole, UpdateInstance};
 use update_core::properties::{Property, PropertySet};
-use update_core::schedule::RuleOp;
+use update_core::schedule::{RuleOp, Schedule};
 
 /// Build a random instance plus a random (base, round) split of its
 /// shared activations, with optional waypoint.
@@ -107,6 +118,49 @@ fn probe_setup(seed: u64, n: u64, family: u8) -> (UpdateInstance, Vec<RuleOp>, V
     }
     rng.shuffle(&mut candidates);
     (inst, base_ops, candidates)
+}
+
+/// One instance from each of the four workload families, paired with
+/// the property set its schedulers target.
+fn instance_of_family(family: u8, n: u64, rng: &mut DetRng) -> (UpdateInstance, PropertySet) {
+    match family {
+        0 => {
+            let pair = sdn_topo::gen::random_permutation(n, rng);
+            (
+                UpdateInstance::new(pair.old, pair.new, None).unwrap(),
+                PropertySet::loop_free_relaxed(),
+            )
+        }
+        1 => {
+            let pair = sdn_topo::gen::reversal(n);
+            (
+                UpdateInstance::new(pair.old, pair.new, None).unwrap(),
+                PropertySet::loop_free_strong(),
+            )
+        }
+        2 => {
+            let crossing = rng.chance(0.5);
+            let pair = sdn_topo::gen::waypointed(n.max(5), crossing, rng);
+            (
+                UpdateInstance::new(pair.old, pair.new, pair.waypoint).unwrap(),
+                PropertySet::transiently_secure(),
+            )
+        }
+        _ => {
+            let pair = sdn_topo::gen::fat_tree_flows(4, 1, rng)
+                .pop()
+                .expect("one flow");
+            let props = if pair.waypoint.is_some() {
+                PropertySet::transiently_secure()
+            } else {
+                PropertySet::loop_free_relaxed()
+            };
+            (
+                UpdateInstance::new(pair.old, pair.new, pair.waypoint).unwrap(),
+                props,
+            )
+        }
+    }
 }
 
 proptest! {
@@ -206,6 +260,102 @@ proptest! {
                     prop_assert!(round_admissible(&inst, &base, &accepted, &props, mode));
                 }
             }
+        }
+    }
+
+    /// The cross-round session must make exactly the decisions of a
+    /// session freshly opened on the advanced base, round after round,
+    /// along full greedy trajectories over all four workload families
+    /// (random permutation, reversal, waypointed, fat-tree).
+    #[test]
+    fn cross_round_session_matches_fresh_sessions(
+        seed in 0u64..1_000_000,
+        n in 5u64..11,
+        family in 0u8..4,
+        exact: bool,
+    ) {
+        let mut rng = DetRng::new(seed);
+        let (inst, props) = instance_of_family(family, n, &mut rng);
+        let mode = if exact { OracleMode::Exact } else { OracleMode::Conservative };
+        let mut base = ConfigState::initial(&inst);
+        let mut session = AdmissionProbe::open(&inst, &base, props, mode);
+        let mut pending: Vec<DpId> = inst
+            .nodes_with_role(NodeRole::Shared)
+            .into_iter()
+            .chain(inst.nodes_with_role(NodeRole::NewOnly))
+            .filter(|&v| v != inst.dst())
+            .collect();
+        pending.sort_by_key(|&v| std::cmp::Reverse(inst.new_position(v).unwrap_or(0)));
+        let mut guard = 0;
+        while !pending.is_empty() {
+            guard += 1;
+            prop_assert!(guard <= 64, "trajectory did not converge");
+            let mut fresh = AdmissionProbe::open(&inst, &base, props, mode);
+            for &v in &pending {
+                let op = RuleOp::Activate(v);
+                let got = session.try_push(op);
+                let expect = fresh.try_push(op);
+                prop_assert_eq!(
+                    got, expect,
+                    "mode {:?} family {} round {} candidate {}: cross-round vs fresh",
+                    mode, family, guard, v
+                );
+            }
+            let ops = session.commit_round();
+            prop_assert_eq!(&ops, &fresh.into_ops(), "round {} admitted sets", guard);
+            if ops.is_empty() {
+                // Conservative over-rejection can stall a trajectory
+                // (the greedy engine would fall back to the exact
+                // oracle here); equality is all this test asserts.
+                break;
+            }
+            base.apply_all(&ops);
+            pending.retain(|&v| !ops.contains(&RuleOp::Activate(v)));
+        }
+    }
+
+    /// The incremental and parallel whole-schedule verifiers must
+    /// report exactly the stateless verifier's verdict and violations
+    /// on real scheduler output — including violating schedules
+    /// (one-shot; Peacock audited under strong loop freedom).
+    #[test]
+    fn incremental_verifier_matches_stateless(
+        seed in 0u64..1_000_000,
+        n in 4u64..10,
+        family in 0u8..4,
+    ) {
+        let mut rng = DetRng::new(seed ^ 0x5eed);
+        let (inst, props) = instance_of_family(family, n, &mut rng);
+        let mut cases: Vec<(Schedule, PropertySet)> = Vec::new();
+        cases.push((OneShot.schedule(&inst).unwrap(), props));
+        cases.push((TwoPhaseCommit.schedule(&inst).unwrap(), props));
+        cases.push((SlfGreedy::default().schedule(&inst).unwrap(), PropertySet::loop_free_strong()));
+        let peacock = Peacock::default().schedule(&inst).unwrap();
+        // Auditing a relaxed schedule under SLF props yields rule-cycle
+        // violations: the fallback witness path must match too.
+        cases.push((peacock.clone(), PropertySet::loop_free_strong()));
+        cases.push((peacock, PropertySet::loop_free_relaxed()));
+        if inst.waypoint().is_some() {
+            cases.push((WayUp::default().schedule(&inst).unwrap(), PropertySet::transiently_secure()));
+        }
+        for (schedule, props) in cases {
+            let reference = verify_schedule(&inst, &schedule, props);
+            let incremental = verify_schedule_incremental(&inst, &schedule, props);
+            prop_assert_eq!(
+                incremental.is_ok(), reference.is_ok(),
+                "{} schedule {} props {:?}", inst, schedule.algorithm, props
+            );
+            prop_assert_eq!(
+                &incremental.violations, &reference.violations,
+                "{} schedule {} props {:?}", inst, schedule.algorithm, props
+            );
+            prop_assert_eq!(incremental.rounds_checked, reference.rounds_checked);
+            let parallel = verify_schedule_parallel(&inst, &schedule, props, 3);
+            prop_assert_eq!(
+                &parallel.violations, &reference.violations,
+                "parallel: {} schedule {} props {:?}", inst, schedule.algorithm, props
+            );
+            prop_assert_eq!(parallel.rounds_checked, reference.rounds_checked);
         }
     }
 

@@ -16,7 +16,10 @@
 //!   the other), which makes pure rule-replacement WayUp infeasible and
 //!   exercises the two-phase-commit fallback;
 //! * [`disjoint_detour`] — new route disjoint from old except at the
-//!   endpoints and waypoint (the Figure 1 shape, parameterized).
+//!   endpoints and waypoint (the Figure 1 shape, parameterized);
+//! * [`fat_tree_flows`] — a *multi-flow batch* of k-ary fat-tree
+//!   re-routes (core and uplink re-routes, some waypointed), the
+//!   datacenter-scale throughput workload.
 //!
 //! [`materialize`] builds a [`Topology`] containing exactly the links
 //! both routes need (plus host attachment points), so generated pairs
@@ -189,6 +192,76 @@ pub fn rotation(n: u64, k: u64) -> UpdatePair {
     ids.push(n);
     let new = RoutePath::from_raw(&ids).expect("valid");
     UpdatePair::plain(old, new)
+}
+
+/// A batch of fat-tree-routed flow re-routes: the datacenter-scale
+/// multi-flow workload (`exp_rounds_scaling`'s `fat_tree` family).
+///
+/// Models a `k`-ary fat tree (`k` even, ≥ 4): `(k/2)²` core switches,
+/// `k/2` aggregation switches per pod, `k/2` edge switches per pod,
+/// `k` pods. Core `(a, j)` (for `j < k/2`) connects to aggregation
+/// switch `a` of every pod, so any inter-pod path is
+/// ⟨edge, agg `a`, core `(a, j)`, agg `a`, edge⟩ for some uplink `a`
+/// and core offset `j`. Dpids: cores first, then aggregations, then
+/// edges, each layer numbered contiguously from 1.
+///
+/// Each generated flow picks two distinct pods and re-routes:
+///
+/// * **core re-route** (half the flows, ECMP rebalance): the new
+///   route keeps both aggregation switches and changes only the core
+///   — the interior is *shared*, so the schedulers must order the
+///   switch updates transiently safely. One in four of these keeps a
+///   waypoint at the source-side aggregation switch (a pod firewall).
+/// * **uplink re-route** (the other half): the new route changes the
+///   aggregation pair, sharing only the endpoints — the easy,
+///   disjoint-detour case.
+pub fn fat_tree_flows(k: u64, flows: usize, rng: &mut DetRng) -> Vec<UpdatePair> {
+    assert!(k >= 4 && k.is_multiple_of(2), "fat tree needs even k >= 4");
+    let half = k / 2;
+    let cores = half * half;
+    let aggs = k * half;
+    let core = |a: u64, j: u64| DpId(1 + a * half + j);
+    let agg = |pod: u64, a: u64| DpId(1 + cores + pod * half + a);
+    let edge = |pod: u64, e: u64| DpId(1 + cores + aggs + pod * half + e);
+
+    let mut out = Vec::with_capacity(flows);
+    for _ in 0..flows {
+        let ps = rng.index(k as usize) as u64;
+        let mut pd = rng.index((k - 1) as usize) as u64;
+        if pd >= ps {
+            pd += 1;
+        }
+        let es = edge(ps, rng.index(half as usize) as u64);
+        let ed = edge(pd, rng.index(half as usize) as u64);
+        let a1 = rng.index(half as usize) as u64;
+        let j1 = rng.index(half as usize) as u64;
+        let old = RoutePath::from_raw(&[es.0, agg(ps, a1).0, core(a1, j1).0, agg(pd, a1).0, ed.0])
+            .expect("distinct layers");
+        if rng.chance(0.5) {
+            // Core re-route: same uplink, different core offset.
+            let mut j2 = rng.index((half - 1) as usize) as u64;
+            if j2 >= j1 {
+                j2 += 1;
+            }
+            let new =
+                RoutePath::from_raw(&[es.0, agg(ps, a1).0, core(a1, j2).0, agg(pd, a1).0, ed.0])
+                    .expect("distinct layers");
+            let waypoint = rng.chance(0.25).then_some(agg(ps, a1));
+            out.push(UpdatePair { old, new, waypoint });
+        } else {
+            // Uplink re-route: different aggregation pair (and core).
+            let mut a2 = rng.index((half - 1) as usize) as u64;
+            if a2 >= a1 {
+                a2 += 1;
+            }
+            let j2 = rng.index(half as usize) as u64;
+            let new =
+                RoutePath::from_raw(&[es.0, agg(ps, a2).0, core(a2, j2).0, agg(pd, a2).0, ed.0])
+                    .expect("distinct layers");
+            out.push(UpdatePair::plain(old, new));
+        }
+    }
+    out
 }
 
 /// A parameterized Figure-1 shape: old route ⟨1,…,k,…,n⟩, new route
@@ -435,5 +508,73 @@ mod tests {
         let mut b = DetRng::new(7);
         assert_eq!(random_permutation(9, &mut a), random_permutation(9, &mut b));
         assert_eq!(waypointed(9, true, &mut a), waypointed(9, true, &mut b));
+        assert_eq!(fat_tree_flows(8, 20, &mut a), fat_tree_flows(8, 20, &mut b));
+    }
+
+    #[test]
+    fn fat_tree_flows_are_valid_inter_pod_paths() {
+        let mut r = rng();
+        for k in [4u64, 8, 16] {
+            let half = k / 2;
+            let cores = half * half;
+            let aggs = k * half;
+            let layer = |dp: DpId| -> u8 {
+                if dp.0 <= cores {
+                    0 // core
+                } else if dp.0 <= cores + aggs {
+                    1 // aggregation
+                } else {
+                    2 // edge
+                }
+            };
+            for (i, p) in fat_tree_flows(k, 40, &mut r).into_iter().enumerate() {
+                for route in [&p.old, &p.new] {
+                    let layers: Vec<u8> = route.hops().iter().map(|&d| layer(d)).collect();
+                    assert_eq!(layers, vec![2, 1, 0, 1, 2], "k={k} flow {i}: {route}");
+                }
+                assert_eq!(p.old.src(), p.new.src(), "k={k} flow {i}");
+                assert_eq!(p.old.dst(), p.new.dst(), "k={k} flow {i}");
+                assert_ne!(p.old, p.new, "k={k} flow {i}: re-route must change");
+                // Endpoints live in different pods.
+                let pod_of_edge = |dp: DpId| (dp.0 - 1 - cores - aggs) / half;
+                assert_ne!(
+                    pod_of_edge(p.old.src()),
+                    pod_of_edge(p.old.dst()),
+                    "k={k} flow {i}"
+                );
+                if let Some(w) = p.waypoint {
+                    assert!(p.old.contains(w) && p.new.contains(w), "k={k} flow {i}");
+                    assert_eq!(layer(w), 1, "waypoint is an aggregation switch");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_flows_mix_shared_and_disjoint_interiors() {
+        let mut r = rng();
+        let flows = fat_tree_flows(8, 100, &mut r);
+        let shared_interior = |p: &UpdatePair| {
+            p.new
+                .hops()
+                .iter()
+                .skip(1)
+                .take(3)
+                .any(|&d| p.old.contains(d))
+        };
+        let shared = flows.iter().filter(|p| shared_interior(p)).count();
+        // Both re-route styles must be well represented.
+        assert!(shared >= 20, "core re-routes too rare: {shared}/100");
+        assert!(shared <= 80, "uplink re-routes too rare: {shared}/100");
+    }
+
+    #[test]
+    fn fat_tree_flows_materialize() {
+        let mut r = rng();
+        for p in fat_tree_flows(4, 10, &mut r) {
+            let t = materialize(&p);
+            p.old.validate_on(&t).unwrap();
+            p.new.validate_on(&t).unwrap();
+        }
     }
 }
