@@ -47,6 +47,20 @@ impl Summary {
     }
 }
 
+/// Nearest-rank percentile (`p` in 0..=100) of a sample — the one
+/// definition every experiment binary shares. Returns NaN for empty
+/// input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let n = v.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    v[rank.clamp(1, n) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +88,18 @@ mod tests {
         let s = Summary::of(&[7.5]);
         assert_eq!(s.median, 7.5);
         assert_eq!(s.p95, 7.5);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+        assert!(percentile(&[], 50.0).is_nan());
+        // agrees with Summary's p95 definition
+        assert_eq!(percentile(&xs, 95.0), Summary::of(&xs).p95);
     }
 }

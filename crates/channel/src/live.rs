@@ -73,15 +73,32 @@ impl LoopbackTransport {
                             continue;
                         }
                         let Ok(env) = decode(&frame) else { continue };
-                        for reply in sw.handle_control(env) {
-                            // outbound delay
-                            let d = cfg.delay.sample(&mut rng);
-                            sleep_scaled(d.as_nanos(), scale);
-                            if rng.chance(cfg.drop_prob) {
-                                continue;
-                            }
-                            if up.send(FromSwitch { dpid, env: reply }).is_err() {
-                                return sw;
+                        // inbound duplication: the switch sees (and
+                        // answers) the same control message twice
+                        let copies = if rng.chance(cfg.duplicate_prob) { 2 } else { 1 };
+                        for _ in 0..copies {
+                            for reply in sw.handle_control(env.clone()) {
+                                // outbound delay
+                                let d = cfg.delay.sample(&mut rng);
+                                sleep_scaled(d.as_nanos(), scale);
+                                if rng.chance(cfg.drop_prob) {
+                                    continue;
+                                }
+                                // outbound duplication: the reply
+                                // arrives at the controller twice
+                                let reply_copies =
+                                    if rng.chance(cfg.duplicate_prob) { 2 } else { 1 };
+                                for _ in 0..reply_copies {
+                                    if up
+                                        .send(FromSwitch {
+                                            dpid,
+                                            env: reply.clone(),
+                                        })
+                                        .is_err()
+                                    {
+                                        return sw;
+                                    }
+                                }
                             }
                         }
                     }

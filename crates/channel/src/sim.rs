@@ -71,6 +71,8 @@ pub struct ChannelStats {
 #[derive(Debug, Clone)]
 pub struct SimChannel {
     config: ChannelConfig,
+    /// Per-connection behaviour overrides (slow/flaky switches).
+    overrides: BTreeMap<ConnId, ChannelConfig>,
     /// Per-connection high-water mark of scheduled arrivals (FIFO).
     last_arrival: BTreeMap<ConnId, SimTime>,
     stats: ChannelStats,
@@ -81,14 +83,32 @@ impl SimChannel {
     pub fn new(config: ChannelConfig) -> Self {
         SimChannel {
             config,
+            overrides: BTreeMap::new(),
             last_arrival: BTreeMap::new(),
             stats: ChannelStats::default(),
         }
     }
 
-    /// The active configuration.
+    /// The active default configuration.
     pub fn config(&self) -> &ChannelConfig {
         &self.config
+    }
+
+    /// Override the behaviour of one connection — models a slow or
+    /// flaky switch (a straggler) without touching the rest of the
+    /// control network.
+    pub fn set_override(&mut self, conn: ConnId, config: ChannelConfig) {
+        self.overrides.insert(conn, config);
+    }
+
+    /// Drop a connection's override, reverting it to the default.
+    pub fn clear_override(&mut self, conn: ConnId) {
+        self.overrides.remove(&conn);
+    }
+
+    /// The configuration in effect for a connection.
+    pub fn config_for(&self, conn: ConnId) -> &ChannelConfig {
+        self.overrides.get(&conn).unwrap_or(&self.config)
     }
 
     /// Statistics snapshot.
@@ -108,12 +128,13 @@ impl SimChannel {
         frame: Bytes,
         rng: &mut DetRng,
     ) -> Vec<(SimTime, Bytes)> {
+        let config = *self.overrides.get(&conn).unwrap_or(&self.config);
         self.stats.sent += 1;
-        if rng.chance(self.config.drop_prob) {
+        if rng.chance(config.drop_prob) {
             self.stats.dropped += 1;
             return Vec::new();
         }
-        let copies = if rng.chance(self.config.duplicate_prob) {
+        let copies = if rng.chance(config.duplicate_prob) {
             self.stats.duplicated += 1;
             2
         } else {
@@ -121,9 +142,9 @@ impl SimChannel {
         };
         let mut out = Vec::with_capacity(copies);
         for _ in 0..copies {
-            let delay = self.config.delay.sample(rng);
+            let delay = config.delay.sample(rng);
             let mut arrival = now + delay;
-            if self.config.fifo {
+            if config.fifo {
                 let hwm = self
                     .last_arrival
                     .get(&conn)
@@ -134,7 +155,7 @@ impl SimChannel {
                 }
                 self.last_arrival.insert(conn, arrival);
             }
-            let bytes = if rng.chance(self.config.corrupt_prob) && !frame.is_empty() {
+            let bytes = if rng.chance(config.corrupt_prob) && !frame.is_empty() {
                 self.stats.corrupted += 1;
                 let mut v = frame.to_vec();
                 let idx = rng.index(v.len());
@@ -319,6 +340,34 @@ mod tests {
         );
         assert_eq!(out[0].1.len(), 0);
         assert_eq!(ch.stats().corrupted, 0);
+    }
+
+    #[test]
+    fn per_connection_override_applies() {
+        let mut ch = SimChannel::new(ChannelConfig::ideal(SimDuration::from_millis(1)));
+        let slow_conn = ConnId::to_switch(DpId(9));
+        ch.set_override(
+            slow_conn,
+            ChannelConfig::ideal(SimDuration::from_millis(50)),
+        );
+        let mut rng = DetRng::new(1);
+        let fast = ch.send(
+            ConnId::to_switch(DpId(1)),
+            SimTime::ZERO,
+            frame(4),
+            &mut rng,
+        );
+        let slow = ch.send(slow_conn, SimTime::ZERO, frame(4), &mut rng);
+        assert_eq!(fast[0].0, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(slow[0].0, SimTime::ZERO + SimDuration::from_millis(50));
+        assert_eq!(
+            ch.config_for(slow_conn).delay.mean(),
+            SimDuration::from_millis(50)
+        );
+        ch.clear_override(slow_conn);
+        let t = SimTime::ZERO + SimDuration::from_millis(60);
+        let back = ch.send(slow_conn, t, frame(4), &mut rng);
+        assert_eq!(back[0].0, t + SimDuration::from_millis(1));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use sdn_types::{DpId, SimDuration, SimTime};
 
 use crate::compile::CompiledUpdate;
 use crate::executor::{ExecConfig, ExecState, RoundExecutor, RoundTiming, XidAlloc};
+use crate::runtime::{AdmitOutcome, JobId, Priority, RuntimeStats, UpdateRuntime};
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,6 +35,8 @@ pub enum CtrlOutput {
 pub struct UpdateReport {
     /// Job label.
     pub label: String,
+    /// When the job was submitted (queue wait = `started - submitted`).
+    pub submitted: SimTime,
     /// When the first round was dispatched.
     pub started: SimTime,
     /// When the last barrier reply arrived (`None` = failed).
@@ -47,16 +50,23 @@ impl UpdateReport {
     pub fn duration(&self) -> Option<SimDuration> {
         self.completed.map(|c| c.saturating_since(self.started))
     }
+
+    /// End-to-end latency including queueing (submission → last
+    /// barrier reply) — the number concurrency experiments report.
+    pub fn latency(&self) -> Option<SimDuration> {
+        self.completed.map(|c| c.saturating_since(self.submitted))
+    }
 }
 
 /// The controller.
 #[derive(Debug, Clone)]
 pub struct Controller {
     config: ControllerConfig,
-    queue: VecDeque<CompiledUpdate>,
-    active: Option<(RoundExecutor, SimTime)>,
+    queue: VecDeque<(CompiledUpdate, SimTime)>,
+    active: Option<(RoundExecutor, SimTime, SimTime)>,
     xids: XidAlloc,
     reports: Vec<UpdateReport>,
+    stats: RuntimeStats,
 }
 
 impl Controller {
@@ -68,12 +78,14 @@ impl Controller {
             active: None,
             xids: XidAlloc::new(),
             reports: Vec::new(),
+            stats: RuntimeStats::default(),
         }
     }
 
-    /// Enqueue an update job.
+    /// Enqueue an update job (submission time unknown: reported as the
+    /// simulation epoch). Prefer [`UpdateRuntime::submit`].
     pub fn enqueue(&mut self, update: CompiledUpdate) {
-        self.queue.push_back(update);
+        self.submit(update, SimTime::ZERO, Priority::Normal);
     }
 
     /// Jobs waiting behind the active one.
@@ -93,7 +105,7 @@ impl Controller {
 
     /// Access to the active executor (diagnostics).
     pub fn active_executor(&self) -> Option<&RoundExecutor> {
-        self.active.as_ref().map(|(e, _)| e)
+        self.active.as_ref().map(|(e, _, _)| e)
     }
 
     /// Drive the controller: start the next job when idle, enforce
@@ -104,16 +116,17 @@ impl Controller {
         // finish bookkeeping of a completed/failed job
         self.reap(now);
         if self.active.is_none() {
-            if let Some(update) = self.queue.pop_front() {
+            if let Some((update, submitted)) = self.queue.pop_front() {
                 let mut ex = RoundExecutor::new(update, self.config.exec);
                 for (dp, env) in ex.start(now, &mut self.xids) {
                     out.push(CtrlOutput::Send(dp, env));
                 }
-                self.active = Some((ex, now));
+                self.active = Some((ex, now, submitted));
+                self.stats.peak_active = self.stats.peak_active.max(1);
                 // an empty update may complete instantly
                 self.reap(now);
             }
-        } else if let Some((ex, _)) = &mut self.active {
+        } else if let Some((ex, _, _)) = &mut self.active {
             for (dp, env) in ex.on_tick(now, &mut self.xids) {
                 out.push(CtrlOutput::Send(dp, env));
             }
@@ -125,7 +138,7 @@ impl Controller {
     /// Feed a message arriving from a switch.
     pub fn on_message(&mut self, now: SimTime, from: DpId, env: &Envelope) -> Vec<CtrlOutput> {
         let mut out = Vec::new();
-        if let Some((ex, _)) = &mut self.active {
+        if let Some((ex, _, _)) = &mut self.active {
             for (dp, e) in ex.on_message(now, from, env, &mut self.xids) {
                 out.push(CtrlOutput::Send(dp, e));
             }
@@ -136,24 +149,78 @@ impl Controller {
 
     fn reap(&mut self, now: SimTime) {
         let done = matches!(
-            self.active.as_ref().map(|(e, _)| e.state()),
+            self.active.as_ref().map(|(e, _, _)| e.state()),
             Some(ExecState::Done | ExecState::Failed)
         );
         if done {
-            let (ex, started) = self.active.take().expect("checked");
+            let (ex, started, submitted) = self.active.take().expect("checked");
             let completed = match ex.state() {
                 ExecState::Done => {
+                    self.stats.completed += 1;
                     Some(ex.timings().last().and_then(|t| t.completed).unwrap_or(now))
                 }
-                _ => None,
+                _ => {
+                    self.stats.failed += 1;
+                    None
+                }
             };
+            // same unit as the concurrent runtime: one per resent
+            // per-switch barrier
+            self.stats.retransmissions += ex.retransmissions();
             self.reports.push(UpdateReport {
                 label: ex.label().to_string(),
+                submitted,
                 started,
                 completed,
                 rounds: ex.timings().to_vec(),
             });
         }
+    }
+}
+
+impl UpdateRuntime for Controller {
+    /// The serial controller accepts everything: the unbounded queue
+    /// is exactly the paper's behaviour, kept as the baseline the
+    /// bounded runtime is measured against.
+    fn submit(
+        &mut self,
+        update: CompiledUpdate,
+        now: SimTime,
+        _priority: Priority,
+    ) -> AdmitOutcome {
+        self.stats.submitted += 1;
+        self.stats.accepted += 1;
+        let id = JobId(self.stats.submitted);
+        self.queue.push_back((update, now));
+        AdmitOutcome::Queued { id }
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<CtrlOutput> {
+        Controller::poll(self, now)
+    }
+
+    fn on_message(&mut self, now: SimTime, from: DpId, env: &Envelope) -> Vec<CtrlOutput> {
+        Controller::on_message(self, now, from, env)
+    }
+
+    fn is_idle(&self) -> bool {
+        Controller::is_idle(self)
+    }
+
+    fn reports(&self) -> &[UpdateReport] {
+        Controller::reports(self)
+    }
+
+    fn queued(&self) -> usize {
+        Controller::queued(self)
+    }
+
+    fn active_count(&self) -> usize {
+        usize::from(self.active.is_some())
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        self.stats
     }
 }
 

@@ -103,6 +103,12 @@ pub struct RoundExecutor {
     round_started: SimTime,
     grace_until: SimTime,
     attempts: u32,
+    /// Barrier set size of the round currently in flight (recorded at
+    /// dispatch so width queries stay O(1)).
+    current_width: usize,
+    /// Per-switch barrier retransmissions over the whole update (one
+    /// per resent barrier, the unit the runtime stats use).
+    retransmissions: u64,
     timings: Vec<RoundTiming>,
 }
 
@@ -118,6 +124,8 @@ impl RoundExecutor {
             round_started: SimTime::ZERO,
             grace_until: SimTime::ZERO,
             attempts: 0,
+            current_width: 0,
+            retransmissions: 0,
             timings: Vec::new(),
         }
     }
@@ -140,6 +148,75 @@ impl RoundExecutor {
     /// Index of the in-flight round.
     pub fn current_round(&self) -> usize {
         self.current
+    }
+
+    /// Switches of the current round still awaiting a barrier reply.
+    pub fn pending_switches(&self) -> impl Iterator<Item = DpId> + '_ {
+        self.pending.keys().copied()
+    }
+
+    /// Number of switches still pending in the current round.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Size (in switches) of the round currently in flight — recorded
+    /// at dispatch, so this is O(1); zero before the first dispatch
+    /// and during a grace wait.
+    pub fn current_round_width(&self) -> usize {
+        if self.state == ExecState::AwaitingBarriers {
+            self.current_width
+        } else {
+            0
+        }
+    }
+
+    /// Per-switch barrier retransmissions so far (one per resent
+    /// barrier, whether round-level timeout or targeted).
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Re-dispatch the current round's FlowMods and a *fresh* barrier
+    /// to a subset of the still-pending switches. This is the
+    /// per-switch retransmission hook the concurrent runtime drives
+    /// from its adaptive RTO timers — unlike [`RoundExecutor::on_tick`]
+    /// it never consults the fixed round timeout. Bumps the round's
+    /// attempt counter once per call that actually resends.
+    pub fn retransmit(&mut self, xids: &mut XidAlloc, targets: &[DpId]) -> Vec<(DpId, Envelope)> {
+        if self.state != ExecState::AwaitingBarriers {
+            return Vec::new();
+        }
+        let round = &self.update.rounds[self.current].msgs;
+        let mut out = Vec::new();
+        for (dp, msg) in round {
+            if targets.contains(dp) && self.pending.contains_key(dp) {
+                out.push((*dp, Envelope::new(xids.alloc(), msg.clone())));
+            }
+        }
+        let mut resent = 0u64;
+        for dp in targets {
+            if self.pending.contains_key(dp) {
+                let xid = xids.alloc();
+                self.pending.insert(*dp, xid);
+                out.push((*dp, Envelope::new(xid, OfMessage::BarrierRequest)));
+                resent += 1;
+            }
+        }
+        if resent > 0 {
+            self.retransmissions += resent;
+            self.attempts += 1;
+            if let Some(t) = self.timings.last_mut() {
+                t.attempts = self.attempts;
+            }
+        }
+        out
+    }
+
+    /// Abort the update (the runtime's per-switch attempt budget was
+    /// exhausted). The job reports as failed.
+    pub fn force_fail(&mut self) {
+        self.state = ExecState::Failed;
     }
 
     /// Begin execution: dispatch round 0 (or start its grace wait).
@@ -196,14 +273,17 @@ impl RoundExecutor {
         if !only_pending {
             self.pending.clear();
         }
+        let barrier_count = targets.len() as u64;
         for dp in targets {
             let xid = xids.alloc();
             self.pending.insert(dp, xid);
             out.push((dp, Envelope::new(xid, OfMessage::BarrierRequest)));
         }
         if only_pending {
+            self.retransmissions += barrier_count;
             self.attempts += 1;
         } else {
+            self.current_width = barrier_count as usize;
             self.attempts = 1;
             self.round_started = now;
             self.timings.push(RoundTiming {

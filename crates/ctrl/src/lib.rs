@@ -15,7 +15,10 @@
 //!   converge ("the barrier messages are utilized to ensure reliable
 //!   network updates");
 //! * [`controller`] — the message queue of update jobs, processed one
-//!   at a time exactly as the paper describes.
+//!   at a time exactly as the paper describes;
+//! * [`runtime`] — the concurrent multi-update runtime: conflict-aware
+//!   admission over a bounded queue, many executors in flight at once,
+//!   and per-switch adaptive retransmission (EWMA RTT + variance).
 //!
 //! [`Schedule`]: update_core::schedule::Schedule
 
@@ -27,9 +30,14 @@ pub mod controller;
 pub mod executor;
 pub mod handshake;
 pub mod rest;
+pub mod runtime;
 
 pub use compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
 pub use controller::{Controller, ControllerConfig, CtrlOutput, UpdateReport};
 pub use executor::{ExecState, RoundExecutor};
 pub use handshake::Handshake;
 pub use rest::request::UpdateRequest;
+pub use runtime::{
+    AdmissionPolicy, AdmitOutcome, ConcurrentRuntime, Footprint, Priority, RetransMode,
+    RuntimeConfig, RuntimeStats, UpdateRuntime,
+};

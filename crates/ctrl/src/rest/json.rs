@@ -4,14 +4,67 @@
 //! dependency list has no JSON crate, so this module implements the
 //! subset of RFC 8259 the interface needs (in fact, all of JSON minus
 //! some float edge cases): objects, arrays, strings with escapes,
-//! numbers, booleans, null. Recursion depth is bounded; errors carry
-//! byte offsets.
+//! numbers, booleans, null. Errors carry byte offsets and a structured
+//! [`JsonErrorKind`].
+//!
+//! Every dimension of parser work is bounded ([`ParseLimits`]):
+//! document size, nesting depth, object fields, array elements and
+//! string length. [`parse`] applies permissive defaults (depth only);
+//! the REST request layer parses with much tighter limits so a hostile
+//! request body costs bounded memory and CPU before rejection.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Maximum nesting depth accepted by the parser.
 pub const MAX_DEPTH: usize = 64;
+
+/// Work/memory bounds applied while parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum document size in bytes (checked before scanning).
+    pub max_bytes: usize,
+    /// Maximum nesting depth.
+    pub max_depth: usize,
+    /// Maximum object fields across the whole document.
+    pub max_fields: usize,
+    /// Maximum array elements across the whole document.
+    pub max_elements: usize,
+    /// Maximum decoded length of any single string, in bytes.
+    pub max_string_bytes: usize,
+}
+
+impl Default for ParseLimits {
+    /// The permissive defaults [`parse`] uses: depth-bounded only.
+    fn default() -> Self {
+        ParseLimits {
+            max_bytes: usize::MAX,
+            max_depth: MAX_DEPTH,
+            max_fields: usize::MAX,
+            max_elements: usize::MAX,
+            max_string_bytes: usize::MAX,
+        }
+    }
+}
+
+/// What a [`JsonError`] structurally is — callers branch on this
+/// instead of matching message strings (and the REST layer maps limit
+/// kinds to backpressure-style responses rather than syntax errors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JsonErrorKind {
+    /// Malformed JSON.
+    Syntax,
+    /// Document exceeds [`ParseLimits::max_bytes`].
+    TooLarge,
+    /// Nesting exceeds [`ParseLimits::max_depth`].
+    TooDeep,
+    /// Object fields exceed [`ParseLimits::max_fields`].
+    TooManyFields,
+    /// Array elements exceed [`ParseLimits::max_elements`].
+    TooManyElements,
+    /// A string exceeds [`ParseLimits::max_string_bytes`].
+    StringTooLong,
+}
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,11 +198,13 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
-/// Parse errors with byte offsets.
+/// Parse errors with byte offsets and a structured kind.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     /// Byte offset of the error.
     pub at: usize,
+    /// Structured classification.
+    pub kind: JsonErrorKind,
     /// What went wrong.
     pub reason: String,
 }
@@ -163,11 +218,30 @@ impl fmt::Display for JsonError {
 impl std::error::Error for JsonError {}
 
 /// Parse a complete JSON document (trailing whitespace allowed,
-/// trailing garbage rejected).
+/// trailing garbage rejected) under the permissive default limits.
 pub fn parse(input: &str) -> Result<Json, JsonError> {
+    parse_with(input, &ParseLimits::default())
+}
+
+/// Parse under explicit work/memory bounds.
+pub fn parse_with(input: &str, limits: &ParseLimits) -> Result<Json, JsonError> {
+    if input.len() > limits.max_bytes {
+        return Err(JsonError {
+            at: 0,
+            kind: JsonErrorKind::TooLarge,
+            reason: format!(
+                "document is {} bytes, limit {}",
+                input.len(),
+                limits.max_bytes
+            ),
+        });
+    }
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        limits: *limits,
+        fields: 0,
+        elements: 0,
     };
     p.skip_ws();
     let v = p.value(0)?;
@@ -181,12 +255,20 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    limits: ParseLimits,
+    fields: usize,
+    elements: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, reason: &str) -> JsonError {
+        self.err_kind(JsonErrorKind::Syntax, reason)
+    }
+
+    fn err_kind(&self, kind: JsonErrorKind, reason: &str) -> JsonError {
         JsonError {
             at: self.pos,
+            kind,
             reason: reason.to_string(),
         }
     }
@@ -226,8 +308,8 @@ impl Parser<'_> {
     }
 
     fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
-        if depth > MAX_DEPTH {
-            return Err(self.err("nesting too deep"));
+        if depth > self.limits.max_depth {
+            return Err(self.err_kind(JsonErrorKind::TooDeep, "nesting too deep"));
         }
         self.skip_ws();
         match self.peek() {
@@ -252,6 +334,10 @@ impl Parser<'_> {
             return Ok(Json::Obj(map));
         }
         loop {
+            self.fields += 1;
+            if self.fields > self.limits.max_fields {
+                return Err(self.err_kind(JsonErrorKind::TooManyFields, "too many object fields"));
+            }
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
@@ -276,6 +362,12 @@ impl Parser<'_> {
             return Ok(Json::Arr(items));
         }
         loop {
+            self.elements += 1;
+            if self.elements > self.limits.max_elements {
+                return Err(
+                    self.err_kind(JsonErrorKind::TooManyElements, "too many array elements")
+                );
+            }
             let v = self.value(depth + 1)?;
             items.push(v);
             self.skip_ws();
@@ -291,6 +383,9 @@ impl Parser<'_> {
         self.expect(b'"')?;
         let mut s = String::new();
         loop {
+            if s.len() > self.limits.max_string_bytes {
+                return Err(self.err_kind(JsonErrorKind::StringTooLong, "string too long"));
+            }
             match self.bump() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => return Ok(s),
@@ -473,7 +568,65 @@ mod tests {
     #[test]
     fn rejects_deep_nesting() {
         let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
-        assert!(parse(&deep).is_err());
+        let e = parse(&deep).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+    }
+
+    fn tight_limits() -> ParseLimits {
+        ParseLimits {
+            max_bytes: 64,
+            max_depth: 3,
+            max_fields: 4,
+            max_elements: 5,
+            max_string_bytes: 8,
+        }
+    }
+
+    #[test]
+    fn limit_document_size() {
+        let doc = format!("[{}]", "1,".repeat(40) + "1");
+        let e = parse_with(&doc, &tight_limits()).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooLarge);
+    }
+
+    #[test]
+    fn limit_field_count() {
+        let e = parse_with(r#"{"a":1,"b":2,"c":3,"d":4,"e":5}"#, &tight_limits()).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooManyFields);
+        assert!(parse_with(r#"{"a":1,"b":2,"c":3,"d":4}"#, &tight_limits()).is_ok());
+    }
+
+    #[test]
+    fn limit_element_count() {
+        let e = parse_with("[1,2,3,4,5,6]", &tight_limits()).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooManyElements);
+        assert!(parse_with("[1,2,3,4,5]", &tight_limits()).is_ok());
+    }
+
+    #[test]
+    fn limit_element_count_is_global_across_nesting() {
+        let e = parse_with("[[1,2],[3,4,5,6]]", &tight_limits()).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooManyElements);
+    }
+
+    #[test]
+    fn limit_string_length() {
+        let e = parse_with(r#""aaaaaaaaaaaaaaaaaa""#, &tight_limits()).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::StringTooLong);
+        assert!(parse_with(r#""aaaa""#, &tight_limits()).is_ok());
+    }
+
+    #[test]
+    fn limit_depth() {
+        let e = parse_with("[[[[1]]]]", &tight_limits()).unwrap_err();
+        assert_eq!(e.kind, JsonErrorKind::TooDeep);
+        assert!(parse_with("[[[1]]]", &tight_limits()).is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_keep_syntax_kind() {
+        assert_eq!(parse("{").unwrap_err().kind, JsonErrorKind::Syntax);
+        assert_eq!(parse("[1,]").unwrap_err().kind, JsonErrorKind::Syntax);
     }
 
     #[test]

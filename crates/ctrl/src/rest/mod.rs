@@ -1,5 +1,8 @@
-//! The demo's REST interface: a JSON value model ([`json`]) and the
-//! WayUp request format ([`request`]).
+//! The demo's REST interface: a JSON value model ([`json`], with
+//! per-request parser work limits), the WayUp request format
+//! ([`request`]) and structured responses — including the bounded
+//! runtime's backpressure ([`response`]).
 
 pub mod json;
 pub mod request;
+pub mod response;

@@ -29,7 +29,23 @@ use sdn_topo::route::{RouteError, RoutePath};
 use sdn_types::DpId;
 use update_core::model::{InstanceError, UpdateInstance};
 
-use super::json::{self, Json};
+use super::json::{self, Json, ParseLimits};
+
+/// Longest accepted route, in hops — covers the n=4096-scale
+/// workloads with headroom while keeping a hostile request's cost
+/// bounded.
+pub const MAX_PATH_HOPS: usize = 8192;
+
+/// Bounds applied to REST request documents before and during
+/// parsing. A conforming request is two routes, three scalars and a
+/// short algorithm name; anything larger is noise or an attack.
+pub const REQUEST_LIMITS: ParseLimits = ParseLimits {
+    max_bytes: 256 * 1024,
+    max_depth: 8,
+    max_fields: 64,
+    max_elements: 2 * MAX_PATH_HOPS + 64,
+    max_string_bytes: 256,
+};
 
 /// A parsed update request.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,16 +67,33 @@ pub struct UpdateRequest {
 /// Request parsing/validation errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RequestError {
-    /// The document is not valid JSON.
+    /// The document is not valid JSON, or it blew a parser work limit
+    /// (the [`json::JsonErrorKind`] distinguishes the two).
     BadJson(json::JsonError),
     /// A required field is missing.
     MissingField(&'static str),
     /// A field has the wrong type/shape.
     BadField(&'static str),
+    /// A route exceeds [`MAX_PATH_HOPS`].
+    PathTooLong(&'static str, usize),
     /// The routes do not form a valid path.
     BadRoute(RouteError),
     /// The routes/waypoint do not form a valid update instance.
     BadInstance(InstanceError),
+}
+
+impl RequestError {
+    /// Whether the request was refused for exceeding a size/work
+    /// limit (as opposed to being malformed) — the REST layer answers
+    /// these with a payload-too-large response rather than a plain
+    /// bad-request.
+    pub fn is_limit(&self) -> bool {
+        match self {
+            RequestError::BadJson(e) => e.kind != json::JsonErrorKind::Syntax,
+            RequestError::PathTooLong(..) => true,
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for RequestError {
@@ -69,6 +102,9 @@ impl fmt::Display for RequestError {
             RequestError::BadJson(e) => write!(f, "{e}"),
             RequestError::MissingField(k) => write!(f, "missing field \"{k}\""),
             RequestError::BadField(k) => write!(f, "field \"{k}\" has the wrong type"),
+            RequestError::PathTooLong(k, n) => {
+                write!(f, "field \"{k}\" has {n} hops, limit {MAX_PATH_HOPS}")
+            }
             RequestError::BadRoute(e) => write!(f, "bad route: {e}"),
             RequestError::BadInstance(e) => write!(f, "bad update instance: {e}"),
         }
@@ -83,15 +119,18 @@ fn path_field(v: &Json, key: &'static str) -> Result<Vec<u64>, RequestError> {
         .ok_or(RequestError::MissingField(key))?
         .as_array()
         .ok_or(RequestError::BadField(key))?;
+    if arr.len() > MAX_PATH_HOPS {
+        return Err(RequestError::PathTooLong(key, arr.len()));
+    }
     arr.iter()
         .map(|x| x.as_u64().ok_or(RequestError::BadField(key)))
         .collect()
 }
 
 impl UpdateRequest {
-    /// Parse a request document.
+    /// Parse a request document under [`REQUEST_LIMITS`].
     pub fn parse(doc: &str) -> Result<Self, RequestError> {
-        let v = json::parse(doc).map_err(RequestError::BadJson)?;
+        let v = json::parse_with(doc, &REQUEST_LIMITS).map_err(RequestError::BadJson)?;
         let old_path = path_field(&v, "oldpath")?;
         let new_path = path_field(&v, "newpath")?;
         let waypoint = match v.get("wp") {
@@ -224,10 +263,79 @@ mod tests {
 
     #[test]
     fn bad_json_rejected() {
+        let err = UpdateRequest::parse("{").unwrap_err();
+        assert!(matches!(err, RequestError::BadJson(_)));
+        assert!(!err.is_limit());
+    }
+
+    #[test]
+    fn oversized_document_rejected_before_parsing() {
+        let doc = format!(
+            r#"{{"oldpath":[1,2],"newpath":[1,2],"junk":"{}"}}"#,
+            "x".repeat(REQUEST_LIMITS.max_bytes)
+        );
+        let err = UpdateRequest::parse(&doc).unwrap_err();
+        assert!(err.is_limit(), "{err}");
         assert!(matches!(
-            UpdateRequest::parse("{"),
-            Err(RequestError::BadJson(_))
+            err,
+            RequestError::BadJson(json::JsonError {
+                kind: json::JsonErrorKind::TooLarge,
+                ..
+            })
         ));
+    }
+
+    #[test]
+    fn overlong_path_rejected() {
+        let hops: Vec<String> = (1..=(MAX_PATH_HOPS as u64 + 1))
+            .map(|i| i.to_string())
+            .collect();
+        let doc = format!(r#"{{"oldpath":[{}],"newpath":[1,2]}}"#, hops.join(","));
+        let err = UpdateRequest::parse(&doc).unwrap_err();
+        assert!(err.is_limit(), "{err}");
+        assert!(matches!(err, RequestError::PathTooLong("oldpath", _)));
+        assert!(err.to_string().contains("hops"));
+    }
+
+    #[test]
+    fn deep_nesting_rejected_by_request_limits() {
+        let doc = format!(
+            r#"{{"oldpath":[1,2],"newpath":[1,2],"x":{}{}}}"#,
+            "[".repeat(20),
+            "]".repeat(20)
+        );
+        let err = UpdateRequest::parse(&doc).unwrap_err();
+        assert!(err.is_limit(), "{err}");
+    }
+
+    #[test]
+    fn field_flood_rejected() {
+        let fields: Vec<String> = (0..200).map(|i| format!("\"f{i}\":{i}")).collect();
+        let doc = format!(
+            r#"{{"oldpath":[1,2],"newpath":[1,2],{}}}"#,
+            fields.join(",")
+        );
+        let err = UpdateRequest::parse(&doc).unwrap_err();
+        assert!(err.is_limit(), "{err}");
+    }
+
+    #[test]
+    fn max_size_conforming_request_accepted() {
+        // a big-but-legal request: two 2048-hop routes
+        let path: Vec<String> = (1..=2048u64).map(|i| i.to_string()).collect();
+        let rev: Vec<String> = std::iter::once(1u64)
+            .chain((2..2048).rev())
+            .chain(std::iter::once(2048))
+            .map(|i| i.to_string())
+            .collect();
+        let doc = format!(
+            r#"{{"oldpath":[{}],"newpath":[{}]}}"#,
+            path.join(","),
+            rev.join(",")
+        );
+        let r = UpdateRequest::parse(&doc).unwrap();
+        assert_eq!(r.old_path.len(), 2048);
+        assert!(r.to_instance().is_ok());
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Structured REST responses: admission outcomes and request errors.
+//!
+//! The demo's Ryu app answered every request `200 OK`; with a bounded
+//! admission queue the controller must be able to say *no* — and say
+//! it in a form clients can act on. Responses are `(status code,
+//! JSON body)` pairs in the demo's own JSON dialect:
+//!
+//! * `202 {"status":"queued","job":7,"queued":3}` — accepted;
+//! * `202 {"status":"queued","job":8,"displaced":"u5 (...)"}` —
+//!   accepted by shedding an older waiting job (drop-oldest policy);
+//! * `503 {"status":"rejected","reason":"queue full","retry":true}` —
+//!   backpressure; the client should retry later;
+//! * `400/413 {"status":"error",...}` — malformed or over-limit
+//!   request, with the parser's byte offset when available.
+
+use std::collections::BTreeMap;
+
+use crate::rest::json::Json;
+use crate::rest::request::RequestError;
+use crate::runtime::AdmitOutcome;
+
+/// An HTTP-ish status code plus a JSON body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code (202, 400, 413, 503).
+    pub status: u16,
+    /// Rendered JSON body.
+    pub body: String,
+}
+
+fn render(fields: Vec<(&str, Json)>) -> String {
+    let map: BTreeMap<String, Json> = fields
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+    Json::Obj(map).render()
+}
+
+/// The response for an admission outcome. `queued` is the runtime's
+/// current queue depth (lets clients observe backlog).
+pub fn admission_response(outcome: &AdmitOutcome, queued: usize) -> Response {
+    match outcome {
+        AdmitOutcome::Queued { id } => Response {
+            status: 202,
+            body: render(vec![
+                ("status", Json::Str("queued".into())),
+                ("job", Json::Num(id.0 as f64)),
+                ("queued", Json::Num(queued as f64)),
+            ]),
+        },
+        AdmitOutcome::QueuedDisplacing { id, dropped } => Response {
+            status: 202,
+            body: render(vec![
+                ("status", Json::Str("queued".into())),
+                ("job", Json::Num(id.0 as f64)),
+                ("queued", Json::Num(queued as f64)),
+                ("displaced", Json::Str(dropped.1.clone())),
+            ]),
+        },
+        AdmitOutcome::Rejected(reason) => Response {
+            status: 503,
+            body: render(vec![
+                ("status", Json::Str("rejected".into())),
+                ("reason", Json::Str(reason.to_string())),
+                ("retry", Json::Bool(true)),
+            ]),
+        },
+    }
+}
+
+/// The response for a request that failed parsing/validation.
+/// Limit violations answer `413` (payload too large / too much work);
+/// everything else is a `400`.
+pub fn error_response(err: &RequestError) -> Response {
+    let status = if err.is_limit() { 413 } else { 400 };
+    let mut fields = vec![
+        ("status", Json::Str("error".into())),
+        ("detail", Json::Str(err.to_string())),
+    ];
+    if let RequestError::BadJson(e) = err {
+        fields.push(("at", Json::Num(e.at as f64)));
+    }
+    Response {
+        status,
+        body: render(fields),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rest::json;
+    use crate::rest::request::UpdateRequest;
+    use crate::runtime::conflict::JobId;
+    use crate::runtime::RejectReason;
+
+    #[test]
+    fn queued_response_shape() {
+        let r = admission_response(&AdmitOutcome::Queued { id: JobId(7) }, 3);
+        assert_eq!(r.status, 202);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("queued"));
+        assert_eq!(v.get("job").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("queued").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn displacing_response_names_the_victim() {
+        let r = admission_response(
+            &AdmitOutcome::QueuedDisplacing {
+                id: JobId(8),
+                dropped: (JobId(5), "old-job".into()),
+            },
+            2,
+        );
+        assert_eq!(r.status, 202);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("displaced").unwrap().as_str(), Some("old-job"));
+    }
+
+    #[test]
+    fn rejected_response_is_backpressure() {
+        let r = admission_response(&AdmitOutcome::Rejected(RejectReason::QueueFull), 9);
+        assert_eq!(r.status, 503);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("rejected"));
+        assert_eq!(v.get("retry").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn syntax_error_is_400_with_offset() {
+        let err = UpdateRequest::parse("{\"a\": @}").unwrap_err();
+        let r = error_response(&err);
+        assert_eq!(r.status, 400);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("at").unwrap().as_u64(), Some(6));
+    }
+
+    #[test]
+    fn limit_error_is_413() {
+        let deep = format!(
+            r#"{{"oldpath":[1,2],"newpath":[1,2],"x":{}{}}}"#,
+            "[".repeat(30),
+            "]".repeat(30)
+        );
+        let err = UpdateRequest::parse(&deep).unwrap_err();
+        let r = error_response(&err);
+        assert_eq!(r.status, 413);
+    }
+}

@@ -1,0 +1,321 @@
+//! Conflict analysis for concurrent updates.
+//!
+//! Two compiled updates may execute concurrently iff their
+//! **footprints** are disjoint: no switch exists where both install,
+//! replace or delete rules for an overlapping flow class. Rule
+//! operations of footprint-disjoint updates commute — every
+//! interleaving of their per-round FlowMods drives each switch's flow
+//! table through exactly the states some serial order would, so the
+//! per-update transient guarantees proved by the static checker carry
+//! over to the merged execution unchanged (ez-Segway's segment
+//!-independence argument, applied at flow granularity). Overlapping
+//! updates must instead queue behind their conflict set.
+//!
+//! A flow class is the destination host a FlowMod matches on
+//! ([`FlowClass`]); tagged and untagged rules of the same destination
+//! share a class, because the two-phase ingress flip shadows the
+//! untagged rule by priority — they do *not* commute with a concurrent
+//! replacement of that rule. A wildcard match conflicts with every
+//! class at that switch.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use sdn_openflow::messages::OfMessage;
+use sdn_types::{DpId, HostId};
+
+use crate::compile::CompiledUpdate;
+
+/// Identifier of an update job inside the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// The flow-table slice a FlowMod touches at one switch: the
+/// destination host it matches, or `Wildcard` for matches that cover
+/// every flow (and therefore conflict with everything at that switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowClass {
+    /// Rules matching a specific destination host (tagged or not).
+    Dst(HostId),
+    /// A match without a destination — overlaps every class.
+    Wildcard,
+}
+
+/// Per-switch flow classes an update touches.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Footprint {
+    classes: BTreeMap<DpId, BTreeSet<FlowClass>>,
+}
+
+impl Footprint {
+    /// Extract the footprint of a compiled update: every switch any
+    /// round sends a message to, with the flow classes those messages
+    /// touch. Non-FlowMod control messages (none are compiled today)
+    /// count as wildcard, conservatively.
+    pub fn of(update: &CompiledUpdate) -> Footprint {
+        let mut classes: BTreeMap<DpId, BTreeSet<FlowClass>> = BTreeMap::new();
+        for round in &update.rounds {
+            for (dp, msg) in &round.msgs {
+                let class = match msg {
+                    OfMessage::FlowMod(fm) => match fm.matcher.dst {
+                        Some(h) => FlowClass::Dst(h),
+                        None => FlowClass::Wildcard,
+                    },
+                    _ => FlowClass::Wildcard,
+                };
+                classes.entry(*dp).or_default().insert(class);
+            }
+        }
+        Footprint { classes }
+    }
+
+    /// Switches this footprint touches, in dpid order.
+    pub fn switches(&self) -> impl Iterator<Item = DpId> + '_ {
+        self.classes.keys().copied()
+    }
+
+    /// Number of switches touched.
+    pub fn switch_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether the footprint touches no switch (empty update).
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Whether two footprints overlap at `dp`.
+    fn overlaps_at(&self, other: &Footprint, dp: DpId) -> bool {
+        match (self.classes.get(&dp), other.classes.get(&dp)) {
+            (Some(a), Some(b)) => {
+                if a.contains(&FlowClass::Wildcard) || b.contains(&FlowClass::Wildcard) {
+                    return true;
+                }
+                let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+                small.iter().any(|c| large.contains(c))
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the two updates conflict: some switch carries an
+    /// overlapping flow class in both.
+    pub fn conflicts(&self, other: &Footprint) -> bool {
+        let (small, large) = if self.classes.len() <= other.classes.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small.switches().any(|dp| small.overlaps_at(large, dp))
+    }
+
+    /// Disjointness — the commuting condition.
+    pub fn disjoint(&self, other: &Footprint) -> bool {
+        !self.conflicts(other)
+    }
+}
+
+/// The dynamic conflict graph over *active* jobs.
+///
+/// Nodes are executing updates; an implicit edge joins every pair of
+/// conflicting footprints. The runtime never materializes edges — it
+/// only ever asks "which active jobs conflict with this candidate?",
+/// answered through a per-switch index so a candidate pays for the
+/// switches it touches, not for every active job.
+#[derive(Debug, Clone, Default)]
+pub struct ConflictGraph {
+    active: BTreeMap<JobId, Footprint>,
+    by_switch: BTreeMap<DpId, BTreeSet<JobId>>,
+}
+
+impl ConflictGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        ConflictGraph::default()
+    }
+
+    /// Number of active jobs.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether no job is active.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Insert an active job. Panics on id reuse (runtime ids are
+    /// allocated monotonically).
+    pub fn insert(&mut self, id: JobId, footprint: Footprint) {
+        for dp in footprint.switches() {
+            self.by_switch.entry(dp).or_default().insert(id);
+        }
+        let prev = self.active.insert(id, footprint);
+        assert!(prev.is_none(), "job id {id} inserted twice");
+    }
+
+    /// Remove a completed/failed job.
+    pub fn remove(&mut self, id: JobId) {
+        if let Some(fp) = self.active.remove(&id) {
+            for dp in fp.switches() {
+                if let Some(set) = self.by_switch.get_mut(&dp) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.by_switch.remove(&dp);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Active jobs whose footprint conflicts with the candidate.
+    pub fn conflicts_with(&self, candidate: &Footprint) -> BTreeSet<JobId> {
+        let mut out = BTreeSet::new();
+        for dp in candidate.switches() {
+            if let Some(ids) = self.by_switch.get(&dp) {
+                for &id in ids {
+                    if !out.contains(&id) {
+                        let fp = &self.active[&id];
+                        if candidate.overlaps_at(fp, dp) {
+                            out.insert(id);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the candidate can start now (conflict-free against all
+    /// active jobs).
+    pub fn admits(&self, candidate: &Footprint) -> bool {
+        candidate.switches().all(|dp| {
+            self.by_switch.get(&dp).is_none_or(|ids| {
+                ids.iter()
+                    .all(|id| !candidate.overlaps_at(&self.active[id], dp))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_openflow::flow::{Action, FlowMatch};
+    use sdn_openflow::messages::{FlowMod, FlowModCommand};
+    use sdn_types::PortNo;
+
+    use crate::compile::CompiledRound;
+
+    fn update(switch_dst: &[(u64, Option<u32>)]) -> CompiledUpdate {
+        CompiledUpdate {
+            label: "t".into(),
+            rounds: vec![CompiledRound {
+                msgs: switch_dst
+                    .iter()
+                    .map(|&(dp, dst)| {
+                        (
+                            DpId(dp),
+                            OfMessage::FlowMod(FlowMod {
+                                command: FlowModCommand::Add,
+                                priority: 100,
+                                matcher: match dst {
+                                    Some(h) => FlowMatch::dst_host(HostId(h)),
+                                    None => FlowMatch::ANY,
+                                },
+                                actions: vec![Action::Output(PortNo(1))],
+                                cookie: 0,
+                            }),
+                        )
+                    })
+                    .collect(),
+                pre_delay: sdn_types::SimDuration::ZERO,
+            }],
+        }
+    }
+
+    #[test]
+    fn disjoint_switches_do_not_conflict() {
+        let a = Footprint::of(&update(&[(1, Some(2)), (2, Some(2))]));
+        let b = Footprint::of(&update(&[(3, Some(2)), (4, Some(2))]));
+        assert!(a.disjoint(&b));
+        assert!(b.disjoint(&a));
+    }
+
+    #[test]
+    fn shared_switch_same_flow_conflicts() {
+        let a = Footprint::of(&update(&[(1, Some(2)), (2, Some(2))]));
+        let b = Footprint::of(&update(&[(2, Some(2)), (3, Some(2))]));
+        assert!(a.conflicts(&b));
+    }
+
+    #[test]
+    fn shared_switch_distinct_flows_commute() {
+        let a = Footprint::of(&update(&[(1, Some(2)), (2, Some(2))]));
+        let b = Footprint::of(&update(&[(2, Some(4)), (3, Some(4))]));
+        assert!(a.disjoint(&b), "distinct dst hosts on a shared switch");
+    }
+
+    #[test]
+    fn wildcard_conflicts_with_everything_at_that_switch() {
+        let a = Footprint::of(&update(&[(2, None)]));
+        let b = Footprint::of(&update(&[(2, Some(9))]));
+        let c = Footprint::of(&update(&[(3, Some(9))]));
+        assert!(a.conflicts(&b));
+        assert!(a.disjoint(&c));
+    }
+
+    #[test]
+    fn footprint_covers_all_rounds() {
+        let mut u = update(&[(1, Some(2))]);
+        u.rounds.push(CompiledRound {
+            msgs: vec![(
+                DpId(7),
+                OfMessage::FlowMod(FlowMod {
+                    command: FlowModCommand::Delete,
+                    priority: 100,
+                    matcher: FlowMatch::dst_host(HostId(2)),
+                    actions: vec![],
+                    cookie: 0,
+                }),
+            )],
+            pre_delay: sdn_types::SimDuration::ZERO,
+        });
+        let fp = Footprint::of(&u);
+        assert_eq!(fp.switch_count(), 2);
+        assert_eq!(fp.switches().collect::<Vec<_>>(), vec![DpId(1), DpId(7)]);
+    }
+
+    #[test]
+    fn graph_tracks_inserts_and_removes() {
+        let mut g = ConflictGraph::new();
+        let a = Footprint::of(&update(&[(1, Some(2)), (2, Some(2))]));
+        let b = Footprint::of(&update(&[(2, Some(2)), (3, Some(2))]));
+        let c = Footprint::of(&update(&[(9, Some(2))]));
+        g.insert(JobId(1), a);
+        assert!(!g.admits(&b));
+        assert_eq!(g.conflicts_with(&b), [JobId(1)].into());
+        assert!(g.admits(&c));
+        g.insert(JobId(2), c);
+        assert_eq!(g.len(), 2);
+        g.remove(JobId(1));
+        assert!(g.admits(&b));
+        g.remove(JobId(2));
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn empty_footprint_always_admitted() {
+        let mut g = ConflictGraph::new();
+        g.insert(JobId(1), Footprint::of(&update(&[(1, Some(2))])));
+        let empty = Footprint::default();
+        assert!(empty.is_empty());
+        assert!(g.admits(&empty));
+    }
+}

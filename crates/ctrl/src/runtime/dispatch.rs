@@ -1,0 +1,723 @@
+//! The multi-executor dispatcher.
+//!
+//! [`ConcurrentRuntime`] replaces the serial controller's one-job loop:
+//! every footprint-disjoint update in the admission queue executes
+//! **concurrently**, each behind its own [`RoundExecutor`], over the
+//! shared control channel. Conflicting updates wait in the bounded
+//! [`AdmissionQueue`] until their conflict set drains. Barrier replies
+//! are routed to the owning executor through a `(switch, xid)` table —
+//! no broadcast — and every reply doubles as an RTT sample for the
+//! per-switch adaptive retransmission timers ([`RtoTable`]).
+//!
+//! The runtime and the serial [`Controller`](crate::controller) both
+//! implement [`UpdateRuntime`], so the
+//! simulator, the experiments and the REST layer switch between them
+//! with one constructor argument.
+
+use std::collections::BTreeMap;
+
+use sdn_openflow::messages::{Envelope, OfMessage};
+use sdn_types::{DpId, SimTime, Xid};
+
+use crate::compile::CompiledUpdate;
+use crate::controller::{CtrlOutput, UpdateReport};
+use crate::executor::{ExecConfig, ExecState, RoundExecutor, XidAlloc};
+use crate::runtime::admission::{
+    AdmissionPolicy, AdmissionQueue, AdmitOutcome, Priority, QueuedJob,
+};
+use crate::runtime::conflict::{ConflictGraph, Footprint, JobId};
+use crate::runtime::rto::{RtoConfig, RtoTable};
+use crate::runtime::{RuntimeStats, UpdateRuntime};
+
+/// How the runtime times retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetransMode {
+    /// One fixed per-switch timeout ([`ExecConfig::barrier_timeout`])
+    /// per transmission — the serial executor's policy, kept as the
+    /// comparison baseline.
+    Fixed,
+    /// Per-switch EWMA RTT + variance with exponential backoff.
+    Adaptive(RtoConfig),
+}
+
+impl Default for RetransMode {
+    fn default() -> Self {
+        RetransMode::Adaptive(RtoConfig::default())
+    }
+}
+
+/// Runtime tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Per-executor settings. `max_attempts` is the per-switch
+    /// transmission budget; `barrier_timeout` is only consulted in
+    /// [`RetransMode::Fixed`].
+    pub exec: ExecConfig,
+    /// Waiting-queue capacity (jobs beyond this are shed per policy).
+    pub queue_capacity: usize,
+    /// Maximum concurrently executing updates.
+    pub max_active: usize,
+    /// Full-queue behaviour.
+    pub policy: AdmissionPolicy,
+    /// Retransmission timing.
+    pub retrans: RetransMode,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            exec: ExecConfig::default(),
+            queue_capacity: 64,
+            max_active: 16,
+            policy: AdmissionPolicy::RejectNew,
+            retrans: RetransMode::default(),
+        }
+    }
+}
+
+/// Outstanding barrier transmissions for one pending switch of one
+/// round. *Every* transmission stays valid until the switch answers:
+/// retransmissions resend identical FlowMods, so a reply to an older
+/// barrier still proves the round's content is fenced at that switch
+/// (and, because retransmissions re-key, identifies its exact
+/// transmission — a clean RTT sample with no Karn ambiguity). Without
+/// this, a fixed timeout shorter than a straggler's RTT would livelock:
+/// each reply would arrive already superseded.
+#[derive(Debug, Clone)]
+struct BarrierTimer {
+    /// The newest barrier xid (the one the executor tracks).
+    latest: Xid,
+    /// When the newest transmission went out (timer base).
+    latest_sent: SimTime,
+    /// Transmissions so far (1 = no retransmissions).
+    attempts: u32,
+    /// Flagged slow while the rest of its round had acknowledged.
+    straggler: bool,
+    /// All in-flight (xid, sent-at) transmissions, oldest first.
+    outstanding: Vec<(Xid, SimTime)>,
+}
+
+/// One executing update.
+#[derive(Debug, Clone)]
+struct ActiveJob {
+    ex: RoundExecutor,
+    submitted: SimTime,
+    started: SimTime,
+    /// Outstanding barrier per pending switch of the current round.
+    barriers: BTreeMap<DpId, BarrierTimer>,
+}
+
+/// The concurrent update runtime.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRuntime {
+    config: RuntimeConfig,
+    queue: AdmissionQueue,
+    graph: ConflictGraph,
+    active: BTreeMap<JobId, ActiveJob>,
+    /// Latest outstanding barrier (switch, xid) → owning job.
+    routes: BTreeMap<(DpId, Xid), JobId>,
+    xids: XidAlloc,
+    rto: RtoTable,
+    reports: Vec<UpdateReport>,
+    stats: RuntimeStats,
+    next_id: u64,
+}
+
+impl ConcurrentRuntime {
+    /// A runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let rto = match config.retrans {
+            RetransMode::Adaptive(cfg) => RtoTable::new(cfg),
+            RetransMode::Fixed => RtoTable::default(),
+        };
+        ConcurrentRuntime {
+            queue: AdmissionQueue::new(config.queue_capacity, config.policy),
+            graph: ConflictGraph::new(),
+            active: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            xids: XidAlloc::new(),
+            rto,
+            reports: Vec::new(),
+            stats: RuntimeStats::default(),
+            next_id: 1,
+            config,
+        }
+    }
+
+    /// The per-switch RTO table (diagnostics).
+    pub fn rto_table(&self) -> &RtoTable {
+        &self.rto
+    }
+
+    /// Jobs currently executing, with their current round (diagnostics).
+    pub fn active_jobs(&self) -> impl Iterator<Item = (JobId, &str, usize)> + '_ {
+        self.active
+            .iter()
+            .map(|(&id, j)| (id, j.ex.label(), j.ex.current_round()))
+    }
+
+    fn straggler_attempts(&self) -> u32 {
+        match self.config.retrans {
+            RetransMode::Adaptive(cfg) => cfg.straggler_attempts,
+            RetransMode::Fixed => RtoConfig::default().straggler_attempts,
+        }
+    }
+
+    /// Record the barrier requests of freshly produced commands into
+    /// the routing and timer tables.
+    fn register(
+        routes: &mut BTreeMap<(DpId, Xid), JobId>,
+        stats: &mut RuntimeStats,
+        job_id: JobId,
+        barriers: &mut BTreeMap<DpId, BarrierTimer>,
+        now: SimTime,
+        cmds: &[(DpId, Envelope)],
+    ) {
+        for (dp, env) in cmds {
+            if env.msg != OfMessage::BarrierRequest {
+                continue;
+            }
+            routes.insert((*dp, env.xid), job_id);
+            match barriers.get_mut(dp) {
+                Some(timer) => {
+                    // A retransmission: the older transmissions stay
+                    // outstanding (see [`BarrierTimer`]).
+                    stats.retransmissions += 1;
+                    timer.attempts += 1;
+                    timer.latest = env.xid;
+                    timer.latest_sent = now;
+                    timer.outstanding.push((env.xid, now));
+                }
+                None => {
+                    barriers.insert(
+                        *dp,
+                        BarrierTimer {
+                            latest: env.xid,
+                            latest_sent: now,
+                            attempts: 1,
+                            straggler: false,
+                            outstanding: vec![(env.xid, now)],
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn outputs(cmds: Vec<(DpId, Envelope)>, out: &mut Vec<CtrlOutput>) {
+        out.extend(cmds.into_iter().map(|(dp, env)| CtrlOutput::Send(dp, env)));
+    }
+
+    /// Move finished/failed jobs to the report log and release their
+    /// conflict-graph slots and routes.
+    fn reap(&mut self, now: SimTime) {
+        let done: Vec<JobId> = self
+            .active
+            .iter()
+            .filter(|(_, j)| matches!(j.ex.state(), ExecState::Done | ExecState::Failed))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in done {
+            let job = self.active.remove(&id).expect("collected above");
+            for (dp, t) in &job.barriers {
+                for (xid, _) in &t.outstanding {
+                    self.routes.remove(&(*dp, *xid));
+                }
+            }
+            self.graph.remove(id);
+            let completed = match job.ex.state() {
+                ExecState::Done => {
+                    self.stats.completed += 1;
+                    Some(
+                        job.ex
+                            .timings()
+                            .last()
+                            .and_then(|t| t.completed)
+                            .unwrap_or(now),
+                    )
+                }
+                _ => {
+                    self.stats.failed += 1;
+                    None
+                }
+            };
+            self.reports.push(UpdateReport {
+                label: job.ex.label().to_string(),
+                submitted: job.submitted,
+                started: job.started,
+                completed,
+                rounds: job.ex.timings().to_vec(),
+            });
+        }
+    }
+
+    /// Launch queued jobs whose conflict sets are clear, up to the
+    /// parallelism cap.
+    fn launch(&mut self, now: SimTime, out: &mut Vec<CtrlOutput>) {
+        while self.active.len() < self.config.max_active {
+            let Some(qj) = self.queue.pop_dispatchable(&self.graph) else {
+                break;
+            };
+            let QueuedJob {
+                id,
+                update,
+                footprint,
+                submitted,
+                ..
+            } = qj;
+            let mut ex = RoundExecutor::new(update, self.config.exec);
+            let cmds = ex.start(now, &mut self.xids);
+            self.graph.insert(id, footprint);
+            let mut job = ActiveJob {
+                ex,
+                submitted,
+                started: now,
+                barriers: BTreeMap::new(),
+            };
+            Self::register(
+                &mut self.routes,
+                &mut self.stats,
+                id,
+                &mut job.barriers,
+                now,
+                &cmds,
+            );
+            Self::outputs(cmds, out);
+            self.active.insert(id, job);
+            self.stats.peak_active = self.stats.peak_active.max(self.active.len() as u64);
+        }
+        // instantly-done (empty) updates release their slots right away
+        self.reap(now);
+    }
+}
+
+impl UpdateRuntime for ConcurrentRuntime {
+    fn submit(&mut self, update: CompiledUpdate, now: SimTime, priority: Priority) -> AdmitOutcome {
+        self.stats.submitted += 1;
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let footprint = Footprint::of(&update);
+        let outcome = self.queue.offer(QueuedJob {
+            id,
+            update,
+            footprint,
+            submitted: now,
+            priority,
+        });
+        match &outcome {
+            AdmitOutcome::Queued { .. } => self.stats.accepted += 1,
+            AdmitOutcome::QueuedDisplacing { .. } => {
+                self.stats.accepted += 1;
+                self.stats.displaced += 1;
+            }
+            AdmitOutcome::Rejected(_) => self.stats.rejected += 1,
+        }
+        outcome
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<CtrlOutput> {
+        let mut out = Vec::new();
+        let straggler_attempts = self.straggler_attempts();
+        // Drive every active executor: grace transitions and per-switch
+        // retransmission timers.
+        for (&id, job) in self.active.iter_mut() {
+            match job.ex.state() {
+                ExecState::WaitingGrace => {
+                    let cmds = job.ex.on_tick(now, &mut self.xids);
+                    Self::register(
+                        &mut self.routes,
+                        &mut self.stats,
+                        id,
+                        &mut job.barriers,
+                        now,
+                        &cmds,
+                    );
+                    Self::outputs(cmds, &mut out);
+                }
+                ExecState::AwaitingBarriers => {
+                    let width = job.ex.current_round_width();
+                    let pending = job.ex.pending_count();
+                    let mut due: Vec<DpId> = Vec::new();
+                    let mut exhausted = false;
+                    for (&dp, timer) in job.barriers.iter_mut() {
+                        let deadline = match self.config.retrans {
+                            RetransMode::Fixed => {
+                                timer.latest_sent + self.config.exec.barrier_timeout
+                            }
+                            RetransMode::Adaptive(_) => {
+                                timer.latest_sent + self.rto.backoff(dp, timer.attempts)
+                            }
+                        };
+                        if now < deadline {
+                            continue;
+                        }
+                        if timer.attempts >= self.config.exec.max_attempts {
+                            exhausted = true;
+                            break;
+                        }
+                        if !timer.straggler
+                            && timer.attempts + 1 >= straggler_attempts
+                            && pending * 2 <= width
+                        {
+                            timer.straggler = true;
+                            self.stats.stragglers += 1;
+                        }
+                        due.push(dp);
+                    }
+                    if exhausted {
+                        job.ex.force_fail();
+                    } else if !due.is_empty() {
+                        let cmds = job.ex.retransmit(&mut self.xids, &due);
+                        Self::register(
+                            &mut self.routes,
+                            &mut self.stats,
+                            id,
+                            &mut job.barriers,
+                            now,
+                            &cmds,
+                        );
+                        Self::outputs(cmds, &mut out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.reap(now);
+        self.launch(now, &mut out);
+        out
+    }
+
+    fn on_message(&mut self, now: SimTime, from: DpId, env: &Envelope) -> Vec<CtrlOutput> {
+        let mut out = Vec::new();
+        if env.msg != OfMessage::BarrierReply {
+            return out; // echo replies, errors, stats: not routed
+        }
+        let Some(&job_id) = self.routes.get(&(from, env.xid)) else {
+            return out; // stale xid (superseded transmission) or unknown
+        };
+        let Some(job) = self.active.get_mut(&job_id) else {
+            return out;
+        };
+        let Some(timer) = job.barriers.get(&from) else {
+            return out;
+        };
+        // The (switch, xid) pair identifies the exact transmission, so
+        // this difference is always a clean RTT sample (no Karn
+        // ambiguity — retransmissions re-key).
+        if let Some(&(_, sent)) = timer.outstanding.iter().find(|(x, _)| *x == env.xid) {
+            self.rto.observe(from, now.saturating_since(sent));
+        }
+        // A reply to ANY outstanding transmission completes the switch
+        // for this round (identical FlowMods precede every barrier);
+        // translate older xids to the one the executor tracks.
+        let translated = Envelope::new(timer.latest, OfMessage::BarrierReply);
+        let cmds = job.ex.on_message(now, from, &translated, &mut self.xids);
+        let timer = job.barriers.remove(&from).expect("present above");
+        for (xid, _) in &timer.outstanding {
+            self.routes.remove(&(from, *xid));
+        }
+        Self::register(
+            &mut self.routes,
+            &mut self.stats,
+            job_id,
+            &mut job.barriers,
+            now,
+            &cmds,
+        );
+        Self::outputs(cmds, &mut out);
+        self.reap(now);
+        // a completed job may unblock queued conflicting jobs
+        self.launch(now, &mut out);
+        out
+    }
+
+    fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.queue.is_empty()
+    }
+
+    fn reports(&self) -> &[UpdateReport] {
+        &self.reports
+    }
+
+    fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_openflow::flow::FlowMatch;
+    use sdn_openflow::messages::{FlowMod, FlowModCommand};
+    use sdn_types::{HostId, SimDuration};
+
+    fn flowmod(dst: u32) -> OfMessage {
+        OfMessage::FlowMod(FlowMod {
+            command: FlowModCommand::Add,
+            priority: 100,
+            matcher: FlowMatch::dst_host(HostId(dst)),
+            actions: vec![],
+            cookie: 0,
+        })
+    }
+
+    fn job(label: &str, dst: u32, rounds: Vec<Vec<u64>>) -> CompiledUpdate {
+        CompiledUpdate {
+            label: label.into(),
+            rounds: rounds
+                .into_iter()
+                .map(|dps| crate::compile::CompiledRound {
+                    msgs: dps.into_iter().map(|d| (DpId(d), flowmod(dst))).collect(),
+                    pre_delay: SimDuration::ZERO,
+                })
+                .collect(),
+        }
+    }
+
+    fn barriers_of(cmds: &[CtrlOutput]) -> Vec<(DpId, Xid)> {
+        cmds.iter()
+            .filter_map(|CtrlOutput::Send(dp, env)| {
+                (env.msg == OfMessage::BarrierRequest).then_some((*dp, env.xid))
+            })
+            .collect()
+    }
+
+    fn reply(rt: &mut ConcurrentRuntime, now: SimTime, dp: DpId, xid: Xid) -> Vec<CtrlOutput> {
+        rt.on_message(now, dp, &Envelope::new(xid, OfMessage::BarrierReply))
+    }
+
+    #[test]
+    fn disjoint_jobs_run_concurrently() {
+        let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
+        rt.submit(
+            job("a", 2, vec![vec![1], vec![2]]),
+            SimTime(0),
+            Priority::Normal,
+        );
+        rt.submit(
+            job("b", 4, vec![vec![5], vec![6]]),
+            SimTime(0),
+            Priority::Normal,
+        );
+        let cmds = rt.poll(SimTime(0));
+        // both round-0 dispatches go out together
+        let b = barriers_of(&cmds);
+        assert_eq!(b.len(), 2);
+        assert_eq!(rt.active_count(), 2);
+        assert_eq!(rt.stats().peak_active, 2);
+        // finish both, interleaved
+        let next_a = reply(&mut rt, SimTime(1), b[0].0, b[0].1);
+        let next_b = reply(&mut rt, SimTime(2), b[1].0, b[1].1);
+        for cmds in [next_a, next_b] {
+            for (dp, xid) in barriers_of(&cmds) {
+                reply(&mut rt, SimTime(3), dp, xid);
+            }
+        }
+        assert!(rt.is_idle());
+        assert_eq!(rt.reports().len(), 2);
+        assert!(rt.reports().iter().all(|r| r.completed.is_some()));
+    }
+
+    #[test]
+    fn conflicting_job_waits_for_the_active_one() {
+        let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
+        rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
+        rt.submit(job("b", 2, vec![vec![2, 3]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        assert_eq!(rt.active_count(), 1, "b conflicts with a at s2");
+        assert_eq!(rt.queued(), 1);
+        // completing a releases b
+        let mut launched = Vec::new();
+        for (dp, xid) in barriers_of(&cmds) {
+            launched.extend(reply(&mut rt, SimTime(1), dp, xid));
+        }
+        assert_eq!(rt.active_count(), 1);
+        assert_eq!(rt.queued(), 0);
+        assert!(!barriers_of(&launched).is_empty(), "b dispatched");
+        let r = &rt.reports()[0];
+        assert_eq!(r.label, "a");
+        assert!(r.completed.is_some());
+    }
+
+    #[test]
+    fn flow_disjoint_jobs_share_a_switch_concurrently() {
+        let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
+        rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
+        rt.submit(job("b", 4, vec![vec![2, 3]]), SimTime(0), Priority::Normal);
+        rt.poll(SimTime(0));
+        assert_eq!(rt.active_count(), 2, "distinct dst hosts commute at s2");
+    }
+
+    #[test]
+    fn bounded_queue_rejects_overflow() {
+        let cfg = RuntimeConfig {
+            queue_capacity: 2,
+            max_active: 1,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        // all conflict (same flow, same switch): only one runs
+        for i in 0..4u32 {
+            let out = rt.submit(
+                job(&format!("j{i}"), 2, vec![vec![1]]),
+                SimTime(0),
+                Priority::Normal,
+            );
+            if i < 2 {
+                assert!(out.accepted(), "j{i} fits the queue");
+            }
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected, 2);
+    }
+
+    #[test]
+    fn adaptive_retransmission_uses_learned_rto() {
+        let cfg = RuntimeConfig {
+            retrans: RetransMode::Adaptive(RtoConfig {
+                initial: SimDuration::from_millis(100),
+                min: SimDuration::from_millis(1),
+                max: SimDuration::from_secs(1),
+                straggler_attempts: 3,
+            }),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        // Round 1 teaches the runtime that s1 answers in ~2 ms.
+        rt.submit(
+            job("a", 2, vec![vec![1], vec![1]]),
+            SimTime(0),
+            Priority::Normal,
+        );
+        let cmds = rt.poll(SimTime(0));
+        let b = barriers_of(&cmds);
+        let t1 = SimTime(0) + SimDuration::from_millis(2);
+        let next = reply(&mut rt, t1, b[0].0, b[0].1);
+        assert!(!barriers_of(&next).is_empty(), "round 2 dispatched");
+        // Round 2's barrier is lost. The learned RTO (~2 ms srtt +
+        // 4 ms var = ~6 ms) should fire far sooner than the 100 ms
+        // initial value.
+        let before = rt.stats().retransmissions;
+        let polled = rt.poll(t1 + SimDuration::from_millis(20));
+        assert!(
+            !barriers_of(&polled).is_empty(),
+            "adaptive timer must have fired within 20 ms"
+        );
+        assert_eq!(rt.stats().retransmissions, before + 1);
+    }
+
+    #[test]
+    fn per_switch_attempt_budget_fails_the_job() {
+        let cfg = RuntimeConfig {
+            exec: ExecConfig {
+                barrier_timeout: SimDuration::from_millis(10),
+                max_attempts: 2,
+            },
+            retrans: RetransMode::Fixed,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        rt.submit(
+            job("doomed", 2, vec![vec![1]]),
+            SimTime(0),
+            Priority::Normal,
+        );
+        rt.poll(SimTime(0));
+        rt.poll(SimTime(0) + SimDuration::from_millis(11)); // attempt 2
+        rt.poll(SimTime(0) + SimDuration::from_millis(22)); // budget gone
+        assert!(rt.is_idle());
+        assert_eq!(rt.reports().len(), 1);
+        assert_eq!(rt.reports()[0].completed, None);
+        assert_eq!(rt.stats().failed, 1);
+    }
+
+    #[test]
+    fn any_outstanding_barrier_reply_completes_the_switch() {
+        let mut rt = ConcurrentRuntime::new(RuntimeConfig {
+            retrans: RetransMode::Fixed,
+            exec: ExecConfig {
+                barrier_timeout: SimDuration::from_millis(5),
+                max_attempts: 8,
+            },
+            ..RuntimeConfig::default()
+        });
+        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        let b0 = barriers_of(&cmds)[0];
+        // timeout fires; a new xid goes out, but the old transmission
+        // stays valid (its barrier fenced identical FlowMods)
+        let re = rt.poll(SimTime(0) + SimDuration::from_millis(6));
+        let b1 = barriers_of(&re)[0];
+        assert_ne!(b0.1, b1.1);
+        // an unknown xid does nothing...
+        assert!(reply(&mut rt, SimTime(6_500_000), b0.0, Xid(0xdead)).is_empty());
+        assert_eq!(rt.active_count(), 1);
+        // ...but the late reply to the OLDER outstanding barrier
+        // completes the switch — no livelock when RTO < RTT
+        reply(&mut rt, SimTime(7_000_000), b0.0, b0.1);
+        assert!(rt.is_idle());
+        // the fresh xid is retired with the job: replaying it is a no-op
+        assert!(reply(&mut rt, SimTime(8_000_000), b1.0, b1.1).is_empty());
+        assert_eq!(rt.reports().len(), 1);
+        assert!(rt.reports()[0].completed.is_some());
+    }
+
+    #[test]
+    fn straggler_detection_counts_slow_switch() {
+        let cfg = RuntimeConfig {
+            retrans: RetransMode::Adaptive(RtoConfig {
+                initial: SimDuration::from_millis(5),
+                min: SimDuration::from_millis(1),
+                max: SimDuration::from_secs(1),
+                straggler_attempts: 2,
+            }),
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        let b = barriers_of(&cmds);
+        // s1 acks fast; s2 stays silent past its (backed-off) deadlines
+        reply(&mut rt, SimTime(1), b[0].0, b[0].1);
+        rt.poll(SimTime(0) + SimDuration::from_millis(6));
+        rt.poll(SimTime(0) + SimDuration::from_millis(30));
+        assert!(rt.stats().stragglers >= 1, "s2 should be flagged");
+    }
+
+    #[test]
+    fn high_priority_overtakes_normal_in_queue() {
+        let cfg = RuntimeConfig {
+            max_active: 1,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        rt.submit(
+            job("running", 2, vec![vec![1]]),
+            SimTime(0),
+            Priority::Normal,
+        );
+        let cmds = rt.poll(SimTime(0));
+        rt.submit(
+            job("patient", 4, vec![vec![5]]),
+            SimTime(1),
+            Priority::Normal,
+        );
+        rt.submit(job("urgent", 6, vec![vec![9]]), SimTime(2), Priority::High);
+        // finish the running job; the High job launches first
+        for (dp, xid) in barriers_of(&cmds) {
+            reply(&mut rt, SimTime(3), dp, xid);
+        }
+        let (_, label, _) = rt.active_jobs().next().expect("one active");
+        assert_eq!(label, "urgent");
+    }
+}

@@ -1,10 +1,11 @@
 //! Property tests for the hand-rolled JSON parser: it must never
-//! panic, must round-trip everything it accepts, and must agree with
-//! itself on re-parse.
+//! panic, must round-trip everything it accepts, must agree with
+//! itself on re-parse — and must stay inside its work limits on any
+//! input, rejecting over-limit documents with the right error kind.
 
 use proptest::prelude::*;
 
-use sdn_ctrl::rest::json::{parse, Json};
+use sdn_ctrl::rest::json::{parse, parse_with, Json, JsonErrorKind, ParseLimits};
 
 fn arb_json(depth: u32) -> BoxedStrategy<Json> {
     let leaf = prop_oneof![
@@ -67,5 +68,54 @@ proptest! {
         // integers render without fraction; everything within f64
         // precision must survive
         prop_assert!((got - n).abs() <= n.abs() * 1e-12 + 1e-9, "{n} -> {got}");
+    }
+
+    #[test]
+    fn limited_parser_never_panics_on_arbitrary_bytes(
+        input in ".{0,256}",
+        max_bytes in 0usize..128,
+        max_depth in 0usize..6,
+        max_fields in 0usize..6,
+        max_elements in 0usize..6,
+        max_string_bytes in 0usize..12,
+    ) {
+        let limits = ParseLimits {
+            max_bytes, max_depth, max_fields, max_elements, max_string_bytes,
+        };
+        let _ = parse_with(&input, &limits);
+    }
+
+    #[test]
+    fn limits_only_narrow_the_accepted_set(v in arb_json(3)) {
+        // A document accepted under tight limits parses identically
+        // under the defaults; one rejected under the defaults is
+        // rejected under any tighter limits too.
+        let rendered = v.render();
+        let tight = ParseLimits {
+            max_bytes: 4096,
+            max_depth: 8,
+            max_fields: 64,
+            max_elements: 64,
+            max_string_bytes: 256,
+        };
+        if let Ok(under_tight) = parse_with(&rendered, &tight) {
+            prop_assert_eq!(under_tight, parse(&rendered).unwrap());
+        }
+    }
+
+    #[test]
+    fn oversized_documents_reject_with_too_large(pad in 1usize..64) {
+        let doc = format!("\"{}\"", "x".repeat(pad + 16));
+        let limits = ParseLimits { max_bytes: 16, ..ParseLimits::default() };
+        let e = parse_with(&doc, &limits).unwrap_err();
+        prop_assert_eq!(e.kind, JsonErrorKind::TooLarge);
+    }
+
+    #[test]
+    fn element_floods_reject_with_too_many_elements(n in 9usize..64) {
+        let doc = format!("[{}]", vec!["1"; n].join(","));
+        let limits = ParseLimits { max_elements: 8, ..ParseLimits::default() };
+        let e = parse_with(&doc, &limits).unwrap_err();
+        prop_assert_eq!(e.kind, JsonErrorKind::TooManyElements);
     }
 }

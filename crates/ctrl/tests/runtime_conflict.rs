@@ -1,0 +1,238 @@
+//! Commutativity of conflict-analyzer-admitted concurrency.
+//!
+//! Property: when the conflict analyzer declares a set of compiled
+//! updates footprint-disjoint, **any** interleaving of their control
+//! messages (each update's own round order preserved — that is what
+//! barriers enforce — everything across updates arbitrary) drives the
+//! switches to the *same* committed flow tables as executing the
+//! updates serially, i.e. the concurrent execution is equivalent to a
+//! serial order. Cross-validated against `verify_schedule`: each
+//! flow's schedule is transiently safe in isolation, and since
+//! disjoint footprints touch disjoint (switch, flow-class) slices,
+//! those per-flow guarantees carry to the merged trace unchanged.
+//!
+//! A negative control checks the analyzer *does* flag same-flow
+//! overlap, where the committed state genuinely depends on order.
+
+use proptest::prelude::*;
+
+use sdn_ctrl::compile::{compile_schedule, CompiledUpdate, FlowSpec};
+use sdn_ctrl::runtime::Footprint;
+use sdn_openflow::messages::Envelope;
+use sdn_switch::SoftSwitch;
+use sdn_topo::gen::{self, UpdatePair};
+use sdn_types::{DetRng, DpId, Xid};
+use update_core::algorithms::{SlfGreedy, UpdateScheduler};
+use update_core::checker::verify_schedule;
+use update_core::model::UpdateInstance;
+use update_core::properties::PropertySet;
+
+/// Build `k` disjoint flows of `n` switches each. With `shared`, all
+/// flows run over the *same* switches (flow-class disjointness only);
+/// otherwise each flow gets its own dpid range (switch disjointness).
+fn disjoint_flows(n: u64, k: usize, shared: bool, rng: &mut DetRng) -> Vec<UpdatePair> {
+    (0..k)
+        .map(|i| {
+            let base = gen::random_permutation(n, rng);
+            if shared {
+                base
+            } else {
+                gen::shift(&base, (i as u64) * (n + 3))
+            }
+        })
+        .collect()
+}
+
+/// Compile each flow against the shared batch topology, verifying its
+/// schedule statically on the way.
+fn compile_flows(pairs: &[UpdatePair]) -> Vec<CompiledUpdate> {
+    let topo = gen::materialize_batch(pairs);
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            let (src, dst) = gen::batch_hosts(i);
+            let spec = FlowSpec { src, dst };
+            let inst =
+                UpdateInstance::new(pair.old.clone(), pair.new.clone(), pair.waypoint).unwrap();
+            let sched = SlfGreedy::default().schedule(&inst).unwrap();
+            let report = verify_schedule(&inst, &sched, PropertySet::loop_free_strong());
+            assert!(report.is_ok(), "per-flow schedule must verify: {report}");
+            compile_schedule(&topo, &inst, &sched, &spec).unwrap()
+        })
+        .collect()
+}
+
+/// All switches any update touches.
+fn all_switches(updates: &[CompiledUpdate]) -> Vec<DpId> {
+    let mut dps: Vec<DpId> = updates
+        .iter()
+        .flat_map(|u| u.rounds.iter().flat_map(|r| r.msgs.iter().map(|(d, _)| *d)))
+        .collect();
+    dps.sort();
+    dps.dedup();
+    dps
+}
+
+/// Apply a message sequence to fresh switches; return each switch's
+/// committed table as a sorted fingerprint.
+fn run_sequence(
+    switches: &[DpId],
+    seq: &[(DpId, sdn_openflow::messages::OfMessage)],
+) -> Vec<(DpId, Vec<String>)> {
+    let mut sws: Vec<SoftSwitch> = switches.iter().map(|&d| SoftSwitch::new(d, 64)).collect();
+    let mut xid = Xid(1);
+    for (dp, msg) in seq {
+        let sw = sws.iter_mut().find(|s| s.dpid() == *dp).unwrap();
+        sw.handle_control(Envelope::new(xid, msg.clone()));
+        xid = xid.next();
+    }
+    sws.iter()
+        .map(|s| {
+            // fingerprint the forwarding-relevant fields only —
+            // `installed_seq`/`packets` are bookkeeping and naturally
+            // differ between interleavings
+            let mut rules: Vec<String> = s
+                .table()
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}|{:?}|{:?}|{}",
+                        e.priority, e.matcher, e.actions, e.cookie
+                    )
+                })
+                .collect();
+            rules.sort();
+            (s.dpid(), rules)
+        })
+        .collect()
+}
+
+/// Random merge of the updates' message streams, preserving each
+/// stream's internal order.
+fn random_interleaving(
+    updates: &[CompiledUpdate],
+    rng: &mut DetRng,
+) -> Vec<(DpId, sdn_openflow::messages::OfMessage)> {
+    let mut streams: Vec<std::collections::VecDeque<_>> = updates
+        .iter()
+        .map(|u| {
+            u.rounds
+                .iter()
+                .flat_map(|r| r.msgs.iter().cloned())
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::new();
+    loop {
+        let nonempty: Vec<usize> = streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if nonempty.is_empty() {
+            return out;
+        }
+        let pick = nonempty[rng.index(nonempty.len())];
+        out.push(streams[pick].pop_front().unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn admitted_interleavings_commute_to_a_serial_order(
+        n in 4u64..9,
+        k in 2usize..4,
+        shared in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let pairs = disjoint_flows(n, k, shared, &mut rng);
+        let updates = compile_flows(&pairs);
+
+        // the analyzer must admit the whole set concurrently
+        let fps: Vec<Footprint> = updates.iter().map(Footprint::of).collect();
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                prop_assert!(
+                    fps[i].disjoint(&fps[j]),
+                    "flows {i}/{j} must be footprint-disjoint (shared={shared})"
+                );
+            }
+        }
+
+        // serial reference: update 0 fully, then 1, ...
+        let dps = all_switches(&updates);
+        let serial: Vec<_> = updates
+            .iter()
+            .flat_map(|u| u.rounds.iter().flat_map(|r| r.msgs.iter().cloned()))
+            .collect();
+        let reference = run_sequence(&dps, &serial);
+
+        // any admitted interleaving commits the same configuration
+        for _ in 0..4 {
+            let merged = random_interleaving(&updates, &mut rng);
+            prop_assert_eq!(merged.len(), serial.len());
+            let got = run_sequence(&dps, &merged);
+            prop_assert_eq!(&got, &reference, "interleaving must commute");
+        }
+    }
+
+    #[test]
+    fn same_flow_overlap_is_flagged_as_conflict(
+        n in 4u64..9,
+        seed in any::<u64>(),
+    ) {
+        // Two updates of the SAME flow (same dst host, same switches):
+        // committed state depends on order, and the analyzer must say
+        // so instead of admitting them concurrently.
+        let mut rng = DetRng::new(seed);
+        let pair_a = gen::random_permutation(n, &mut rng);
+        let pair_b = UpdatePair {
+            old: pair_a.new.clone(),
+            new: pair_a.old.clone(),
+            waypoint: None,
+        };
+        let topo = gen::materialize_batch(std::slice::from_ref(&pair_a));
+        let (src, dst) = gen::batch_hosts(0);
+        let spec = FlowSpec { src, dst };
+        let compiled: Vec<CompiledUpdate> = [&pair_a, &pair_b]
+            .iter()
+            .map(|p| {
+                let inst =
+                    UpdateInstance::new(p.old.clone(), p.new.clone(), None).unwrap();
+                let sched = SlfGreedy::default().schedule(&inst).unwrap();
+                compile_schedule(&topo, &inst, &sched, &spec).unwrap()
+            })
+            .collect();
+        let fa = Footprint::of(&compiled[0]);
+        let fb = Footprint::of(&compiled[1]);
+        prop_assert!(fa.conflicts(&fb), "same-flow updates must conflict");
+    }
+}
+
+/// Non-proptest sanity: the drain grace on cleanup rounds never hides
+/// messages from the footprint (every round contributes, including
+/// the old-only switches whose rules only appear in RemoveOld rounds).
+#[test]
+fn footprint_includes_cleanup_round_switches() {
+    // disjoint detour: switches 2,4,5,6 are old-only, touched *only*
+    // by the trailing cleanup round's deletes
+    let pair = gen::disjoint_detour(7, 2);
+    let topo = gen::materialize_batch(std::slice::from_ref(&pair));
+    let (src, dst) = gen::batch_hosts(0);
+    let spec = FlowSpec { src, dst };
+    let inst = UpdateInstance::new(pair.old.clone(), pair.new.clone(), pair.waypoint).unwrap();
+    let sched = SlfGreedy::default().schedule(&inst).unwrap();
+    let compiled = compile_schedule(&topo, &inst, &sched, &spec).unwrap();
+    let fp = Footprint::of(&compiled);
+    for dp in [2u64, 4, 5, 6].map(DpId) {
+        assert!(
+            fp.switches().any(|d| d == dp),
+            "old-only switch {dp} (cleanup round) missing from footprint"
+        );
+    }
+}

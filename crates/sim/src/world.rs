@@ -12,6 +12,7 @@ use sdn_channel::config::ChannelConfig;
 use sdn_channel::sim::{ConnId, SimChannel};
 use sdn_ctrl::compile::CompiledUpdate;
 use sdn_ctrl::controller::{Controller, ControllerConfig, CtrlOutput};
+use sdn_ctrl::runtime::{AdmitOutcome, Priority, RuntimeStats, UpdateRuntime};
 use sdn_openflow::codec::{decode, encode};
 use sdn_openflow::flow::PacketMeta;
 use sdn_openflow::messages::OfMessage;
@@ -81,7 +82,7 @@ pub struct World {
     topo: Topology,
     switches: BTreeMap<DpId, SoftSwitch>,
     busy_until: BTreeMap<DpId, SimTime>,
-    controller: Controller,
+    controller: Box<dyn UpdateRuntime>,
     channel: SimChannel,
     rng: DetRng,
     queue: EventQueue,
@@ -95,8 +96,17 @@ pub struct World {
 }
 
 impl World {
-    /// Build a world over a topology.
+    /// Build a world over a topology, driven by the paper's serial
+    /// controller.
     pub fn new(topo: Topology, cfg: WorldConfig) -> Self {
+        let ctrl = Controller::new(cfg.ctrl);
+        World::with_runtime(topo, cfg, Box::new(ctrl))
+    }
+
+    /// Build a world over a topology with an explicit controller core
+    /// — e.g. [`sdn_ctrl::runtime::ConcurrentRuntime`] for concurrent
+    /// multi-update execution.
+    pub fn with_runtime(topo: Topology, cfg: WorldConfig, runtime: Box<dyn UpdateRuntime>) -> Self {
         let switches: BTreeMap<DpId, SoftSwitch> = topo
             .switches()
             .map(|s| {
@@ -108,7 +118,7 @@ impl World {
             .collect();
         let rng = DetRng::new(cfg.seed);
         World {
-            controller: Controller::new(cfg.ctrl),
+            controller: runtime,
             channel: SimChannel::new(cfg.channel),
             switches,
             busy_until: BTreeMap::new(),
@@ -153,13 +163,36 @@ impl World {
         }
     }
 
-    /// Enqueue an update job on the controller.
+    /// Enqueue an update job on the controller. Panics if the runtime
+    /// refuses it — use [`World::submit_update`] when backpressure is
+    /// part of the experiment.
     pub fn enqueue_update(&mut self, update: CompiledUpdate) {
-        self.controller.enqueue(update);
-        if !self.polling {
+        let out = self.submit_update(update, Priority::Normal);
+        assert!(out.accepted(), "runtime rejected the update: {out:?}");
+    }
+
+    /// Offer an update to the controller runtime, surfacing the
+    /// admission outcome (bounded queues may refuse or displace).
+    pub fn submit_update(&mut self, update: CompiledUpdate, priority: Priority) -> AdmitOutcome {
+        let out = self.controller.submit(update, self.now, priority);
+        if out.accepted() && !self.polling {
             self.polling = true;
             self.queue.push(self.now, Event::CtrlPoll);
         }
+        out
+    }
+
+    /// Controller-runtime counters (admissions, retransmissions,
+    /// stragglers, peak concurrency).
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.controller.stats()
+    }
+
+    /// Override the control-channel behaviour of one switch in *both*
+    /// directions — models a slow or flaky switch (straggler).
+    pub fn set_switch_channel(&mut self, dp: DpId, config: ChannelConfig) {
+        self.channel.set_override(ConnId::to_switch(dp), config);
+        self.channel.set_override(ConnId::to_controller(dp), config);
     }
 
     /// Plan probe injection: `count` packets from `src` to `dst`,

@@ -304,6 +304,65 @@ pub fn materialize(pair: &UpdatePair) -> Topology {
     materialize_with(pair, DEFAULT_LINK_LATENCY)
 }
 
+/// Translate every dpid of a pair by `offset` — the standard way to
+/// stamp out switch-disjoint copies of one workload for concurrent
+/// multi-update experiments (`shift(reversal(8), 10*i)` gives flow `i`
+/// its own dpid range).
+pub fn shift(pair: &UpdatePair, offset: u64) -> UpdatePair {
+    let mv = |r: &RoutePath| {
+        RoutePath::from_raw(&r.raw().iter().map(|d| d + offset).collect::<Vec<_>>())
+            .expect("translation preserves validity")
+    };
+    UpdatePair {
+        old: mv(&pair.old),
+        new: mv(&pair.new),
+        waypoint: pair.waypoint.map(|w| DpId(w.0 + offset)),
+    }
+}
+
+/// Build one topology covering a whole *batch* of update pairs — the
+/// multi-flow worlds the concurrent runtime executes against. Switches
+/// and links are deduplicated across flows; flow `i` (0-based) gets
+/// source host `2i+1` attached at its shared source switch and
+/// destination host `2i+2` at its shared destination switch, so every
+/// flow's FlowMods match a distinct destination host even where routes
+/// share switches.
+pub fn materialize_batch(pairs: &[UpdatePair]) -> Topology {
+    let mut t = Topology::new();
+    for pair in pairs {
+        assert_eq!(pair.old.src(), pair.new.src(), "routes must share source");
+        assert_eq!(
+            pair.old.dst(),
+            pair.new.dst(),
+            "routes must share destination"
+        );
+        for &dp in pair.old.hops().iter().chain(pair.new.hops()) {
+            if !t.has_switch(dp) {
+                t.add_switch(dp).expect("deduplicated");
+            }
+        }
+        for (a, b) in pair.old.edges().chain(pair.new.edges()) {
+            if !t.adjacent(a, b) {
+                t.add_link(a, b, DEFAULT_LINK_LATENCY).expect("valid link");
+            }
+        }
+    }
+    for (i, pair) in pairs.iter().enumerate() {
+        let i = i as u32;
+        t.attach_host(HostId(2 * i + 1), pair.old.src(), DEFAULT_HOST_LATENCY)
+            .expect("src exists");
+        t.attach_host(HostId(2 * i + 2), pair.old.dst(), DEFAULT_HOST_LATENCY)
+            .expect("dst exists");
+    }
+    t
+}
+
+/// The host pair [`materialize_batch`] attaches for flow `i`.
+pub fn batch_hosts(i: usize) -> (HostId, HostId) {
+    let i = i as u32;
+    (HostId(2 * i + 1), HostId(2 * i + 2))
+}
+
 /// [`materialize`] with an explicit link latency.
 pub fn materialize_with(pair: &UpdatePair, latency: SimDuration) -> Topology {
     assert_eq!(pair.old.src(), pair.new.src(), "routes must share source");
@@ -566,6 +625,34 @@ mod tests {
         // Both re-route styles must be well represented.
         assert!(shared >= 20, "core re-routes too rare: {shared}/100");
         assert!(shared <= 80, "uplink re-routes too rare: {shared}/100");
+    }
+
+    #[test]
+    fn shift_translates_every_switch_and_the_waypoint() {
+        let mut r = rng();
+        let p = waypointed(7, false, &mut r);
+        let s = shift(&p, 100);
+        assert_eq!(
+            s.old.raw(),
+            p.old.raw().iter().map(|d| d + 100).collect::<Vec<_>>()
+        );
+        assert_eq!(s.waypoint, p.waypoint.map(|w| DpId(w.0 + 100)));
+        // disjoint from the original
+        assert!(s.new.hops().iter().all(|d| !p.old.contains(*d)));
+    }
+
+    #[test]
+    fn materialize_batch_covers_every_flow_with_distinct_hosts() {
+        let mut r = rng();
+        let pairs = fat_tree_flows(4, 6, &mut r);
+        let t = materialize_batch(&pairs);
+        for (i, p) in pairs.iter().enumerate() {
+            p.old.validate_on(&t).unwrap();
+            p.new.validate_on(&t).unwrap();
+            let (src, dst) = batch_hosts(i);
+            assert_eq!(t.host(src).unwrap().attached_to, p.old.src());
+            assert_eq!(t.host(dst).unwrap().attached_to, p.old.dst());
+        }
     }
 
     #[test]

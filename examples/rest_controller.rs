@@ -9,6 +9,8 @@
 use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
 use sdn_ctrl::rest::request::UpdateRequest;
+use sdn_ctrl::rest::response::{admission_response, error_response};
+use sdn_ctrl::runtime::{ConcurrentRuntime, Priority, RuntimeConfig};
 use sdn_sim::scenario::AlgoChoice;
 use sdn_sim::world::{World, WorldConfig};
 use sdn_topo::builders::figure1;
@@ -52,17 +54,26 @@ fn main() {
         src: f.h1,
         dst: f.h2,
     };
-    let mut world = World::new(
+    // the concurrent runtime: bounded admission, conflict-aware
+    // dispatch, adaptive per-switch retransmission
+    let runtime = ConcurrentRuntime::new(RuntimeConfig::default());
+    let mut world = World::with_runtime(
         f.topo.clone(),
         WorldConfig {
             channel: ChannelConfig::lan(),
             seed: 7,
             ..WorldConfig::default()
         },
+        Box::new(runtime),
     );
     world.set_waypoint(inst.waypoint());
     world.install_initial(&initial_flowmods(&f.topo, inst.old(), &spec).unwrap());
-    world.enqueue_update(compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap());
+    let outcome = world.submit_update(
+        compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap(),
+        Priority::High, // waypoint changes ride the priority lane
+    );
+    let resp = admission_response(&outcome, 0);
+    println!("\n{} Accepted\n{}", resp.status, resp.body);
 
     // the REST "interval" field paces the probe traffic (milliseconds)
     let interval = SimDuration::from_millis(req.interval_ms.unwrap_or(100));
@@ -78,4 +89,17 @@ fn main() {
 
     // -- the response the REST endpoint would return --------------------
     println!("\n200 OK\n{}", req.to_json());
+
+    // -- what hostile or over-limit requests get back --------------------
+    let bad = UpdateRequest::parse(r#"{"oldpath": "not-a-path"}"#).unwrap_err();
+    let resp = error_response(&bad);
+    println!("\nmalformed request -> {} {}", resp.status, resp.body);
+    let deep = format!(
+        r#"{{"oldpath":[1,2],"newpath":[1,2],"x":{}{}}}"#,
+        "[".repeat(30),
+        "]".repeat(30)
+    );
+    let limit = UpdateRequest::parse(&deep).unwrap_err();
+    let resp = error_response(&limit);
+    println!("over-limit request -> {} {}", resp.status, resp.body);
 }
