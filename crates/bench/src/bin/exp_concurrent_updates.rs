@@ -373,6 +373,7 @@ fn main() {
             exec: ExecConfig {
                 barrier_timeout: SimDuration::from_millis(10),
                 max_attempts: 40,
+                flowmod_acks: false,
             },
             retrans,
             ..RuntimeConfig::default()

@@ -1,0 +1,728 @@
+//! A readiness-driven in-process transport.
+//!
+//! [`EventLoopTransport`] replaces the thread-per-connection loopback
+//! transport with the structure a production controller would use:
+//!
+//! * one **poller** thread owning a timer wheel (binary heap of due
+//!   deliveries) — the single serialization point, so per-connection
+//!   FIFO holds exactly as it would over TCP;
+//! * a small **worker pool** that processes connections the poller
+//!   marks ready: each worker drains that connection's
+//!   [`FrameCodec`], runs the switch logic, and encodes replies into
+//!   the connection's pooled write buffer;
+//! * per-connection state (switch, reassembly codec, write buffer)
+//!   behind its own lock, so thousands of connections share a handful
+//!   of threads instead of owning one each.
+//!
+//! Fault injection (drop / duplicate / corrupt / delay, with
+//! per-connection overrides via the [`Transport`] trait) happens at
+//! *plan* time under one planner lock, in emission order, so the FIFO
+//! high-water-mark clamp gives the same in-order-per-connection
+//! guarantee the simulator's [`SimChannel`] provides.
+//!
+//! Everything on the wire is real OpenFlow 1.0 bytes: sends are
+//! encoded before faults touch them, corrupted frames are rejected by
+//! the codec at the far end and cost one message, never the
+//! connection.
+//!
+//! [`SimChannel`]: crate::sim::SimChannel
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sdn_openflow::codec::decode;
+use sdn_openflow::framing::{encode_to, FrameCodec};
+use sdn_openflow::messages::Envelope;
+use sdn_switch::SoftSwitch;
+use sdn_types::{DetRng, DpId};
+
+use crate::config::ChannelConfig;
+use crate::sim::{ChannelStats, ConnId};
+use crate::transport::{FromSwitch, LiveTransport, Transport};
+
+/// Tuning knobs for the event loop.
+#[derive(Debug, Clone, Copy)]
+pub struct EventLoopConfig {
+    /// Worker threads draining ready connections.
+    pub workers: usize,
+    /// Wall-clock compression applied to simulated delays
+    /// (`0.001` turns 1 ms into 1 µs; `0.0` disables sleeping).
+    pub time_scale: f64,
+}
+
+impl Default for EventLoopConfig {
+    fn default() -> Self {
+        EventLoopConfig {
+            workers: 4,
+            time_scale: 1.0,
+        }
+    }
+}
+
+/// How long idle threads park before re-checking for shutdown.
+const IDLE_PARK: Duration = Duration::from_millis(20);
+
+/// One delivery copy the planner decided to make.
+struct CopyPlan {
+    due: Instant,
+    corrupt_at: Option<usize>,
+}
+
+/// Samples faults and delays in emission order, preserving per-
+/// connection FIFO via a delivery high-water mark (late samples may
+/// not overtake earlier ones on the same connection).
+struct Planner {
+    rng: DetRng,
+    overrides: BTreeMap<ConnId, ChannelConfig>,
+    hwm: BTreeMap<ConnId, Instant>,
+    stats: ChannelStats,
+    seq: u64,
+}
+
+impl Planner {
+    fn config_for<'a>(&'a self, default: &'a ChannelConfig, conn: ConnId) -> &'a ChannelConfig {
+        self.overrides.get(&conn).unwrap_or(default)
+    }
+
+    fn plan(
+        &mut self,
+        default: &ChannelConfig,
+        conn: ConnId,
+        frame_len: usize,
+        scale: f64,
+        now: Instant,
+    ) -> Vec<CopyPlan> {
+        let cfg = *self.config_for(default, conn);
+        self.stats.sent += 1;
+        if self.rng.chance(cfg.drop_prob) {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let copies = if self.rng.chance(cfg.duplicate_prob) {
+            self.stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let mut out = Vec::with_capacity(copies);
+        for _ in 0..copies {
+            let nanos = cfg.delay.sample(&mut self.rng).as_nanos();
+            let scaled = Duration::from_nanos((nanos as f64 * scale) as u64);
+            let mut due = now + scaled;
+            if cfg.fifo {
+                let hwm = self.hwm.entry(conn).or_insert(now);
+                if due < *hwm {
+                    due = *hwm;
+                }
+                *hwm = due;
+            }
+            let corrupt_at = if frame_len > 0 && self.rng.chance(cfg.corrupt_prob) {
+                self.stats.corrupted += 1;
+                Some(self.rng.index(frame_len))
+            } else {
+                None
+            };
+            self.stats.delivered += 1;
+            out.push(CopyPlan { due, corrupt_at });
+        }
+        out
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+}
+
+/// Per-connection state: the switch, inbound reassembly, and a pooled
+/// write buffer reused across replies.
+struct ConnState {
+    switch: SoftSwitch,
+    rx: FrameCodec,
+    wbuf: BytesMut,
+    /// Whether a `Process` job for this connection is already queued
+    /// or running — at most one worker touches a connection at a time.
+    queued: bool,
+}
+
+/// A byte delivery waiting for its due time.
+struct TimerEntry {
+    due: Instant,
+    seq: u64,
+    item: TimerItem,
+}
+
+enum TimerItem {
+    /// Bytes arriving at a switch connection (index into `conns`).
+    Inbound(usize, Vec<u8>),
+    /// Bytes arriving back at the controller.
+    Outbound(DpId, Vec<u8>),
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    /// Reversed so the `BinaryHeap` pops the *earliest* entry first;
+    /// `seq` breaks ties in emission order.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+enum Work {
+    /// A connection has buffered inbound bytes to process.
+    Process(usize),
+}
+
+struct Inner {
+    default_cfg: ChannelConfig,
+    time_scale: f64,
+    index: BTreeMap<DpId, usize>,
+    dpids: Vec<DpId>,
+    conns: Vec<Mutex<ConnState>>,
+    planner: Mutex<Planner>,
+    work: Mutex<VecDeque<Work>>,
+    work_cv: Condvar,
+    timers: Mutex<BinaryHeap<TimerEntry>>,
+    timer_cv: Condvar,
+    to_ctrl: Sender<FromSwitch>,
+    running: AtomicBool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Inner {
+    fn running(&self) -> bool {
+        self.running.load(AtomicOrdering::Acquire)
+    }
+
+    fn push_timer(&self, due: Instant, item: TimerItem) {
+        let seq = lock(&self.planner).next_seq();
+        lock(&self.timers).push(TimerEntry { due, seq, item });
+        self.timer_cv.notify_one();
+    }
+
+    fn push_work(&self, w: Work) {
+        lock(&self.work).push_back(w);
+        self.work_cv.notify_one();
+    }
+
+    /// Poller body: fire due deliveries, park until the next one.
+    fn run_poller(&self) {
+        loop {
+            let mut timers = lock(&self.timers);
+            if !self.running() {
+                return;
+            }
+            let now = Instant::now();
+            let mut fired = Vec::new();
+            while timers.peek().is_some_and(|e| e.due <= now) {
+                fired.push(timers.pop().expect("peeked"));
+            }
+            if fired.is_empty() {
+                let wait = timers
+                    .peek()
+                    .map(|e| e.due.saturating_duration_since(now))
+                    .unwrap_or(IDLE_PARK)
+                    .min(IDLE_PARK);
+                let (guard, _) = self
+                    .timer_cv
+                    .wait_timeout(timers, wait)
+                    .unwrap_or_else(PoisonError::into_inner);
+                drop(guard);
+                continue;
+            }
+            drop(timers);
+            for entry in fired {
+                match entry.item {
+                    TimerItem::Inbound(idx, bytes) => self.feed_conn(idx, &bytes),
+                    TimerItem::Outbound(dpid, bytes) => self.deliver_to_controller(dpid, &bytes),
+                }
+            }
+        }
+    }
+
+    /// Append arrived bytes to a connection's reassembly buffer and
+    /// mark it ready if no worker already owns it.
+    fn feed_conn(&self, idx: usize, bytes: &[u8]) {
+        let mut conn = lock(&self.conns[idx]);
+        conn.rx.feed(bytes);
+        if !conn.queued {
+            conn.queued = true;
+            drop(conn);
+            self.push_work(Work::Process(idx));
+        }
+    }
+
+    /// Final hop switch→controller: decode (a corrupted frame dies
+    /// here, costing one message) and hand to the controller channel.
+    fn deliver_to_controller(&self, dpid: DpId, bytes: &[u8]) {
+        if let Ok(env) = decode(bytes) {
+            let _ = self.to_ctrl.send(FromSwitch { dpid, env });
+        }
+    }
+
+    /// Worker body: take ready connections and process them.
+    fn run_worker(&self) {
+        loop {
+            let work = {
+                let mut q = lock(&self.work);
+                loop {
+                    if let Some(w) = q.pop_front() {
+                        break Some(w);
+                    }
+                    if !self.running() {
+                        break None;
+                    }
+                    let (guard, _) = self
+                        .work_cv
+                        .wait_timeout(q, IDLE_PARK)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                }
+            };
+            match work {
+                Some(Work::Process(idx)) => self.process_conn(idx),
+                None => return,
+            }
+        }
+    }
+
+    /// Drain one connection's complete frames, run the switch, plan
+    /// the reply deliveries. Planning happens under the connection
+    /// lock so reply order fixes delivery order (FIFO per conn).
+    fn process_conn(&self, idx: usize) {
+        let dpid = self.dpids[idx];
+        let conn_id = ConnId::to_controller(dpid);
+        let mut conn = lock(&self.conns[idx]);
+        conn.queued = false;
+        let (frames, _rejected) = conn.rx.drain_lossy();
+        for env in frames {
+            for reply in conn.switch.handle_control(env) {
+                conn.wbuf.clear();
+                encode_to(&reply, &mut conn.wbuf);
+                let frame = conn.wbuf.to_vec();
+                let now = Instant::now();
+                let copies = lock(&self.planner).plan(
+                    &self.default_cfg,
+                    conn_id,
+                    frame.len(),
+                    self.time_scale,
+                    now,
+                );
+                for copy in copies {
+                    let mut bytes = frame.clone();
+                    if let Some(i) = copy.corrupt_at {
+                        bytes[i] ^= 1;
+                    }
+                    self.push_timer(copy.due, TimerItem::Outbound(dpid, bytes));
+                }
+            }
+        }
+    }
+}
+
+/// The readiness-driven transport: one poller + a small worker pool
+/// driving every switch connection.
+pub struct EventLoopTransport {
+    inner: Arc<Inner>,
+    from_switches: Receiver<FromSwitch>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl EventLoopTransport {
+    /// Spawn the event loop over `switches` with default tuning.
+    /// `time_scale` compresses simulated delays into wall time.
+    pub fn spawn(
+        switches: Vec<SoftSwitch>,
+        config: ChannelConfig,
+        seed: u64,
+        time_scale: f64,
+    ) -> Self {
+        Self::spawn_with(
+            switches,
+            config,
+            seed,
+            EventLoopConfig {
+                time_scale,
+                ..EventLoopConfig::default()
+            },
+        )
+    }
+
+    /// Spawn with explicit [`EventLoopConfig`].
+    pub fn spawn_with(
+        switches: Vec<SoftSwitch>,
+        config: ChannelConfig,
+        seed: u64,
+        el: EventLoopConfig,
+    ) -> Self {
+        let (to_ctrl, from_switches) = unbounded::<FromSwitch>();
+        let mut index = BTreeMap::new();
+        let mut dpids = Vec::with_capacity(switches.len());
+        let mut conns = Vec::with_capacity(switches.len());
+        for (i, sw) in switches.into_iter().enumerate() {
+            index.insert(sw.dpid(), i);
+            dpids.push(sw.dpid());
+            conns.push(Mutex::new(ConnState {
+                switch: sw,
+                rx: FrameCodec::new(),
+                wbuf: BytesMut::with_capacity(256),
+                queued: false,
+            }));
+        }
+        let inner = Arc::new(Inner {
+            default_cfg: config,
+            time_scale: el.time_scale,
+            index,
+            dpids,
+            conns,
+            planner: Mutex::new(Planner {
+                rng: DetRng::new(seed).derive("event-loop", 0),
+                overrides: BTreeMap::new(),
+                hwm: BTreeMap::new(),
+                stats: ChannelStats::default(),
+                seq: 0,
+            }),
+            work: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            timers: Mutex::new(BinaryHeap::new()),
+            timer_cv: Condvar::new(),
+            to_ctrl,
+            running: AtomicBool::new(true),
+        });
+        let mut threads = Vec::new();
+        let poller = Arc::clone(&inner);
+        threads.push(
+            thread::Builder::new()
+                .name("ofp-poller".into())
+                .spawn(move || poller.run_poller())
+                .expect("spawn poller"),
+        );
+        for w in 0..el.workers.max(1) {
+            let worker = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name(format!("ofp-worker-{w}"))
+                    .spawn(move || worker.run_worker())
+                    .expect("spawn worker"),
+            );
+        }
+        EventLoopTransport {
+            inner,
+            from_switches,
+            threads,
+        }
+    }
+
+    /// Connections this transport is driving.
+    pub fn connections(&self) -> usize {
+        self.inner.conns.len()
+    }
+
+    /// Inject a message as if a switch had sent it (tests).
+    pub fn inject(&self, msg: FromSwitch) {
+        let _ = self.inner.to_ctrl.send(msg);
+    }
+
+    /// Stop all threads and return the final switch states (flow
+    /// tables inspectable by tests). In-flight delayed deliveries are
+    /// discarded, like a connection teardown would.
+    pub fn shutdown(self) -> Vec<SoftSwitch> {
+        let inner = Arc::clone(&self.inner);
+        drop(self); // signals shutdown and joins every thread
+        let inner = Arc::try_unwrap(inner)
+            .ok()
+            .expect("event-loop threads joined, no other handles remain");
+        inner
+            .conns
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .switch
+            })
+            .collect()
+    }
+}
+
+impl Drop for EventLoopTransport {
+    fn drop(&mut self) {
+        // `shutdown` drains `threads`; a plain drop still signals the
+        // threads to exit so they don't spin forever.
+        self.inner.running.store(false, AtomicOrdering::Release);
+        self.inner.work_cv.notify_all();
+        self.inner.timer_cv.notify_all();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Transport for EventLoopTransport {
+    fn set_conn_config(&mut self, conn: ConnId, config: ChannelConfig) {
+        lock(&self.inner.planner).overrides.insert(conn, config);
+    }
+
+    fn clear_conn_config(&mut self, conn: ConnId) {
+        lock(&self.inner.planner).overrides.remove(&conn);
+    }
+
+    fn conn_config(&self, conn: ConnId) -> ChannelConfig {
+        *lock(&self.inner.planner).config_for(&self.inner.default_cfg, conn)
+    }
+
+    fn transport_stats(&self) -> ChannelStats {
+        lock(&self.inner.planner).stats
+    }
+}
+
+impl LiveTransport for EventLoopTransport {
+    fn send(&self, dpid: DpId, env: &Envelope) -> bool {
+        let Some(&idx) = self.inner.index.get(&dpid) else {
+            return false;
+        };
+        if !self.inner.running() {
+            return false;
+        }
+        let frame = sdn_openflow::codec::encode(env).to_vec();
+        let conn_id = ConnId::to_switch(dpid);
+        let now = Instant::now();
+        let copies = lock(&self.inner.planner).plan(
+            &self.inner.default_cfg,
+            conn_id,
+            frame.len(),
+            self.inner.time_scale,
+            now,
+        );
+        for copy in copies {
+            let mut bytes = frame.clone();
+            if let Some(i) = copy.corrupt_at {
+                bytes[i] ^= 1;
+            }
+            self.inner
+                .push_timer(copy.due, TimerItem::Inbound(idx, bytes));
+        }
+        true
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<FromSwitch> {
+        self.from_switches.recv_timeout(timeout).ok()
+    }
+
+    fn try_recv(&self) -> Option<FromSwitch> {
+        self.from_switches.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_openflow::flow::FlowMatch;
+    use sdn_openflow::messages::{FlowMod, FlowModCommand, OfMessage};
+    use sdn_types::{SimDuration, Xid};
+
+    fn transport(n: u64) -> EventLoopTransport {
+        let switches: Vec<SoftSwitch> = (1..=n).map(|i| SoftSwitch::new(DpId(i), 4)).collect();
+        EventLoopTransport::spawn(
+            switches,
+            ChannelConfig::ideal(SimDuration::from_micros(100)),
+            7,
+            0.01,
+        )
+    }
+
+    #[test]
+    fn echo_roundtrip_over_event_loop() {
+        let t = transport(2);
+        assert!(t.send(
+            DpId(1),
+            &Envelope::new(Xid(1), OfMessage::EchoRequest(vec![7]))
+        ));
+        let got = t.recv_timeout(Duration::from_secs(5)).expect("reply");
+        assert_eq!(got.dpid, DpId(1));
+        assert_eq!(got.env.msg, OfMessage::EchoReply(vec![7]));
+        t.shutdown();
+    }
+
+    #[test]
+    fn many_connections_share_few_threads() {
+        let t = transport(256);
+        assert_eq!(t.connections(), 256);
+        for i in 1..=256u64 {
+            assert!(t.send(
+                DpId(i),
+                &Envelope::new(Xid(i as u32), OfMessage::BarrierRequest)
+            ));
+        }
+        let mut got = Vec::new();
+        for _ in 0..256 {
+            let r = t.recv_timeout(Duration::from_secs(10)).expect("reply");
+            assert_eq!(r.env.msg, OfMessage::BarrierReply);
+            got.push(r.dpid);
+        }
+        got.sort();
+        got.dedup();
+        assert_eq!(got.len(), 256, "every switch answered its barrier");
+        t.shutdown();
+    }
+
+    #[test]
+    fn per_connection_fifo_holds_under_jitter() {
+        // Jittery delays reorder *across* connections but never within
+        // one: a barrier sent after three echoes must answer last.
+        let switches = vec![SoftSwitch::new(DpId(1), 4)];
+        let t = EventLoopTransport::spawn(
+            switches,
+            ChannelConfig::jittery(SimDuration::from_millis(5)),
+            11,
+            0.001,
+        );
+        for i in 1..=3u32 {
+            t.send(
+                DpId(1),
+                &Envelope::new(Xid(i), OfMessage::EchoRequest(vec![i as u8])),
+            );
+        }
+        t.send(DpId(1), &Envelope::new(Xid(9), OfMessage::BarrierRequest));
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
+            seen.push(r.env.xid);
+        }
+        assert_eq!(
+            seen.last(),
+            Some(&Xid(9)),
+            "barrier reply must not overtake earlier echoes: {seen:?}"
+        );
+        t.shutdown();
+    }
+
+    #[test]
+    fn overrides_apply_per_connection() {
+        let mut t = transport(2);
+        let conn = ConnId::to_switch(DpId(2));
+        t.set_conn_config(conn, ChannelConfig::lossy(1.0));
+        // dpid 2 drops everything; dpid 1 still answers
+        t.send(DpId(2), &Envelope::new(Xid(1), OfMessage::BarrierRequest));
+        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest));
+        let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
+        assert_eq!(r.dpid, DpId(1));
+        assert!(t.try_recv().is_none());
+        assert!(t.transport_stats().dropped >= 1);
+        t.clear_conn_config(conn);
+        t.send(DpId(2), &Envelope::new(Xid(3), OfMessage::BarrierRequest));
+        let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
+        assert_eq!(r.dpid, DpId(2));
+        t.shutdown();
+    }
+
+    #[test]
+    fn corruption_costs_one_message_not_the_connection() {
+        let switches = vec![SoftSwitch::new(DpId(1), 4)];
+        let mut t = EventLoopTransport::spawn(
+            switches,
+            ChannelConfig::ideal(SimDuration::from_micros(10)).with_corruption(0.3),
+            23,
+            0.001,
+        );
+        // Hammer the connection: frames die to corruption (a mangled
+        // length field may even swallow neighbours until resync), but
+        // replies keep flowing — the stream never wedges.
+        for i in 0..200u32 {
+            t.send(
+                DpId(1),
+                &Envelope::new(Xid(i), OfMessage::EchoRequest(vec![i as u8])),
+            );
+        }
+        let mut replies = 0;
+        while t.recv_timeout(Duration::from_millis(300)).is_some() {
+            replies += 1;
+        }
+        assert!(
+            replies > 20,
+            "connection survived corruption (got {replies} replies)"
+        );
+        let stats = t.transport_stats();
+        assert!(stats.corrupted > 0, "corruption was actually injected");
+        // The decisive check: turn corruption off for this connection
+        // and confirm the stream is still in working order.
+        t.set_conn_config(
+            ConnId::to_switch(DpId(1)),
+            ChannelConfig::ideal(SimDuration::from_micros(10)),
+        );
+        t.set_conn_config(
+            ConnId::to_controller(DpId(1)),
+            ChannelConfig::ideal(SimDuration::from_micros(10)),
+        );
+        // A corrupted length field may leave the reassembly buffer
+        // waiting on a phantom frame; keep traffic flowing until the
+        // stream recovers (that is the guarantee).
+        let mut healthy = false;
+        for i in 0..512u32 {
+            t.send(
+                DpId(1),
+                &Envelope::new(Xid(1000 + i), OfMessage::BarrierRequest),
+            );
+            // Stragglers from the corruption phase (late echo replies,
+            // or corrupted frames the switch decoded as some other
+            // request) may still drain out here — only a reply to one
+            // of *these* barriers proves recovery.
+            if let Some(r) = t.recv_timeout(Duration::from_millis(50)) {
+                if r.env.msg == OfMessage::BarrierReply && r.env.xid.0 >= 1000 {
+                    healthy = true;
+                    break;
+                }
+            }
+        }
+        assert!(healthy, "stream never recovered after corruption stopped");
+        t.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_switch_state() {
+        let t = transport(1);
+        t.send(
+            DpId(1),
+            &Envelope::new(
+                Xid(1),
+                OfMessage::FlowMod(FlowMod {
+                    command: FlowModCommand::Add,
+                    priority: 5,
+                    matcher: FlowMatch::ANY,
+                    actions: vec![],
+                    cookie: 9,
+                }),
+            ),
+        );
+        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest));
+        let _ = t.recv_timeout(Duration::from_secs(5)).expect("barrier");
+        let switches = t.shutdown();
+        assert_eq!(switches.len(), 1);
+        assert_eq!(switches[0].table().len(), 1);
+    }
+
+    #[test]
+    fn send_to_unknown_switch_fails() {
+        let t = transport(1);
+        assert!(!t.send(DpId(99), &Envelope::new(Xid(1), OfMessage::Hello)));
+        t.shutdown();
+    }
+}

@@ -13,20 +13,29 @@
 //! the codec must surface as a typed error). All sampling is
 //! deterministic per seed.
 //!
-//! Two transports are provided:
+//! Two transports implement the unified [`transport::Transport`]
+//! surface:
 //!
 //! * [`sim::SimChannel`] — pure planning: maps a send at time *t* to
 //!   delivery events for the discrete-event simulator;
-//! * [`live::LoopbackTransport`] — a threaded in-process transport
-//!   (crossbeam channels + real delays) used by integration tests to
-//!   run the controller against switches with true concurrency.
+//! * [`event_loop::EventLoopTransport`] — a readiness-driven
+//!   in-process transport (single poller + worker pool over real
+//!   OpenFlow byte streams) that drives thousands of concurrent
+//!   switch connections for integration tests and scaling benches.
+//!
+//! The old thread-per-connection [`live::LoopbackTransport`] is
+//! deprecated and forwards to the event loop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod event_loop;
 pub mod live;
 pub mod sim;
+pub mod transport;
 
 pub use config::{ChannelConfig, DelayDist};
-pub use sim::{ConnId, Direction, SimChannel};
+pub use event_loop::{EventLoopConfig, EventLoopTransport};
+pub use sim::{ChannelStats, ConnId, Direction, SimChannel};
+pub use transport::{FromSwitch, LiveTransport, Transport};

@@ -1,212 +1,99 @@
-//! A threaded in-process transport.
+//! The legacy thread-per-connection transport, now a thin forwarder.
 //!
-//! Runs real switches on real threads behind crossbeam channels, with
-//! genuine (scaled-down) sleeps for delay injection — the "live mode"
-//! used by integration tests to confirm the round executor tolerates
-//! true concurrency, not just simulated interleavings. Wall-clock
-//! delays make tests slower and non-deterministic, so the discrete-
-//! event path remains the default everywhere else.
+//! [`LoopbackTransport`] used to run one OS thread per switch with
+//! genuine sleeps for delay injection. That design tops out at a few
+//! hundred connections; the readiness-driven
+//! [`EventLoopTransport`]
+//! replaces it with a single poller plus a small worker pool. Every
+//! entry point here is deprecated and forwards to the event loop so
+//! existing callers keep working unchanged while migrating to the
+//! [`Transport`](crate::transport::Transport) /
+//! [`LiveTransport`](crate::transport::LiveTransport) traits.
 
-use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use sdn_openflow::codec::{decode, encode};
 use sdn_openflow::messages::Envelope;
 use sdn_switch::SoftSwitch;
-use sdn_types::{DetRng, DpId};
+use sdn_types::DpId;
 
 use crate::config::ChannelConfig;
+use crate::event_loop::EventLoopTransport;
+pub use crate::transport::FromSwitch;
+use crate::transport::LiveTransport as _;
 
-/// A message arriving at the controller.
-#[derive(Debug)]
-pub struct FromSwitch {
-    /// Originating switch.
-    pub dpid: DpId,
-    /// The decoded reply.
-    pub env: Envelope,
-}
-
-/// Handle to a running switch thread.
-struct SwitchWorker {
-    tx: Sender<Vec<u8>>,
-    handle: Option<JoinHandle<SoftSwitch>>,
-}
-
-/// The threaded transport: one worker thread per switch.
+/// The threaded transport, forwarding to the event loop.
+#[deprecated(
+    since = "0.1.0",
+    note = "use EventLoopTransport via the Transport/LiveTransport traits"
+)]
 pub struct LoopbackTransport {
-    workers: Vec<(DpId, SwitchWorker)>,
-    from_switches: Receiver<FromSwitch>,
-    to_controller: Sender<FromSwitch>,
-    config: ChannelConfig,
-    rng: Mutex<DetRng>,
-    time_scale: f64,
+    inner: EventLoopTransport,
 }
 
+#[allow(deprecated)]
 impl LoopbackTransport {
-    /// Spawn one thread per switch. `time_scale` compresses simulated
-    /// delays into wall time (e.g. `0.001` turns 1 ms into 1 µs).
+    /// Spawn the transport over `switches`. `time_scale` compresses
+    /// simulated delays into wall time (e.g. `0.001` turns 1 ms into
+    /// 1 µs). Forwards to [`EventLoopTransport::spawn`].
+    #[deprecated(since = "0.1.0", note = "use EventLoopTransport::spawn")]
     pub fn spawn(
         switches: Vec<SoftSwitch>,
         config: ChannelConfig,
         seed: u64,
         time_scale: f64,
     ) -> Self {
-        let (to_controller, from_switches) = unbounded::<FromSwitch>();
-        let mut workers = Vec::new();
-        for mut sw in switches {
-            let dpid = sw.dpid();
-            let (tx, rx) = unbounded::<Vec<u8>>();
-            let up = to_controller.clone();
-            let cfg = config;
-            let mut rng = DetRng::new(seed).derive("live-switch", dpid.raw());
-            let scale = time_scale;
-            let handle = thread::Builder::new()
-                .name(format!("switch-{dpid}"))
-                .spawn(move || {
-                    while let Ok(frame) = rx.recv() {
-                        // inbound delay
-                        let d = cfg.delay.sample(&mut rng);
-                        sleep_scaled(d.as_nanos(), scale);
-                        if rng.chance(cfg.drop_prob) {
-                            continue;
-                        }
-                        let Ok(env) = decode(&frame) else { continue };
-                        // inbound duplication: the switch sees (and
-                        // answers) the same control message twice
-                        let copies = if rng.chance(cfg.duplicate_prob) { 2 } else { 1 };
-                        for _ in 0..copies {
-                            for reply in sw.handle_control(env.clone()) {
-                                // outbound delay
-                                let d = cfg.delay.sample(&mut rng);
-                                sleep_scaled(d.as_nanos(), scale);
-                                if rng.chance(cfg.drop_prob) {
-                                    continue;
-                                }
-                                // outbound duplication: the reply
-                                // arrives at the controller twice
-                                let reply_copies =
-                                    if rng.chance(cfg.duplicate_prob) { 2 } else { 1 };
-                                for _ in 0..reply_copies {
-                                    if up
-                                        .send(FromSwitch {
-                                            dpid,
-                                            env: reply.clone(),
-                                        })
-                                        .is_err()
-                                    {
-                                        return sw;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    sw
-                })
-                .expect("spawn switch thread");
-            workers.push((
-                dpid,
-                SwitchWorker {
-                    tx,
-                    handle: Some(handle),
-                },
-            ));
-        }
         LoopbackTransport {
-            workers,
-            from_switches,
-            to_controller,
-            config,
-            rng: Mutex::new(DetRng::new(seed).derive("live-controller", 0)),
-            time_scale,
+            inner: EventLoopTransport::spawn(switches, config, seed, time_scale),
         }
     }
 
     /// Send a control message to a switch (encoded on the wire).
+    #[deprecated(since = "0.1.0", note = "use LiveTransport::send")]
     pub fn send(&self, dpid: DpId, env: &Envelope) -> bool {
-        // controller-side egress corruption injection
-        let mut frame = encode(env).to_vec();
-        {
-            let mut rng = self.rng.lock();
-            if rng.chance(self.config.corrupt_prob) && !frame.is_empty() {
-                let i = rng.index(frame.len());
-                frame[i] ^= 1;
-            }
-        }
-        self.workers
-            .iter()
-            .find(|(d, _)| *d == dpid)
-            .map(|(_, w)| w.tx.send(frame).is_ok())
-            .unwrap_or(false)
+        self.inner.send(dpid, env)
     }
 
     /// Receive the next switch reply, waiting up to `timeout`.
+    #[deprecated(since = "0.1.0", note = "use LiveTransport::recv_timeout")]
     pub fn recv_timeout(&self, timeout: Duration) -> Option<FromSwitch> {
-        self.from_switches.recv_timeout(timeout).ok()
+        self.inner.recv_timeout(timeout)
     }
 
     /// Non-blocking receive.
+    #[deprecated(since = "0.1.0", note = "use LiveTransport::try_recv")]
     pub fn try_recv(&self) -> Option<FromSwitch> {
-        self.from_switches.try_recv().ok()
+        self.inner.try_recv()
     }
 
     /// Inject a message as if a switch had sent it (tests).
+    #[deprecated(since = "0.1.0", note = "use EventLoopTransport::inject")]
     pub fn inject(&self, msg: FromSwitch) {
-        let _ = self.to_controller.send(msg);
+        self.inner.inject(msg)
     }
 
-    /// Shut all switch threads down and return the final switch states
-    /// (flow tables inspectable by tests).
-    pub fn shutdown(mut self) -> Vec<SoftSwitch> {
-        let mut out = Vec::new();
-        for (_, w) in &mut self.workers {
-            // dropping the sender ends the worker loop
-            let (dead_tx, _) = unbounded::<Vec<u8>>();
-            let old = std::mem::replace(&mut w.tx, dead_tx);
-            drop(old);
-        }
-        for (_, w) in &mut self.workers {
-            if let Some(h) = w.handle.take() {
-                if let Ok(sw) = h.join() {
-                    out.push(sw);
-                }
-            }
-        }
-        let _ = self.time_scale;
-        out
-    }
-}
-
-fn sleep_scaled(nanos: u64, scale: f64) {
-    if scale <= 0.0 {
-        return;
-    }
-    let scaled = (nanos as f64 * scale) as u64;
-    if scaled > 0 {
-        thread::sleep(Duration::from_nanos(scaled));
+    /// Shut the transport down and return the final switch states.
+    #[deprecated(since = "0.1.0", note = "use EventLoopTransport::shutdown")]
+    pub fn shutdown(self) -> Vec<SoftSwitch> {
+        self.inner.shutdown()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use sdn_openflow::messages::OfMessage;
     use sdn_types::{SimDuration, Xid};
 
-    fn transport(n: u64) -> LoopbackTransport {
-        let switches: Vec<SoftSwitch> = (1..=n).map(|i| SoftSwitch::new(DpId(i), 4)).collect();
-        LoopbackTransport::spawn(
+    #[test]
+    fn legacy_entry_points_forward_to_event_loop() {
+        let switches: Vec<SoftSwitch> = (1..=2).map(|i| SoftSwitch::new(DpId(i), 4)).collect();
+        let t = LoopbackTransport::spawn(
             switches,
             ChannelConfig::ideal(SimDuration::from_micros(100)),
             7,
             0.01,
-        )
-    }
-
-    #[test]
-    fn echo_roundtrip_over_threads() {
-        let t = transport(2);
+        );
         assert!(t.send(
             DpId(1),
             &Envelope::new(Xid(1), OfMessage::EchoRequest(vec![7]))
@@ -214,59 +101,8 @@ mod tests {
         let got = t.recv_timeout(Duration::from_secs(5)).expect("reply");
         assert_eq!(got.dpid, DpId(1));
         assert_eq!(got.env.msg, OfMessage::EchoReply(vec![7]));
-        t.shutdown();
-    }
-
-    #[test]
-    fn barriers_from_multiple_switches() {
-        let t = transport(3);
-        for i in 1..=3u64 {
-            assert!(t.send(
-                DpId(i),
-                &Envelope::new(Xid(i as u32), OfMessage::BarrierRequest)
-            ));
-        }
-        let mut got = Vec::new();
-        for _ in 0..3 {
-            let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
-            assert_eq!(r.env.msg, OfMessage::BarrierReply);
-            got.push(r.dpid);
-        }
-        got.sort();
-        assert_eq!(got, vec![DpId(1), DpId(2), DpId(3)]);
-        t.shutdown();
-    }
-
-    #[test]
-    fn send_to_unknown_switch_fails() {
-        let t = transport(1);
         assert!(!t.send(DpId(99), &Envelope::new(Xid(1), OfMessage::Hello)));
-        t.shutdown();
-    }
-
-    #[test]
-    fn shutdown_returns_switch_state() {
-        use sdn_openflow::flow::FlowMatch;
-        use sdn_openflow::messages::{FlowMod, FlowModCommand};
-        let t = transport(1);
-        t.send(
-            DpId(1),
-            &Envelope::new(
-                Xid(1),
-                OfMessage::FlowMod(FlowMod {
-                    command: FlowModCommand::Add,
-                    priority: 5,
-                    matcher: FlowMatch::ANY,
-                    actions: vec![],
-                    cookie: 9,
-                }),
-            ),
-        );
-        // barrier ensures the flowmod landed before shutdown
-        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest));
-        let _ = t.recv_timeout(Duration::from_secs(5)).expect("barrier");
         let switches = t.shutdown();
-        assert_eq!(switches.len(), 1);
-        assert_eq!(switches[0].table().len(), 1);
+        assert_eq!(switches.len(), 2);
     }
 }

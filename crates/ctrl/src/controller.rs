@@ -315,6 +315,7 @@ mod tests {
             exec: ExecConfig {
                 barrier_timeout: SimDuration::from_millis(1),
                 max_attempts: 1,
+                flowmod_acks: false,
             },
         };
         let mut ctrl = Controller::new(cfg);

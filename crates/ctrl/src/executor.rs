@@ -51,6 +51,17 @@ pub struct ExecConfig {
     pub barrier_timeout: SimDuration,
     /// Attempts per round before giving up (1 = no retries).
     pub max_attempts: u32,
+    /// Require a per-FlowMod acknowledgement in addition to the round
+    /// barrier. Each FlowMod is paired with an [`OfMessage::EchoRequest`]
+    /// whose payload is the encoded FlowMod frame; the switch applies
+    /// the payload before echoing, so the echo reply *proves* the rule
+    /// is installed. This closes the reliable-delivery hole where a
+    /// dropped FlowMod's barrier survives: the barrier fences only
+    /// what *arrived*, so a barrier reply alone cannot confirm
+    /// installation on a lossy channel. Off by default to keep the
+    /// barrier-only baseline comparable; the live transport suites
+    /// turn it on.
+    pub flowmod_acks: bool,
 }
 
 impl Default for ExecConfig {
@@ -58,6 +69,7 @@ impl Default for ExecConfig {
         ExecConfig {
             barrier_timeout: SimDuration::from_millis(250),
             max_attempts: 8,
+            flowmod_acks: false,
         }
     }
 }
@@ -91,6 +103,44 @@ pub struct RoundTiming {
     pub attempts: u32,
 }
 
+/// Whether a round message participates in per-payload
+/// acknowledgement (only FlowMods carry installation state worth
+/// verifying; anything else rides the barrier as before).
+fn ack_eligible(msg: &OfMessage) -> bool {
+    matches!(msg, OfMessage::FlowMod(_))
+}
+
+/// One outstanding payload-ack (echo) transmission.
+#[derive(Debug, Clone)]
+struct AckEntry {
+    /// Index of the round message this echo covers.
+    covered: usize,
+    /// The exact bytes sent as the echo payload (the encoded FlowMod
+    /// envelope). A reply only counts as an acknowledgement if it
+    /// returns these bytes verbatim: a corrupted payload still gets
+    /// echoed by a compliant switch, but proves nothing about
+    /// installation.
+    payload: Vec<u8>,
+}
+
+/// Outstanding work for one switch of the current round.
+#[derive(Debug, Clone, Default)]
+struct SwitchPending {
+    /// Latest barrier xid; `None` once the barrier is acknowledged.
+    barrier: Option<Xid>,
+    /// Outstanding payload-ack (echo) transmissions by xid. Every
+    /// transmission stays valid until the payload is acknowledged: the
+    /// echo payload is the FlowMod itself, so a late reply to an older
+    /// xid still proves installation.
+    acks: BTreeMap<Xid, AckEntry>,
+}
+
+impl SwitchPending {
+    fn done(&self) -> bool {
+        self.barrier.is_none() && self.acks.is_empty()
+    }
+}
+
 /// The per-update round executor.
 #[derive(Debug, Clone)]
 pub struct RoundExecutor {
@@ -98,8 +148,9 @@ pub struct RoundExecutor {
     config: ExecConfig,
     state: ExecState,
     current: usize,
-    /// Outstanding barrier xid per switch for the current round.
-    pending: BTreeMap<DpId, Xid>,
+    /// Outstanding barrier/payload acknowledgements per switch for the
+    /// current round.
+    pending: BTreeMap<DpId, SwitchPending>,
     round_started: SimTime,
     grace_until: SimTime,
     attempts: u32,
@@ -177,38 +228,93 @@ impl RoundExecutor {
         self.retransmissions
     }
 
-    /// Re-dispatch the current round's FlowMods and a *fresh* barrier
-    /// to a subset of the still-pending switches. This is the
-    /// per-switch retransmission hook the concurrent runtime drives
-    /// from its adaptive RTO timers — unlike [`RoundExecutor::on_tick`]
-    /// it never consults the fixed round timeout. Bumps the round's
-    /// attempt counter once per call that actually resends.
+    /// Total outstanding payload acknowledgements in the current
+    /// round (0 unless [`ExecConfig::flowmod_acks`] is on).
+    pub fn pending_acks(&self) -> usize {
+        self.pending.values().map(|p| p.acks.len()).sum()
+    }
+
+    /// Re-dispatch the current round's unacknowledged payloads and a
+    /// *fresh* barrier to a subset of the still-pending switches. This
+    /// is the per-switch retransmission hook the concurrent runtime
+    /// drives from its adaptive RTO timers — unlike
+    /// [`RoundExecutor::on_tick`] it never consults the fixed round
+    /// timeout. Bumps the round's attempt counter once per call that
+    /// actually resends.
     pub fn retransmit(&mut self, xids: &mut XidAlloc, targets: &[DpId]) -> Vec<(DpId, Envelope)> {
         if self.state != ExecState::AwaitingBarriers {
             return Vec::new();
         }
-        let round = &self.update.rounds[self.current].msgs;
-        let mut out = Vec::new();
-        for (dp, msg) in round {
-            if targets.contains(dp) && self.pending.contains_key(dp) {
-                out.push((*dp, Envelope::new(xids.alloc(), msg.clone())));
-            }
-        }
-        let mut resent = 0u64;
-        for dp in targets {
-            if self.pending.contains_key(dp) {
-                let xid = xids.alloc();
-                self.pending.insert(*dp, xid);
-                out.push((*dp, Envelope::new(xid, OfMessage::BarrierRequest)));
-                resent += 1;
-            }
-        }
-        if resent > 0 {
-            self.retransmissions += resent;
+        let out = self.resend_to(xids, |dp| targets.contains(&dp));
+        let resent: std::collections::BTreeSet<DpId> = out.iter().map(|(d, _)| *d).collect();
+        if !resent.is_empty() {
+            self.retransmissions += resent.len() as u64;
             self.attempts += 1;
             if let Some(t) = self.timings.last_mut() {
                 t.attempts = self.attempts;
             }
+        }
+        out
+    }
+
+    /// Resend outstanding work to every pending switch accepted by
+    /// `want`: unacknowledged payloads (with fresh payload-ack echoes
+    /// in ack mode — older xids stay valid), then a fresh barrier
+    /// unless the switch's barrier is already acknowledged. With acks
+    /// off this degenerates to the classic behaviour: all of the
+    /// switch's FlowMods plus a re-keyed barrier.
+    fn resend_to(
+        &mut self,
+        xids: &mut XidAlloc,
+        want: impl Fn(DpId) -> bool,
+    ) -> Vec<(DpId, Envelope)> {
+        let acks_on = self.config.flowmod_acks;
+        let round = &self.update.rounds[self.current].msgs;
+        let mut out = Vec::new();
+        for (j, (dp, msg)) in round.iter().enumerate() {
+            if !want(*dp) {
+                continue;
+            }
+            let Some(entry) = self.pending.get_mut(dp) else {
+                continue;
+            };
+            let tracked = acks_on && ack_eligible(msg);
+            if tracked && !entry.acks.values().any(|a| a.covered == j) {
+                continue; // payload already acknowledged
+            }
+            let fm_xid = xids.alloc();
+            out.push((*dp, Envelope::new(fm_xid, msg.clone())));
+            if tracked {
+                let payload =
+                    sdn_openflow::codec::encode(&Envelope::new(fm_xid, msg.clone())).to_vec();
+                let echo_xid = xids.alloc();
+                entry.acks.insert(
+                    echo_xid,
+                    AckEntry {
+                        covered: j,
+                        payload: payload.clone(),
+                    },
+                );
+                out.push((
+                    *dp,
+                    Envelope::new(echo_xid, OfMessage::EchoRequest(payload)),
+                ));
+            }
+        }
+        let targets: Vec<DpId> = self
+            .pending
+            .keys()
+            .copied()
+            .filter(|dp| want(*dp))
+            .collect();
+        for dp in targets {
+            let entry = self.pending.get_mut(&dp).expect("filtered on keys");
+            if entry.barrier.is_none() && acks_on {
+                continue; // barrier acked; only payload acks are missing
+            }
+            let xid = xids.alloc();
+            entry.barrier = Some(xid);
+            out.push((dp, Envelope::new(xid, OfMessage::BarrierRequest)));
         }
         out
     }
@@ -251,51 +357,69 @@ impl RoundExecutor {
         xids: &mut XidAlloc,
         only_pending: bool,
     ) -> Vec<(DpId, Envelope)> {
+        if only_pending {
+            // Round-timeout retransmission: resend outstanding work to
+            // every still-pending switch.
+            let out = self.resend_to(xids, |_| true);
+            let resent: std::collections::BTreeSet<DpId> = out.iter().map(|(d, _)| *d).collect();
+            self.retransmissions += resent.len() as u64;
+            self.attempts += 1;
+            if let Some(t) = self.timings.last_mut() {
+                t.attempts = self.attempts;
+            }
+            return out;
+        }
+        let acks_on = self.config.flowmod_acks;
         let round = &self.update.rounds[self.current].msgs;
         let targets: Vec<DpId> = {
             let mut t: Vec<DpId> = round.iter().map(|(dp, _)| *dp).collect();
             t.sort();
             t.dedup();
-            if only_pending {
-                t.retain(|dp| self.pending.contains_key(dp));
-            }
             t
         };
+        self.pending.clear();
+        for dp in &targets {
+            self.pending.insert(*dp, SwitchPending::default());
+        }
         let mut out = Vec::new();
-        // FlowMods first...
-        for (dp, msg) in round {
-            if targets.contains(dp) {
-                out.push((*dp, Envelope::new(xids.alloc(), msg.clone())));
+        // Payloads first (each paired with its ack echo in ack mode)...
+        for (j, (dp, msg)) in round.iter().enumerate() {
+            let entry = self.pending.get_mut(dp).expect("inserted above");
+            let fm_xid = xids.alloc();
+            out.push((*dp, Envelope::new(fm_xid, msg.clone())));
+            if acks_on && ack_eligible(msg) {
+                let payload =
+                    sdn_openflow::codec::encode(&Envelope::new(fm_xid, msg.clone())).to_vec();
+                let echo_xid = xids.alloc();
+                entry.acks.insert(
+                    echo_xid,
+                    AckEntry {
+                        covered: j,
+                        payload: payload.clone(),
+                    },
+                );
+                out.push((
+                    *dp,
+                    Envelope::new(echo_xid, OfMessage::EchoRequest(payload)),
+                ));
             }
         }
         // ...then one barrier per switch (FIFO connection ⇒ the barrier
         // fences everything above).
-        if !only_pending {
-            self.pending.clear();
-        }
-        let barrier_count = targets.len() as u64;
-        for dp in targets {
+        for dp in &targets {
             let xid = xids.alloc();
-            self.pending.insert(dp, xid);
-            out.push((dp, Envelope::new(xid, OfMessage::BarrierRequest)));
+            self.pending.get_mut(dp).expect("inserted above").barrier = Some(xid);
+            out.push((*dp, Envelope::new(xid, OfMessage::BarrierRequest)));
         }
-        if only_pending {
-            self.retransmissions += barrier_count;
-            self.attempts += 1;
-        } else {
-            self.current_width = barrier_count as usize;
-            self.attempts = 1;
-            self.round_started = now;
-            self.timings.push(RoundTiming {
-                round: self.current,
-                started: now,
-                completed: None,
-                attempts: 1,
-            });
-        }
-        if let Some(t) = self.timings.last_mut() {
-            t.attempts = self.attempts;
-        }
+        self.current_width = targets.len();
+        self.attempts = 1;
+        self.round_started = now;
+        self.timings.push(RoundTiming {
+            round: self.current,
+            started: now,
+            completed: None,
+            attempts: 1,
+        });
         out
     }
 
@@ -311,17 +435,42 @@ impl RoundExecutor {
         if self.state != ExecState::AwaitingBarriers {
             return Vec::new();
         }
-        let OfMessage::BarrierReply = env.msg else {
-            return Vec::new(); // echo replies, errors, stats: ignored here
+        let Some(entry) = self.pending.get_mut(&from) else {
+            return Vec::new(); // switch already completed this round
         };
+        match &env.msg {
+            OfMessage::BarrierReply => {
+                if entry.barrier != Some(env.xid) {
+                    return Vec::new(); // stale/duplicate barrier reply
+                }
+                entry.barrier = None;
+            }
+            OfMessage::EchoReply(echoed) => {
+                // A payload acknowledgement: the echo payload was the
+                // FlowMod itself, so this reply proves installation of
+                // the message it covers — retire every outstanding
+                // transmission of that payload. The proof is only as
+                // good as the round trip: a payload corrupted in either
+                // direction comes back altered (the switch echoes what
+                // it received and could not apply), so a mismatch is
+                // ignored and the retransmission timer takes over.
+                let Some(ack) = entry.acks.get(&env.xid) else {
+                    return Vec::new(); // unsolicited or already-retired echo
+                };
+                if *echoed != ack.payload {
+                    return Vec::new(); // corrupted round trip: no proof
+                }
+                let covered = ack.covered;
+                entry.acks.retain(|_, a| a.covered != covered);
+            }
+            _ => return Vec::new(), // errors, stats: ignored here
+        }
         // "it determines the source switch. This switch is removed
         // from the set of switches of the current round"
-        match self.pending.get(&from) {
-            Some(&expected) if expected == env.xid => {
-                self.pending.remove(&from);
-            }
-            _ => return Vec::new(), // stale/duplicate barrier reply
+        if !entry.done() {
+            return Vec::new();
         }
+        self.pending.remove(&from);
         if !self.pending.is_empty() {
             return Vec::new();
         }
@@ -507,6 +656,7 @@ mod tests {
         let cfg = ExecConfig {
             barrier_timeout: SimDuration::from_millis(10),
             max_attempts: 3,
+            flowmod_acks: false,
         };
         let mut ex = RoundExecutor::new(update(vec![vec![1, 3]]), cfg);
         let cmds = ex.start(SimTime::ZERO, &mut xids);
@@ -545,6 +695,7 @@ mod tests {
         let cfg = ExecConfig {
             barrier_timeout: SimDuration::from_millis(10),
             max_attempts: 2,
+            flowmod_acks: false,
         };
         let mut ex = RoundExecutor::new(update(vec![vec![1]]), cfg);
         ex.start(SimTime::ZERO, &mut xids);
@@ -580,5 +731,163 @@ mod tests {
                 .unwrap();
             assert_eq!(barrier_pos, msgs.len() - 1);
         }
+    }
+
+    fn ack_cfg() -> ExecConfig {
+        ExecConfig {
+            barrier_timeout: SimDuration::from_millis(10),
+            max_attempts: 10,
+            flowmod_acks: true,
+        }
+    }
+
+    fn echoes_of(cmds: &[(DpId, Envelope)]) -> Vec<(DpId, Xid, Vec<u8>)> {
+        cmds.iter()
+            .filter_map(|(d, e)| match &e.msg {
+                OfMessage::EchoRequest(p) => Some((*d, e.xid, p.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ack_mode_barrier_alone_does_not_complete_round() {
+        // The dropped-FlowMod/surviving-barrier hole, closed: a barrier
+        // reply without the payload ack leaves the round open.
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1]]), ack_cfg());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let b = barriers_of(&cmds);
+        let e = echoes_of(&cmds);
+        assert_eq!(e.len(), 1, "each FlowMod pairs with one ack echo");
+        ex.on_message(
+            SimTime(1),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::AwaitingBarriers);
+        assert_eq!(ex.pending_acks(), 1);
+        // the payload ack arrives: now the round completes
+        ex.on_message(
+            SimTime(2),
+            e[0].0,
+            &Envelope::new(e[0].1, OfMessage::EchoReply(e[0].2.clone())),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::Done);
+    }
+
+    #[test]
+    fn ack_mode_corrupted_echo_payload_is_rejected() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1]]), ack_cfg());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let b = barriers_of(&cmds);
+        let e = echoes_of(&cmds);
+        ex.on_message(
+            SimTime(1),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        // an echoed payload with one bit flipped proves nothing
+        let mut bad = e[0].2.clone();
+        bad[0] ^= 1;
+        ex.on_message(
+            SimTime(2),
+            e[0].0,
+            &Envelope::new(e[0].1, OfMessage::EchoReply(bad)),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::AwaitingBarriers);
+        assert_eq!(ex.pending_acks(), 1);
+        // the intact round trip still completes the round
+        ex.on_message(
+            SimTime(3),
+            e[0].0,
+            &Envelope::new(e[0].1, OfMessage::EchoReply(e[0].2.clone())),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::Done);
+    }
+
+    #[test]
+    fn ack_mode_retransmits_unacked_payloads_without_barrier() {
+        // Two FlowMods to one switch; the barrier and one payload are
+        // acknowledged. The timeout must resend only the missing
+        // payload — no barrier re-key, no duplicate of the acked one.
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1, 1]]), ack_cfg());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let b = barriers_of(&cmds);
+        let e = echoes_of(&cmds);
+        assert_eq!(e.len(), 2);
+        ex.on_message(
+            SimTime(1),
+            b[0].0,
+            &Envelope::new(b[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        ex.on_message(
+            SimTime(2),
+            e[0].0,
+            &Envelope::new(e[0].1, OfMessage::EchoReply(e[0].2.clone())),
+            &mut xids,
+        );
+        let re = ex.on_tick(SimTime::ZERO + SimDuration::from_millis(11), &mut xids);
+        assert!(barriers_of(&re).is_empty(), "acked barrier is not re-sent");
+        let re_echo = echoes_of(&re);
+        assert_eq!(re_echo.len(), 1, "only the unacked payload is resent");
+        assert_eq!(
+            re.len(),
+            2,
+            "exactly one FlowMod + its ack echo retransmitted"
+        );
+        ex.on_message(
+            SimTime::ZERO + SimDuration::from_millis(12),
+            re_echo[0].0,
+            &Envelope::new(re_echo[0].1, OfMessage::EchoReply(re_echo[0].2.clone())),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::Done);
+    }
+
+    #[test]
+    fn ack_mode_late_reply_to_old_echo_xid_still_counts() {
+        // Retransmissions re-key the echo, but the original payload is
+        // identical — a straggling reply to the *first* transmission
+        // still proves installation and retires every outstanding copy.
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1]]), ack_cfg());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        let e1 = echoes_of(&cmds);
+        let re = ex.on_tick(SimTime::ZERO + SimDuration::from_millis(11), &mut xids);
+        let b2 = barriers_of(&re);
+        assert_eq!(b2.len(), 1, "unacked barrier re-keys on retransmit");
+        assert_eq!(ex.pending_acks(), 2, "both transmissions outstanding");
+        ex.on_message(
+            SimTime::ZERO + SimDuration::from_millis(12),
+            e1[0].0,
+            &Envelope::new(e1[0].1, OfMessage::EchoReply(e1[0].2.clone())),
+            &mut xids,
+        );
+        assert_eq!(ex.pending_acks(), 0, "old ack retires every copy");
+        ex.on_message(
+            SimTime::ZERO + SimDuration::from_millis(13),
+            b2[0].0,
+            &Envelope::new(b2[0].1, OfMessage::BarrierReply),
+            &mut xids,
+        );
+        assert_eq!(ex.state(), ExecState::Done);
+    }
+
+    #[test]
+    fn acks_off_sends_no_echoes() {
+        let mut xids = XidAlloc::new();
+        let mut ex = RoundExecutor::new(update(vec![vec![1, 3]]), ExecConfig::default());
+        let cmds = ex.start(SimTime::ZERO, &mut xids);
+        assert!(echoes_of(&cmds).is_empty());
+        assert_eq!(ex.pending_acks(), 0);
     }
 }

@@ -1,8 +1,10 @@
 //! The demo's REST interface: a JSON value model ([`json`], with
 //! per-request parser work limits), the WayUp request format
-//! ([`request`]) and structured responses — including the bounded
-//! runtime's backpressure ([`response`]).
+//! ([`request`]), structured responses — including the bounded
+//! runtime's backpressure ([`response`]) — and live runtime
+//! introspection for `GET /status` ([`status`]).
 
 pub mod json;
 pub mod request;
 pub mod response;
+pub mod status;

@@ -1,0 +1,152 @@
+//! `GET /status`: live runtime introspection over REST.
+//!
+//! The demo's Ryu app had no observability beyond its logs; operators
+//! of a bounded, concurrent controller need to see backpressure and
+//! retransmission health *before* updates start failing. This module
+//! renders a [`StatusReport`] — admission-queue depth, active jobs,
+//! outstanding payload acks, aggregate counters, and the per-switch
+//! adaptive-RTO table with straggler flags — as a `200 OK` JSON body
+//! in the same dialect the rest of the REST layer speaks:
+//!
+//! ```json
+//! {
+//!   "status": "ok",
+//!   "queued": 3, "active": 2, "pending_acks": 5,
+//!   "stats": {"submitted": 9, "completed": 4, ...},
+//!   "switches": [
+//!     {"dp": 1, "srtt_us": 840.0, "rto_us": 2400.0, "straggler": false},
+//!     {"dp": 7, "rto_us": 100000.0, "straggler": true}
+//!   ]
+//! }
+//! ```
+//!
+//! `srtt_us` is omitted (not `null`) for switches without a sample
+//! yet, so clients can distinguish "never measured" from "measured
+//! zero".
+
+use std::collections::BTreeMap;
+
+use crate::rest::json::Json;
+use crate::rest::response::Response;
+use crate::runtime::{StatusReport, SwitchStatus};
+
+fn duration_us(d: sdn_types::SimDuration) -> Json {
+    Json::Num(d.as_nanos() as f64 / 1_000.0)
+}
+
+fn switch_json(s: &SwitchStatus) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("dp".to_string(), Json::Num(s.dp.0 as f64));
+    if let Some(srtt) = s.srtt {
+        m.insert("srtt_us".to_string(), duration_us(srtt));
+    }
+    m.insert("rto_us".to_string(), duration_us(s.rto));
+    m.insert("straggler".to_string(), Json::Bool(s.straggler));
+    Json::Obj(m)
+}
+
+/// The `200 OK` response for `GET /status`.
+pub fn status_response(report: &StatusReport) -> Response {
+    let stats = &report.stats;
+    let counters: BTreeMap<String, Json> = [
+        ("submitted", stats.submitted),
+        ("accepted", stats.accepted),
+        ("rejected", stats.rejected),
+        ("displaced", stats.displaced),
+        ("completed", stats.completed),
+        ("failed", stats.failed),
+        ("retransmissions", stats.retransmissions),
+        ("stragglers", stats.stragglers),
+        ("peak_active", stats.peak_active),
+    ]
+    .into_iter()
+    .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
+    .collect();
+    let body: BTreeMap<String, Json> = [
+        ("status".to_string(), Json::Str("ok".into())),
+        ("queued".to_string(), Json::Num(report.queued as f64)),
+        ("active".to_string(), Json::Num(report.active as f64)),
+        (
+            "pending_acks".to_string(),
+            Json::Num(report.pending_acks as f64),
+        ),
+        ("stats".to_string(), Json::Obj(counters)),
+        (
+            "switches".to_string(),
+            Json::Arr(report.switches.iter().map(switch_json).collect()),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    Response {
+        status: 200,
+        body: Json::Obj(body).render(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rest::json;
+    use crate::runtime::RuntimeStats;
+    use sdn_types::{DpId, SimDuration};
+
+    #[test]
+    fn status_body_round_trips_through_the_parser() {
+        let report = StatusReport {
+            queued: 3,
+            active: 2,
+            pending_acks: 5,
+            stats: RuntimeStats {
+                submitted: 9,
+                completed: 4,
+                retransmissions: 7,
+                stragglers: 1,
+                ..RuntimeStats::default()
+            },
+            switches: vec![
+                SwitchStatus {
+                    dp: DpId(1),
+                    srtt: Some(SimDuration::from_micros(840)),
+                    rto: SimDuration::from_micros(2400),
+                    straggler: false,
+                },
+                SwitchStatus {
+                    dp: DpId(7),
+                    srtt: None,
+                    rto: SimDuration::from_millis(100),
+                    straggler: true,
+                },
+            ],
+        };
+        let r = status_response(&report);
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("queued").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("pending_acks").unwrap().as_u64(), Some(5));
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("retransmissions").unwrap().as_u64(), Some(7));
+        assert_eq!(stats.get("stragglers").unwrap().as_u64(), Some(1));
+        let Json::Arr(switches) = v.get("switches").unwrap() else {
+            panic!("switches must be an array");
+        };
+        assert_eq!(switches.len(), 2);
+        assert_eq!(switches[0].get("srtt_us").unwrap().as_u64(), Some(840));
+        assert!(switches[1].get("srtt_us").is_none(), "unsampled: omitted");
+        assert_eq!(switches[1].get("straggler").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn empty_runtime_status_is_well_formed() {
+        let r = status_response(&StatusReport::default());
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("active").unwrap().as_u64(), Some(0));
+        assert_eq!(
+            v.get("switches"),
+            Some(&Json::Arr(Vec::new())),
+            "no switches yet"
+        );
+    }
+}

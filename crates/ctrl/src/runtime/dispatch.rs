@@ -27,7 +27,7 @@ use crate::runtime::admission::{
 };
 use crate::runtime::conflict::{ConflictGraph, Footprint, JobId};
 use crate::runtime::rto::{RtoConfig, RtoTable};
-use crate::runtime::{RuntimeStats, UpdateRuntime};
+use crate::runtime::{RuntimeStats, StatusReport, SwitchStatus, UpdateRuntime};
 
 /// How the runtime times retransmissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +105,9 @@ struct ActiveJob {
     started: SimTime,
     /// Outstanding barrier per pending switch of the current round.
     barriers: BTreeMap<DpId, BarrierTimer>,
+    /// Every payload-ack (echo) route this job has registered, so the
+    /// reaper can retire them without scanning the whole route table.
+    ack_routes: Vec<(DpId, Xid)>,
 }
 
 /// The concurrent update runtime.
@@ -163,40 +166,63 @@ impl ConcurrentRuntime {
         }
     }
 
-    /// Record the barrier requests of freshly produced commands into
-    /// the routing and timer tables.
+    /// Record the barrier and payload-ack requests of freshly produced
+    /// commands into the routing and timer tables. Barriers key the
+    /// per-switch timers; echo (payload-ack) requests are routed too,
+    /// and a payload-only retransmission still re-arms its switch's
+    /// timer so the RTO machinery keeps driving payloads, not just
+    /// barriers.
     fn register(
         routes: &mut BTreeMap<(DpId, Xid), JobId>,
         stats: &mut RuntimeStats,
         job_id: JobId,
-        barriers: &mut BTreeMap<DpId, BarrierTimer>,
+        job: &mut ActiveJob,
         now: SimTime,
         cmds: &[(DpId, Envelope)],
     ) {
+        // Per switch: the barrier xid (if one went out) and whether
+        // any ack-tracked payload went out.
+        let mut per_dp: BTreeMap<DpId, Option<Xid>> = BTreeMap::new();
         for (dp, env) in cmds {
-            if env.msg != OfMessage::BarrierRequest {
-                continue;
+            match &env.msg {
+                OfMessage::BarrierRequest => {
+                    routes.insert((*dp, env.xid), job_id);
+                    per_dp.insert(*dp, Some(env.xid));
+                }
+                OfMessage::EchoRequest(_) => {
+                    routes.insert((*dp, env.xid), job_id);
+                    job.ack_routes.push((*dp, env.xid));
+                    per_dp.entry(*dp).or_insert(None);
+                }
+                _ => {}
             }
-            routes.insert((*dp, env.xid), job_id);
-            match barriers.get_mut(dp) {
+        }
+        for (dp, barrier) in per_dp {
+            match job.barriers.get_mut(&dp) {
                 Some(timer) => {
                     // A retransmission: the older transmissions stay
                     // outstanding (see [`BarrierTimer`]).
                     stats.retransmissions += 1;
                     timer.attempts += 1;
-                    timer.latest = env.xid;
                     timer.latest_sent = now;
-                    timer.outstanding.push((env.xid, now));
+                    if let Some(xid) = barrier {
+                        timer.latest = xid;
+                        timer.outstanding.push((xid, now));
+                    }
                 }
                 None => {
-                    barriers.insert(
-                        *dp,
+                    // A fresh round dispatch always fences with a
+                    // barrier; payload-only commands cannot start a
+                    // timer.
+                    let Some(xid) = barrier else { continue };
+                    job.barriers.insert(
+                        dp,
                         BarrierTimer {
-                            latest: env.xid,
+                            latest: xid,
                             latest_sent: now,
                             attempts: 1,
                             straggler: false,
-                            outstanding: vec![(env.xid, now)],
+                            outstanding: vec![(xid, now)],
                         },
                     );
                 }
@@ -223,6 +249,9 @@ impl ConcurrentRuntime {
                 for (xid, _) in &t.outstanding {
                     self.routes.remove(&(*dp, *xid));
                 }
+            }
+            for (dp, xid) in &job.ack_routes {
+                self.routes.remove(&(*dp, *xid));
             }
             self.graph.remove(id);
             let completed = match job.ex.state() {
@@ -273,15 +302,9 @@ impl ConcurrentRuntime {
                 submitted,
                 started: now,
                 barriers: BTreeMap::new(),
+                ack_routes: Vec::new(),
             };
-            Self::register(
-                &mut self.routes,
-                &mut self.stats,
-                id,
-                &mut job.barriers,
-                now,
-                &cmds,
-            );
+            Self::register(&mut self.routes, &mut self.stats, id, &mut job, now, &cmds);
             Self::outputs(cmds, out);
             self.active.insert(id, job);
             self.stats.peak_active = self.stats.peak_active.max(self.active.len() as u64);
@@ -324,14 +347,7 @@ impl UpdateRuntime for ConcurrentRuntime {
             match job.ex.state() {
                 ExecState::WaitingGrace => {
                     let cmds = job.ex.on_tick(now, &mut self.xids);
-                    Self::register(
-                        &mut self.routes,
-                        &mut self.stats,
-                        id,
-                        &mut job.barriers,
-                        now,
-                        &cmds,
-                    );
+                    Self::register(&mut self.routes, &mut self.stats, id, job, now, &cmds);
                     Self::outputs(cmds, &mut out);
                 }
                 ExecState::AwaitingBarriers => {
@@ -368,14 +384,7 @@ impl UpdateRuntime for ConcurrentRuntime {
                         job.ex.force_fail();
                     } else if !due.is_empty() {
                         let cmds = job.ex.retransmit(&mut self.xids, &due);
-                        Self::register(
-                            &mut self.routes,
-                            &mut self.stats,
-                            id,
-                            &mut job.barriers,
-                            now,
-                            &cmds,
-                        );
+                        Self::register(&mut self.routes, &mut self.stats, id, job, now, &cmds);
                         Self::outputs(cmds, &mut out);
                     }
                 }
@@ -389,8 +398,10 @@ impl UpdateRuntime for ConcurrentRuntime {
 
     fn on_message(&mut self, now: SimTime, from: DpId, env: &Envelope) -> Vec<CtrlOutput> {
         let mut out = Vec::new();
-        if env.msg != OfMessage::BarrierReply {
-            return out; // echo replies, errors, stats: not routed
+        let is_barrier = env.msg == OfMessage::BarrierReply;
+        let is_ack = matches!(env.msg, OfMessage::EchoReply(_));
+        if !is_barrier && !is_ack {
+            return out; // errors, stats: not routed
         }
         let Some(&job_id) = self.routes.get(&(from, env.xid)) else {
             return out; // stale xid (superseded transmission) or unknown
@@ -398,32 +409,49 @@ impl UpdateRuntime for ConcurrentRuntime {
         let Some(job) = self.active.get_mut(&job_id) else {
             return out;
         };
-        let Some(timer) = job.barriers.get(&from) else {
-            return out;
+        let prev_round = job.ex.current_round();
+        let cmds = if is_barrier {
+            let Some(timer) = job.barriers.get(&from) else {
+                return out;
+            };
+            // The (switch, xid) pair identifies the exact transmission,
+            // so this difference is always a clean RTT sample (no Karn
+            // ambiguity — retransmissions re-key).
+            if let Some(&(_, sent)) = timer.outstanding.iter().find(|(x, _)| *x == env.xid) {
+                self.rto.observe(from, now.saturating_since(sent));
+            }
+            // A reply to ANY outstanding transmission fences the round's
+            // content at this switch (identical FlowMods precede every
+            // barrier); translate older xids to the one the executor
+            // tracks.
+            let translated = Envelope::new(timer.latest, OfMessage::BarrierReply);
+            job.ex.on_message(now, from, &translated, &mut self.xids)
+        } else {
+            // Payload (echo) acks match by exact xid — every
+            // transmission's echo stays valid, so no translation.
+            self.routes.remove(&(from, env.xid));
+            job.ex.on_message(now, from, env, &mut self.xids)
         };
-        // The (switch, xid) pair identifies the exact transmission, so
-        // this difference is always a clean RTT sample (no Karn
-        // ambiguity — retransmissions re-key).
-        if let Some(&(_, sent)) = timer.outstanding.iter().find(|(x, _)| *x == env.xid) {
-            self.rto.observe(from, now.saturating_since(sent));
+        // The switch is done with its round when the round advanced or
+        // the executor no longer lists it pending. Otherwise — barrier
+        // fenced but payload acks outstanding (or vice versa) — the
+        // timer must survive so the RTO machinery keeps driving
+        // retransmissions; only the consumed barrier routes retire.
+        let switch_done =
+            job.ex.current_round() != prev_round || !job.ex.pending_switches().any(|d| d == from);
+        if switch_done {
+            if let Some(timer) = job.barriers.remove(&from) {
+                for (xid, _) in &timer.outstanding {
+                    self.routes.remove(&(from, *xid));
+                }
+            }
+        } else if is_barrier {
+            let timer = job.barriers.get_mut(&from).expect("present above");
+            for (xid, _) in timer.outstanding.drain(..) {
+                self.routes.remove(&(from, xid));
+            }
         }
-        // A reply to ANY outstanding transmission completes the switch
-        // for this round (identical FlowMods precede every barrier);
-        // translate older xids to the one the executor tracks.
-        let translated = Envelope::new(timer.latest, OfMessage::BarrierReply);
-        let cmds = job.ex.on_message(now, from, &translated, &mut self.xids);
-        let timer = job.barriers.remove(&from).expect("present above");
-        for (xid, _) in &timer.outstanding {
-            self.routes.remove(&(from, *xid));
-        }
-        Self::register(
-            &mut self.routes,
-            &mut self.stats,
-            job_id,
-            &mut job.barriers,
-            now,
-            &cmds,
-        );
+        Self::register(&mut self.routes, &mut self.stats, job_id, job, now, &cmds);
         Self::outputs(cmds, &mut out);
         self.reap(now);
         // a completed job may unblock queued conflicting jobs
@@ -449,6 +477,44 @@ impl UpdateRuntime for ConcurrentRuntime {
 
     fn stats(&self) -> RuntimeStats {
         self.stats
+    }
+
+    fn status_report(&self) -> StatusReport {
+        // Every sampled switch, plus any unsampled one that currently
+        // carries a timer (it may already be flagged a straggler).
+        let mut switches: BTreeMap<DpId, SwitchStatus> = self
+            .rto
+            .switches()
+            .map(|dp| {
+                (
+                    dp,
+                    SwitchStatus {
+                        dp,
+                        srtt: self.rto.srtt(dp),
+                        rto: self.rto.rto(dp),
+                        straggler: false,
+                    },
+                )
+            })
+            .collect();
+        for job in self.active.values() {
+            for (&dp, timer) in &job.barriers {
+                let entry = switches.entry(dp).or_insert(SwitchStatus {
+                    dp,
+                    srtt: self.rto.srtt(dp),
+                    rto: self.rto.rto(dp),
+                    straggler: false,
+                });
+                entry.straggler |= timer.straggler;
+            }
+        }
+        StatusReport {
+            queued: self.queue.len(),
+            active: self.active.len(),
+            pending_acks: self.active.values().map(|j| j.ex.pending_acks()).sum(),
+            stats: self.stats,
+            switches: switches.into_values().collect(),
+        }
     }
 }
 
@@ -622,6 +688,7 @@ mod tests {
             exec: ExecConfig {
                 barrier_timeout: SimDuration::from_millis(10),
                 max_attempts: 2,
+                flowmod_acks: false,
             },
             retrans: RetransMode::Fixed,
             ..RuntimeConfig::default()
@@ -648,6 +715,7 @@ mod tests {
             exec: ExecConfig {
                 barrier_timeout: SimDuration::from_millis(5),
                 max_attempts: 8,
+                flowmod_acks: false,
             },
             ..RuntimeConfig::default()
         });
@@ -719,5 +787,89 @@ mod tests {
         }
         let (_, label, _) = rt.active_jobs().next().expect("one active");
         assert_eq!(label, "urgent");
+    }
+
+    fn echoes_of(cmds: &[CtrlOutput]) -> Vec<(DpId, Xid, Vec<u8>)> {
+        cmds.iter()
+            .filter_map(|CtrlOutput::Send(dp, env)| match &env.msg {
+                OfMessage::EchoRequest(p) => Some((*dp, env.xid, p.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ack_mode_timer_outlives_barrier_and_retransmits_payload() {
+        // The RTO machinery must drive PAYLOAD retransmission, not just
+        // barriers: a barrier reply with the payload ack still missing
+        // keeps the per-switch timer alive, and its next firing resends
+        // the FlowMod + echo pair (no barrier — that one is fenced).
+        let cfg = RuntimeConfig {
+            retrans: RetransMode::Fixed,
+            exec: ExecConfig {
+                barrier_timeout: SimDuration::from_millis(10),
+                max_attempts: 8,
+                flowmod_acks: true,
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        let b = barriers_of(&cmds);
+        assert_eq!(echoes_of(&cmds).len(), 1);
+        // barrier fenced, payload ack lost: the job must stay active
+        reply(&mut rt, SimTime(1), b[0].0, b[0].1);
+        assert_eq!(rt.active_count(), 1, "payload ack still outstanding");
+        // the surviving timer fires and resends the payload pair only
+        let re = rt.poll(SimTime(0) + SimDuration::from_millis(11));
+        assert!(barriers_of(&re).is_empty(), "fenced barrier not re-sent");
+        let e = echoes_of(&re);
+        assert_eq!(e.len(), 1, "unacked payload retransmitted");
+        // the echo ack (exact xid, exact payload) completes the job
+        let out = rt.on_message(
+            SimTime(0) + SimDuration::from_millis(12),
+            e[0].0,
+            &Envelope::new(e[0].1, OfMessage::EchoReply(e[0].2.clone())),
+        );
+        let _ = out;
+        assert!(rt.is_idle());
+        assert!(rt.reports()[0].completed.is_some());
+    }
+
+    #[test]
+    fn ack_mode_echo_reply_routes_to_owning_job() {
+        // Echo acks route by exact (switch, xid) with no translation;
+        // a barrier-only runtime ignores stray echo replies entirely.
+        let cfg = RuntimeConfig {
+            exec: ExecConfig {
+                flowmod_acks: true,
+                ..ExecConfig::default()
+            },
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        let b = barriers_of(&cmds);
+        let e = echoes_of(&cmds);
+        // payload ack first, then the barrier: same end state
+        rt.on_message(
+            SimTime(1),
+            e[0].0,
+            &Envelope::new(e[0].1, OfMessage::EchoReply(e[0].2.clone())),
+        );
+        assert_eq!(rt.active_count(), 1, "barrier still outstanding");
+        // an unknown echo xid is ignored, not misrouted
+        assert!(rt
+            .on_message(
+                SimTime(2),
+                e[0].0,
+                &Envelope::new(Xid(0xbeef), OfMessage::EchoReply(vec![1, 2, 3])),
+            )
+            .is_empty());
+        reply(&mut rt, SimTime(3), b[0].0, b[0].1);
+        assert!(rt.is_idle());
+        assert!(rt.reports()[0].completed.is_some());
     }
 }

@@ -35,7 +35,7 @@ pub use dispatch::{ConcurrentRuntime, RetransMode, RuntimeConfig};
 pub use rto::{RtoConfig, RtoTable};
 
 use sdn_openflow::messages::Envelope;
-use sdn_types::{DpId, SimTime};
+use sdn_types::{DpId, SimDuration, SimTime};
 
 use crate::compile::CompiledUpdate;
 use crate::controller::{CtrlOutput, UpdateReport};
@@ -76,6 +76,41 @@ impl RuntimeStats {
     }
 }
 
+/// Per-switch retransmission state for [`StatusReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchStatus {
+    /// The switch.
+    pub dp: DpId,
+    /// Smoothed RTT, when at least one barrier sample exists.
+    pub srtt: Option<SimDuration>,
+    /// Current base retransmission timeout.
+    pub rto: SimDuration,
+    /// Flagged slow while the rest of its round had acknowledged.
+    pub straggler: bool,
+}
+
+/// A live snapshot of the runtime for `GET /status` — the operator's
+/// view that experiments and tests previously scraped from internal
+/// accessors. Rendered to JSON by
+/// [`status_response`](crate::rest::status::status_response).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatusReport {
+    /// Jobs waiting for dispatch (admission-queue depth).
+    pub queued: usize,
+    /// Jobs currently executing.
+    pub active: usize,
+    /// Outstanding per-payload acknowledgements across active jobs
+    /// (0 when [`ExecConfig::flowmod_acks`](crate::executor::ExecConfig)
+    /// is off).
+    pub pending_acks: usize,
+    /// Aggregate counters.
+    pub stats: RuntimeStats,
+    /// Per-switch RTO estimates and straggler flags. Empty for
+    /// runtimes without adaptive retransmission (the serial
+    /// controller).
+    pub switches: Vec<SwitchStatus>,
+}
+
 /// A controller core that accepts compiled updates and drives them to
 /// completion over a message transport. Implemented by the serial
 /// [`Controller`](crate::controller::Controller) (the paper's
@@ -107,4 +142,18 @@ pub trait UpdateRuntime {
 
     /// Counter snapshot.
     fn stats(&self) -> RuntimeStats;
+
+    /// Live snapshot for the `GET /status` endpoint. The default
+    /// covers every runtime from the trait's own accessors; runtimes
+    /// with richer diagnostics (per-switch RTOs, straggler flags,
+    /// payload acks) override it.
+    fn status_report(&self) -> StatusReport {
+        StatusReport {
+            queued: self.queued(),
+            active: self.active_count(),
+            pending_acks: 0,
+            stats: self.stats(),
+            switches: Vec::new(),
+        }
+    }
 }

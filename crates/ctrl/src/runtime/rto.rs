@@ -143,6 +143,11 @@ impl RtoTable {
     pub fn sampled(&self) -> usize {
         self.switches.len()
     }
+
+    /// Every switch with at least one sample, ascending.
+    pub fn switches(&self) -> impl Iterator<Item = DpId> + '_ {
+        self.switches.keys().copied()
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Binary wire codec.
+//! Binary wire codec — real OpenFlow 1.0 framing.
 //!
 //! Every message is framed with the classic OpenFlow header:
 //!
@@ -10,47 +10,34 @@
 //! |                 type-specific body ...                  |
 //! ```
 //!
-//! `length` covers the whole frame including the 8-byte header.
+//! `length` covers the whole frame including the 8-byte header, and the
+//! bodies use the exact OpenFlow 1.0 struct layouts defined in
+//! [`crate::wire`] — a 40-byte `ofp_match`, a 72-byte `ofp_flow_mod`,
+//! 8-byte-aligned action TLVs. Encoding is `model → wire → bytes` and
+//! decoding is `bytes → wire → model`, both through the explicit
+//! `TryFrom` conversions in [`crate::wire`].
+//!
 //! Decoding is strict: unknown types, bad versions, truncated bodies
 //! and trailing bytes all yield a typed [`CodecError`] — corrupted
 //! frames injected by the fault-injecting channel must never panic or
 //! be silently misparsed.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{Bytes, BytesMut};
 use std::fmt;
 
-use sdn_types::{DpId, HostId, PortNo, VersionTag, Xid};
-
-use crate::flow::{Action, FlowMatch};
-use crate::messages::{Envelope, FlowMod, FlowModCommand, OfMessage};
+use crate::messages::Envelope;
+use crate::wire::{Header, WireFrame, WireMessage};
 
 /// Protocol version byte (OpenFlow 1.0 uses 0x01).
-pub const OFP_VERSION: u8 = 0x01;
+pub const OFP_VERSION: u8 = crate::wire::OFP_VERSION;
 
 /// Frame header length in bytes.
-pub const HEADER_LEN: usize = 8;
+pub const HEADER_LEN: usize = crate::wire::HEADER_LEN;
 
 /// Upper bound on a frame (guards the framer against corrupted
 /// lengths). Deliberately below `u16::MAX` so flipped high bits in the
 /// length field are detectable.
 pub const MAX_FRAME_LEN: usize = 16 * 1024;
-
-/// Message type codes on the wire.
-mod type_code {
-    pub const HELLO: u8 = 0;
-    pub const ERROR: u8 = 1;
-    pub const ECHO_REQUEST: u8 = 2;
-    pub const ECHO_REPLY: u8 = 3;
-    pub const FEATURES_REQUEST: u8 = 5;
-    pub const FEATURES_REPLY: u8 = 6;
-    pub const PACKET_IN: u8 = 10;
-    pub const PACKET_OUT: u8 = 13;
-    pub const FLOW_MOD: u8 = 14;
-    pub const BARRIER_REQUEST: u8 = 18;
-    pub const BARRIER_REPLY: u8 = 19;
-    pub const FLOW_STATS_REQUEST: u8 = 16;
-    pub const FLOW_STATS_REPLY: u8 = 17;
-}
 
 /// Decoding errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,9 +54,21 @@ pub enum CodecError {
     /// Unknown message type code.
     UnknownType(u8),
     /// Unknown FlowMod command code.
-    UnknownCommand(u8),
+    UnknownCommand(u16),
     /// Unknown action type code.
-    UnknownAction(u8),
+    UnknownAction(u16),
+    /// Action TLV with an invalid declared length.
+    BadActionLength(usize),
+    /// Vendor action from a vendor id we do not speak.
+    UnknownVendor(u32),
+    /// Stats request/reply of a type other than OFPST_AGGREGATE.
+    UnknownStatsType(u16),
+    /// A 32-bit model port that does not fit the 16-bit 1.0 wire.
+    PortOutOfRange(u32),
+    /// Features reply with more ports than a frame can carry.
+    TooManyPorts(u32),
+    /// Packet-out whose action list is not a single output.
+    BadPacketOutActions(usize),
     /// Declared length smaller than the header or larger than
     /// [`MAX_FRAME_LEN`].
     BadLength(usize),
@@ -87,6 +86,16 @@ impl fmt::Display for CodecError {
             CodecError::UnknownType(t) => write!(f, "unknown message type {t}"),
             CodecError::UnknownCommand(c) => write!(f, "unknown flow-mod command {c}"),
             CodecError::UnknownAction(a) => write!(f, "unknown action type {a}"),
+            CodecError::BadActionLength(l) => write!(f, "invalid action length {l}"),
+            CodecError::UnknownVendor(v) => write!(f, "unknown vendor id {v:#x}"),
+            CodecError::UnknownStatsType(s) => write!(f, "unsupported stats type {s}"),
+            CodecError::PortOutOfRange(p) => {
+                write!(f, "port {p} not representable on the 1.0 wire")
+            }
+            CodecError::TooManyPorts(n) => write!(f, "{n} ports exceed a features-reply frame"),
+            CodecError::BadPacketOutActions(n) => {
+                write!(f, "packet-out with {n} actions (expected one output)")
+            }
             CodecError::BadLength(l) => write!(f, "invalid frame length {l}"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after body"),
         }
@@ -95,243 +104,29 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn type_of(msg: &OfMessage) -> u8 {
-    match msg {
-        OfMessage::Hello => type_code::HELLO,
-        OfMessage::ErrorMsg { .. } => type_code::ERROR,
-        OfMessage::EchoRequest(_) => type_code::ECHO_REQUEST,
-        OfMessage::EchoReply(_) => type_code::ECHO_REPLY,
-        OfMessage::FeaturesRequest => type_code::FEATURES_REQUEST,
-        OfMessage::FeaturesReply { .. } => type_code::FEATURES_REPLY,
-        OfMessage::PacketIn { .. } => type_code::PACKET_IN,
-        OfMessage::PacketOut { .. } => type_code::PACKET_OUT,
-        OfMessage::FlowMod(_) => type_code::FLOW_MOD,
-        OfMessage::BarrierRequest => type_code::BARRIER_REQUEST,
-        OfMessage::BarrierReply => type_code::BARRIER_REPLY,
-        OfMessage::FlowStatsRequest => type_code::FLOW_STATS_REQUEST,
-        OfMessage::FlowStatsReply { .. } => type_code::FLOW_STATS_REPLY,
-    }
-}
-
-fn put_match(buf: &mut BytesMut, m: &FlowMatch) {
-    let mut bitmap = 0u8;
-    if m.in_port.is_some() {
-        bitmap |= 1;
-    }
-    if m.src.is_some() {
-        bitmap |= 2;
-    }
-    if m.dst.is_some() {
-        bitmap |= 4;
-    }
-    if m.tag.is_some() {
-        bitmap |= 8;
-    }
-    buf.put_u8(bitmap);
-    if let Some(p) = m.in_port {
-        buf.put_u32(p.raw());
-    }
-    if let Some(s) = m.src {
-        buf.put_u32(s.0);
-    }
-    if let Some(d) = m.dst {
-        buf.put_u32(d.0);
-    }
-    if let Some(t) = m.tag {
-        buf.put_u16(t.0);
-    }
-}
-
-fn put_action(buf: &mut BytesMut, a: &Action) {
-    match a {
-        Action::Output(p) => {
-            buf.put_u8(0);
-            buf.put_u32(p.raw());
-        }
-        Action::SetTag(t) => {
-            buf.put_u8(1);
-            buf.put_u16(t.0);
-        }
-        Action::StripTag => buf.put_u8(2),
-        Action::Drop => buf.put_u8(3),
-        Action::ToController => buf.put_u8(4),
-    }
-}
-
-fn put_body(buf: &mut BytesMut, msg: &OfMessage) {
-    match msg {
-        OfMessage::Hello
-        | OfMessage::FeaturesRequest
-        | OfMessage::BarrierRequest
-        | OfMessage::BarrierReply
-        | OfMessage::FlowStatsRequest => {}
-        OfMessage::EchoRequest(p) | OfMessage::EchoReply(p) => buf.put_slice(p),
-        OfMessage::FeaturesReply { dpid, n_ports } => {
-            buf.put_u64(dpid.raw());
-            buf.put_u32(*n_ports);
-        }
-        OfMessage::FlowMod(fm) => {
-            buf.put_u8(match fm.command {
-                FlowModCommand::Add => 0,
-                FlowModCommand::Modify => 1,
-                FlowModCommand::Delete => 2,
-            });
-            buf.put_u16(fm.priority);
-            buf.put_u64(fm.cookie);
-            put_match(buf, &fm.matcher);
-            buf.put_u8(fm.actions.len() as u8);
-            for a in &fm.actions {
-                put_action(buf, a);
-            }
-        }
-        OfMessage::PacketIn {
-            buffer_id,
-            in_port,
-            data,
-        } => {
-            buf.put_u32(*buffer_id);
-            buf.put_u32(in_port.raw());
-            buf.put_u16(data.len() as u16);
-            buf.put_slice(data);
-        }
-        OfMessage::PacketOut {
-            buffer_id,
-            out_port,
-            data,
-        } => {
-            buf.put_u32(*buffer_id);
-            buf.put_u32(out_port.raw());
-            buf.put_u16(data.len() as u16);
-            buf.put_slice(data);
-        }
-        OfMessage::ErrorMsg { etype, code, data } => {
-            buf.put_u16(*etype);
-            buf.put_u16(*code);
-            buf.put_slice(data);
-        }
-        OfMessage::FlowStatsReply { entries, packets } => {
-            buf.put_u32(*entries);
-            buf.put_u64(*packets);
-        }
-    }
-}
-
-/// Encode an envelope into a self-contained frame.
+/// Encode an envelope into a self-contained OpenFlow 1.0 frame.
+///
+/// # Panics
+///
+/// Panics if the model value is not representable on the wire (a port
+/// above `OFPP_MAX`, or a features reply with more ports than a frame
+/// holds). Every value the stack produces is representable; use
+/// [`try_encode`] when handling untrusted model values.
 pub fn encode(env: &Envelope) -> Bytes {
-    let mut body = BytesMut::with_capacity(64);
-    put_body(&mut body, &env.msg);
-    let len = HEADER_LEN + body.len();
-    debug_assert!(len <= MAX_FRAME_LEN, "oversized frame");
-    let mut frame = BytesMut::with_capacity(len);
-    frame.put_u8(OFP_VERSION);
-    frame.put_u8(type_of(&env.msg));
-    frame.put_u16(len as u16);
-    frame.put_u32(env.xid.0);
-    frame.extend_from_slice(&body);
-    frame.freeze()
+    try_encode(env).expect("model value not representable in OpenFlow 1.0")
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+/// Encode an envelope, surfacing non-representable values as errors.
+pub fn try_encode(env: &Envelope) -> Result<Bytes, CodecError> {
+    let frame = WireFrame::try_from(env)?;
+    let len = frame.header.length as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(CodecError::BadLength(len));
     }
-
-    fn need(&self, n: usize) -> Result<(), CodecError> {
-        if self.pos + n > self.buf.len() {
-            Err(CodecError::Truncated {
-                expected: self.pos + n,
-                got: self.buf.len(),
-            })
-        } else {
-            Ok(())
-        }
-    }
-
-    fn u8(&mut self) -> Result<u8, CodecError> {
-        self.need(1)?;
-        let v = self.buf[self.pos];
-        self.pos += 1;
-        Ok(v)
-    }
-
-    fn u16(&mut self) -> Result<u16, CodecError> {
-        self.need(2)?;
-        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
-        self.pos += 2;
-        Ok(v)
-    }
-
-    fn u32(&mut self) -> Result<u32, CodecError> {
-        self.need(4)?;
-        let mut b = [0u8; 4];
-        b.copy_from_slice(&self.buf[self.pos..self.pos + 4]);
-        self.pos += 4;
-        Ok(u32::from_be_bytes(b))
-    }
-
-    fn u64(&mut self) -> Result<u64, CodecError> {
-        self.need(8)?;
-        let mut b = [0u8; 8];
-        b.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
-        self.pos += 8;
-        Ok(u64::from_be_bytes(b))
-    }
-
-    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, CodecError> {
-        self.need(n)?;
-        let v = self.buf[self.pos..self.pos + n].to_vec();
-        self.pos += n;
-        Ok(v)
-    }
-
-    fn rest(&mut self) -> Vec<u8> {
-        let v = self.buf[self.pos..].to_vec();
-        self.pos = self.buf.len();
-        v
-    }
-
-    fn finish(&self) -> Result<(), CodecError> {
-        let left = self.buf.len() - self.pos;
-        if left == 0 {
-            Ok(())
-        } else {
-            Err(CodecError::TrailingBytes(left))
-        }
-    }
-}
-
-fn get_match(r: &mut Reader<'_>) -> Result<FlowMatch, CodecError> {
-    let bitmap = r.u8()?;
-    let mut m = FlowMatch::ANY;
-    if bitmap & 1 != 0 {
-        m.in_port = Some(PortNo(r.u32()?));
-    }
-    if bitmap & 2 != 0 {
-        m.src = Some(HostId(r.u32()?));
-    }
-    if bitmap & 4 != 0 {
-        m.dst = Some(HostId(r.u32()?));
-    }
-    if bitmap & 8 != 0 {
-        m.tag = Some(VersionTag(r.u16()?));
-    }
-    Ok(m)
-}
-
-fn get_action(r: &mut Reader<'_>) -> Result<Action, CodecError> {
-    match r.u8()? {
-        0 => Ok(Action::Output(PortNo(r.u32()?))),
-        1 => Ok(Action::SetTag(VersionTag(r.u16()?))),
-        2 => Ok(Action::StripTag),
-        3 => Ok(Action::Drop),
-        4 => Ok(Action::ToController),
-        t => Err(CodecError::UnknownAction(t)),
-    }
+    let mut buf = BytesMut::with_capacity(len);
+    frame.marshal(&mut buf);
+    debug_assert_eq!(buf.len(), len, "header length must match marshaled size");
+    Ok(buf.freeze())
 }
 
 /// Decode one complete frame (header + body, exactly).
@@ -342,12 +137,11 @@ pub fn decode(frame: &[u8]) -> Result<Envelope, CodecError> {
             got: frame.len(),
         });
     }
-    let version = frame[0];
-    if version != OFP_VERSION {
-        return Err(CodecError::BadVersion(version));
+    let header = Header::parse(frame);
+    if header.version != OFP_VERSION {
+        return Err(CodecError::BadVersion(header.version));
     }
-    let tcode = frame[1];
-    let declared = u16::from_be_bytes([frame[2], frame[3]]) as usize;
+    let declared = header.length as usize;
     if !(HEADER_LEN..=MAX_FRAME_LEN).contains(&declared) {
         return Err(CodecError::BadLength(declared));
     }
@@ -357,86 +151,16 @@ pub fn decode(frame: &[u8]) -> Result<Envelope, CodecError> {
             got: frame.len(),
         });
     }
-    let xid = Xid(u32::from_be_bytes([frame[4], frame[5], frame[6], frame[7]]));
-    let mut r = Reader::new(&frame[HEADER_LEN..]);
-    let msg = match tcode {
-        type_code::HELLO => OfMessage::Hello,
-        type_code::FEATURES_REQUEST => OfMessage::FeaturesRequest,
-        type_code::BARRIER_REQUEST => OfMessage::BarrierRequest,
-        type_code::BARRIER_REPLY => OfMessage::BarrierReply,
-        type_code::FLOW_STATS_REQUEST => OfMessage::FlowStatsRequest,
-        type_code::ECHO_REQUEST => OfMessage::EchoRequest(r.rest()),
-        type_code::ECHO_REPLY => OfMessage::EchoReply(r.rest()),
-        type_code::FEATURES_REPLY => {
-            let dpid = DpId(r.u64()?);
-            let n_ports = r.u32()?;
-            OfMessage::FeaturesReply { dpid, n_ports }
-        }
-        type_code::FLOW_MOD => {
-            let command = match r.u8()? {
-                0 => FlowModCommand::Add,
-                1 => FlowModCommand::Modify,
-                2 => FlowModCommand::Delete,
-                c => return Err(CodecError::UnknownCommand(c)),
-            };
-            let priority = r.u16()?;
-            let cookie = r.u64()?;
-            let matcher = get_match(&mut r)?;
-            let n_actions = r.u8()? as usize;
-            let mut actions = Vec::with_capacity(n_actions);
-            for _ in 0..n_actions {
-                actions.push(get_action(&mut r)?);
-            }
-            OfMessage::FlowMod(FlowMod {
-                command,
-                priority,
-                matcher,
-                actions,
-                cookie,
-            })
-        }
-        type_code::PACKET_IN => {
-            let buffer_id = r.u32()?;
-            let in_port = PortNo(r.u32()?);
-            let n = r.u16()? as usize;
-            let data = r.bytes(n)?;
-            OfMessage::PacketIn {
-                buffer_id,
-                in_port,
-                data,
-            }
-        }
-        type_code::PACKET_OUT => {
-            let buffer_id = r.u32()?;
-            let out_port = PortNo(r.u32()?);
-            let n = r.u16()? as usize;
-            let data = r.bytes(n)?;
-            OfMessage::PacketOut {
-                buffer_id,
-                out_port,
-                data,
-            }
-        }
-        type_code::ERROR => {
-            let etype = r.u16()?;
-            let code = r.u16()?;
-            let data = r.rest();
-            OfMessage::ErrorMsg { etype, code, data }
-        }
-        type_code::FLOW_STATS_REPLY => {
-            let entries = r.u32()?;
-            let packets = r.u64()?;
-            OfMessage::FlowStatsReply { entries, packets }
-        }
-        t => return Err(CodecError::UnknownType(t)),
-    };
-    r.finish()?;
-    Ok(Envelope::new(xid, msg))
+    let message = WireMessage::parse_body(header.typ, &frame[HEADER_LEN..])?;
+    Envelope::try_from(&WireFrame { header, message })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::{Action, FlowMatch};
+    use crate::messages::{FlowMod, FlowModCommand, OfMessage};
+    use sdn_types::{DpId, HostId, PortNo, VersionTag, Xid};
 
     fn roundtrip(env: Envelope) {
         let bytes = encode(&env);
@@ -596,15 +320,15 @@ mod tests {
                 command: FlowModCommand::Add,
                 priority: 1,
                 matcher: FlowMatch::ANY,
-                actions: vec![Action::Drop],
+                actions: vec![Action::StripTag],
                 cookie: 0,
             }),
         );
         let mut bytes = encode(&env).to_vec();
-        // action type byte is the last-but-nothing byte: Drop encodes
-        // as a single trailing 0x03
-        let last = bytes.len() - 1;
-        bytes[last] = 99;
+        // the action TLV starts 64 bytes into the flow_mod body; flip
+        // its type field (u16 at offset 72) to an unknown code
+        bytes[72] = 0x00;
+        bytes[73] = 99;
         assert_eq!(decode(&bytes), Err(CodecError::UnknownAction(99)));
     }
 
@@ -621,13 +345,52 @@ mod tests {
             }),
         );
         let mut bytes = encode(&env).to_vec();
-        bytes[HEADER_LEN] = 7; // command byte
-        assert_eq!(decode(&bytes), Err(CodecError::UnknownCommand(7)));
+        // command is the u16 right after match(40)+cookie(8):
+        // offset 8 + 40 + 8 = 56
+        bytes[56] = 0;
+        bytes[57] = 77;
+        assert_eq!(decode(&bytes), Err(CodecError::UnknownCommand(77)));
+    }
+
+    #[test]
+    fn try_encode_surfaces_unrepresentable_values() {
+        let env = Envelope::new(
+            Xid(1),
+            OfMessage::PacketOut {
+                buffer_id: 0,
+                out_port: PortNo(0x1_0000),
+                data: vec![],
+            },
+        );
+        assert_eq!(try_encode(&env), Err(CodecError::PortOutOfRange(0x10000)));
+    }
+
+    #[test]
+    fn pseudo_ports_roundtrip() {
+        roundtrip(Envelope::new(
+            Xid(4),
+            OfMessage::PacketIn {
+                buffer_id: 1,
+                in_port: PortNo::LOCAL,
+                data: vec![],
+            },
+        ));
+        roundtrip(Envelope::new(
+            Xid(4),
+            OfMessage::PacketOut {
+                buffer_id: 1,
+                out_port: PortNo::CONTROLLER,
+                data: vec![1],
+            },
+        ));
     }
 
     #[test]
     fn error_display_strings() {
         assert!(CodecError::BadVersion(4).to_string().contains("0x4"));
         assert!(CodecError::TrailingBytes(3).to_string().contains("3"));
+        assert!(CodecError::PortOutOfRange(70000)
+            .to_string()
+            .contains("70000"));
     }
 }

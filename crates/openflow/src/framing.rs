@@ -5,10 +5,21 @@
 //! the async-networking guides teach for length-delimited protocols —
 //! while bounding memory and surfacing corrupted length fields early.
 //!
-//! Errors are *sticky*: a stream that mis-framed once cannot be trusted
-//! again (we no longer know where frames begin) and must be reset,
-//! mirroring how a real controller would drop and re-establish the
-//! connection.
+//! Errors are *not* sticky: a malformed frame is rejected and reported,
+//! but the connection stays usable.
+//!
+//! * A frame whose header is valid but whose body fails to decode is
+//!   consumed exactly (the declared length is trusted), so the stream
+//!   stays in sync and the next frame parses normally.
+//! * A garbage header (wrong version byte, absurd length) means the
+//!   stream position itself is suspect; the codec *resyncs* by scanning
+//!   forward for the next plausible frame start instead of tearing the
+//!   connection down. Each such scan is counted in
+//!   [`FrameCodec::resyncs`].
+//!
+//! This keeps one corrupted message — the common case under the
+//! fault-injecting channel — from killing a connection that is
+//! otherwise carrying thousands of healthy frames.
 
 use bytes::BytesMut;
 
@@ -19,7 +30,8 @@ use crate::messages::Envelope;
 #[derive(Debug, Default)]
 pub struct FrameCodec {
     buf: BytesMut,
-    poisoned: bool,
+    errors: u64,
+    resyncs: u64,
 }
 
 impl FrameCodec {
@@ -38,37 +50,98 @@ impl FrameCodec {
         self.buf.len()
     }
 
+    /// Malformed frames rejected so far.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Times the codec had to scan for a new frame boundary after a
+    /// garbage header.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
     /// Whether a framing error poisoned the stream.
+    #[deprecated(
+        since = "0.1.0",
+        note = "framing errors no longer poison the stream; always false"
+    )]
     pub fn is_poisoned(&self) -> bool {
-        self.poisoned
+        false
     }
 
     /// Drop all buffered state (reconnect).
     pub fn reset(&mut self) {
         self.buf.clear();
-        self.poisoned = false;
+        self.errors = 0;
+        self.resyncs = 0;
+    }
+
+    /// Whether the first buffered bytes look like a frame start: right
+    /// version byte and, once visible, a sane declared length.
+    fn head_is_plausible(buf: &[u8], at: usize) -> bool {
+        if buf[at] != OFP_VERSION {
+            return false;
+        }
+        if at + 4 <= buf.len() {
+            let declared = u16::from_be_bytes([buf[at + 2], buf[at + 3]]) as usize;
+            (HEADER_LEN..=MAX_FRAME_LEN).contains(&declared)
+        } else {
+            true // length not visible yet; give it the benefit of the doubt
+        }
+    }
+
+    /// Discard bytes until the next frame start. Prefers an offset
+    /// where a complete frame actually decodes (unambiguous); falls
+    /// back to the first merely-plausible header, and drops the whole
+    /// buffer when nothing looks like a frame at all.
+    fn resync(&mut self) {
+        self.resyncs += 1;
+        let buf = &self.buf;
+        let mut fallback = None;
+        let mut skip = buf.len();
+        for i in 1..buf.len() {
+            if !Self::head_is_plausible(buf, i) {
+                continue;
+            }
+            if fallback.is_none() {
+                fallback = Some(i);
+            }
+            if i + 4 <= buf.len() {
+                let declared = u16::from_be_bytes([buf[i + 2], buf[i + 3]]) as usize;
+                if i + declared <= buf.len() && decode(&buf[i..i + declared]).is_ok() {
+                    skip = i; // verified frame boundary
+                    break;
+                }
+            }
+        }
+        if skip == buf.len() {
+            skip = fallback.unwrap_or(buf.len());
+        }
+        let _ = self.buf.split_to(skip);
     }
 
     /// Try to extract the next complete frame.
     ///
-    /// Returns `Ok(None)` when more bytes are needed, `Ok(Some(env))`
-    /// for each complete frame, and `Err` on malformed input, after
-    /// which the codec is poisoned until [`FrameCodec::reset`].
+    /// Returns `Ok(None)` when more bytes are needed and `Ok(Some(env))`
+    /// for each complete frame. `Err` reports one rejected frame; the
+    /// codec stays usable and the *next* call resumes at the following
+    /// frame boundary (exactly, for a body error under a valid header;
+    /// after a resync scan, for a garbage header).
     pub fn next_frame(&mut self) -> Result<Option<Envelope>, CodecError> {
-        if self.poisoned {
-            return Err(CodecError::BadLength(0));
-        }
         if self.buf.len() < HEADER_LEN {
             return Ok(None);
         }
         let version = self.buf[0];
         if version != OFP_VERSION {
-            self.poisoned = true;
+            self.errors += 1;
+            self.resync();
             return Err(CodecError::BadVersion(version));
         }
         let declared = u16::from_be_bytes([self.buf[2], self.buf[3]]) as usize;
         if !(HEADER_LEN..=MAX_FRAME_LEN).contains(&declared) {
-            self.poisoned = true;
+            self.errors += 1;
+            self.resync();
             return Err(CodecError::BadLength(declared));
         }
         if self.buf.len() < declared {
@@ -78,19 +151,41 @@ impl FrameCodec {
         match decode(&frame) {
             Ok(env) => Ok(Some(env)),
             Err(e) => {
-                self.poisoned = true;
+                // The declared length was valid, so exactly this frame
+                // was consumed: the stream is still in sync.
+                self.errors += 1;
                 Err(e)
             }
         }
     }
 
-    /// Drain every complete frame currently buffered.
+    /// Drain every complete frame currently buffered, stopping at the
+    /// first malformed one (which is consumed; calling again yields the
+    /// frames after it).
     pub fn drain(&mut self) -> Result<Vec<Envelope>, CodecError> {
         let mut out = Vec::new();
         while let Some(env) = self.next_frame()? {
             out.push(env);
         }
         Ok(out)
+    }
+
+    /// Drain every complete frame currently buffered, skipping
+    /// malformed ones. Returns the good frames and how many were
+    /// rejected — the shape the event-loop transport wants, where a
+    /// corrupted frame must cost exactly one message, not the
+    /// connection.
+    pub fn drain_lossy(&mut self) -> (Vec<Envelope>, u64) {
+        let mut out = Vec::new();
+        let mut rejected = 0;
+        loop {
+            match self.next_frame() {
+                Ok(Some(env)) => out.push(env),
+                Ok(None) => break,
+                Err(_) => rejected += 1,
+            }
+        }
+        (out, rejected)
     }
 }
 
@@ -152,31 +247,69 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_version_poisons() {
+    fn corrupted_version_does_not_poison() {
         let mut c = FrameCodec::new();
+        let good = env(2, OfMessage::BarrierRequest);
         let mut bytes = crate::codec::encode(&env(1, OfMessage::Hello)).to_vec();
         bytes[0] = 0xff;
+        bytes.extend_from_slice(&crate::codec::encode(&good));
         c.feed(&bytes);
-        assert!(c.next_frame().is_err());
-        assert!(c.is_poisoned());
-        // stays poisoned
-        assert!(c.next_frame().is_err());
-        c.reset();
-        assert!(!c.is_poisoned());
-        assert_eq!(c.buffered(), 0);
-        // works again after reset
-        c.feed(&crate::codec::encode(&env(2, OfMessage::Hello)));
-        assert!(c.next_frame().unwrap().is_some());
+        assert!(matches!(c.next_frame(), Err(CodecError::BadVersion(0xff))));
+        // the stream resynced onto the next valid frame
+        assert_eq!(c.next_frame().unwrap(), Some(good));
+        assert_eq!(c.errors(), 1);
+        assert_eq!(c.resyncs(), 1);
     }
 
     #[test]
-    fn corrupted_length_poisons() {
+    fn corrupted_length_does_not_poison() {
         let mut c = FrameCodec::new();
+        let good = env(3, OfMessage::Hello);
         let mut bytes = crate::codec::encode(&env(1, OfMessage::Hello)).to_vec();
         bytes[2] = 0xff;
         bytes[3] = 0xff; // declared 65535 > MAX_FRAME_LEN
+        bytes.extend_from_slice(&crate::codec::encode(&good));
         c.feed(&bytes);
         assert!(matches!(c.next_frame(), Err(CodecError::BadLength(_))));
+        assert_eq!(c.next_frame().unwrap(), Some(good));
+    }
+
+    #[test]
+    fn body_error_consumes_exactly_one_frame() {
+        let mut c = FrameCodec::new();
+        // valid header, unknown type code: consumed as one frame
+        let mut bad = crate::codec::encode(&env(1, OfMessage::Hello)).to_vec();
+        bad[1] = 250;
+        let good = env(2, OfMessage::BarrierReply);
+        c.feed(&bad);
+        c.feed(&crate::codec::encode(&good));
+        assert!(matches!(c.next_frame(), Err(CodecError::UnknownType(250))));
+        assert_eq!(c.next_frame().unwrap(), Some(good));
+        assert_eq!(c.resyncs(), 0, "in-sync rejection needs no resync scan");
+    }
+
+    #[test]
+    fn garbage_then_truncated_then_good_stream_survives() {
+        let mut c = FrameCodec::new();
+        let good = env(9, OfMessage::EchoReply(vec![5, 6]));
+        c.feed(&[0x47, 0x41, 0x52, 0x42]); // pure garbage
+        c.feed(&crate::codec::encode(&good));
+        let (frames, rejected) = c.drain_lossy();
+        assert_eq!(frames, vec![good]);
+        assert!(rejected >= 1);
+        assert_eq!(c.buffered(), 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = FrameCodec::new();
+        c.feed(&[0xff; 16]);
+        let _ = c.next_frame();
+        c.reset();
+        assert_eq!(c.buffered(), 0);
+        assert_eq!(c.errors(), 0);
+        c.feed(&crate::codec::encode(&env(2, OfMessage::Hello)));
+        assert!(c.next_frame().unwrap().is_some());
     }
 
     #[test]

@@ -22,8 +22,9 @@ pub mod codec;
 pub mod flow;
 pub mod framing;
 pub mod messages;
+pub mod wire;
 
-pub use codec::{decode, encode, CodecError, OFP_VERSION};
+pub use codec::{decode, encode, try_encode, CodecError, OFP_VERSION};
 pub use flow::{Action, FlowMatch, PacketMeta};
 pub use framing::FrameCodec;
 pub use messages::{Envelope, FlowMod, FlowModCommand, OfMessage};

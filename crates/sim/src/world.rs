@@ -10,9 +10,10 @@ use std::collections::BTreeMap;
 
 use sdn_channel::config::ChannelConfig;
 use sdn_channel::sim::{ConnId, SimChannel};
+use sdn_channel::transport::Transport;
 use sdn_ctrl::compile::CompiledUpdate;
 use sdn_ctrl::controller::{Controller, ControllerConfig, CtrlOutput};
-use sdn_ctrl::runtime::{AdmitOutcome, Priority, RuntimeStats, UpdateRuntime};
+use sdn_ctrl::runtime::{AdmitOutcome, Priority, RuntimeStats, StatusReport, UpdateRuntime};
 use sdn_openflow::codec::{decode, encode};
 use sdn_openflow::flow::PacketMeta;
 use sdn_openflow::messages::OfMessage;
@@ -188,11 +189,35 @@ impl World {
         self.controller.stats()
     }
 
+    /// The live `GET /status` snapshot: queue depth, active jobs,
+    /// outstanding payload acks, counters, and the per-switch RTO
+    /// table with straggler flags. Render with
+    /// [`sdn_ctrl::rest::status::status_response`].
+    pub fn status(&self) -> StatusReport {
+        self.controller.status_report()
+    }
+
+    /// The control channel as the unified [`Transport`] abstraction —
+    /// the same surface the live event-loop transport implements, so
+    /// experiment code written against it runs over either.
+    pub fn transport_mut(&mut self) -> &mut dyn Transport {
+        &mut self.channel
+    }
+
     /// Override the control-channel behaviour of one switch in *both*
     /// directions — models a slow or flaky switch (straggler).
     pub fn set_switch_channel(&mut self, dp: DpId, config: ChannelConfig) {
-        self.channel.set_override(ConnId::to_switch(dp), config);
-        self.channel.set_override(ConnId::to_controller(dp), config);
+        let t: &mut dyn Transport = &mut self.channel;
+        t.set_conn_config(ConnId::to_switch(dp), config);
+        t.set_conn_config(ConnId::to_controller(dp), config);
+    }
+
+    /// Drop a per-switch override installed by
+    /// [`World::set_switch_channel`], restoring the default profile.
+    pub fn clear_switch_channel(&mut self, dp: DpId) {
+        let t: &mut dyn Transport = &mut self.channel;
+        t.clear_conn_config(ConnId::to_switch(dp));
+        t.clear_conn_config(ConnId::to_controller(dp));
     }
 
     /// Plan probe injection: `count` packets from `src` to `dst`,

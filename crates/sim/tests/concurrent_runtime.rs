@@ -171,6 +171,7 @@ fn straggler_run(retrans: RetransMode) -> (u64, bool) {
         exec: ExecConfig {
             barrier_timeout: SimDuration::from_millis(10),
             max_attempts: 30,
+            flowmod_acks: false,
         },
         retrans,
         ..RuntimeConfig::default()

@@ -72,6 +72,7 @@ fn timeout_storm_converges_with_heavy_retransmission() {
         exec: ExecConfig {
             barrier_timeout: SimDuration::from_millis(1),
             max_attempts: 200,
+            flowmod_acks: false,
         },
         retrans: sdn_ctrl::runtime::RetransMode::Fixed,
         ..RuntimeConfig::default()
@@ -118,6 +119,7 @@ fn concurrent_fanout_under_duplication_and_jitter() {
         exec: ExecConfig {
             barrier_timeout: SimDuration::from_millis(5),
             max_attempts: 40,
+            flowmod_acks: false,
         },
         ..RuntimeConfig::default()
     });

@@ -91,6 +91,20 @@ impl SoftSwitch {
             OfMessage::Hello => vec![Envelope::new(xid, OfMessage::Hello)],
             OfMessage::EchoRequest(payload) => {
                 self.stats.echoes += 1;
+                // Echo-carried FlowMod acknowledgement: when the
+                // payload is itself a well-formed FlowMod frame, apply
+                // it before echoing. FlowMods are idempotent
+                // (Add-replace / exact Delete), so a duplicate of the
+                // plain FlowMod costs nothing, and the echo reply
+                // *proves* the rule is installed — the plain FlowMod
+                // may have been dropped even though a later barrier
+                // survived.
+                if let Ok(inner) = sdn_openflow::codec::decode(&payload) {
+                    if let OfMessage::FlowMod(fm) = inner.msg {
+                        self.stats.flow_mods += 1;
+                        let _: TableChange = self.table.apply(&fm);
+                    }
+                }
                 vec![Envelope::new(xid, OfMessage::EchoReply(payload))]
             }
             OfMessage::FeaturesRequest => vec![Envelope::new(

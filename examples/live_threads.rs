@@ -10,7 +10,7 @@
 use std::time::Duration;
 
 use sdn_channel::config::ChannelConfig;
-use sdn_channel::live::LoopbackTransport;
+use sdn_channel::{EventLoopTransport, LiveTransport};
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
 use sdn_ctrl::executor::{ExecConfig, ExecState, RoundExecutor, XidAlloc};
 use sdn_switch::SoftSwitch;
@@ -43,7 +43,7 @@ fn main() {
             msg,
         ));
     }
-    let transport = LoopbackTransport::spawn(
+    let transport = EventLoopTransport::spawn(
         switches,
         ChannelConfig::jittery(SimDuration::from_millis(3)),
         42,

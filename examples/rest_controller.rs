@@ -10,6 +10,7 @@ use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
 use sdn_ctrl::rest::request::UpdateRequest;
 use sdn_ctrl::rest::response::{admission_response, error_response};
+use sdn_ctrl::rest::status::status_response;
 use sdn_ctrl::runtime::{ConcurrentRuntime, Priority, RuntimeConfig};
 use sdn_sim::scenario::AlgoChoice;
 use sdn_sim::world::{World, WorldConfig};
@@ -89,6 +90,10 @@ fn main() {
 
     // -- the response the REST endpoint would return --------------------
     println!("\n200 OK\n{}", req.to_json());
+
+    // -- GET /status: the operator's live view ---------------------------
+    let status = status_response(&world.status());
+    println!("\nGET /status -> {}\n{}", status.status, status.body);
 
     // -- what hostile or over-limit requests get back --------------------
     let bad = UpdateRequest::parse(r#"{"oldpath": "not-a-path"}"#).unwrap_err();

@@ -6,7 +6,7 @@
 use std::time::{Duration, Instant};
 
 use sdn_channel::config::ChannelConfig;
-use sdn_channel::live::LoopbackTransport;
+use sdn_channel::{EventLoopTransport, LiveTransport};
 use sdn_ctrl::compile::{CompiledRound, CompiledUpdate};
 use sdn_ctrl::executor::{ExecConfig, ExecState, RoundExecutor, XidAlloc};
 use sdn_openflow::flow::FlowMatch;
@@ -38,7 +38,7 @@ fn wide_update(n: u64, rounds: usize) -> CompiledUpdate {
 }
 
 fn drive_to_completion(
-    transport: &LoopbackTransport,
+    transport: &impl LiveTransport,
     executor: &mut RoundExecutor,
     xids: &mut XidAlloc,
     deadline: Duration,
@@ -74,13 +74,14 @@ fn hundreds_of_switches_converge_under_combined_faults() {
     let cfg = ChannelConfig::lossy(0.05)
         .with_corruption(0.05)
         .with_duplication(0.2);
-    let transport = LoopbackTransport::spawn(switches, cfg, 2024, 0.001);
+    let transport = EventLoopTransport::spawn(switches, cfg, 2024, 0.001);
     let mut xids = XidAlloc::new();
     let mut executor = RoundExecutor::new(
         wide_update(n, 2),
         ExecConfig {
             barrier_timeout: SimDuration::from_millis(60),
             max_attempts: 60,
+            flowmod_acks: true,
         },
     );
     drive_to_completion(
@@ -92,14 +93,24 @@ fn hundreds_of_switches_converge_under_combined_faults() {
     assert_eq!(executor.state(), ExecState::Done);
     let finals = transport.shutdown();
     assert_eq!(finals.len(), n as usize);
-    // Nearly every switch saw its (idempotent) FlowMod land. Not all:
-    // a corrupted FlowMod whose barrier survives completes the round
-    // without the rule — the known loss-under-barrier hazard, which is
-    // why the zero-violation guarantees elsewhere assume a
-    // non-corrupting transport.
-    let installed = finals.iter().filter(|s| s.table().len() == 1).count();
+    // With payload acks on, EVERY switch ends with the intended rule:
+    // a round only completes once each FlowMod's echo ack has
+    // round-tripped its exact payload, so a dropped or corrupted
+    // FlowMod can no longer hide behind a surviving barrier. (A
+    // corrupted frame that still decodes may deposit a *spurious*
+    // extra rule — that is a wire-integrity matter, not a delivery
+    // one — so the assertion checks presence, not table size.)
+    let intended = FlowMatch::dst_host(HostId(2));
+    let installed = finals
+        .iter()
+        .filter(|s| {
+            s.table()
+                .iter()
+                .any(|e| e.matcher == intended && e.priority == 100)
+        })
+        .count();
     assert!(
-        installed * 100 >= (n as usize) * 95,
+        installed == n as usize,
         "only {installed}/{n} switches ended with the rule"
     );
 }
@@ -112,7 +123,7 @@ fn reordering_under_duplication_converges() {
     let n = 24u64;
     let switches: Vec<SoftSwitch> = (1..=n).map(|i| SoftSwitch::new(DpId(i), 4)).collect();
     let cfg = ChannelConfig::jittery(SimDuration::from_millis(4)).with_duplication(1.0);
-    let transport = LoopbackTransport::spawn(switches, cfg, 99, 0.01);
+    let transport = EventLoopTransport::spawn(switches, cfg, 99, 0.01);
     let mut xids = XidAlloc::new();
     let mut executor = RoundExecutor::new(wide_update(n, 4), ExecConfig::default());
     drive_to_completion(
@@ -143,13 +154,14 @@ fn timeout_storm_over_threads_converges() {
     let switches: Vec<SoftSwitch> = (1..=n).map(|i| SoftSwitch::new(DpId(i), 4)).collect();
     // exp(mean 100 ms) one-way scaled by 0.01 -> ~1 ms wall, long tail
     let cfg = ChannelConfig::jittery(SimDuration::from_millis(100));
-    let transport = LoopbackTransport::spawn(switches, cfg, 5, 0.01);
+    let transport = EventLoopTransport::spawn(switches, cfg, 5, 0.01);
     let mut xids = XidAlloc::new();
     let mut executor = RoundExecutor::new(
         wide_update(n, 3),
         ExecConfig {
             barrier_timeout: SimDuration::from_millis(4),
             max_attempts: 200,
+            flowmod_acks: true,
         },
     );
     drive_to_completion(

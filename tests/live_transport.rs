@@ -4,7 +4,7 @@
 use std::time::{Duration, Instant};
 
 use sdn_channel::config::ChannelConfig;
-use sdn_channel::live::LoopbackTransport;
+use sdn_channel::{EventLoopTransport, LiveTransport};
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
 use sdn_ctrl::executor::{ExecConfig, ExecState, RoundExecutor, XidAlloc};
 use sdn_openflow::messages::Envelope;
@@ -15,7 +15,7 @@ use update_core::algorithms::{UpdateScheduler, WayUp};
 use update_core::model::UpdateInstance;
 
 fn drive_to_completion(
-    transport: &LoopbackTransport,
+    transport: &impl LiveTransport,
     executor: &mut RoundExecutor,
     xids: &mut XidAlloc,
     deadline: Duration,
@@ -68,7 +68,7 @@ fn boot_figure1() -> (Vec<SoftSwitch>, UpdateInstance, FlowSpec) {
 fn wayup_rounds_complete_over_threads() {
     let (switches, inst, spec) = boot_figure1();
     let f = figure1();
-    let transport = LoopbackTransport::spawn(
+    let transport = EventLoopTransport::spawn(
         switches,
         ChannelConfig::jittery(SimDuration::from_millis(2)),
         1234,
@@ -103,7 +103,7 @@ fn wayup_rounds_complete_over_threads() {
 fn lossy_live_channel_retries_until_done() {
     let (switches, inst, spec) = boot_figure1();
     let f = figure1();
-    let transport = LoopbackTransport::spawn(switches, ChannelConfig::lossy(0.25), 777, 0.01);
+    let transport = EventLoopTransport::spawn(switches, ChannelConfig::lossy(0.25), 777, 0.01);
     let schedule = WayUp::default().schedule(&inst).unwrap();
     let compiled = compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap();
     let mut xids = XidAlloc::new();
@@ -113,6 +113,7 @@ fn lossy_live_channel_retries_until_done() {
         ExecConfig {
             barrier_timeout: SimDuration::from_millis(40),
             max_attempts: 50,
+            flowmod_acks: true,
         },
     );
     drive_to_completion(

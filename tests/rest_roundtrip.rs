@@ -3,7 +3,10 @@
 
 use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
+use sdn_ctrl::rest::json::{self, Json};
 use sdn_ctrl::rest::request::UpdateRequest;
+use sdn_ctrl::rest::status::status_response;
+use sdn_ctrl::runtime::{ConcurrentRuntime, Priority, RuntimeConfig};
 use sdn_sim::scenario::AlgoChoice;
 use sdn_sim::world::{World, WorldConfig};
 use sdn_topo::builders::figure1;
@@ -93,6 +96,62 @@ fn rejected_requests_do_not_reach_the_controller() {
     let bad2 = r#"{"oldpath":[1,2,3],"newpath":[1,4,3],"wp":2}"#;
     let req2 = UpdateRequest::parse(bad2).unwrap();
     assert!(req2.to_instance().is_err());
+}
+
+#[test]
+fn status_endpoint_reflects_a_completed_update() {
+    // End to end: run the paper's update over the concurrent runtime,
+    // then GET /status — the JSON must carry the completion counter
+    // and the per-switch RTO table the run populated, so operators
+    // (and tests) no longer scrape internal accessors.
+    let req = UpdateRequest::parse(PAPER_REQUEST).unwrap();
+    let inst = req.to_instance().unwrap();
+    let schedule = AlgoChoice::WayUp.scheduler().schedule(&inst).unwrap();
+    let f = figure1();
+    let spec = FlowSpec {
+        src: f.h1,
+        dst: f.h2,
+    };
+    let mut world = World::with_runtime(
+        f.topo.clone(),
+        WorldConfig {
+            channel: ChannelConfig::jittery(SimDuration::from_millis(4)),
+            seed: 23,
+            ..WorldConfig::default()
+        },
+        Box::new(ConcurrentRuntime::new(RuntimeConfig::default())),
+    );
+    world.set_waypoint(inst.waypoint());
+    world.install_initial(&initial_flowmods(&f.topo, inst.old(), &spec).unwrap());
+    let outcome = world.submit_update(
+        compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap(),
+        Priority::Normal,
+    );
+    assert!(outcome.accepted());
+    world.run(SimTime::ZERO + SimDuration::from_secs(3600));
+
+    let resp = status_response(&world.status());
+    assert_eq!(resp.status, 200);
+    let v = json::parse(&resp.body).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(v.get("queued").unwrap().as_u64(), Some(0));
+    assert_eq!(v.get("active").unwrap().as_u64(), Some(0));
+    assert_eq!(v.get("pending_acks").unwrap().as_u64(), Some(0));
+    let stats = v.get("stats").unwrap();
+    assert_eq!(stats.get("submitted").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("completed").unwrap().as_u64(), Some(1));
+    let Json::Arr(switches) = v.get("switches").unwrap() else {
+        panic!("switches must be an array");
+    };
+    assert!(
+        !switches.is_empty(),
+        "barrier RTT samples must populate the RTO table"
+    );
+    for s in switches {
+        assert!(s.get("dp").unwrap().as_u64().is_some());
+        assert!(s.get("rto_us").unwrap().as_f64().unwrap() > 0.0);
+        assert_eq!(s.get("straggler").unwrap().as_bool(), Some(false));
+    }
 }
 
 #[test]
