@@ -91,10 +91,14 @@ fn run_tier(n: usize) -> TierResult {
         for i in 1..=n as u64 {
             let dp = DpId(i);
             xid += 1;
-            assert!(transport.send(dp, &Envelope::new(Xid(xid), flowmod())));
+            transport
+                .send(dp, &Envelope::new(Xid(xid), flowmod()))
+                .unwrap();
             xid += 1;
             outstanding.insert((dp, Xid(xid)), ());
-            assert!(transport.send(dp, &Envelope::new(Xid(xid), OfMessage::BarrierRequest)));
+            transport
+                .send(dp, &Envelope::new(Xid(xid), OfMessage::BarrierRequest))
+                .unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(60);
         while !outstanding.is_empty() {
@@ -132,7 +136,9 @@ fn run_tier(n: usize) -> TierResult {
             xid += 1;
             let key = (DpId(next_dp), Xid(xid));
             pending.insert(key, Instant::now());
-            assert!(transport.send(key.0, &Envelope::new(key.1, OfMessage::BarrierRequest)));
+            transport
+                .send(key.0, &Envelope::new(key.1, OfMessage::BarrierRequest))
+                .unwrap();
             sent += 1;
         }
         let Some(reply) = transport.recv_timeout(Duration::from_millis(5)) else {

@@ -1,0 +1,349 @@
+//! E9 — fault recovery: convergence under control-plane failure.
+//!
+//! PR-7's acceptance drill, measured. Four chaos scenarios run against
+//! the concurrent runtime (adaptive RTO, resync audits, write-ahead
+//! journal) in deterministic virtual time:
+//!
+//! * **blip** — one switch's control connection drops mid-round for a
+//!   varying outage; convergence cost vs outage length;
+//! * **reboot** — a switch reboots under a barrier (table wiped); the
+//!   digest audit replays exactly what was lost;
+//! * **crash** — the controller dies mid-flight and rebuilds itself
+//!   from the journal, resuming from the last committed round;
+//! * **churn** — rolling connection churn across the whole fleet
+//!   (208 switches at the full tier) while every flow updates.
+//!
+//! Every scenario self-asserts the acceptance bar: all updates
+//! complete, zero transient violations on the probe trace, zero
+//! quarantines, and a rule-for-rule clean [`World::audit`]. All
+//! timing is virtual, so exported records are noise-free and the
+//! `bench_check` gate holds a tight line.
+//!
+//! Flags: `--tier small` (CI smoke sizes), `--json` (write
+//! `BENCH_PR7.json`), `--json-out PATH`.
+
+use sdn_bench::json::Json;
+use sdn_bench::table::{f2, Table};
+use sdn_channel::config::ChannelConfig;
+use sdn_ctrl::compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
+use sdn_ctrl::executor::ExecConfig;
+use sdn_ctrl::runtime::{ConcurrentRuntime, Journal, RuntimeConfig};
+use sdn_sim::chaos::{ChaosPlan, FaultKind};
+use sdn_sim::report::SimReport;
+use sdn_sim::world::{World, WorldConfig};
+use sdn_topo::gen::{self, UpdatePair};
+use sdn_types::{DpId, SimDuration, SimTime};
+use update_core::algorithms::{SlfGreedy, UpdateScheduler};
+use update_core::model::UpdateInstance;
+
+const FLOW_LEN: u64 = 8;
+
+fn disjoint_flows(n: usize) -> Vec<UpdatePair> {
+    (0..n)
+        .map(|i| gen::shift(&gen::reversal(FLOW_LEN), (i as u64) * (FLOW_LEN + 2)))
+        .collect()
+}
+
+/// Outage-tolerant runtime: generous attempt budget, quarantine armed.
+fn runtime(journal: Journal) -> ConcurrentRuntime {
+    ConcurrentRuntime::with_journal(
+        RuntimeConfig {
+            exec: ExecConfig {
+                barrier_timeout: SimDuration::from_millis(20),
+                max_attempts: 60,
+                flowmod_acks: false,
+            },
+            max_active: 32,
+            ..RuntimeConfig::default()
+        },
+        journal,
+    )
+}
+
+/// World over `pairs` with old routes installed, all updates submitted
+/// at t=0, probes planned on every flow.
+fn world_for(pairs: &[UpdatePair], seed: u64, journal: Journal, probes: u64) -> World {
+    let topo = gen::materialize_batch(pairs);
+    let cfg = WorldConfig {
+        channel: ChannelConfig::lan(),
+        seed,
+        ..WorldConfig::default()
+    };
+    let mut world = World::with_runtime(topo.clone(), cfg, Box::new(runtime(journal)));
+    let mut compiled: Vec<CompiledUpdate> = Vec::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        let (src, dst) = gen::batch_hosts(i);
+        let spec = FlowSpec { src, dst };
+        let inst = UpdateInstance::new(pair.old.clone(), pair.new.clone(), pair.waypoint).unwrap();
+        let sched = SlfGreedy::default().schedule(&inst).unwrap();
+        world.install_initial(&initial_flowmods(&topo, &pair.old, &spec).unwrap());
+        compiled.push(compile_schedule(&topo, &inst, &sched, &spec).unwrap());
+    }
+    for c in compiled {
+        world.enqueue_update(c);
+    }
+    for (i, _) in pairs.iter().enumerate() {
+        let (src, dst) = gen::batch_hosts(i);
+        world.plan_injection(
+            src,
+            dst,
+            SimDuration::from_micros(500),
+            probes,
+            SimTime::ZERO,
+        );
+    }
+    world
+}
+
+fn makespan_ms(r: &SimReport) -> f64 {
+    r.updates
+        .iter()
+        .filter_map(|u| u.completed)
+        .map(|t| t.as_millis_f64())
+        .fold(0.0, f64::max)
+}
+
+/// The acceptance bar every scenario must clear.
+fn accept(label: &str, w: &World, r: &SimReport) {
+    assert!(
+        r.updates.iter().all(|u| u.completed.is_some()),
+        "{label}: every update must complete"
+    );
+    assert!(!r.violations.any(), "{label}: {}", r.violations);
+    assert_eq!(
+        r.violations.delivered, r.violations.total,
+        "{label}: every probe must be delivered"
+    );
+    let stats = w.runtime_stats();
+    assert_eq!(stats.failed, 0, "{label}: no job may fail");
+    assert_eq!(
+        stats.quarantined, 0,
+        "{label}: no switch may be quarantined"
+    );
+    let audit = w.audit();
+    assert!(audit.is_clean(), "{label}: audit {audit}");
+    assert_eq!(audit.untracked, 0, "{label}: shadow must cover the fleet");
+}
+
+struct Record {
+    workload: &'static str,
+    algo: &'static str,
+    n: u64,
+    ms: f64,
+}
+
+impl Record {
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::str(self.workload)),
+            ("algo", Json::str(self.algo)),
+            ("n", Json::Int(self.n as i64)),
+            ("rounds", Json::Num(0.0)),
+            ("ms", Json::Num(self.ms)),
+        ])
+    }
+}
+
+fn main() {
+    let mut tier_small = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tier" => {
+                let t = args.next().expect("--tier needs small|full");
+                tier_small = t == "small";
+            }
+            "--json" => json_path = Some("BENCH_PR7.json".to_string()),
+            "--json-out" => json_path = Some(args.next().expect("--json-out needs a path")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: exp_fault_recovery [--tier small|full] [--json | --json-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!("E9: convergence under control-plane failure (virtual time)");
+    println!("    8-hop reversal flows, SLF-greedy schedules, LAN channel\n");
+
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- blip: one connection drops mid-round, varying outage --------
+    let outages_ms: &[u64] = if tier_small {
+        &[5, 40]
+    } else {
+        &[5, 20, 40, 80]
+    };
+    let mut t = Table::new(
+        "mid-round disconnect of s4 at t=2 ms (single flow)",
+        &["outage ms", "makespan ms", "retransmissions", "resyncs"],
+    );
+    for &outage in outages_ms {
+        let pairs = disjoint_flows(1);
+        let mut w = world_for(&pairs, 21, Journal::Disabled, 200);
+        let down = SimTime::ZERO + SimDuration::from_millis(2);
+        ChaosPlan::new()
+            .with(down, FaultKind::LinkDown(DpId(4)))
+            .with(
+                down + SimDuration::from_millis(outage),
+                FaultKind::LinkUp(DpId(4)),
+            )
+            .apply(&mut w);
+        let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
+        accept("blip", &w, &r);
+        let stats = w.runtime_stats();
+        assert!(stats.resyncs >= 1, "reconnect must run an audit");
+        let ms = makespan_ms(&r);
+        t.row(vec![
+            outage.to_string(),
+            f2(ms),
+            stats.retransmissions.to_string(),
+            stats.resyncs.to_string(),
+        ]);
+        records.push(Record {
+            workload: "blip",
+            algo: "concurrent",
+            n: outage,
+            ms,
+        });
+    }
+    println!("{t}");
+
+    // --- reboot under a barrier --------------------------------------
+    let mut tr = Table::new(
+        "switch reboot at t=3 ms (table wiped; digest audit repairs)",
+        &["makespan ms", "resynced rules", "resyncs"],
+    );
+    {
+        let pairs = disjoint_flows(1);
+        let mut w = world_for(&pairs, 33, Journal::Disabled, 0);
+        w.schedule_fault(
+            SimTime::ZERO + SimDuration::from_millis(3),
+            FaultKind::Reboot(DpId(4)),
+        );
+        let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
+        accept("reboot", &w, &r);
+        let stats = w.runtime_stats();
+        assert!(
+            stats.resynced_rules > 0,
+            "a wiped table means replayed rules"
+        );
+        let ms = makespan_ms(&r);
+        tr.row(vec![
+            f2(ms),
+            stats.resynced_rules.to_string(),
+            stats.resyncs.to_string(),
+        ]);
+        records.push(Record {
+            workload: "reboot",
+            algo: "concurrent",
+            n: 1,
+            ms,
+        });
+    }
+    println!("{tr}");
+
+    // --- controller crash + journal recovery -------------------------
+    let crash_flows: &[usize] = if tier_small { &[2] } else { &[2, 8] };
+    let mut tc = Table::new(
+        "controller crash at t=3 ms, rebuilt from the write-ahead journal",
+        &["flows", "makespan ms", "recoveries", "retransmissions"],
+    );
+    for &n in crash_flows {
+        let pairs = disjoint_flows(n);
+        let mut w = world_for(&pairs, 44, Journal::mem(), 100);
+        w.schedule_fault(
+            SimTime::ZERO + SimDuration::from_millis(3),
+            FaultKind::CrashController,
+        );
+        let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
+        accept("crash", &w, &r);
+        let stats = w.runtime_stats();
+        assert_eq!(stats.recoveries, 1, "journal must rebuild the runtime");
+        let ms = makespan_ms(&r);
+        tc.row(vec![
+            n.to_string(),
+            f2(ms),
+            stats.recoveries.to_string(),
+            stats.retransmissions.to_string(),
+        ]);
+        records.push(Record {
+            workload: "crash",
+            algo: "concurrent",
+            n: n as u64,
+            ms,
+        });
+    }
+    println!("{tc}");
+
+    // --- rolling churn across the fleet ------------------------------
+    let churn_flows: &[usize] = if tier_small { &[8] } else { &[8, 26] };
+    let mut tf = Table::new(
+        "rolling churn: every switch bounces once (2 ms outage) under load",
+        &["flows", "switches", "makespan ms", "reconnects", "resyncs"],
+    );
+    for &n in churn_flows {
+        let pairs = disjoint_flows(n);
+        let mut w = world_for(&pairs, 77, Journal::Disabled, 40);
+        let dps: Vec<DpId> = (0..n as u64)
+            .flat_map(|i| (1..=FLOW_LEN).map(move |s| DpId(i * (FLOW_LEN + 2) + s)))
+            .collect();
+        ChaosPlan::rolling_churn(
+            &dps,
+            SimTime::ZERO + SimDuration::from_millis(1),
+            SimDuration::from_micros(300),
+            SimDuration::from_millis(2),
+            7,
+        )
+        .apply(&mut w);
+        let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
+        accept("churn", &w, &r);
+        let stats = w.runtime_stats();
+        assert!(
+            stats.reconnects >= dps.len() as u64,
+            "every switch must bounce"
+        );
+        assert!(
+            stats.resyncs >= dps.len() as u64,
+            "every reconnect must complete its audit"
+        );
+        if !tier_small && n == 26 {
+            assert!(dps.len() >= 200, "full tier must churn >= 200 switches");
+        }
+        let ms = makespan_ms(&r);
+        tf.row(vec![
+            n.to_string(),
+            dps.len().to_string(),
+            f2(ms),
+            stats.reconnects.to_string(),
+            stats.resyncs.to_string(),
+        ]);
+        records.push(Record {
+            workload: "churn",
+            algo: "concurrent",
+            n: dps.len() as u64,
+            ms,
+        });
+    }
+    println!("{tf}");
+
+    println!(
+        "acceptance: all scenarios converged to 100% intended-rule installation \
+         with zero transient violations and zero quarantines"
+    );
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("experiment", Json::str("fault_recovery")),
+            ("source", Json::str("exp_fault_recovery --json")),
+            (
+                "records",
+                Json::Arr(records.iter().map(Record::json).collect()),
+            ),
+        ]);
+        std::fs::write(&path, format!("{doc}\n")).expect("write json export");
+        println!("wrote {} records to {path}", records.len());
+    }
+}

@@ -44,7 +44,7 @@ use sdn_types::{DetRng, DpId};
 
 use crate::config::ChannelConfig;
 use crate::sim::{ChannelStats, ConnId};
-use crate::transport::{FromSwitch, LiveTransport, Transport};
+use crate::transport::{FromSwitch, LiveTransport, Transport, TransportError, TransportEvent};
 
 /// Tuning knobs for the event loop.
 #[derive(Debug, Clone, Copy)]
@@ -149,6 +149,13 @@ struct ConnState {
     /// Whether a `Process` job for this connection is already queued
     /// or running — at most one worker touches a connection at a time.
     queued: bool,
+    /// Whether the connection is currently established.
+    connected: bool,
+    /// Incarnation counter, bumped on every disconnect. In-flight
+    /// deliveries are stamped with the epoch they were sent under and
+    /// die if it no longer matches — exactly how a TCP teardown loses
+    /// whatever was in the pipe.
+    epoch: u64,
 }
 
 /// A byte delivery waiting for its due time.
@@ -159,10 +166,11 @@ struct TimerEntry {
 }
 
 enum TimerItem {
-    /// Bytes arriving at a switch connection (index into `conns`).
-    Inbound(usize, Vec<u8>),
-    /// Bytes arriving back at the controller.
-    Outbound(DpId, Vec<u8>),
+    /// Bytes arriving at a switch connection: `(conn index, epoch the
+    /// bytes were sent under, frame)`.
+    Inbound(usize, u64, Vec<u8>),
+    /// Bytes arriving back at the controller, same stamping.
+    Outbound(usize, u64, Vec<u8>),
 }
 
 impl PartialEq for TimerEntry {
@@ -201,6 +209,7 @@ struct Inner {
     timers: Mutex<BinaryHeap<TimerEntry>>,
     timer_cv: Condvar,
     to_ctrl: Sender<FromSwitch>,
+    events: Sender<TransportEvent>,
     running: AtomicBool,
 }
 
@@ -252,17 +261,25 @@ impl Inner {
             drop(timers);
             for entry in fired {
                 match entry.item {
-                    TimerItem::Inbound(idx, bytes) => self.feed_conn(idx, &bytes),
-                    TimerItem::Outbound(dpid, bytes) => self.deliver_to_controller(dpid, &bytes),
+                    TimerItem::Inbound(idx, epoch, bytes) => self.feed_conn(idx, epoch, &bytes),
+                    TimerItem::Outbound(idx, epoch, bytes) => {
+                        self.deliver_to_controller(idx, epoch, &bytes)
+                    }
                 }
             }
         }
     }
 
     /// Append arrived bytes to a connection's reassembly buffer and
-    /// mark it ready if no worker already owns it.
-    fn feed_conn(&self, idx: usize, bytes: &[u8]) {
+    /// mark it ready if no worker already owns it. Bytes stamped with
+    /// a stale epoch died with their connection.
+    fn feed_conn(&self, idx: usize, epoch: u64, bytes: &[u8]) {
         let mut conn = lock(&self.conns[idx]);
+        if !conn.connected || conn.epoch != epoch {
+            drop(conn);
+            lock(&self.planner).stats.severed += 1;
+            return;
+        }
         conn.rx.feed(bytes);
         if !conn.queued {
             conn.queued = true;
@@ -273,8 +290,18 @@ impl Inner {
 
     /// Final hop switch→controller: decode (a corrupted frame dies
     /// here, costing one message) and hand to the controller channel.
-    fn deliver_to_controller(&self, dpid: DpId, bytes: &[u8]) {
+    /// Stale-epoch frames were in the pipe when the connection died.
+    fn deliver_to_controller(&self, idx: usize, epoch: u64, bytes: &[u8]) {
+        {
+            let conn = lock(&self.conns[idx]);
+            if !conn.connected || conn.epoch != epoch {
+                drop(conn);
+                lock(&self.planner).stats.severed += 1;
+                return;
+            }
+        }
         if let Ok(env) = decode(bytes) {
+            let dpid = self.dpids[idx];
             let _ = self.to_ctrl.send(FromSwitch { dpid, env });
         }
     }
@@ -313,6 +340,10 @@ impl Inner {
         let conn_id = ConnId::to_controller(dpid);
         let mut conn = lock(&self.conns[idx]);
         conn.queued = false;
+        if !conn.connected {
+            return;
+        }
+        let epoch = conn.epoch;
         let (frames, _rejected) = conn.rx.drain_lossy();
         for env in frames {
             for reply in conn.switch.handle_control(env) {
@@ -332,7 +363,7 @@ impl Inner {
                     if let Some(i) = copy.corrupt_at {
                         bytes[i] ^= 1;
                     }
-                    self.push_timer(copy.due, TimerItem::Outbound(dpid, bytes));
+                    self.push_timer(copy.due, TimerItem::Outbound(idx, epoch, bytes));
                 }
             }
         }
@@ -344,6 +375,7 @@ impl Inner {
 pub struct EventLoopTransport {
     inner: Arc<Inner>,
     from_switches: Receiver<FromSwitch>,
+    events: Receiver<TransportEvent>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -375,6 +407,7 @@ impl EventLoopTransport {
         el: EventLoopConfig,
     ) -> Self {
         let (to_ctrl, from_switches) = unbounded::<FromSwitch>();
+        let (events, event_rx) = unbounded::<TransportEvent>();
         let mut index = BTreeMap::new();
         let mut dpids = Vec::with_capacity(switches.len());
         let mut conns = Vec::with_capacity(switches.len());
@@ -386,6 +419,8 @@ impl EventLoopTransport {
                 rx: FrameCodec::new(),
                 wbuf: BytesMut::with_capacity(256),
                 queued: false,
+                connected: true,
+                epoch: 0,
             }));
         }
         let inner = Arc::new(Inner {
@@ -406,6 +441,7 @@ impl EventLoopTransport {
             timers: Mutex::new(BinaryHeap::new()),
             timer_cv: Condvar::new(),
             to_ctrl,
+            events,
             running: AtomicBool::new(true),
         });
         let mut threads = Vec::new();
@@ -428,6 +464,7 @@ impl EventLoopTransport {
         EventLoopTransport {
             inner,
             from_switches,
+            events: event_rx,
             threads,
         }
     }
@@ -435,6 +472,76 @@ impl EventLoopTransport {
     /// Connections this transport is driving.
     pub fn connections(&self) -> usize {
         self.inner.conns.len()
+    }
+
+    /// Tear down the connection to `dpid`: subsequent sends fail with
+    /// [`TransportError::Disconnected`], in-flight frames in both
+    /// directions are severed, and the reassembly / write buffers are
+    /// reaped. The switch itself (its flow table) survives — only the
+    /// TCP session dies. Idempotent.
+    pub fn disconnect(&self, dpid: DpId) -> Result<(), TransportError> {
+        let idx = self.conn_index(dpid)?;
+        let mut conn = lock(&self.inner.conns[idx]);
+        if !conn.connected {
+            return Ok(());
+        }
+        conn.connected = false;
+        conn.epoch += 1;
+        conn.rx = FrameCodec::new();
+        conn.wbuf = BytesMut::with_capacity(256);
+        drop(conn);
+        lock(&self.inner.planner).stats.disconnects += 1;
+        let _ = self.inner.events.send(TransportEvent::Disconnected(dpid));
+        Ok(())
+    }
+
+    /// Re-establish the connection to `dpid` under the same dpid with
+    /// fresh buffers and no FIFO relationship to the old session.
+    /// Idempotent.
+    pub fn reconnect(&self, dpid: DpId) -> Result<(), TransportError> {
+        let idx = self.conn_index(dpid)?;
+        let mut conn = lock(&self.inner.conns[idx]);
+        if conn.connected {
+            return Ok(());
+        }
+        conn.connected = true;
+        drop(conn);
+        let mut planner = lock(&self.inner.planner);
+        planner.hwm.remove(&ConnId::to_switch(dpid));
+        planner.hwm.remove(&ConnId::to_controller(dpid));
+        planner.stats.reconnects += 1;
+        drop(planner);
+        let _ = self.inner.events.send(TransportEvent::Reconnected(dpid));
+        Ok(())
+    }
+
+    /// Power-cycle the switch: disconnect, wipe its flow table (a
+    /// rebooted switch comes back empty), reconnect. The controller
+    /// sees a disconnect followed by a reconnect and is expected to
+    /// resync the table.
+    pub fn reboot(&self, dpid: DpId) -> Result<(), TransportError> {
+        self.disconnect(dpid)?;
+        let idx = self.conn_index(dpid)?;
+        let mut conn = lock(&self.inner.conns[idx]);
+        let fresh = SoftSwitch::new(dpid, conn.switch.n_ports());
+        conn.switch = fresh;
+        drop(conn);
+        self.reconnect(dpid)
+    }
+
+    /// Whether the connection to `dpid` is currently established.
+    pub fn is_connected(&self, dpid: DpId) -> bool {
+        self.conn_index(dpid)
+            .map(|idx| lock(&self.inner.conns[idx]).connected)
+            .unwrap_or(false)
+    }
+
+    fn conn_index(&self, dpid: DpId) -> Result<usize, TransportError> {
+        self.inner
+            .index
+            .get(&dpid)
+            .copied()
+            .ok_or(TransportError::UnknownSwitch(dpid))
     }
 
     /// Inject a message as if a switch had sent it (tests).
@@ -495,13 +602,18 @@ impl Transport for EventLoopTransport {
 }
 
 impl LiveTransport for EventLoopTransport {
-    fn send(&self, dpid: DpId, env: &Envelope) -> bool {
-        let Some(&idx) = self.inner.index.get(&dpid) else {
-            return false;
-        };
+    fn send(&self, dpid: DpId, env: &Envelope) -> Result<(), TransportError> {
+        let idx = self.conn_index(dpid)?;
         if !self.inner.running() {
-            return false;
+            return Err(TransportError::ShutDown);
         }
+        let epoch = {
+            let conn = lock(&self.inner.conns[idx]);
+            if !conn.connected {
+                return Err(TransportError::Disconnected(dpid));
+            }
+            conn.epoch
+        };
         let frame = sdn_openflow::codec::encode(env).to_vec();
         let conn_id = ConnId::to_switch(dpid);
         let now = Instant::now();
@@ -518,9 +630,9 @@ impl LiveTransport for EventLoopTransport {
                 bytes[i] ^= 1;
             }
             self.inner
-                .push_timer(copy.due, TimerItem::Inbound(idx, bytes));
+                .push_timer(copy.due, TimerItem::Inbound(idx, epoch, bytes));
         }
-        true
+        Ok(())
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Option<FromSwitch> {
@@ -529,6 +641,10 @@ impl LiveTransport for EventLoopTransport {
 
     fn try_recv(&self) -> Option<FromSwitch> {
         self.from_switches.try_recv().ok()
+    }
+
+    fn try_next_event(&self) -> Option<TransportEvent> {
+        self.events.try_recv().ok()
     }
 }
 
@@ -552,10 +668,11 @@ mod tests {
     #[test]
     fn echo_roundtrip_over_event_loop() {
         let t = transport(2);
-        assert!(t.send(
+        t.send(
             DpId(1),
-            &Envelope::new(Xid(1), OfMessage::EchoRequest(vec![7]))
-        ));
+            &Envelope::new(Xid(1), OfMessage::EchoRequest(vec![7])),
+        )
+        .unwrap();
         let got = t.recv_timeout(Duration::from_secs(5)).expect("reply");
         assert_eq!(got.dpid, DpId(1));
         assert_eq!(got.env.msg, OfMessage::EchoReply(vec![7]));
@@ -567,10 +684,11 @@ mod tests {
         let t = transport(256);
         assert_eq!(t.connections(), 256);
         for i in 1..=256u64 {
-            assert!(t.send(
+            t.send(
                 DpId(i),
-                &Envelope::new(Xid(i as u32), OfMessage::BarrierRequest)
-            ));
+                &Envelope::new(Xid(i as u32), OfMessage::BarrierRequest),
+            )
+            .unwrap();
         }
         let mut got = Vec::new();
         for _ in 0..256 {
@@ -599,9 +717,11 @@ mod tests {
             t.send(
                 DpId(1),
                 &Envelope::new(Xid(i), OfMessage::EchoRequest(vec![i as u8])),
-            );
+            )
+            .unwrap();
         }
-        t.send(DpId(1), &Envelope::new(Xid(9), OfMessage::BarrierRequest));
+        t.send(DpId(1), &Envelope::new(Xid(9), OfMessage::BarrierRequest))
+            .unwrap();
         let mut seen = Vec::new();
         for _ in 0..4 {
             let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
@@ -621,14 +741,17 @@ mod tests {
         let conn = ConnId::to_switch(DpId(2));
         t.set_conn_config(conn, ChannelConfig::lossy(1.0));
         // dpid 2 drops everything; dpid 1 still answers
-        t.send(DpId(2), &Envelope::new(Xid(1), OfMessage::BarrierRequest));
-        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest));
+        t.send(DpId(2), &Envelope::new(Xid(1), OfMessage::BarrierRequest))
+            .unwrap();
+        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest))
+            .unwrap();
         let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
         assert_eq!(r.dpid, DpId(1));
         assert!(t.try_recv().is_none());
         assert!(t.transport_stats().dropped >= 1);
         t.clear_conn_config(conn);
-        t.send(DpId(2), &Envelope::new(Xid(3), OfMessage::BarrierRequest));
+        t.send(DpId(2), &Envelope::new(Xid(3), OfMessage::BarrierRequest))
+            .unwrap();
         let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
         assert_eq!(r.dpid, DpId(2));
         t.shutdown();
@@ -650,7 +773,8 @@ mod tests {
             t.send(
                 DpId(1),
                 &Envelope::new(Xid(i), OfMessage::EchoRequest(vec![i as u8])),
-            );
+            )
+            .unwrap();
         }
         let mut replies = 0;
         while t.recv_timeout(Duration::from_millis(300)).is_some() {
@@ -680,7 +804,8 @@ mod tests {
             t.send(
                 DpId(1),
                 &Envelope::new(Xid(1000 + i), OfMessage::BarrierRequest),
-            );
+            )
+            .unwrap();
             // Stragglers from the corruption phase (late echo replies,
             // or corrupted frames the switch decoded as some other
             // request) may still drain out here — only a reply to one
@@ -711,8 +836,10 @@ mod tests {
                     cookie: 9,
                 }),
             ),
-        );
-        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest));
+        )
+        .unwrap();
+        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest))
+            .unwrap();
         let _ = t.recv_timeout(Duration::from_secs(5)).expect("barrier");
         let switches = t.shutdown();
         assert_eq!(switches.len(), 1);
@@ -722,7 +849,127 @@ mod tests {
     #[test]
     fn send_to_unknown_switch_fails() {
         let t = transport(1);
-        assert!(!t.send(DpId(99), &Envelope::new(Xid(1), OfMessage::Hello)));
+        assert_eq!(
+            t.send(DpId(99), &Envelope::new(Xid(1), OfMessage::Hello)),
+            Err(TransportError::UnknownSwitch(DpId(99)))
+        );
         t.shutdown();
+    }
+
+    #[test]
+    fn send_on_dead_connection_fails_typed() {
+        let t = transport(2);
+        t.disconnect(DpId(1)).unwrap();
+        assert_eq!(
+            t.send(DpId(1), &Envelope::new(Xid(1), OfMessage::BarrierRequest)),
+            Err(TransportError::Disconnected(DpId(1)))
+        );
+        assert!(!t.is_connected(DpId(1)));
+        // The other connection is untouched.
+        t.send(DpId(2), &Envelope::new(Xid(2), OfMessage::BarrierRequest))
+            .unwrap();
+        let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
+        assert_eq!(r.dpid, DpId(2));
+        assert_eq!(
+            t.try_next_event(),
+            Some(TransportEvent::Disconnected(DpId(1)))
+        );
+        t.shutdown();
+    }
+
+    #[test]
+    fn disconnect_severs_in_flight_frames() {
+        // Generous delay so the frame is still in the pipe when the
+        // connection dies; the reply must never materialize.
+        let switches = vec![SoftSwitch::new(DpId(1), 4)];
+        let t = EventLoopTransport::spawn(
+            switches,
+            ChannelConfig::ideal(SimDuration::from_millis(200)),
+            5,
+            1.0,
+        );
+        t.send(DpId(1), &Envelope::new(Xid(1), OfMessage::BarrierRequest))
+            .unwrap();
+        t.disconnect(DpId(1)).unwrap();
+        assert!(
+            t.recv_timeout(Duration::from_millis(600)).is_none(),
+            "in-flight frame must die with the connection"
+        );
+        assert!(t.transport_stats().severed >= 1);
+        t.shutdown();
+    }
+
+    #[test]
+    fn reconnect_resumes_same_dpid_with_fresh_buffers() {
+        let t = transport(1);
+        // Install a rule, then churn the connection.
+        t.send(
+            DpId(1),
+            &Envelope::new(
+                Xid(1),
+                OfMessage::FlowMod(FlowMod {
+                    command: FlowModCommand::Add,
+                    priority: 5,
+                    matcher: FlowMatch::ANY,
+                    actions: vec![],
+                    cookie: 9,
+                }),
+            ),
+        )
+        .unwrap();
+        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest))
+            .unwrap();
+        let _ = t.recv_timeout(Duration::from_secs(5)).expect("barrier");
+        t.disconnect(DpId(1)).unwrap();
+        t.reconnect(DpId(1)).unwrap();
+        assert!(t.is_connected(DpId(1)));
+        // Same dpid answers again; the flow table survived (only the
+        // session died, not the switch).
+        t.send(DpId(1), &Envelope::new(Xid(3), OfMessage::BarrierRequest))
+            .unwrap();
+        let r = t.recv_timeout(Duration::from_secs(5)).expect("reply");
+        assert_eq!(r.env.msg, OfMessage::BarrierReply);
+        let stats = t.transport_stats();
+        assert_eq!(stats.disconnects, 1);
+        assert_eq!(stats.reconnects, 1);
+        assert_eq!(
+            t.try_next_event(),
+            Some(TransportEvent::Disconnected(DpId(1)))
+        );
+        assert_eq!(
+            t.try_next_event(),
+            Some(TransportEvent::Reconnected(DpId(1)))
+        );
+        let switches = t.shutdown();
+        assert_eq!(switches[0].table().len(), 1);
+    }
+
+    #[test]
+    fn reboot_wipes_the_flow_table() {
+        let t = transport(1);
+        t.send(
+            DpId(1),
+            &Envelope::new(
+                Xid(1),
+                OfMessage::FlowMod(FlowMod {
+                    command: FlowModCommand::Add,
+                    priority: 5,
+                    matcher: FlowMatch::ANY,
+                    actions: vec![],
+                    cookie: 9,
+                }),
+            ),
+        )
+        .unwrap();
+        t.send(DpId(1), &Envelope::new(Xid(2), OfMessage::BarrierRequest))
+            .unwrap();
+        let _ = t.recv_timeout(Duration::from_secs(5)).expect("barrier");
+        t.reboot(DpId(1)).unwrap();
+        assert!(t.is_connected(DpId(1)));
+        t.send(DpId(1), &Envelope::new(Xid(3), OfMessage::BarrierRequest))
+            .unwrap();
+        let _ = t.recv_timeout(Duration::from_secs(5)).expect("reply");
+        let switches = t.shutdown();
+        assert_eq!(switches[0].table().len(), 0, "reboot came back empty");
     }
 }

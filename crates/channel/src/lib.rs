@@ -23,19 +23,22 @@
 //!   OpenFlow byte streams) that drives thousands of concurrent
 //!   switch connections for integration tests and scaling benches.
 //!
-//! The old thread-per-connection [`live::LoopbackTransport`] is
-//! deprecated and forwards to the event loop.
+//! Connections are first-class and mortal: both transports model
+//! scripted disconnects (frames in the pipe die with the session),
+//! the event loop additionally exposes live
+//! `disconnect`/`reconnect`/`reboot` churn with typed send errors
+//! ([`transport::TransportError`]) and lifecycle events
+//! ([`transport::TransportEvent`]) the controller reacts to.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;
 pub mod event_loop;
-pub mod live;
 pub mod sim;
 pub mod transport;
 
 pub use config::{ChannelConfig, DelayDist};
 pub use event_loop::{EventLoopConfig, EventLoopTransport};
 pub use sim::{ChannelStats, ConnId, Direction, SimChannel};
-pub use transport::{FromSwitch, LiveTransport, Transport};
+pub use transport::{FromSwitch, LiveTransport, Transport, TransportError, TransportEvent};

@@ -34,6 +34,47 @@ pub struct FromSwitch {
     pub env: Envelope,
 }
 
+/// Why a send could not be accepted by the transport.
+///
+/// Faults injected *in flight* (drop, corrupt) do not surface here —
+/// the bytes were accepted and the loss is the channel's business.
+/// These errors mean the bytes never left the controller, so the
+/// caller can react immediately instead of waiting out an RTO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// No connection was ever registered for this dpid.
+    UnknownSwitch(DpId),
+    /// The connection exists but is currently torn down; it may come
+    /// back via a reconnect, at which point the switch resyncs.
+    Disconnected(DpId),
+    /// The whole transport has shut down.
+    ShutDown,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownSwitch(dp) => write!(f, "unknown switch {dp:?}"),
+            TransportError::Disconnected(dp) => write!(f, "connection to {dp:?} is down"),
+            TransportError::ShutDown => write!(f, "transport shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A connection lifecycle change observed by the transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// The connection dropped; in-flight frames (both directions) are
+    /// lost and pending sends fail with
+    /// [`TransportError::Disconnected`].
+    Disconnected(DpId),
+    /// The switch re-registered under the same dpid with fresh
+    /// buffers; the controller should start a resync.
+    Reconnected(DpId),
+}
+
 /// Common configuration surface over every control-channel transport.
 ///
 /// Implementations keep one default [`ChannelConfig`] plus sparse
@@ -59,15 +100,22 @@ pub trait Transport {
 /// in virtual time.
 pub trait LiveTransport: Transport {
     /// Send a control message to a switch, encoded on the wire.
-    /// Returns `false` when the switch is unknown or the transport is
-    /// shut down; faults injected in flight still count as accepted.
-    fn send(&self, dpid: DpId, env: &Envelope) -> bool;
+    /// Errors when the switch is unknown, its connection is down, or
+    /// the transport is shut down; faults injected in flight still
+    /// count as accepted.
+    fn send(&self, dpid: DpId, env: &Envelope) -> Result<(), TransportError>;
 
     /// Receive the next switch reply, waiting up to `timeout`.
     fn recv_timeout(&self, timeout: Duration) -> Option<FromSwitch>;
 
     /// Non-blocking receive.
     fn try_recv(&self) -> Option<FromSwitch>;
+
+    /// Next connection lifecycle event, if any occurred since the
+    /// last call. Transports without churn never report one.
+    fn try_next_event(&self) -> Option<TransportEvent> {
+        None
+    }
 }
 
 impl Transport for SimChannel {

@@ -30,6 +30,18 @@ pub enum CtrlOutput {
     Send(DpId, Envelope),
 }
 
+/// Why an update failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// A switch exhausted its transmission budget; the culprit, when
+    /// the runtime tracked one (the serial controller does not).
+    Exhausted(Option<DpId>),
+    /// The update touched a quarantined switch — refused (or aborted)
+    /// rather than burning a retransmission budget against a switch
+    /// already known dead.
+    Quarantined(DpId),
+}
+
 /// Completion record of one update job.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateReport {
@@ -41,6 +53,9 @@ pub struct UpdateReport {
     pub started: SimTime,
     /// When the last barrier reply arrived (`None` = failed).
     pub completed: Option<SimTime>,
+    /// Why the job failed; `None` for completed jobs (and for jobs
+    /// recovered from a journal, which does not persist reasons).
+    pub failure: Option<FailReason>,
     /// Per-round timings.
     pub rounds: Vec<RoundTiming>,
 }
@@ -171,6 +186,7 @@ impl Controller {
                 label: ex.label().to_string(),
                 submitted,
                 started,
+                failure: completed.is_none().then_some(FailReason::Exhausted(None)),
                 completed,
                 rounds: ex.timings().to_vec(),
             });

@@ -181,9 +181,27 @@ impl RoundExecutor {
         }
     }
 
+    /// An executor that resumes a recovered update at `round`
+    /// (0-based): earlier rounds are taken as committed and never
+    /// re-dispatched. Replaying them would be *safe* (FlowMods are
+    /// idempotent) but wasteful; crash recovery trusts the journal's
+    /// round-commit records instead. `start` then dispatches from
+    /// `round`, or reports `Done` immediately when every round had
+    /// committed before the crash.
+    pub fn resume(update: CompiledUpdate, config: ExecConfig, round: usize) -> Self {
+        let mut ex = Self::new(update, config);
+        ex.current = round;
+        ex
+    }
+
     /// Lifecycle state.
     pub fn state(&self) -> ExecState {
         self.state
+    }
+
+    /// The compiled update being executed (recovery journalling).
+    pub fn update(&self) -> &CompiledUpdate {
+        &self.update
     }
 
     /// The update's label.
@@ -328,7 +346,7 @@ impl RoundExecutor {
     /// Begin execution: dispatch round 0 (or start its grace wait).
     pub fn start(&mut self, now: SimTime, xids: &mut XidAlloc) -> Vec<(DpId, Envelope)> {
         assert_eq!(self.state, ExecState::Idle, "start() called twice");
-        if self.update.rounds.is_empty() {
+        if self.current >= self.update.rounds.len() {
             self.state = ExecState::Done;
             return Vec::new();
         }

@@ -18,7 +18,11 @@
 //!   at a time exactly as the paper describes;
 //! * [`runtime`] — the concurrent multi-update runtime: conflict-aware
 //!   admission over a bounded queue, many executors in flight at once,
-//!   and per-switch adaptive retransmission (EWMA RTT + variance).
+//!   per-switch adaptive retransmission (EWMA RTT + variance), and a
+//!   write-ahead journal for crash recovery;
+//! * [`resync`] — controller-side switch resynchronization: shadow
+//!   flow tables plus the digest-probe audit that replays exactly the
+//!   rules a reconnected switch is missing.
 //!
 //! [`Schedule`]: update_core::schedule::Schedule
 
@@ -30,14 +34,16 @@ pub mod controller;
 pub mod executor;
 pub mod handshake;
 pub mod rest;
+pub mod resync;
 pub mod runtime;
 
 pub use compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
-pub use controller::{Controller, ControllerConfig, CtrlOutput, UpdateReport};
+pub use controller::{Controller, ControllerConfig, CtrlOutput, FailReason, UpdateReport};
 pub use executor::{ExecState, RoundExecutor};
 pub use handshake::Handshake;
 pub use rest::request::UpdateRequest;
+pub use resync::ResyncManager;
 pub use runtime::{
-    AdmissionPolicy, AdmitOutcome, ConcurrentRuntime, Footprint, Priority, RetransMode,
+    AdmissionPolicy, AdmitOutcome, ConcurrentRuntime, Footprint, Journal, Priority, RetransMode,
     RuntimeConfig, RuntimeStats, UpdateRuntime,
 };

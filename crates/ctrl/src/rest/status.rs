@@ -58,6 +58,11 @@ pub fn status_response(report: &StatusReport) -> Response {
         ("retransmissions", stats.retransmissions),
         ("stragglers", stats.stragglers),
         ("peak_active", stats.peak_active),
+        ("reconnects", stats.reconnects),
+        ("resyncs", stats.resyncs),
+        ("resynced_rules", stats.resynced_rules),
+        ("quarantined", stats.quarantined),
+        ("recoveries", stats.recoveries),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
@@ -74,6 +79,20 @@ pub fn status_response(report: &StatusReport) -> Response {
         (
             "switches".to_string(),
             Json::Arr(report.switches.iter().map(switch_json).collect()),
+        ),
+        (
+            "journal_len".to_string(),
+            Json::Num(report.journal_len as f64),
+        ),
+        (
+            "quarantined".to_string(),
+            Json::Arr(
+                report
+                    .quarantined
+                    .iter()
+                    .map(|dp| Json::Num(dp.0 as f64))
+                    .collect(),
+            ),
         ),
     ]
     .into_iter()
@@ -102,6 +121,11 @@ mod tests {
                 completed: 4,
                 retransmissions: 7,
                 stragglers: 1,
+                reconnects: 2,
+                resyncs: 1,
+                resynced_rules: 6,
+                quarantined: 1,
+                recoveries: 1,
                 ..RuntimeStats::default()
             },
             switches: vec![
@@ -118,6 +142,8 @@ mod tests {
                     straggler: true,
                 },
             ],
+            journal_len: 12,
+            quarantined: vec![DpId(7)],
         };
         let r = status_response(&report);
         assert_eq!(r.status, 200);
@@ -135,6 +161,16 @@ mod tests {
         assert_eq!(switches[0].get("srtt_us").unwrap().as_u64(), Some(840));
         assert!(switches[1].get("srtt_us").is_none(), "unsampled: omitted");
         assert_eq!(switches[1].get("straggler").unwrap().as_bool(), Some(true));
+        assert_eq!(stats.get("reconnects").unwrap().as_u64(), Some(2));
+        assert_eq!(stats.get("resyncs").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("resynced_rules").unwrap().as_u64(), Some(6));
+        assert_eq!(stats.get("recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("journal_len").unwrap().as_u64(), Some(12));
+        let Json::Arr(q) = v.get("quarantined").unwrap() else {
+            panic!("quarantined must be an array");
+        };
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].as_u64(), Some(7));
     }
 
     #[test]

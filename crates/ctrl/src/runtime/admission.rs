@@ -110,6 +110,10 @@ pub struct QueuedJob {
     pub submitted: SimTime,
     /// Dispatch lane.
     pub priority: Priority,
+    /// First round to execute. 0 for fresh jobs; crash recovery
+    /// re-queues in-flight jobs with the round after their last
+    /// journalled commit, so launch skips the fenced prefix.
+    pub resume_round: usize,
 }
 
 /// The bounded two-lane admission queue.
@@ -239,6 +243,7 @@ mod tests {
             footprint: Footprint::default(),
             submitted: SimTime::ZERO,
             priority,
+            resume_round: 0,
         }
     }
 

@@ -14,18 +14,21 @@
 //! simulator, the experiments and the REST layer switch between them
 //! with one constructor argument.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use sdn_openflow::codec;
 use sdn_openflow::messages::{Envelope, OfMessage};
-use sdn_types::{DpId, SimTime, Xid};
+use sdn_types::{DpId, SimDuration, SimTime, Xid};
 
 use crate::compile::CompiledUpdate;
-use crate::controller::{CtrlOutput, UpdateReport};
+use crate::controller::{CtrlOutput, FailReason, UpdateReport};
 use crate::executor::{ExecConfig, ExecState, RoundExecutor, XidAlloc};
+use crate::resync::ResyncManager;
 use crate::runtime::admission::{
     AdmissionPolicy, AdmissionQueue, AdmitOutcome, Priority, QueuedJob,
 };
 use crate::runtime::conflict::{ConflictGraph, Footprint, JobId};
+use crate::runtime::journal::{Journal, JournalRecord};
 use crate::runtime::rto::{RtoConfig, RtoTable};
 use crate::runtime::{RuntimeStats, StatusReport, SwitchStatus, UpdateRuntime};
 
@@ -61,6 +64,14 @@ pub struct RuntimeConfig {
     pub policy: AdmissionPolicy,
     /// Retransmission timing.
     pub retrans: RetransMode,
+    /// Job failures attributed to one switch before it is
+    /// quarantined (0 disables quarantine).
+    pub quarantine_strikes: u32,
+    /// Deadline before an unanswered digest probe is re-sent.
+    pub resync_probe_timeout: SimDuration,
+    /// Probe transmissions per audit before the switch is abandoned
+    /// to quarantine.
+    pub resync_attempts: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -71,6 +82,9 @@ impl Default for RuntimeConfig {
             max_active: 16,
             policy: AdmissionPolicy::RejectNew,
             retrans: RetransMode::default(),
+            quarantine_strikes: 2,
+            resync_probe_timeout: SimDuration::from_millis(200),
+            resync_attempts: 8,
         }
     }
 }
@@ -108,6 +122,8 @@ struct ActiveJob {
     /// Every payload-ack (echo) route this job has registered, so the
     /// reaper can retire them without scanning the whole route table.
     ack_routes: Vec<(DpId, Xid)>,
+    /// Why the job was force-failed, when it was.
+    failure: Option<FailReason>,
 }
 
 /// The concurrent update runtime.
@@ -124,11 +140,25 @@ pub struct ConcurrentRuntime {
     reports: Vec<UpdateReport>,
     stats: RuntimeStats,
     next_id: u64,
+    /// Shadow tables + the audit-and-repair state machine.
+    resync: ResyncManager,
+    /// Write-ahead log for crash recovery.
+    journal: Journal,
+    /// Switches withdrawn from service after repeated failures.
+    quarantined: BTreeSet<DpId>,
+    /// Per-switch failure count feeding quarantine.
+    strikes: BTreeMap<DpId, u32>,
 }
 
 impl ConcurrentRuntime {
-    /// A runtime with the given configuration.
+    /// A runtime with the given configuration and no journal.
     pub fn new(config: RuntimeConfig) -> Self {
+        Self::with_journal(config, Journal::Disabled)
+    }
+
+    /// A runtime logging admission and progress to `journal` so
+    /// [`ConcurrentRuntime::recover`] can rebuild it after a crash.
+    pub fn with_journal(config: RuntimeConfig, journal: Journal) -> Self {
         let rto = match config.retrans {
             RetransMode::Adaptive(cfg) => RtoTable::new(cfg),
             RetransMode::Fixed => RtoTable::default(),
@@ -143,8 +173,158 @@ impl ConcurrentRuntime {
             reports: Vec::new(),
             stats: RuntimeStats::default(),
             next_id: 1,
+            resync: ResyncManager::new(),
+            journal,
+            quarantined: BTreeSet::new(),
+            strikes: BTreeMap::new(),
             config,
         }
+    }
+
+    /// Rebuild a runtime from its journal after a crash.
+    ///
+    /// Terminal jobs re-enter the report log; every unfinished job is
+    /// re-queued in its original admission order with a `resume_round`
+    /// pointing past its last journalled commit, so the next
+    /// [`poll`](UpdateRuntime::poll) re-dispatches from there through
+    /// the normal launch machinery. Rounds at or before the commit
+    /// cursor are known fenced network-wide and are replayed into the
+    /// resync shadow (not the network); a round the journal
+    /// under-reported is simply re-sent — FlowMods are idempotent, so
+    /// over-sending is correct and only costs messages. Xids restart
+    /// from 1: replies to pre-crash transmissions no longer route and
+    /// are ignored, and the retransmission timers re-drive anything
+    /// lost in the gap.
+    pub fn recover(config: RuntimeConfig, journal: Journal) -> Self {
+        struct Recovered {
+            update: CompiledUpdate,
+            priority: Priority,
+            submitted: SimTime,
+            started: Option<SimTime>,
+            committed: Option<usize>,
+            terminal: bool,
+        }
+        let mut rt = Self::new(config);
+        let mut jobs: BTreeMap<u64, Recovered> = BTreeMap::new();
+        for rec in journal.records() {
+            match rec {
+                JournalRecord::Baseline { dp, frame } => {
+                    if let Ok(env) = codec::decode(&frame) {
+                        if let OfMessage::FlowMod(fm) = &env.msg {
+                            rt.resync.record(dp, fm);
+                        }
+                    }
+                }
+                JournalRecord::Admitted {
+                    id,
+                    update,
+                    priority,
+                    at,
+                } => {
+                    jobs.insert(
+                        id.0,
+                        Recovered {
+                            update,
+                            priority,
+                            submitted: at,
+                            started: None,
+                            committed: None,
+                            terminal: false,
+                        },
+                    );
+                }
+                JournalRecord::Started { id, at } => {
+                    if let Some(j) = jobs.get_mut(&id.0) {
+                        j.started = Some(at);
+                    }
+                }
+                JournalRecord::RoundCommitted { id, round, .. } => {
+                    if let Some(j) = jobs.get_mut(&id.0) {
+                        j.committed = Some(j.committed.map_or(round, |c| c.max(round)));
+                    }
+                }
+                JournalRecord::Completed { id, at } => {
+                    if let Some(j) = jobs.get_mut(&id.0) {
+                        j.terminal = true;
+                        j.committed = Some(j.update.rounds.len().saturating_sub(1));
+                        rt.stats.completed += 1;
+                        rt.reports.push(UpdateReport {
+                            label: j.update.label.clone(),
+                            submitted: j.submitted,
+                            started: j.started.unwrap_or(j.submitted),
+                            completed: Some(at),
+                            failure: None,
+                            rounds: Vec::new(),
+                        });
+                    }
+                }
+                JournalRecord::Failed { id, .. } => {
+                    if let Some(j) = jobs.get_mut(&id.0) {
+                        j.terminal = true;
+                        rt.stats.failed += 1;
+                        rt.reports.push(UpdateReport {
+                            label: j.update.label.clone(),
+                            submitted: j.submitted,
+                            started: j.started.unwrap_or(j.submitted),
+                            completed: None,
+                            failure: None,
+                            rounds: Vec::new(),
+                        });
+                    }
+                }
+                JournalRecord::Shed { id, .. } => {
+                    if let Some(j) = jobs.get_mut(&id.0) {
+                        j.terminal = true;
+                        rt.stats.displaced += 1;
+                    }
+                }
+            }
+        }
+        for (&id, job) in &jobs {
+            rt.stats.submitted += 1;
+            rt.stats.accepted += 1;
+            rt.next_id = rt.next_id.max(id + 1);
+            if job.terminal {
+                continue;
+            }
+            // Rounds up to the commit cursor are fenced: their rules
+            // are on the switches, so the shadow must know them.
+            let resume_round = job.committed.map_or(0, |c| c + 1);
+            for round in job.update.rounds.iter().take(resume_round) {
+                for (dp, msg) in &round.msgs {
+                    if let OfMessage::FlowMod(fm) = msg {
+                        rt.resync.record(*dp, fm);
+                    }
+                }
+            }
+            let footprint = Footprint::of(&job.update);
+            rt.queue.offer(QueuedJob {
+                id: JobId(id),
+                update: job.update.clone(),
+                footprint,
+                submitted: job.submitted,
+                priority: job.priority,
+                resume_round,
+            });
+        }
+        // Completed jobs' rules are on the switches too.
+        for job in jobs.values().filter(|j| j.terminal) {
+            for round in job
+                .update
+                .rounds
+                .iter()
+                .take(job.committed.map_or(0, |c| c + 1))
+            {
+                for (dp, msg) in &round.msgs {
+                    if let OfMessage::FlowMod(fm) = msg {
+                        rt.resync.record(*dp, fm);
+                    }
+                }
+            }
+        }
+        rt.stats.recoveries = 1;
+        rt.journal = journal;
+        rt
     }
 
     /// The per-switch RTO table (diagnostics).
@@ -234,6 +414,27 @@ impl ConcurrentRuntime {
         out.extend(cmds.into_iter().map(|(dp, env)| CtrlOutput::Send(dp, env)));
     }
 
+    /// Mirror outgoing FlowMods into the resync shadow, keeping the
+    /// controller's picture of every switch in lock-step with what it
+    /// sent. Called at every send site (retransmissions included —
+    /// recording an identical rule twice is a no-op).
+    fn record_sent(resync: &mut ResyncManager, cmds: &[(DpId, Envelope)]) {
+        for (dp, env) in cmds {
+            if let OfMessage::FlowMod(fm) = &env.msg {
+                resync.record(*dp, fm);
+            }
+        }
+    }
+
+    /// Withdraw `dp` from service: new jobs touching it fail fast at
+    /// launch, and the next poll aborts active jobs still waiting on
+    /// it. Reconnection lifts the quarantine.
+    fn quarantine(&mut self, dp: DpId) {
+        if self.quarantined.insert(dp) {
+            self.stats.quarantined += 1;
+        }
+    }
+
     /// Move finished/failed jobs to the report log and release their
     /// conflict-graph slots and routes.
     fn reap(&mut self, now: SimTime) {
@@ -270,18 +471,41 @@ impl ConcurrentRuntime {
                     None
                 }
             };
+            match completed {
+                Some(at) => self.journal.append(&JournalRecord::Completed { id, at }),
+                None => {
+                    self.journal.append(&JournalRecord::Failed { id, at: now });
+                    // A budget exhausted against one switch is a strike
+                    // against it; enough strikes quarantine the switch
+                    // so later jobs fail fast instead of burning their
+                    // budgets against a peer known dead.
+                    if let Some(FailReason::Exhausted(Some(dp))) = job.failure {
+                        let strikes = self.strikes.entry(dp).or_insert(0);
+                        *strikes += 1;
+                        if self.config.quarantine_strikes > 0
+                            && *strikes >= self.config.quarantine_strikes
+                        {
+                            self.quarantine(dp);
+                        }
+                    }
+                }
+            }
             self.reports.push(UpdateReport {
                 label: job.ex.label().to_string(),
                 submitted: job.submitted,
                 started: job.started,
                 completed,
+                failure: completed
+                    .is_none()
+                    .then(|| job.failure.unwrap_or(FailReason::Exhausted(None))),
                 rounds: job.ex.timings().to_vec(),
             });
         }
     }
 
     /// Launch queued jobs whose conflict sets are clear, up to the
-    /// parallelism cap.
+    /// parallelism cap. Jobs touching a quarantined switch fail fast
+    /// with a typed reason instead of burning a retransmission budget.
     fn launch(&mut self, now: SimTime, out: &mut Vec<CtrlOutput>) {
         while self.active.len() < self.config.max_active {
             let Some(qj) = self.queue.pop_dispatchable(&self.graph) else {
@@ -292,9 +516,26 @@ impl ConcurrentRuntime {
                 update,
                 footprint,
                 submitted,
+                resume_round,
                 ..
             } = qj;
-            let mut ex = RoundExecutor::new(update, self.config.exec);
+            if let Some(dp) = footprint
+                .switches()
+                .find(|dp| self.quarantined.contains(dp))
+            {
+                self.stats.failed += 1;
+                self.journal.append(&JournalRecord::Failed { id, at: now });
+                self.reports.push(UpdateReport {
+                    label: update.label,
+                    submitted,
+                    started: now,
+                    completed: None,
+                    failure: Some(FailReason::Quarantined(dp)),
+                    rounds: Vec::new(),
+                });
+                continue;
+            }
+            let mut ex = RoundExecutor::resume(update, self.config.exec, resume_round);
             let cmds = ex.start(now, &mut self.xids);
             self.graph.insert(id, footprint);
             let mut job = ActiveJob {
@@ -303,8 +544,11 @@ impl ConcurrentRuntime {
                 started: now,
                 barriers: BTreeMap::new(),
                 ack_routes: Vec::new(),
+                failure: None,
             };
+            self.journal.append(&JournalRecord::Started { id, at: now });
             Self::register(&mut self.routes, &mut self.stats, id, &mut job, now, &cmds);
+            Self::record_sent(&mut self.resync, &cmds);
             Self::outputs(cmds, out);
             self.active.insert(id, job);
             self.stats.peak_active = self.stats.peak_active.max(self.active.len() as u64);
@@ -320,18 +564,40 @@ impl UpdateRuntime for ConcurrentRuntime {
         let id = JobId(self.next_id);
         self.next_id += 1;
         let footprint = Footprint::of(&update);
+        // the record clones the whole update: build it only when a
+        // journal is actually attached
+        let admitted = self.journal.is_enabled().then(|| JournalRecord::Admitted {
+            id,
+            update: update.clone(),
+            priority,
+            at: now,
+        });
         let outcome = self.queue.offer(QueuedJob {
             id,
             update,
             footprint,
             submitted: now,
             priority,
+            resume_round: 0,
         });
         match &outcome {
-            AdmitOutcome::Queued { .. } => self.stats.accepted += 1,
-            AdmitOutcome::QueuedDisplacing { .. } => {
+            AdmitOutcome::Queued { .. } => {
+                self.stats.accepted += 1;
+                if let Some(rec) = &admitted {
+                    self.journal.append(rec);
+                }
+            }
+            AdmitOutcome::QueuedDisplacing { dropped, .. } => {
                 self.stats.accepted += 1;
                 self.stats.displaced += 1;
+                if let Some(rec) = &admitted {
+                    self.journal.append(rec);
+                }
+                // the shed job is terminal: recovery must not revive it
+                self.journal.append(&JournalRecord::Shed {
+                    id: dropped.0,
+                    at: now,
+                });
             }
             AdmitOutcome::Rejected(_) => self.stats.rejected += 1,
         }
@@ -341,6 +607,24 @@ impl UpdateRuntime for ConcurrentRuntime {
     fn poll(&mut self, now: SimTime) -> Vec<CtrlOutput> {
         let mut out = Vec::new();
         let straggler_attempts = self.straggler_attempts();
+        // Abort active jobs still waiting on a switch that was
+        // quarantined since their dispatch: fail fast with a typed
+        // reason, releasing their conflict reservations.
+        if !self.quarantined.is_empty() {
+            for job in self.active.values_mut() {
+                if job.failure.is_some() {
+                    continue;
+                }
+                let dead = job
+                    .ex
+                    .pending_switches()
+                    .find(|dp| self.quarantined.contains(dp));
+                if let Some(dp) = dead {
+                    job.failure = Some(FailReason::Quarantined(dp));
+                    job.ex.force_fail();
+                }
+            }
+        }
         // Drive every active executor: grace transitions and per-switch
         // retransmission timers.
         for (&id, job) in self.active.iter_mut() {
@@ -348,13 +632,14 @@ impl UpdateRuntime for ConcurrentRuntime {
                 ExecState::WaitingGrace => {
                     let cmds = job.ex.on_tick(now, &mut self.xids);
                     Self::register(&mut self.routes, &mut self.stats, id, job, now, &cmds);
+                    Self::record_sent(&mut self.resync, &cmds);
                     Self::outputs(cmds, &mut out);
                 }
                 ExecState::AwaitingBarriers => {
                     let width = job.ex.current_round_width();
                     let pending = job.ex.pending_count();
                     let mut due: Vec<DpId> = Vec::new();
-                    let mut exhausted = false;
+                    let mut exhausted: Option<DpId> = None;
                     for (&dp, timer) in job.barriers.iter_mut() {
                         let deadline = match self.config.retrans {
                             RetransMode::Fixed => {
@@ -368,7 +653,7 @@ impl UpdateRuntime for ConcurrentRuntime {
                             continue;
                         }
                         if timer.attempts >= self.config.exec.max_attempts {
-                            exhausted = true;
+                            exhausted = Some(dp);
                             break;
                         }
                         if !timer.straggler
@@ -380,16 +665,32 @@ impl UpdateRuntime for ConcurrentRuntime {
                         }
                         due.push(dp);
                     }
-                    if exhausted {
+                    if let Some(dp) = exhausted {
+                        job.failure = Some(FailReason::Exhausted(Some(dp)));
                         job.ex.force_fail();
                     } else if !due.is_empty() {
                         let cmds = job.ex.retransmit(&mut self.xids, &due);
                         Self::register(&mut self.routes, &mut self.stats, id, job, now, &cmds);
+                        Self::record_sent(&mut self.resync, &cmds);
                         Self::outputs(cmds, &mut out);
                     }
                 }
                 _ => {}
             }
+        }
+        // Re-probe unanswered audits; switches that exhaust the probe
+        // budget are quarantined (reconnect lifts it and re-audits).
+        let (reprobes, give_up) = self.resync.on_tick(
+            now,
+            self.config.resync_probe_timeout,
+            self.config.resync_attempts,
+            &mut self.xids,
+        );
+        for (dp, env) in reprobes {
+            out.push(CtrlOutput::Send(dp, env));
+        }
+        for dp in give_up {
+            self.quarantine(dp);
         }
         self.reap(now);
         self.launch(now, &mut out);
@@ -402,6 +703,16 @@ impl UpdateRuntime for ConcurrentRuntime {
         let is_ack = matches!(env.msg, OfMessage::EchoReply(_));
         if !is_barrier && !is_ack {
             return out; // errors, stats: not routed
+        }
+        // Digest-probe replies belong to the resync state machine, not
+        // to any job. The repair FlowMods come straight from the shadow
+        // (recording them again would be a no-op).
+        if let OfMessage::EchoReply(payload) = &env.msg {
+            if self.resync.owns(from, env.xid) {
+                let repairs = self.resync.on_report(from, payload, now, &mut self.xids);
+                out.extend(repairs.into_iter().map(|e| CtrlOutput::Send(from, e)));
+                return out;
+            }
         }
         let Some(&job_id) = self.routes.get(&(from, env.xid)) else {
             return out; // stale xid (superseded transmission) or unknown
@@ -451,7 +762,18 @@ impl UpdateRuntime for ConcurrentRuntime {
                 self.routes.remove(&(from, xid));
             }
         }
+        // Every round crossed by this message is fenced network-wide:
+        // journal the commits so recovery resumes past them. (A chain
+        // of empty rounds can advance more than one at a time.)
+        for round in prev_round..job.ex.current_round() {
+            self.journal.append(&JournalRecord::RoundCommitted {
+                id: job_id,
+                round,
+                at: now,
+            });
+        }
         Self::register(&mut self.routes, &mut self.stats, job_id, job, now, &cmds);
+        Self::record_sent(&mut self.resync, &cmds);
         Self::outputs(cmds, &mut out);
         self.reap(now);
         // a completed job may unblock queued conflicting jobs
@@ -460,7 +782,9 @@ impl UpdateRuntime for ConcurrentRuntime {
     }
 
     fn is_idle(&self) -> bool {
-        self.active.is_empty() && self.queue.is_empty()
+        // in-flight resync audits count as work: polling must continue
+        // so their probe timeouts (and give-up bound) can fire
+        self.active.is_empty() && self.queue.is_empty() && self.resync.auditing() == 0
     }
 
     fn reports(&self) -> &[UpdateReport] {
@@ -476,7 +800,54 @@ impl UpdateRuntime for ConcurrentRuntime {
     }
 
     fn stats(&self) -> RuntimeStats {
-        self.stats
+        let mut s = self.stats;
+        let r = self.resync.stats();
+        s.resyncs = r.completed;
+        s.resynced_rules = r.rules_replayed;
+        s
+    }
+
+    fn on_disconnect(&mut self, dp: DpId, _now: SimTime) {
+        // probes in the pipe died with the connection; the next
+        // reconnect restarts the audit cleanly
+        self.resync.abort(dp);
+    }
+
+    fn on_reconnect(&mut self, dp: DpId, now: SimTime) -> Vec<CtrlOutput> {
+        self.stats.reconnects += 1;
+        // the switch is back: clean slate, then audit-and-repair
+        self.quarantined.remove(&dp);
+        self.strikes.remove(&dp);
+        if !self.resync.knows(dp) {
+            return Vec::new(); // nothing was ever intended for it
+        }
+        let probe = self.resync.begin(dp, now, &mut self.xids);
+        vec![CtrlOutput::Send(dp, probe)]
+    }
+
+    fn note_installed(&mut self, dp: DpId, msg: &OfMessage) {
+        if let OfMessage::FlowMod(fm) = msg {
+            self.resync.record(dp, fm);
+            self.journal.append(&JournalRecord::Baseline {
+                dp,
+                frame: codec::encode(&Envelope::new(Xid(0), msg.clone())).to_vec(),
+            });
+        }
+    }
+
+    fn intended_hashes(&self, dp: DpId) -> Option<Vec<u64>> {
+        self.resync.intended_hashes(dp)
+    }
+
+    fn recover_from_crash(&mut self, _now: SimTime) -> bool {
+        if !self.journal.is_enabled() {
+            return false;
+        }
+        let journal = std::mem::take(&mut self.journal);
+        let prior = self.stats.recoveries;
+        *self = Self::recover(self.config, journal);
+        self.stats.recoveries += prior;
+        true
     }
 
     fn status_report(&self) -> StatusReport {
@@ -512,8 +883,10 @@ impl UpdateRuntime for ConcurrentRuntime {
             queued: self.queue.len(),
             active: self.active.len(),
             pending_acks: self.active.values().map(|j| j.ex.pending_acks()).sum(),
-            stats: self.stats,
+            stats: self.stats(),
             switches: switches.into_values().collect(),
+            journal_len: self.journal.len(),
+            quarantined: self.quarantined.iter().copied().collect(),
         }
     }
 }
@@ -835,6 +1208,228 @@ mod tests {
         let _ = out;
         assert!(rt.is_idle());
         assert!(rt.reports()[0].completed.is_some());
+    }
+
+    fn complete_all(rt: &mut ConcurrentRuntime, mut cmds: Vec<CtrlOutput>, mut now: SimTime) {
+        let mut hops = 0;
+        while !cmds.is_empty() && hops < 32 {
+            let mut next = Vec::new();
+            for (dp, xid) in barriers_of(&cmds) {
+                next.extend(reply(rt, now, dp, xid));
+            }
+            for (dp, xid, payload) in echoes_of(&cmds) {
+                next.extend(rt.on_message(
+                    now,
+                    dp,
+                    &Envelope::new(xid, OfMessage::EchoReply(payload)),
+                ));
+            }
+            cmds = next;
+            now += SimDuration::from_millis(1);
+            hops += 1;
+        }
+    }
+
+    fn digest_report(fms: &[(u32, OfMessage)]) -> Vec<u8> {
+        let mut t = sdn_switch::FlowTable::new();
+        for (_, msg) in fms {
+            if let OfMessage::FlowMod(fm) = msg {
+                t.apply(fm);
+            }
+        }
+        sdn_switch::resync::encode_digest_report(&t)
+    }
+
+    #[test]
+    fn reconnect_probes_audits_and_repairs() {
+        let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
+        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        complete_all(&mut rt, cmds, SimTime(1));
+        assert!(rt.is_idle());
+        // the switch reboots: empty table, same dpid
+        let t = SimTime(0) + SimDuration::from_secs(1);
+        let probe = rt.on_reconnect(DpId(1), t);
+        assert_eq!(rt.stats().reconnects, 1);
+        let CtrlOutput::Send(dp, env) = &probe[0];
+        assert_eq!(*dp, DpId(1));
+        let OfMessage::EchoRequest(_) = &env.msg else {
+            panic!("reconnect must open with a digest probe");
+        };
+        // empty-table report: the lost rule is replayed + re-probed
+        let repair = rt.on_message(
+            t + SimDuration::from_millis(1),
+            DpId(1),
+            &Envelope::new(env.xid, OfMessage::EchoReply(digest_report(&[]))),
+        );
+        let fm_count = repair
+            .iter()
+            .filter(|CtrlOutput::Send(_, e)| matches!(e.msg, OfMessage::FlowMod(_)))
+            .count();
+        assert_eq!(fm_count, 1, "exactly the missing rule is replayed");
+        let CtrlOutput::Send(_, reprobe) = repair.last().unwrap();
+        // the verification report now matches the shadow: audit done
+        let done = rt.on_message(
+            t + SimDuration::from_millis(2),
+            DpId(1),
+            &Envelope::new(
+                reprobe.xid,
+                OfMessage::EchoReply(digest_report(&[(1, flowmod(2))])),
+            ),
+        );
+        assert!(done.is_empty());
+        let stats = rt.stats();
+        assert_eq!(stats.resyncs, 1);
+        assert_eq!(stats.resynced_rules, 1);
+    }
+
+    #[test]
+    fn reconnect_of_unknown_switch_skips_the_audit() {
+        let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
+        assert!(rt.on_reconnect(DpId(9), SimTime(0)).is_empty());
+        assert_eq!(rt.stats().reconnects, 1);
+    }
+
+    #[test]
+    fn repeated_exhaustion_quarantines_and_fails_fast() {
+        let cfg = RuntimeConfig {
+            exec: ExecConfig {
+                barrier_timeout: SimDuration::from_millis(10),
+                max_attempts: 1,
+                flowmod_acks: false,
+            },
+            retrans: RetransMode::Fixed,
+            quarantine_strikes: 2,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        // two jobs against a dead switch burn their budgets (strikes)
+        rt.submit(job("j1", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        rt.poll(SimTime(0));
+        rt.poll(SimTime(0) + SimDuration::from_millis(11));
+        rt.submit(
+            job("j2", 2, vec![vec![1]]),
+            SimTime(0) + SimDuration::from_millis(12),
+            Priority::Normal,
+        );
+        rt.poll(SimTime(0) + SimDuration::from_millis(12));
+        rt.poll(SimTime(0) + SimDuration::from_millis(23));
+        assert_eq!(rt.stats().failed, 2);
+        assert_eq!(rt.stats().quarantined, 1);
+        assert_eq!(
+            rt.reports()[1].failure,
+            Some(FailReason::Exhausted(Some(DpId(1))))
+        );
+        // the third job fails fast at launch — no budget burned
+        let before = rt.stats().retransmissions;
+        rt.submit(
+            job("j3", 2, vec![vec![1]]),
+            SimTime(0) + SimDuration::from_millis(24),
+            Priority::Normal,
+        );
+        rt.poll(SimTime(0) + SimDuration::from_millis(24));
+        assert!(rt.is_idle());
+        assert_eq!(rt.stats().retransmissions, before);
+        assert_eq!(
+            rt.reports()[2].failure,
+            Some(FailReason::Quarantined(DpId(1)))
+        );
+        assert_eq!(rt.status_report().quarantined, vec![DpId(1)]);
+        // reconnection lifts the quarantine
+        rt.on_reconnect(DpId(1), SimTime(0) + SimDuration::from_millis(30));
+        assert!(rt.status_report().quarantined.is_empty());
+    }
+
+    #[test]
+    fn quarantine_aborts_active_jobs_waiting_on_the_switch() {
+        // quarantine arrives via resync-probe exhaustion while a job
+        // is mid-flight against the same switch
+        let cfg = RuntimeConfig {
+            exec: ExecConfig {
+                barrier_timeout: SimDuration::from_secs(10),
+                max_attempts: 100,
+                flowmod_acks: false,
+            },
+            retrans: RetransMode::Fixed,
+            resync_probe_timeout: SimDuration::from_millis(5),
+            resync_attempts: 2,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = ConcurrentRuntime::new(cfg);
+        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        complete_all(&mut rt, cmds, SimTime(1));
+        // an audit of s1 that never answers exhausts its probe budget
+        rt.on_reconnect(DpId(1), SimTime(10));
+        rt.submit(job("b", 2, vec![vec![1]]), SimTime(11), Priority::Normal);
+        rt.poll(SimTime(11));
+        assert_eq!(rt.active_count(), 1);
+        rt.poll(SimTime(10) + SimDuration::from_millis(6)); // probe 2
+        rt.poll(SimTime(10) + SimDuration::from_millis(12)); // budget gone
+        rt.poll(SimTime(10) + SimDuration::from_millis(13)); // abort sweep
+        assert!(rt.is_idle(), "active job aborted by quarantine");
+        let last = rt.reports().last().unwrap();
+        assert_eq!(last.failure, Some(FailReason::Quarantined(DpId(1))));
+    }
+
+    #[test]
+    fn crash_recovery_resumes_after_the_committed_round() {
+        let mut rt = ConcurrentRuntime::with_journal(RuntimeConfig::default(), Journal::mem());
+        rt.submit(
+            job("two-round", 2, vec![vec![1], vec![2]]),
+            SimTime(0),
+            Priority::Normal,
+        );
+        let cmds = rt.poll(SimTime(0));
+        let b = barriers_of(&cmds);
+        assert_eq!(b, vec![(DpId(1), b[0].1)]);
+        // round 0 commits; round 1 dispatches to s2 — then we crash
+        let r1 = reply(&mut rt, SimTime(1), b[0].0, b[0].1);
+        assert_eq!(barriers_of(&r1)[0].0, DpId(2));
+        assert!(rt.recover_from_crash(SimTime(2)));
+        assert_eq!(rt.stats().recoveries, 1);
+        assert_eq!(rt.active_count(), 0);
+        assert_eq!(rt.queued(), 1);
+        // relaunch resumes at round 1: only s2 is addressed
+        let resumed = rt.poll(SimTime(3));
+        let rb = barriers_of(&resumed);
+        assert_eq!(rb.len(), 1);
+        assert_eq!(rb[0].0, DpId(2), "fenced round 0 is not re-sent");
+        reply(&mut rt, SimTime(4), rb[0].0, rb[0].1);
+        assert!(rt.is_idle());
+        let r = rt.reports().last().unwrap();
+        assert_eq!(r.label, "two-round");
+        assert!(r.completed.is_some());
+        // round 0's rule survived the crash in the shadow
+        assert_eq!(
+            rt.intended_hashes(DpId(1)).map(|h| h.len()),
+            Some(1),
+            "recovered shadow knows the fenced round's rule"
+        );
+    }
+
+    #[test]
+    fn recovery_without_a_journal_is_refused() {
+        let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
+        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        rt.poll(SimTime(0));
+        assert!(!rt.recover_from_crash(SimTime(1)));
+        assert_eq!(rt.active_count(), 1, "nothing was discarded");
+    }
+
+    #[test]
+    fn recovery_preserves_terminal_reports() {
+        let mut rt = ConcurrentRuntime::with_journal(RuntimeConfig::default(), Journal::mem());
+        rt.submit(job("done", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let cmds = rt.poll(SimTime(0));
+        complete_all(&mut rt, cmds, SimTime(1));
+        assert_eq!(rt.reports().len(), 1);
+        assert!(rt.recover_from_crash(SimTime(5)));
+        assert!(rt.is_idle(), "completed job not revived");
+        assert_eq!(rt.reports().len(), 1);
+        assert_eq!(rt.reports()[0].label, "done");
+        assert!(rt.reports()[0].completed.is_some());
+        assert_eq!(rt.stats().completed, 1);
     }
 
     #[test]

@@ -27,14 +27,16 @@
 pub mod admission;
 pub mod conflict;
 pub mod dispatch;
+pub mod journal;
 pub mod rto;
 
 pub use admission::{AdmissionPolicy, AdmitOutcome, Priority, RejectReason};
 pub use conflict::{ConflictGraph, FlowClass, Footprint, JobId};
 pub use dispatch::{ConcurrentRuntime, RetransMode, RuntimeConfig};
+pub use journal::{Journal, JournalRecord};
 pub use rto::{RtoConfig, RtoTable};
 
-use sdn_openflow::messages::Envelope;
+use sdn_openflow::messages::{Envelope, OfMessage};
 use sdn_types::{DpId, SimDuration, SimTime};
 
 use crate::compile::CompiledUpdate;
@@ -63,6 +65,16 @@ pub struct RuntimeStats {
     pub stragglers: u64,
     /// Highest number of simultaneously executing updates observed.
     pub peak_active: u64,
+    /// Switch reconnects observed (via [`UpdateRuntime::on_reconnect`]).
+    pub reconnects: u64,
+    /// Resynchronization audits that converged.
+    pub resyncs: u64,
+    /// Missing rules replayed by resynchronization.
+    pub resynced_rules: u64,
+    /// Switches quarantined after repeated failures.
+    pub quarantined: u64,
+    /// Crash recoveries this runtime instance was rebuilt through.
+    pub recoveries: u64,
 }
 
 impl RuntimeStats {
@@ -109,6 +121,11 @@ pub struct StatusReport {
     /// runtimes without adaptive retransmission (the serial
     /// controller).
     pub switches: Vec<SwitchStatus>,
+    /// Records in the write-ahead journal (0 when journalling is
+    /// disabled or the runtime has none).
+    pub journal_len: usize,
+    /// Switches currently quarantined, in dpid order.
+    pub quarantined: Vec<DpId>,
 }
 
 /// A controller core that accepts compiled updates and drives them to
@@ -154,6 +171,44 @@ pub trait UpdateRuntime {
             pending_acks: 0,
             stats: self.stats(),
             switches: Vec::new(),
+            journal_len: 0,
+            quarantined: Vec::new(),
         }
+    }
+
+    /// The transport reports `dp`'s connection died. In-flight
+    /// messages to and from it are gone; a resync-capable runtime
+    /// aborts any audit in progress. Default: ignore (retransmission
+    /// timers already cover lost messages).
+    fn on_disconnect(&mut self, _dp: DpId, _now: SimTime) {}
+
+    /// The transport reports `dp` reconnected (same datapath id,
+    /// fresh connection — possibly a reboot with an empty table).
+    /// A resync-capable runtime starts the audit-and-repair handshake
+    /// and lifts any quarantine; the commands returned open the audit.
+    /// Default: do nothing.
+    fn on_reconnect(&mut self, _dp: DpId, _now: SimTime) -> Vec<CtrlOutput> {
+        Vec::new()
+    }
+
+    /// A rule was installed at `dp` outside any update job (initial
+    /// table population). Runtimes that keep shadow tables record it
+    /// so a later audit knows the baseline. Default: ignore.
+    fn note_installed(&mut self, _dp: DpId, _msg: &OfMessage) {}
+
+    /// The intended rule-hash list for `dp` (ascending), when this
+    /// runtime tracks one — what the switch must converge to. The
+    /// simulator's auditor compares tables against this. Default:
+    /// unknown.
+    fn intended_hashes(&self, _dp: DpId) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Rebuild state after a controller crash, from whatever durable
+    /// log the runtime keeps. Returns whether a recovery happened
+    /// (`false` for runtimes without a journal — their in-flight work
+    /// is simply lost, the paper's baseline behaviour).
+    fn recover_from_crash(&mut self, _now: SimTime) -> bool {
+        false
     }
 }

@@ -1,0 +1,117 @@
+//! `GET /status` end-to-end: drive a real [`ConcurrentRuntime`]
+//! through the robustness machinery — journalled baseline, a job that
+//! exhausts against a dead switch and quarantines it, a reconnect
+//! audit, a crash recovery — and check that every counter the
+//! operator needs round-trips through the rendered JSON.
+
+use sdn_ctrl::compile::{CompiledRound, CompiledUpdate};
+use sdn_ctrl::controller::CtrlOutput;
+use sdn_ctrl::executor::ExecConfig;
+use sdn_ctrl::rest::json::{self, Json};
+use sdn_ctrl::rest::status::status_response;
+use sdn_ctrl::runtime::{
+    ConcurrentRuntime, Journal, Priority, RetransMode, RuntimeConfig, UpdateRuntime,
+};
+use sdn_openflow::flow::{Action, FlowMatch};
+use sdn_openflow::messages::{Envelope, FlowMod, FlowModCommand, OfMessage};
+use sdn_switch::SoftSwitch;
+use sdn_types::{DpId, HostId, PortNo, SimDuration, SimTime, Xid};
+
+fn add(dst: u32) -> OfMessage {
+    OfMessage::FlowMod(FlowMod {
+        command: FlowModCommand::Add,
+        priority: 100,
+        matcher: FlowMatch::dst_host(HostId(dst)),
+        actions: vec![Action::Output(PortNo(1))],
+        cookie: u64::from(dst),
+    })
+}
+
+fn one_round_job(label: &str, dp: u64, dst: u32) -> CompiledUpdate {
+    CompiledUpdate {
+        label: label.into(),
+        rounds: vec![CompiledRound {
+            msgs: vec![(DpId(dp), add(dst))],
+            pre_delay: SimDuration::ZERO,
+        }],
+    }
+}
+
+#[test]
+fn live_status_reports_robustness_counters() {
+    let cfg = RuntimeConfig {
+        exec: ExecConfig {
+            barrier_timeout: SimDuration::from_millis(10),
+            max_attempts: 1,
+            flowmod_acks: false,
+        },
+        retrans: RetransMode::Fixed,
+        quarantine_strikes: 1,
+        ..RuntimeConfig::default()
+    };
+    let mut rt = ConcurrentRuntime::with_journal(cfg, Journal::mem());
+    let mut now = SimTime(0);
+
+    // baseline rule: journalled and mirrored into the shadow table
+    let mut sw = SoftSwitch::new(DpId(1), 8);
+    let baseline = add(7);
+    rt.note_installed(DpId(1), &baseline);
+    sw.handle_control(Envelope::new(Xid(1), baseline));
+
+    // a job against a switch that never answers: one attempt, exhaust,
+    // strike, quarantine
+    assert!(rt
+        .submit(one_round_job("doomed", 9, 50), now, Priority::Normal)
+        .accepted());
+    let _ = rt.poll(now);
+    now += SimDuration::from_millis(50);
+    let _ = rt.poll(now);
+    assert!(rt.is_idle(), "exhausted job must fail cleanly");
+
+    // a reconnect runs the audit handshake; the switch is in sync so
+    // it converges on the first report with nothing replayed
+    for CtrlOutput::Send(dp, env) in rt.on_reconnect(DpId(1), now) {
+        assert_eq!(dp, DpId(1));
+        for reply in sw.handle_control(env) {
+            let _ = rt.on_message(now, DpId(1), &reply);
+        }
+    }
+
+    let resp = status_response(&rt.status_report());
+    assert_eq!(resp.status, 200);
+    let v = json::parse(&resp.body).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(v.get("queued").unwrap().as_u64(), Some(0));
+    assert_eq!(v.get("active").unwrap().as_u64(), Some(0));
+    let stats = v.get("stats").unwrap();
+    assert_eq!(stats.get("failed").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("quarantined").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("reconnects").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("resyncs").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("resynced_rules").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("recoveries").unwrap().as_u64(), Some(0));
+    // baseline + admitted + started + failed are all on record
+    assert!(
+        v.get("journal_len").unwrap().as_u64().unwrap() >= 4,
+        "journal must hold the session's records: {}",
+        resp.body
+    );
+    let Json::Arr(q) = v.get("quarantined").unwrap() else {
+        panic!("quarantined must be an array");
+    };
+    assert_eq!(q.len(), 1);
+    assert_eq!(q[0].as_u64(), Some(9), "the dead switch is named");
+
+    // crash + recover: the terminal job survives via the journal, the
+    // recovery counter ticks, and quarantine (not persisted) resets
+    assert!(rt.recover_from_crash(now), "journalled runtime recovers");
+    let v2 = json::parse(&status_response(&rt.status_report()).body).unwrap();
+    let stats2 = v2.get("stats").unwrap();
+    assert_eq!(stats2.get("recoveries").unwrap().as_u64(), Some(1));
+    assert_eq!(stats2.get("failed").unwrap().as_u64(), Some(1));
+    let Json::Arr(q2) = v2.get("quarantined").unwrap() else {
+        panic!("quarantined must be an array");
+    };
+    assert!(q2.is_empty(), "quarantine is runtime state, not journalled");
+    assert_eq!(rt.reports().len(), 1, "terminal report survives recovery");
+}

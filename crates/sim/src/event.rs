@@ -8,6 +8,8 @@ use sdn_openflow::flow::PacketMeta;
 use sdn_openflow::messages::Envelope;
 use sdn_types::{DpId, SimTime};
 
+use crate::chaos::FaultKind;
+
 /// A simulator event.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -17,6 +19,9 @@ pub enum Event {
         dp: DpId,
         /// Raw frame (possibly corrupted in transit).
         frame: Bytes,
+        /// Connection epoch the frame was sent under; frames from a
+        /// torn-down connection die in flight.
+        epoch: u64,
     },
     /// A decoded control message finishes the switch's serial
     /// processing queue and takes effect.
@@ -25,6 +30,9 @@ pub enum Event {
         dp: DpId,
         /// The message to apply.
         env: Envelope,
+        /// Switch process incarnation the message was queued under; a
+        /// reboot wipes the serial processing queue.
+        boot: u64,
     },
     /// A control frame reaches the controller.
     FrameAtController {
@@ -32,6 +40,14 @@ pub enum Event {
         dp: DpId,
         /// Raw frame.
         frame: Bytes,
+        /// Connection epoch the frame was sent under; frames from a
+        /// torn-down connection die in flight.
+        epoch: u64,
+    },
+    /// A scripted control-plane fault fires.
+    Fault {
+        /// What breaks.
+        fault: FaultKind,
     },
     /// A data packet arrives at a switch.
     PacketAtSwitch {

@@ -18,15 +18,20 @@
 //!   ([`report::PacketOutcome`]).
 //!
 //! [`scenario`] wraps the whole thing into one-call experiment runs.
+//! [`chaos`] scripts deterministic control-plane faults — connection
+//! churn, switch reboots, controller crashes — against the same world,
+//! and [`World::audit`] checks rule-for-rule convergence afterwards.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod event;
 pub mod report;
 pub mod scenario;
 pub mod world;
 
-pub use report::{PacketOutcome, PacketRecord, SimReport, ViolationCounts};
+pub use chaos::{ChaosPlan, FaultKind};
+pub use report::{AuditReport, PacketOutcome, PacketRecord, SimReport, ViolationCounts};
 pub use scenario::{run_scenario, AlgoChoice, Scenario, ScenarioOutcome};
 pub use world::{World, WorldConfig};

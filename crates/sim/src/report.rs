@@ -84,6 +84,42 @@ impl fmt::Display for ViolationCounts {
     }
 }
 
+/// Control-plane/data-plane consistency audit ([`crate::World::audit`]).
+///
+/// Compares every switch's installed flow table (by order-independent
+/// rule hash) against the controller's intended state. Clean after a
+/// chaotic run means churn, reboots and crashes lost nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Switches whose table matches the controller's intent exactly.
+    pub in_sync: usize,
+    /// Switches whose table diverges from the controller's intent.
+    pub divergent: Vec<DpId>,
+    /// Switches the controller keeps no shadow for (e.g. the serial
+    /// controller, which does not track intent).
+    pub untracked: usize,
+}
+
+impl AuditReport {
+    /// Whether no tracked switch diverges.
+    pub fn is_clean(&self) -> bool {
+        self.divergent.is_empty()
+    }
+}
+
+impl fmt::Display for AuditReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in sync, {} divergent {:?}, {} untracked",
+            self.in_sync,
+            self.divergent.len(),
+            self.divergent,
+            self.untracked
+        )
+    }
+}
+
 /// Full simulation report.
 #[derive(Debug, Clone)]
 pub struct SimReport {

@@ -6,7 +6,7 @@
 //! histories, which the tests rely on to pin down specific transient
 //! interleavings.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use sdn_channel::config::ChannelConfig;
 use sdn_channel::sim::{ConnId, SimChannel};
@@ -21,8 +21,9 @@ use sdn_switch::SoftSwitch;
 use sdn_topo::graph::{PortPeer, Topology};
 use sdn_types::{DetRng, DpId, HostId, SimDuration, SimTime};
 
+use crate::chaos::FaultKind;
 use crate::event::{Event, EventQueue};
-use crate::report::{PacketOutcome, PacketRecord, SimReport};
+use crate::report::{AuditReport, PacketOutcome, PacketRecord, SimReport};
 
 /// World tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -94,6 +95,18 @@ pub struct World {
     waypoint: Option<DpId>,
     decode_errors: u64,
     polling: bool,
+    /// Per-switch connection epoch; a teardown bumps it and in-flight
+    /// frames stamped with the old epoch die on delivery.
+    epochs: BTreeMap<DpId, u64>,
+    /// Per-switch process incarnation; a reboot bumps it and wipes the
+    /// serial processing queue.
+    boots: BTreeMap<DpId, u64>,
+    /// Switches whose control connection is currently down.
+    down: BTreeSet<DpId>,
+    fault_severed: u64,
+    fault_disconnects: u64,
+    fault_reconnects: u64,
+    controller_crashes: u64,
 }
 
 impl World {
@@ -132,6 +145,13 @@ impl World {
             waypoint: None,
             decode_errors: 0,
             polling: false,
+            epochs: BTreeMap::new(),
+            boots: BTreeMap::new(),
+            down: BTreeSet::new(),
+            fault_severed: 0,
+            fault_disconnects: 0,
+            fault_reconnects: 0,
+            controller_crashes: 0,
             topo,
             cfg,
         }
@@ -153,12 +173,17 @@ impl World {
     }
 
     /// Apply the baseline configuration directly (pre-experiment
-    /// state; not part of the measured update).
+    /// state; not part of the measured update). The controller is told
+    /// about each rule ([`UpdateRuntime::note_installed`]) so its
+    /// shadow tables and journal cover the baseline — without this, a
+    /// rebooted switch could only be repaired up to the rules the
+    /// controller itself sent.
     pub fn install_initial(&mut self, mods: &[(DpId, OfMessage)]) {
         let mut xid = sdn_types::Xid(0xffff_0000);
         for (dp, msg) in mods {
             if let Some(sw) = self.switches.get_mut(dp) {
                 let _ = sw.handle_control(sdn_openflow::messages::Envelope::new(xid, msg.clone()));
+                self.controller.note_installed(*dp, msg);
                 xid = xid.next();
             }
         }
@@ -220,6 +245,44 @@ impl World {
         t.clear_conn_config(ConnId::to_controller(dp));
     }
 
+    /// Script a control-plane fault at `at` (see
+    /// [`crate::chaos::ChaosPlan`] for building whole schedules).
+    pub fn schedule_fault(&mut self, at: SimTime, fault: FaultKind) {
+        self.queue.push(at, Event::Fault { fault });
+    }
+
+    /// Whether a switch's control connection is currently down.
+    pub fn is_down(&self, dp: DpId) -> bool {
+        self.down.contains(&dp)
+    }
+
+    /// Controller crashes injected so far.
+    pub fn controller_crashes(&self) -> u64 {
+        self.controller_crashes
+    }
+
+    /// Compare every switch's installed flow table against the
+    /// controller's intended state ([`UpdateRuntime::intended_hashes`]).
+    /// The ground-truth convergence check of the chaos experiments:
+    /// after the dust settles, `audit().is_clean()` says the control
+    /// plane's picture and the data plane agree, rule for rule.
+    pub fn audit(&self) -> AuditReport {
+        let mut report = AuditReport::default();
+        for (&dp, sw) in &self.switches {
+            match self.controller.intended_hashes(dp) {
+                None => report.untracked += 1,
+                Some(want) => {
+                    if sw.table().rule_hashes() == want {
+                        report.in_sync += 1;
+                    } else {
+                        report.divergent.push(dp);
+                    }
+                }
+            }
+        }
+        report
+    }
+
     /// Plan probe injection: `count` packets from `src` to `dst`,
     /// spaced `interval` apart, starting at `start`. Several plans may
     /// run concurrently (multiple flows); each flow's packets are
@@ -273,43 +336,74 @@ impl World {
                         .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
                 }
             }
-            Event::FrameAtSwitch { dp, frame } => match decode(&frame) {
-                Ok(env) => {
-                    let start = self
-                        .busy_until
-                        .get(&dp)
-                        .copied()
-                        .unwrap_or(SimTime::ZERO)
-                        .max(self.now);
-                    let done = start + self.cfg.flowmod_proc_delay;
-                    self.busy_until.insert(dp, done);
-                    self.queue.push(done, Event::ApplyAtSwitch { dp, env });
+            Event::FrameAtSwitch { dp, frame, epoch } => {
+                if self.down.contains(&dp) || self.epoch(dp) != epoch {
+                    self.fault_severed += 1;
+                    return;
                 }
-                Err(_) => self.decode_errors += 1,
-            },
-            Event::ApplyAtSwitch { dp, env } => {
+                match decode(&frame) {
+                    Ok(env) => {
+                        let start = self
+                            .busy_until
+                            .get(&dp)
+                            .copied()
+                            .unwrap_or(SimTime::ZERO)
+                            .max(self.now);
+                        let done = start + self.cfg.flowmod_proc_delay;
+                        self.busy_until.insert(dp, done);
+                        let boot = self.boot(dp);
+                        self.queue
+                            .push(done, Event::ApplyAtSwitch { dp, env, boot });
+                    }
+                    Err(_) => self.decode_errors += 1,
+                }
+            }
+            Event::ApplyAtSwitch { dp, env, boot } => {
+                // a reboot wipes the serial processing queue
+                if self.boot(dp) != boot {
+                    return;
+                }
                 let Some(sw) = self.switches.get_mut(&dp) else {
                     return;
                 };
                 let replies = sw.handle_control(env);
+                let epoch = self.epoch(dp);
                 for reply in replies {
+                    // replies die on a torn-down connection
+                    if self.down.contains(&dp) {
+                        self.fault_severed += 1;
+                        continue;
+                    }
                     let frame = encode(&reply);
                     for (at, bytes) in
                         self.channel
                             .send(ConnId::to_controller(dp), self.now, frame, &mut self.rng)
                     {
-                        self.queue
-                            .push(at, Event::FrameAtController { dp, frame: bytes });
+                        self.queue.push(
+                            at,
+                            Event::FrameAtController {
+                                dp,
+                                frame: bytes,
+                                epoch,
+                            },
+                        );
                     }
                 }
             }
-            Event::FrameAtController { dp, frame } => match decode(&frame) {
-                Ok(env) => {
-                    let outs = self.controller.on_message(self.now, dp, &env);
-                    self.dispatch(outs);
+            Event::FrameAtController { dp, frame, epoch } => {
+                if self.down.contains(&dp) || self.epoch(dp) != epoch {
+                    self.fault_severed += 1;
+                    return;
                 }
-                Err(_) => self.decode_errors += 1,
-            },
+                match decode(&frame) {
+                    Ok(env) => {
+                        let outs = self.controller.on_message(self.now, dp, &env);
+                        self.dispatch(outs);
+                    }
+                    Err(_) => self.decode_errors += 1,
+                }
+            }
+            Event::Fault { fault } => self.apply_fault(fault),
             Event::Inject { plan, seq } => self.inject_probe(plan, seq),
             Event::PacketAtSwitch { id, dp, meta } => self.packet_at_switch(id, dp, meta),
             Event::PacketAtHost { id } => {
@@ -321,15 +415,89 @@ impl World {
         }
     }
 
+    /// The connection epoch of a switch.
+    fn epoch(&self, dp: DpId) -> u64 {
+        self.epochs.get(&dp).copied().unwrap_or(0)
+    }
+
+    /// The process incarnation of a switch.
+    fn boot(&self, dp: DpId) -> u64 {
+        self.boots.get(&dp).copied().unwrap_or(0)
+    }
+
+    fn apply_fault(&mut self, fault: FaultKind) {
+        match fault {
+            FaultKind::LinkDown(dp) => {
+                if !self.switches.contains_key(&dp) || !self.down.insert(dp) {
+                    return;
+                }
+                *self.epochs.entry(dp).or_default() += 1;
+                self.fault_disconnects += 1;
+                self.controller.on_disconnect(dp, self.now);
+            }
+            FaultKind::LinkUp(dp) => {
+                if !self.down.remove(&dp) {
+                    return;
+                }
+                self.fault_reconnects += 1;
+                let outs = self.controller.on_reconnect(dp, self.now);
+                self.dispatch(outs);
+            }
+            FaultKind::Reboot(dp) => {
+                if !self.switches.contains_key(&dp) {
+                    return;
+                }
+                // process restart: table and processing queue wiped,
+                // connection re-established under a fresh epoch
+                *self.boots.entry(dp).or_default() += 1;
+                *self.epochs.entry(dp).or_default() += 1;
+                self.switches.insert(dp, SoftSwitch::new(dp, 64));
+                self.busy_until.remove(&dp);
+                if !self.down.remove(&dp) {
+                    self.fault_disconnects += 1;
+                }
+                self.fault_reconnects += 1;
+                self.controller.on_disconnect(dp, self.now);
+                let outs = self.controller.on_reconnect(dp, self.now);
+                self.dispatch(outs);
+            }
+            FaultKind::CrashController => {
+                self.controller_crashes += 1;
+                // the crash tears down every control connection
+                let dps: Vec<DpId> = self.switches.keys().copied().collect();
+                for dp in dps {
+                    *self.epochs.entry(dp).or_default() += 1;
+                }
+                self.controller.recover_from_crash(self.now);
+                if !self.controller.is_idle() && !self.polling {
+                    self.polling = true;
+                    self.queue
+                        .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
+                }
+            }
+        }
+    }
+
     fn dispatch(&mut self, outs: Vec<CtrlOutput>) {
         for CtrlOutput::Send(dp, env) in outs {
+            if self.down.contains(&dp) {
+                self.fault_severed += 1;
+                continue;
+            }
+            let epoch = self.epoch(dp);
             let frame = encode(&env);
             for (at, bytes) in
                 self.channel
                     .send(ConnId::to_switch(dp), self.now, frame, &mut self.rng)
             {
-                self.queue
-                    .push(at, Event::FrameAtSwitch { dp, frame: bytes });
+                self.queue.push(
+                    at,
+                    Event::FrameAtSwitch {
+                        dp,
+                        frame: bytes,
+                        epoch,
+                    },
+                );
             }
         }
         // controller may have more work (next job) — keep polling alive
@@ -470,11 +638,17 @@ impl World {
             .collect();
         packets.sort_by_key(|p| p.id);
         let violations = SimReport::tally(&packets);
+        // frames the world severed at its fault boundaries (connection
+        // down, stale epoch) fold into the channel's own severed count
+        let mut channel = self.channel.stats();
+        channel.severed += self.fault_severed;
+        channel.disconnects += self.fault_disconnects;
+        channel.reconnects += self.fault_reconnects;
         SimReport {
             updates: self.controller.reports().to_vec(),
             packets,
             violations,
-            channel: self.channel.stats(),
+            channel,
             decode_errors: self.decode_errors,
             finished_at: self.now,
         }

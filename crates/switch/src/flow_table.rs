@@ -33,6 +33,43 @@ pub struct FlowEntry {
     pub installed_seq: u64,
 }
 
+impl FlowEntry {
+    /// The `Add` FlowMod that would (re)install this entry. Replaying
+    /// it is idempotent: an identical entry is refreshed in place.
+    pub fn as_add(&self) -> FlowMod {
+        FlowMod {
+            command: FlowModCommand::Add,
+            priority: self.priority,
+            matcher: self.matcher,
+            actions: self.actions.clone(),
+            cookie: self.cookie,
+        }
+    }
+
+    /// Content hash of the rule (priority, match, actions, cookie —
+    /// *not* counters or install order): FNV-1a over the canonical
+    /// wire encoding of [`FlowEntry::as_add`], so controller and
+    /// switch agree bit-for-bit on what "the same rule" means.
+    pub fn rule_hash(&self) -> u64 {
+        let env = sdn_openflow::messages::Envelope::new(
+            sdn_types::Xid(0),
+            sdn_openflow::messages::OfMessage::FlowMod(self.as_add()),
+        );
+        fnv1a(&sdn_openflow::codec::encode(&env))
+    }
+}
+
+/// 64-bit FNV-1a — stable across runs, hosts and compiler versions
+/// (unlike `DefaultHasher`), which a wire-carried digest requires.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// What a FlowMod did to the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TableChange {
@@ -156,6 +193,25 @@ impl FlowTable {
             })?;
         best.packets += 1;
         Some(best.actions.clone())
+    }
+
+    /// Ordered list of per-rule content hashes (ascending). Install
+    /// order does not matter: two tables holding the same rule *set*
+    /// report the same list, which is what resync compares.
+    pub fn rule_hashes(&self) -> Vec<u64> {
+        let mut hashes: Vec<u64> = self.entries.iter().map(FlowEntry::rule_hash).collect();
+        hashes.sort_unstable();
+        hashes
+    }
+
+    /// Single-value digest of the whole table (FNV-1a over the ordered
+    /// rule hashes) — a cheap equality check before diffing.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.entries.len() * 8);
+        for h in self.rule_hashes() {
+            bytes.extend_from_slice(&h.to_be_bytes());
+        }
+        fnv1a(&bytes)
     }
 
     /// Peek without recording the hit (diagnostics).

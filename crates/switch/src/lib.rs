@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod flow_table;
+pub mod resync;
 pub mod switch;
 
 pub use flow_table::{FlowEntry, FlowTable, TableChange};

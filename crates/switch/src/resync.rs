@@ -1,0 +1,119 @@
+//! The audit-and-repair handshake a switch answers after reconnecting.
+//!
+//! The controller cannot trust its picture of a switch that
+//! disconnected: FlowMods in the pipe died with the session, and a
+//! rebooted switch comes back with an empty table. Rather than blindly
+//! replaying everything, the controller sends a **digest probe** — an
+//! `EchoRequest` whose payload is the fixed [`DIGEST_PROBE`] marker —
+//! and the switch answers with an `EchoReply` carrying its ordered
+//! per-rule hash list ([`FlowTable::rule_hashes`]). Diffing that list
+//! against the intended table yields exactly the missing FlowMods,
+//! which are idempotent to replay.
+//!
+//! Riding on echo keeps the wire format at plain OpenFlow 1.0: a
+//! vanilla switch would just mirror the payload back, which the
+//! controller detects as "digest unsupported" (the reply fails to
+//! parse as a report) and can fall back to full replay.
+//!
+//! [`FlowTable::rule_hashes`]: crate::flow_table::FlowTable::rule_hashes
+
+use crate::flow_table::FlowTable;
+
+/// Echo payload that requests a table digest. Starts with a zero byte
+/// so it can never be confused with an embedded OpenFlow frame (those
+/// start with the version byte `0x01`), keeping it disjoint from the
+/// echo-carried FlowMod ack scheme.
+pub const DIGEST_PROBE: &[u8] = b"\x00SDN-DIGEST-PROBE";
+
+/// Magic prefix of a digest report payload.
+const REPORT_MAGIC: &[u8; 4] = b"\x00RSY";
+
+/// Encode a digest report: magic, big-endian rule count, then each
+/// rule hash big-endian. The hash list is ascending (the order
+/// [`FlowTable::rule_hashes`] guarantees).
+pub fn encode_digest_report(table: &FlowTable) -> Vec<u8> {
+    let hashes = table.rule_hashes();
+    let mut out = Vec::with_capacity(8 + hashes.len() * 8);
+    out.extend_from_slice(REPORT_MAGIC);
+    out.extend_from_slice(&(hashes.len() as u32).to_be_bytes());
+    for h in hashes {
+        out.extend_from_slice(&h.to_be_bytes());
+    }
+    out
+}
+
+/// Decode a digest report payload. `None` when the payload is not a
+/// report (e.g. a plain echo bounced back by a switch that does not
+/// speak the extension).
+pub fn decode_digest_report(payload: &[u8]) -> Option<Vec<u64>> {
+    let rest = payload.strip_prefix(REPORT_MAGIC.as_slice())?;
+    let (count, mut rest) = rest.split_first_chunk::<4>()?;
+    let count = u32::from_be_bytes(*count) as usize;
+    if rest.len() != count * 8 {
+        return None;
+    }
+    let mut hashes = Vec::with_capacity(count);
+    while let Some((h, tail)) = rest.split_first_chunk::<8>() {
+        hashes.push(u64::from_be_bytes(*h));
+        rest = tail;
+    }
+    Some(hashes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_openflow::flow::{Action, FlowMatch};
+    use sdn_openflow::messages::{FlowMod, FlowModCommand};
+    use sdn_types::{HostId, PortNo};
+
+    fn add(dst: u32, out: u32) -> FlowMod {
+        FlowMod {
+            command: FlowModCommand::Add,
+            priority: 100,
+            matcher: FlowMatch::dst_host(HostId(dst)),
+            actions: vec![Action::Output(PortNo(out))],
+            cookie: 1,
+        }
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        let mut t = FlowTable::new();
+        t.apply(&add(1, 1));
+        t.apply(&add(2, 2));
+        let payload = encode_digest_report(&t);
+        assert_eq!(decode_digest_report(&payload), Some(t.rule_hashes()));
+    }
+
+    #[test]
+    fn empty_table_reports_empty_list() {
+        let t = FlowTable::new();
+        let payload = encode_digest_report(&t);
+        assert_eq!(decode_digest_report(&payload), Some(Vec::new()));
+    }
+
+    #[test]
+    fn foreign_payloads_are_rejected() {
+        assert_eq!(decode_digest_report(b""), None);
+        assert_eq!(decode_digest_report(DIGEST_PROBE), None);
+        assert_eq!(decode_digest_report(b"\x00RSY\x00\x00\x00\x02junk"), None);
+    }
+
+    #[test]
+    fn probe_is_not_an_openflow_frame() {
+        assert!(sdn_openflow::codec::decode(DIGEST_PROBE).is_err());
+    }
+
+    #[test]
+    fn hash_list_is_install_order_independent() {
+        let mut a = FlowTable::new();
+        a.apply(&add(1, 1));
+        a.apply(&add(2, 2));
+        let mut b = FlowTable::new();
+        b.apply(&add(2, 2));
+        b.apply(&add(1, 1));
+        assert_eq!(a.rule_hashes(), b.rule_hashes());
+        assert_eq!(a.digest(), b.digest());
+    }
+}

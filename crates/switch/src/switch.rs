@@ -73,6 +73,12 @@ impl SoftSwitch {
         self.dpid
     }
 
+    /// Number of ports (needed to rebuild an identical switch after a
+    /// power cycle).
+    pub fn n_ports(&self) -> u32 {
+        self.n_ports
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> SwitchStats {
         self.stats
@@ -91,6 +97,15 @@ impl SoftSwitch {
             OfMessage::Hello => vec![Envelope::new(xid, OfMessage::Hello)],
             OfMessage::EchoRequest(payload) => {
                 self.stats.echoes += 1;
+                // Digest probe: answer with the ordered rule-hash list
+                // of the current table, for the controller's
+                // audit-and-repair resync after a reconnect.
+                if payload == crate::resync::DIGEST_PROBE {
+                    return vec![Envelope::new(
+                        xid,
+                        OfMessage::EchoReply(crate::resync::encode_digest_report(&self.table)),
+                    )];
+                }
                 // Echo-carried FlowMod acknowledgement: when the
                 // payload is itself a well-formed FlowMod frame, apply
                 // it before echoing. FlowMods are idempotent

@@ -1,5 +1,5 @@
 //! Live mode: the round executor driving *real threads* — one per
-//! switch — over the crossbeam loopback transport, with genuine
+//! switch — over the readiness-driven event-loop transport, with genuine
 //! (scaled) channel delays. Same protocol, true concurrency instead of
 //! simulated time.
 //!
@@ -60,7 +60,7 @@ fn main() {
     let wall_start = std::time::Instant::now();
     let mut virtual_now = SimTime::ZERO;
     for (dp, env) in executor.start(virtual_now, &mut xids) {
-        transport.send(dp, &env);
+        transport.send(dp, &env).unwrap();
     }
     while !matches!(executor.state(), ExecState::Done | ExecState::Failed) {
         virtual_now = SimTime(wall_start.elapsed().as_nanos() as u64);
@@ -72,11 +72,11 @@ fn main() {
                 reply.dpid
             );
             for (dp, env) in executor.on_message(virtual_now, reply.dpid, &reply.env, &mut xids) {
-                transport.send(dp, &env);
+                transport.send(dp, &env).unwrap();
             }
         }
         for (dp, env) in executor.on_tick(virtual_now, &mut xids) {
-            transport.send(dp, &env);
+            transport.send(dp, &env).unwrap();
         }
     }
     println!(

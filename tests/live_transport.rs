@@ -23,7 +23,7 @@ fn drive_to_completion(
     let start = Instant::now();
     let now = || SimTime(start.elapsed().as_nanos() as u64);
     for (dp, env) in executor.start(now(), xids) {
-        assert!(transport.send(dp, &env));
+        transport.send(dp, &env).unwrap();
     }
     while !matches!(executor.state(), ExecState::Done | ExecState::Failed) {
         assert!(
@@ -32,11 +32,11 @@ fn drive_to_completion(
         );
         if let Some(reply) = transport.recv_timeout(Duration::from_millis(20)) {
             for (dp, env) in executor.on_message(now(), reply.dpid, &reply.env, xids) {
-                assert!(transport.send(dp, &env));
+                transport.send(dp, &env).unwrap();
             }
         }
         for (dp, env) in executor.on_tick(now(), xids) {
-            assert!(transport.send(dp, &env));
+            transport.send(dp, &env).unwrap();
         }
     }
 }
