@@ -34,7 +34,7 @@ use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
 use sdn_ctrl::executor::ExecConfig;
 use sdn_ctrl::runtime::{
-    AdmissionPolicy, ConcurrentRuntime, Priority, RetransMode, RuntimeConfig, UpdateRuntime,
+    AdmissionPolicy, ConcurrentRuntime, RetransMode, RuntimeConfig, RuntimeHandle, SubmitRequest,
 };
 use sdn_sim::report::SimReport;
 use sdn_sim::world::{World, WorldConfig};
@@ -83,7 +83,7 @@ struct RunOutcome {
 fn run_load(
     pairs: &[UpdatePair],
     distinct_hosts: bool,
-    runtime: Box<dyn UpdateRuntime>,
+    runtime: Box<dyn RuntimeHandle>,
 ) -> RunOutcome {
     let topo = if distinct_hosts {
         gen::materialize_batch(pairs)
@@ -95,7 +95,10 @@ fn run_load(
         seed: 2711,
         ..WorldConfig::default()
     };
-    let mut world = World::with_runtime(topo.clone(), cfg, runtime);
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(runtime)
+        .build();
     let mut compiled: Vec<CompiledUpdate> = Vec::new();
     for (i, pair) in pairs.iter().enumerate() {
         let (src, dst) = gen::batch_hosts(if distinct_hosts { i } else { 0 });
@@ -110,7 +113,7 @@ fn run_load(
     let mut accepted = 0;
     let mut rejected = 0;
     for c in compiled {
-        if world.submit_update(c, Priority::Normal).accepted() {
+        if world.submit(SubmitRequest::new(c)).is_ok() {
             accepted += 1;
         } else {
             rejected += 1;
@@ -119,7 +122,7 @@ fn run_load(
     let report = world.run(SimTime::ZERO + SimDuration::from_secs(3600));
     RunOutcome {
         report,
-        stats: world.runtime_stats(),
+        stats: world.runtime().stats(),
         accepted,
         rejected,
     }
@@ -145,7 +148,7 @@ fn latency_percentile(r: &SimReport, p: f64) -> f64 {
     percentile(&lats, p)
 }
 
-fn concurrent_runtime() -> Box<dyn UpdateRuntime> {
+fn concurrent_runtime() -> Box<dyn RuntimeHandle> {
     Box::new(ConcurrentRuntime::new(RuntimeConfig {
         queue_capacity: 256,
         max_active: 64,
@@ -153,7 +156,7 @@ fn concurrent_runtime() -> Box<dyn UpdateRuntime> {
     }))
 }
 
-fn serial_runtime() -> Box<dyn UpdateRuntime> {
+fn serial_runtime() -> Box<dyn RuntimeHandle> {
     Box::new(sdn_ctrl::Controller::new(
         sdn_ctrl::ControllerConfig::default(),
     ))
@@ -383,8 +386,14 @@ fn main() {
             seed: 7,
             ..WorldConfig::default()
         };
-        let mut world = World::with_runtime(topo.clone(), cfg, runtime);
-        world.set_switch_channel(DpId(4), ChannelConfig::ideal(SimDuration::from_millis(45)));
+        let mut world = World::builder(topo.clone())
+            .config(cfg)
+            .runtime_handle(runtime)
+            .build();
+        world.set_link_profile(
+            DpId(4),
+            Some(ChannelConfig::ideal(SimDuration::from_millis(45))),
+        );
         world.install_initial(&initial_flowmods(&topo, &pairs[0].old, &spec).unwrap());
         let inst = UpdateInstance::new(pairs[0].old.clone(), pairs[0].new.clone(), None).unwrap();
         let sched = SlfGreedy::default().schedule(&inst).unwrap();
@@ -394,7 +403,7 @@ fn main() {
             r.updates[0].completed.is_some(),
             "straggler run must finish"
         );
-        (world.runtime_stats().retransmissions, makespan_ms(&r))
+        (world.runtime().stats().retransmissions, makespan_ms(&r))
     };
     let (fixed_rtx, fixed_ms) = straggler_run(RetransMode::Fixed);
     let (adaptive_rtx, adaptive_ms) = straggler_run(RetransMode::default());

@@ -48,6 +48,21 @@ const WINDOW: usize = 64; // in-flight barriers during the probe phase
 const PROBES: usize = 4096; // probe-phase samples per tier
 const BASELINE_TIER: usize = 128;
 
+/// Event-loop worker count: `SDN_BENCH_WORKERS` if set, else sized to
+/// the machine (half the cores, clamped to [2, 8] so a 128-core runner
+/// doesn't drown the poller and a 1-core box still overlaps I/O).
+fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("SDN_BENCH_WORKERS") {
+        return v
+            .parse()
+            .ok()
+            .filter(|&w| w >= 1)
+            .unwrap_or_else(|| panic!("SDN_BENCH_WORKERS must be a positive integer, got {v:?}"));
+    }
+    let cores = std::thread::available_parallelism().map_or(4, usize::from);
+    (cores / 2).clamp(2, 8)
+}
+
 fn flowmod() -> OfMessage {
     OfMessage::FlowMod(FlowMod {
         command: FlowModCommand::Add,
@@ -77,7 +92,7 @@ fn run_tier(n: usize) -> TierResult {
         ChannelConfig::ideal(SimDuration::ZERO),
         42,
         EventLoopConfig {
-            workers: 4,
+            workers: worker_count(),
             time_scale: 0.0,
         },
     );

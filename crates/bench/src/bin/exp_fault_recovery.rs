@@ -69,7 +69,10 @@ fn world_for(pairs: &[UpdatePair], seed: u64, journal: Journal, probes: u64) -> 
         seed,
         ..WorldConfig::default()
     };
-    let mut world = World::with_runtime(topo.clone(), cfg, Box::new(runtime(journal)));
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(Box::new(runtime(journal)))
+        .build();
     let mut compiled: Vec<CompiledUpdate> = Vec::new();
     for (i, pair) in pairs.iter().enumerate() {
         let (src, dst) = gen::batch_hosts(i);
@@ -114,7 +117,7 @@ fn accept(label: &str, w: &World, r: &SimReport) {
         r.violations.delivered, r.violations.total,
         "{label}: every probe must be delivered"
     );
-    let stats = w.runtime_stats();
+    let stats = w.runtime().stats();
     assert_eq!(stats.failed, 0, "{label}: no job may fail");
     assert_eq!(
         stats.quarantined, 0,
@@ -193,7 +196,7 @@ fn main() {
             .apply(&mut w);
         let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
         accept("blip", &w, &r);
-        let stats = w.runtime_stats();
+        let stats = w.runtime().stats();
         assert!(stats.resyncs >= 1, "reconnect must run an audit");
         let ms = makespan_ms(&r);
         t.row(vec![
@@ -225,7 +228,7 @@ fn main() {
         );
         let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
         accept("reboot", &w, &r);
-        let stats = w.runtime_stats();
+        let stats = w.runtime().stats();
         assert!(
             stats.resynced_rules > 0,
             "a wiped table means replayed rules"
@@ -260,7 +263,7 @@ fn main() {
         );
         let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
         accept("crash", &w, &r);
-        let stats = w.runtime_stats();
+        let stats = w.runtime().stats();
         assert_eq!(stats.recoveries, 1, "journal must rebuild the runtime");
         let ms = makespan_ms(&r);
         tc.row(vec![
@@ -300,7 +303,7 @@ fn main() {
         .apply(&mut w);
         let r = w.run(SimTime::ZERO + SimDuration::from_secs(3600));
         accept("churn", &w, &r);
-        let stats = w.runtime_stats();
+        let stats = w.runtime().stats();
         assert!(
             stats.reconnects >= dps.len() as u64,
             "every switch must bounce"

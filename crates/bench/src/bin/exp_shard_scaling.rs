@@ -1,0 +1,391 @@
+//! E10 — sharded fabric scaling vs cross-shard coordination cost.
+//!
+//! The fabric partitions the switch set into shards, each running its
+//! own conflict graph, admission queue and RTO table; cross-shard
+//! updates pay a two-phase prepare/commit through the coordinator.
+//! This experiment quantifies both sides of that bargain on the
+//! simulated data plane:
+//!
+//! * **scaling** — aggregate admitted-update throughput completing `n`
+//!   switch-disjoint updates, swept over shard count, with each flow
+//!   pinned to one shard via [`ShardAssignment::with_overrides`]: the
+//!   per-shard `max_active` bottleneck (4 here) is the resource that
+//!   sharding multiplies;
+//! * **cross-shard tax** — the same sweep with a fraction of flows
+//!   deliberately straddling two shards, so they route through the
+//!   coordinator's two-phase path instead of scaling with the shards;
+//! * **chaos** — a cross-shard workload with the controller crashed
+//!   mid-flight: the journalled fabric must recover, finish the work,
+//!   and leave a rule-for-rule clean audit with zero transient
+//!   violations under live probing.
+//!
+//! All timing is virtual (deterministic), so the exported records are
+//! noise-free and the `bench_check` gate can hold a tight line.
+//! Self-asserts the PR-8 acceptance bar: ≥ 2× aggregate throughput at
+//! 4 shards vs 1 shard on the switch-disjoint workload, and the chaos
+//! leg converges violation-free with a clean audit.
+//!
+//! Flags: `--tier small` (CI smoke sizes), `--json` (write
+//! `BENCH_PR8.json`), `--json-out PATH`.
+
+use sdn_bench::json::Json;
+use sdn_bench::table::{f2, Table};
+use sdn_channel::config::ChannelConfig;
+use sdn_ctrl::compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
+use sdn_ctrl::executor::ExecConfig;
+use sdn_ctrl::runtime::{FabricConfig, FabricCoordinator, RuntimeConfig, SubmitRequest};
+use sdn_sim::chaos::FaultKind;
+use sdn_sim::report::SimReport;
+use sdn_sim::world::{World, WorldConfig};
+use sdn_topo::gen::{self, UpdatePair};
+use sdn_types::{DpId, SimDuration, SimTime};
+use update_core::algorithms::{SlfGreedy, UpdateScheduler};
+use update_core::model::UpdateInstance;
+use update_core::partition::ShardAssignment;
+
+const FLOW_LEN: u64 = 8;
+const PER_SHARD_ACTIVE: usize = 4;
+
+/// `n` switch-disjoint reversal flows.
+fn disjoint_flows(n: usize) -> Vec<UpdatePair> {
+    (0..n)
+        .map(|i| gen::shift(&gen::reversal(FLOW_LEN), (i as u64) * (FLOW_LEN + 2)))
+        .collect()
+}
+
+/// Every switch of every flow, in flow order.
+fn flow_switches(pairs: &[UpdatePair]) -> Vec<Vec<DpId>> {
+    pairs
+        .iter()
+        .map(|p| {
+            let mut dps: Vec<DpId> = p.old.hops().to_vec();
+            dps.extend(p.new.hops().iter().copied());
+            dps.sort();
+            dps.dedup();
+            dps
+        })
+        .collect()
+}
+
+/// Pin flow `i` to shard `i % shards`; the first `cross` flows instead
+/// straddle their home shard and its neighbour (half the hops each),
+/// forcing the two-phase path whenever `shards > 1`.
+fn assignment(pairs: &[UpdatePair], shards: u32, cross: usize) -> ShardAssignment {
+    let mut overrides: Vec<(DpId, u32)> = Vec::new();
+    for (i, dps) in flow_switches(pairs).iter().enumerate() {
+        let home = (i as u32) % shards;
+        let away = (home + 1) % shards;
+        let half = dps.len() / 2;
+        for (j, &dp) in dps.iter().enumerate() {
+            let s = if i < cross && j >= half { away } else { home };
+            overrides.push((dp, s));
+        }
+    }
+    ShardAssignment::with_overrides(shards, overrides)
+}
+
+struct RunOutcome {
+    report: SimReport,
+    cross_shard: usize,
+    recoveries: u64,
+    crashes: u64,
+    audit_clean: bool,
+}
+
+/// Submit `pairs` at t=0 into a fabric over `assign`, probe every flow
+/// while the updates run, and run to quiescence.
+fn run_load(
+    pairs: &[UpdatePair],
+    assign: ShardAssignment,
+    runtime: RuntimeConfig,
+    journal: bool,
+    crash_at: Option<SimTime>,
+) -> RunOutcome {
+    let topo = gen::materialize_batch(pairs);
+    let fabric = FabricCoordinator::with_assignment(
+        FabricConfig {
+            shards: assign.shards(),
+            runtime,
+            journal,
+            ..FabricConfig::default()
+        },
+        assign,
+    );
+    let cfg = WorldConfig {
+        channel: ChannelConfig::lan(),
+        seed: 2816,
+        ..WorldConfig::default()
+    };
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(Box::new(fabric))
+        .build();
+    let mut compiled: Vec<CompiledUpdate> = Vec::new();
+    for (i, pair) in pairs.iter().enumerate() {
+        let (src, dst) = gen::batch_hosts(i);
+        let spec = FlowSpec { src, dst };
+        let inst = UpdateInstance::new(pair.old.clone(), pair.new.clone(), pair.waypoint).unwrap();
+        let sched = SlfGreedy::default().schedule(&inst).expect("schedulable");
+        world.install_initial(&initial_flowmods(&topo, &pair.old, &spec).unwrap());
+        compiled.push(compile_schedule(&topo, &inst, &sched, &spec).unwrap());
+    }
+    let mut cross_shard = 0;
+    for c in compiled {
+        let ticket = world
+            .submit(SubmitRequest::new(c))
+            .expect("fabric admits the batch");
+        cross_shard += usize::from(ticket.cross_shard);
+    }
+    if let Some(at) = crash_at {
+        world.schedule_fault(at, FaultKind::CrashController);
+    }
+    for (i, _) in pairs.iter().enumerate() {
+        let (src, dst) = gen::batch_hosts(i);
+        world.plan_injection(src, dst, SimDuration::from_micros(500), 100, SimTime::ZERO);
+    }
+    let report = world.run(SimTime::ZERO + SimDuration::from_secs(3600));
+    RunOutcome {
+        report,
+        cross_shard,
+        recoveries: world.runtime().stats().recoveries,
+        crashes: world.controller_crashes(),
+        audit_clean: world.audit().is_clean(),
+    }
+}
+
+/// Makespan (t=0 submission → last completion) in virtual ms.
+fn makespan_ms(r: &SimReport) -> f64 {
+    r.updates
+        .iter()
+        .filter_map(|u| u.completed)
+        .map(|t| t.as_millis_f64())
+        .fold(0.0, f64::max)
+}
+
+fn shard_runtime() -> RuntimeConfig {
+    RuntimeConfig {
+        queue_capacity: 64,
+        max_active: PER_SHARD_ACTIVE,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Outage-tolerant tuning for the chaos leg.
+fn patient_runtime() -> RuntimeConfig {
+    RuntimeConfig {
+        exec: ExecConfig {
+            barrier_timeout: SimDuration::from_millis(20),
+            max_attempts: 60,
+            flowmod_acks: false,
+        },
+        max_active: PER_SHARD_ACTIVE,
+        queue_capacity: 64,
+        ..RuntimeConfig::default()
+    }
+}
+
+struct Record {
+    workload: &'static str,
+    algo: String,
+    n: u64,
+    ms: f64,
+}
+
+impl Record {
+    fn json(&self) -> Json {
+        Json::obj(vec![
+            ("workload", Json::str(self.workload)),
+            ("algo", Json::str(&self.algo)),
+            ("n", Json::Int(self.n as i64)),
+            ("rounds", Json::Num(0.0)),
+            ("ms", Json::Num(self.ms)),
+        ])
+    }
+}
+
+fn main() {
+    let mut tier_small = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tier" => {
+                let t = args.next().expect("--tier needs small|full");
+                tier_small = t == "small";
+            }
+            "--json" => json_path = Some("BENCH_PR8.json".to_string()),
+            "--json-out" => json_path = Some(args.next().expect("--json-out needs a path")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: exp_shard_scaling [--tier small|full] [--json | --json-out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let n: usize = if tier_small { 16 } else { 32 };
+    let shard_counts: &[u32] = if tier_small {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
+    let cross_fracs: &[f64] = &[0.0, 0.25, 0.5];
+
+    println!("E10: sharded fabric scaling vs cross-shard coordination cost");
+    println!(
+        "    {n} switch-disjoint {FLOW_LEN}-hop flows pinned per-shard \
+         (max_active {PER_SHARD_ACTIVE} each); virtual time\n"
+    );
+
+    let mut records: Vec<Record> = Vec::new();
+    let mut t = Table::new(
+        "aggregate throughput vs shard count x cross-shard fraction",
+        &[
+            "shards",
+            "xfrac",
+            "xshard upd",
+            "makespan ms",
+            "upd/s",
+            "speedup",
+        ],
+    );
+    let mut baseline_ms = 0.0;
+    let mut speedup_at_4 = 0.0;
+    for &frac in cross_fracs {
+        let cross = (frac * n as f64).round() as usize;
+        for &shards in shard_counts {
+            let pairs = disjoint_flows(n);
+            let out = run_load(
+                &pairs,
+                assignment(&pairs, shards, cross),
+                shard_runtime(),
+                false,
+                None,
+            );
+            let done = out
+                .report
+                .updates
+                .iter()
+                .filter(|u| u.completed.is_some())
+                .count();
+            assert_eq!(done, n, "shards={shards} xfrac={frac}: all must complete");
+            assert!(
+                !out.report.violations.any(),
+                "shards={shards} xfrac={frac}: transient violations: {}",
+                out.report.violations
+            );
+            assert!(out.audit_clean, "shards={shards} xfrac={frac}: dirty audit");
+            // pinning keeps single-shard flows off the two-phase path
+            let expect_cross = if shards > 1 { cross } else { 0 };
+            assert_eq!(
+                out.cross_shard, expect_cross,
+                "shards={shards} xfrac={frac}: cross-shard ticket count"
+            );
+            let ms = makespan_ms(&out.report);
+            if shards == 1 && frac == 0.0 {
+                baseline_ms = ms;
+            }
+            let speedup = baseline_ms / ms;
+            if shards == 4 && frac == 0.0 {
+                speedup_at_4 = speedup;
+            }
+            t.row(vec![
+                shards.to_string(),
+                format!("{frac:.2}"),
+                out.cross_shard.to_string(),
+                f2(ms),
+                f2(n as f64 / (ms / 1e3)),
+                f2(speedup),
+            ]);
+            records.push(Record {
+                workload: "shard_scaling",
+                algo: format!("xfrac{:02}", (frac * 100.0) as u32),
+                n: shards as u64,
+                ms,
+            });
+        }
+    }
+    println!("{t}");
+
+    // --- chaos leg: coordinator crash over cross-shard work ------------
+    let chaos_n = 8usize;
+    let pairs = disjoint_flows(chaos_n);
+    let out = run_load(
+        &pairs,
+        assignment(&pairs, 4, chaos_n / 2),
+        patient_runtime(),
+        true,
+        Some(SimTime::ZERO + SimDuration::from_millis(3)),
+    );
+    let done = out
+        .report
+        .updates
+        .iter()
+        .filter(|u| u.completed.is_some())
+        .count();
+    let mut tc = Table::new(
+        "chaos: controller crash at 3 ms, 4 shards, half the flows cross-shard",
+        &["crashes", "recoveries", "completed", "violations", "audit"],
+    );
+    tc.row(vec![
+        out.crashes.to_string(),
+        out.recoveries.to_string(),
+        format!("{done}/{chaos_n}"),
+        out.report.violations.any().to_string(),
+        if out.audit_clean { "clean" } else { "DIRTY" }.to_string(),
+    ]);
+    println!("{tc}");
+    assert_eq!(out.crashes, 1, "chaos leg must actually crash");
+    assert_eq!(out.recoveries, 1, "journal must rebuild the fabric");
+    assert!(
+        out.report
+            .updates
+            .iter()
+            .all(|u| u.completed.is_some() || u.failure.is_some()),
+        "no update may hang across the crash"
+    );
+    assert!(
+        !out.report.violations.any(),
+        "chaos leg violations: {}",
+        out.report.violations
+    );
+    assert!(out.audit_clean, "chaos leg must end with a clean audit");
+    records.push(Record {
+        workload: "chaos_recoveries",
+        algo: "fabric".into(),
+        n: 4,
+        ms: out.recoveries as f64,
+    });
+    records.push(Record {
+        workload: "chaos_completed",
+        algo: "fabric".into(),
+        n: 4,
+        ms: done as f64,
+    });
+
+    // --- acceptance bar -------------------------------------------------
+    assert!(
+        speedup_at_4 >= 2.0,
+        "fabric must be >= 2x aggregate throughput at 4 shards vs 1 on the \
+         switch-disjoint workload, got {speedup_at_4:.2}x"
+    );
+    println!(
+        "acceptance: {speedup_at_4:.2}x throughput at 4 shards (>= 2x required); \
+         chaos leg {done}/{chaos_n} completed, {} recovery, clean audit",
+        out.recoveries
+    );
+
+    if let Some(path) = json_path {
+        let doc = Json::obj(vec![
+            ("experiment", Json::str("shard_scaling")),
+            ("source", Json::str("exp_shard_scaling --json")),
+            (
+                "records",
+                Json::Arr(records.iter().map(Record::json).collect()),
+            ),
+        ]);
+        std::fs::write(&path, format!("{doc}\n")).expect("write json export");
+        println!("wrote {} records to {path}", records.len());
+    }
+}

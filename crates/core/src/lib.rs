@@ -42,11 +42,16 @@ pub mod config;
 pub mod contract;
 pub mod metrics;
 pub mod model;
+pub mod partition;
 pub mod properties;
 pub mod schedule;
 
 pub use algorithms::{OneShot, Peacock, SlfGreedy, TwoPhaseCommit, UpdateScheduler, WayUp};
 pub use checker::{verify_schedule, CheckReport, Violation};
 pub use model::{InstanceError, NodeRole, UpdateInstance};
+pub use partition::{
+    round_owner, split_schedule, verify_schedule_sharded, RoundOwner, ShardAssignment,
+    ShardedReport, SplitSchedule,
+};
 pub use properties::{Property, PropertySet};
 pub use schedule::{Round, RuleOp, Schedule, ScheduleKind};

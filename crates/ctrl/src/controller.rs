@@ -14,7 +14,8 @@ use sdn_types::{DpId, SimDuration, SimTime};
 
 use crate::compile::CompiledUpdate;
 use crate::executor::{ExecConfig, ExecState, RoundExecutor, RoundTiming, XidAlloc};
-use crate::runtime::{AdmitOutcome, JobId, Priority, RuntimeStats, UpdateRuntime};
+use crate::runtime::submit::{SubmitOutcome, SubmitRequest, SubmitTicket};
+use crate::runtime::{JobId, Priority, RuntimeHandle, RuntimeStats};
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,6 +41,9 @@ pub enum FailReason {
     /// rather than burning a retransmission budget against a switch
     /// already known dead.
     Quarantined(DpId),
+    /// The submission's deadline passed before the job could launch;
+    /// dispatching a stale intent would churn the network for nothing.
+    DeadlineExpired,
 }
 
 /// Completion record of one update job.
@@ -98,9 +102,9 @@ impl Controller {
     }
 
     /// Enqueue an update job (submission time unknown: reported as the
-    /// simulation epoch). Prefer [`UpdateRuntime::submit`].
+    /// simulation epoch). Prefer [`RuntimeHandle::submit`].
     pub fn enqueue(&mut self, update: CompiledUpdate) {
-        self.submit(update, SimTime::ZERO, Priority::Normal);
+        let _ = self.submit(update, SimTime::ZERO, Priority::Normal);
     }
 
     /// Jobs waiting behind the active one.
@@ -194,21 +198,17 @@ impl Controller {
     }
 }
 
-impl UpdateRuntime for Controller {
+impl RuntimeHandle for Controller {
     /// The serial controller accepts everything: the unbounded queue
     /// is exactly the paper's behaviour, kept as the baseline the
-    /// bounded runtime is measured against.
-    fn submit(
-        &mut self,
-        update: CompiledUpdate,
-        now: SimTime,
-        _priority: Priority,
-    ) -> AdmitOutcome {
+    /// bounded runtime is measured against. Tenant and deadline are
+    /// ignored — the baseline predates both.
+    fn submit_request(&mut self, req: SubmitRequest, now: SimTime) -> SubmitOutcome {
         self.stats.submitted += 1;
         self.stats.accepted += 1;
         let id = JobId(self.stats.submitted);
-        self.queue.push_back((update, now));
-        AdmitOutcome::Queued { id }
+        self.queue.push_back((req.update, now));
+        Ok(SubmitTicket::local(id, self.queue.len()))
     }
 
     fn poll(&mut self, now: SimTime) -> Vec<CtrlOutput> {

@@ -35,6 +35,15 @@ impl XidAlloc {
         XidAlloc { next: Xid(1) }
     }
 
+    /// Start from `base` (clamped to 1). Runtimes sharing a transport —
+    /// the fabric's shards and its coordinator — carve the xid space
+    /// into disjoint ranges so a reply routes to its owner by value.
+    pub fn with_base(base: u32) -> Self {
+        XidAlloc {
+            next: Xid(base.max(1)),
+        }
+    }
+
     /// Allocate the next xid.
     pub fn alloc(&mut self) -> Xid {
         let x = self.next;

@@ -19,7 +19,10 @@
 //! * [`runtime`] — the concurrent multi-update runtime: conflict-aware
 //!   admission over a bounded queue, many executors in flight at once,
 //!   per-switch adaptive retransmission (EWMA RTT + variance), and a
-//!   write-ahead journal for crash recovery;
+//!   write-ahead journal for crash recovery; its [`runtime::fabric`]
+//!   submodule shards switches across runtimes behind one
+//!   [`FabricCoordinator`] with a two-phase protocol for cross-shard
+//!   updates and per-tenant admission quotas;
 //! * [`resync`] — controller-side switch resynchronization: shadow
 //!   flow tables plus the digest-probe audit that replays exactly the
 //!   rules a reconnected switch is missing.
@@ -43,7 +46,10 @@ pub use executor::{ExecState, RoundExecutor};
 pub use handshake::Handshake;
 pub use rest::request::UpdateRequest;
 pub use resync::ResyncManager;
+#[allow(deprecated)]
+pub use runtime::UpdateRuntime;
 pub use runtime::{
-    AdmissionPolicy, AdmitOutcome, ConcurrentRuntime, Footprint, Journal, Priority, RetransMode,
-    RuntimeConfig, RuntimeStats, UpdateRuntime,
+    AdmissionPolicy, AdmitOutcome, ConcurrentRuntime, FabricConfig, FabricCoordinator, Footprint,
+    Journal, Priority, RetransMode, RuntimeConfig, RuntimeHandle, RuntimeStats, ShardId,
+    SubmitError, SubmitOutcome, SubmitRequest, SubmitTicket, TenantId,
 };

@@ -1,10 +1,13 @@
-//! The demo's REST interface: a JSON value model ([`json`], with
-//! per-request parser work limits), the WayUp request format
-//! ([`request`]), structured responses — including the bounded
-//! runtime's backpressure ([`response`]) — and live runtime
-//! introspection for `GET /status` ([`status`]).
+//! The controller's REST interface: a JSON value model ([`json`],
+//! with per-request parser work limits), the WayUp request format
+//! extended with v1 submission intent ([`request`]), structured
+//! responses — admission backpressure, `429` tenant-quota refusals
+//! ([`response`]) — versioned `/v1/*` endpoint routing with legacy
+//! `308` redirects ([`router`]), and live shard- and tenant-aware
+//! runtime introspection for `GET /v1/status` ([`status`]).
 
 pub mod json;
 pub mod request;
 pub mod response;
+pub mod router;
 pub mod status;

@@ -26,8 +26,11 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use sdn_topo::route::{RouteError, RoutePath};
-use sdn_types::DpId;
+use sdn_types::{DpId, SimDuration, SimTime};
 use update_core::model::{InstanceError, UpdateInstance};
+
+use crate::compile::CompiledUpdate;
+use crate::runtime::{Priority, SubmitRequest, TenantId};
 
 use super::json::{self, Json, ParseLimits};
 
@@ -62,6 +65,14 @@ pub struct UpdateRequest {
     /// Scheduler selection: `"wayup"` (default when `wp` present),
     /// `"peacock"`, `"slf-greedy"`, `"two-phase"`, `"one-shot"`.
     pub algorithm: Option<String>,
+    /// Submitting tenant for admission-quota accounting (v1 API);
+    /// tenant `0` when absent.
+    pub tenant: Option<u32>,
+    /// Admission lane: `"normal"` (default) or `"high"`.
+    pub priority: Option<Priority>,
+    /// Submission deadline, milliseconds from receipt; an update still
+    /// queued past it fails instead of dispatching stale intent.
+    pub deadline_ms: Option<u64>,
 }
 
 /// Request parsing/validation errors.
@@ -149,13 +160,52 @@ impl UpdateRequest {
                     .to_string(),
             ),
         };
+        let tenant = match v.get("tenant") {
+            None | Some(Json::Null) => None,
+            Some(x) => {
+                let t = x.as_u64().ok_or(RequestError::BadField("tenant"))?;
+                Some(u32::try_from(t).map_err(|_| RequestError::BadField("tenant"))?)
+            }
+        };
+        let priority = match v.get("priority") {
+            None | Some(Json::Null) => None,
+            Some(x) => match x.as_str() {
+                Some("normal") => Some(Priority::Normal),
+                Some("high") => Some(Priority::High),
+                _ => return Err(RequestError::BadField("priority")),
+            },
+        };
+        let deadline_ms = match v.get("deadline") {
+            None | Some(Json::Null) => None,
+            Some(x) => Some(x.as_u64().ok_or(RequestError::BadField("deadline"))?),
+        };
         Ok(UpdateRequest {
             old_path,
             new_path,
             waypoint,
             interval_ms,
             algorithm,
+            tenant,
+            priority,
+            deadline_ms,
         })
+    }
+
+    /// Fold the request's submission intent (tenant, lane, deadline)
+    /// around an already-compiled update. `now` anchors the relative
+    /// `deadline` field to an absolute launch cutoff.
+    pub fn to_submission(&self, update: CompiledUpdate, now: SimTime) -> SubmitRequest {
+        let mut req = SubmitRequest::new(update);
+        if let Some(t) = self.tenant {
+            req = req.tenant(TenantId(t));
+        }
+        if let Some(p) = self.priority {
+            req = req.priority(p);
+        }
+        if let Some(ms) = self.deadline_ms {
+            req = req.deadline(now + SimDuration::from_millis(ms));
+        }
+        req
     }
 
     /// Build the validated update instance this request describes.
@@ -184,6 +234,19 @@ impl UpdateRequest {
         }
         if let Some(a) = &self.algorithm {
             obj.insert("algorithm".to_string(), Json::Str(a.clone()));
+        }
+        if let Some(t) = self.tenant {
+            obj.insert("tenant".to_string(), Json::Num(t as f64));
+        }
+        if let Some(p) = self.priority {
+            let name = match p {
+                Priority::Normal => "normal",
+                Priority::High => "high",
+            };
+            obj.insert("priority".to_string(), Json::Str(name.into()));
+        }
+        if let Some(d) = self.deadline_ms {
+            obj.insert("deadline".to_string(), Json::Num(d as f64));
         }
         Json::Obj(obj).render()
     }
@@ -356,5 +419,65 @@ mod tests {
         let doc2 = r.to_json();
         let r2 = UpdateRequest::parse(&doc2).unwrap();
         assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn v1_submission_fields_parse_and_roundtrip() {
+        let doc = r#"{
+            "oldpath": [1, 2], "newpath": [1, 2],
+            "tenant": 3, "priority": "high", "deadline": 250
+        }"#;
+        let r = UpdateRequest::parse(doc).unwrap();
+        assert_eq!(r.tenant, Some(3));
+        assert_eq!(r.priority, Some(Priority::High));
+        assert_eq!(r.deadline_ms, Some(250));
+        let r2 = UpdateRequest::parse(&r.to_json()).unwrap();
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn v1_submission_fields_default_when_absent() {
+        let r = UpdateRequest::parse(r#"{"oldpath":[1,2],"newpath":[1,2]}"#).unwrap();
+        assert_eq!(r.tenant, None);
+        assert_eq!(r.priority, None);
+        assert_eq!(r.deadline_ms, None);
+        let sub = r.to_submission(
+            CompiledUpdate {
+                label: "u".into(),
+                rounds: vec![],
+            },
+            SimTime(0),
+        );
+        assert_eq!(sub.tenant, TenantId(0));
+        assert_eq!(sub.priority, Priority::Normal);
+        assert_eq!(sub.deadline, None);
+    }
+
+    #[test]
+    fn to_submission_anchors_the_deadline() {
+        let doc = r#"{"oldpath":[1,2],"newpath":[1,2],"tenant":7,"deadline":100}"#;
+        let r = UpdateRequest::parse(doc).unwrap();
+        let now = SimTime(5_000_000);
+        let sub = r.to_submission(
+            CompiledUpdate {
+                label: "u".into(),
+                rounds: vec![],
+            },
+            now,
+        );
+        assert_eq!(sub.tenant, TenantId(7));
+        assert_eq!(sub.deadline, Some(now + SimDuration::from_millis(100)));
+    }
+
+    #[test]
+    fn bad_submission_fields_rejected() {
+        assert_eq!(
+            UpdateRequest::parse(r#"{"oldpath":[1,2],"newpath":[1,2],"priority":"urgent"}"#),
+            Err(RequestError::BadField("priority"))
+        );
+        assert_eq!(
+            UpdateRequest::parse(r#"{"oldpath":[1,2],"newpath":[1,2],"tenant":4294967296}"#),
+            Err(RequestError::BadField("tenant"))
+        );
     }
 }

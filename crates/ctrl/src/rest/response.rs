@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use crate::rest::json::Json;
 use crate::rest::request::RequestError;
-use crate::runtime::AdmitOutcome;
+use crate::runtime::{AdmitOutcome, SubmitError, SubmitOutcome};
 
 /// An HTTP-ish status code plus a JSON body.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +63,69 @@ pub fn admission_response(outcome: &AdmitOutcome, queued: usize) -> Response {
                 ("status", Json::Str("rejected".into())),
                 ("reason", Json::Str(reason.to_string())),
                 ("retry", Json::Bool(true)),
+            ]),
+        },
+    }
+}
+
+/// The v1 response for a [`SubmitOutcome`]. Tickets answer `202` with
+/// the job id and placement; refusals are typed:
+///
+/// * `429 {"status":"rejected","reason":"quota exceeded","tenant":3,
+///   "limit":2,"in_flight":2,"retry":true}` — the tenant's in-flight
+///   budget is spent; retrying after a completion is sound;
+/// * `503` — queue backpressure, exactly as the legacy endpoint;
+/// * `422 {"retry":false}` — the deadline had already passed at
+///   submission, so the identical request can never succeed.
+pub fn submit_response(outcome: &SubmitOutcome) -> Response {
+    match outcome {
+        Ok(ticket) => {
+            let mut fields = vec![
+                ("status", Json::Str("queued".into())),
+                ("job", Json::Num(ticket.job.0 as f64)),
+                ("queued", Json::Num(ticket.queued as f64)),
+                ("cross_shard", Json::Bool(ticket.cross_shard)),
+            ];
+            if let Some(shard) = ticket.shard {
+                fields.push(("shard", Json::Num(shard as f64)));
+            }
+            if let Some((_, label)) = &ticket.displaced {
+                fields.push(("displaced", Json::Str(label.clone())));
+            }
+            Response {
+                status: 202,
+                body: render(fields),
+            }
+        }
+        Err(SubmitError::QuotaExceeded {
+            tenant,
+            limit,
+            in_flight,
+        }) => Response {
+            status: 429,
+            body: render(vec![
+                ("status", Json::Str("rejected".into())),
+                ("reason", Json::Str("quota exceeded".into())),
+                ("tenant", Json::Num(tenant.0 as f64)),
+                ("limit", Json::Num(*limit as f64)),
+                ("in_flight", Json::Num(*in_flight as f64)),
+                ("retry", Json::Bool(true)),
+            ]),
+        },
+        Err(SubmitError::QueueFull) => Response {
+            status: 503,
+            body: render(vec![
+                ("status", Json::Str("rejected".into())),
+                ("reason", Json::Str("queue full".into())),
+                ("retry", Json::Bool(true)),
+            ]),
+        },
+        Err(SubmitError::DeadlineExpired) => Response {
+            status: 422,
+            body: render(vec![
+                ("status", Json::Str("rejected".into())),
+                ("reason", Json::Str("deadline already expired".into())),
+                ("retry", Json::Bool(false)),
             ]),
         },
     }
@@ -125,6 +188,63 @@ mod tests {
         let v = json::parse(&r.body).unwrap();
         assert_eq!(v.get("status").unwrap().as_str(), Some("rejected"));
         assert_eq!(v.get("retry").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn submit_ticket_names_shard_and_protocol() {
+        use crate::runtime::SubmitTicket;
+        let r = submit_response(&Ok(SubmitTicket {
+            job: JobId(4294967296),
+            shard: Some(2),
+            queued: 1,
+            displaced: None,
+            cross_shard: false,
+        }));
+        assert_eq!(r.status, 202);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("job").unwrap().as_u64(), Some(4294967296));
+        assert_eq!(v.get("shard").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("cross_shard").unwrap().as_bool(), Some(false));
+
+        let r = submit_response(&Ok(SubmitTicket {
+            job: JobId(9),
+            shard: None,
+            queued: 0,
+            displaced: Some((JobId(5), "old-job".into())),
+            cross_shard: true,
+        }));
+        let v = json::parse(&r.body).unwrap();
+        assert!(v.get("shard").is_none(), "coordinator-owned: no shard");
+        assert_eq!(v.get("cross_shard").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("displaced").unwrap().as_str(), Some("old-job"));
+    }
+
+    #[test]
+    fn quota_rejection_is_429_with_structured_body() {
+        use crate::runtime::TenantId;
+        let r = submit_response(&Err(SubmitError::QuotaExceeded {
+            tenant: TenantId(3),
+            limit: 2,
+            in_flight: 2,
+        }));
+        assert_eq!(r.status, 429);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("tenant").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("limit").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("in_flight").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("retry").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn queue_full_and_expired_deadline_differ_in_retryability() {
+        let r = submit_response(&Err(SubmitError::QueueFull));
+        assert_eq!(r.status, 503);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("retry").unwrap().as_bool(), Some(true));
+        let r = submit_response(&Err(SubmitError::DeadlineExpired));
+        assert_eq!(r.status, 422);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("retry").unwrap().as_bool(), Some(false));
     }
 
     #[test]

@@ -28,7 +28,8 @@ use std::collections::BTreeMap;
 
 use crate::rest::json::Json;
 use crate::rest::response::Response;
-use crate::runtime::{StatusReport, SwitchStatus};
+use crate::runtime::fabric::RebalanceReport;
+use crate::runtime::{ShardStatus, StatusReport, SwitchStatus, TenantStatus};
 
 fn duration_us(d: sdn_types::SimDuration) -> Json {
     Json::Num(d.as_nanos() as f64 / 1_000.0)
@@ -42,6 +43,29 @@ fn switch_json(s: &SwitchStatus) -> Json {
     }
     m.insert("rto_us".to_string(), duration_us(s.rto));
     m.insert("straggler".to_string(), Json::Bool(s.straggler));
+    Json::Obj(m)
+}
+
+fn shard_json(s: &ShardStatus) -> Json {
+    Json::Obj(
+        [
+            ("shard".to_string(), Json::Num(s.shard as f64)),
+            ("queued".to_string(), Json::Num(s.queued as f64)),
+            ("active".to_string(), Json::Num(s.active as f64)),
+            ("switches".to_string(), Json::Num(s.switches as f64)),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
+fn tenant_json(t: &TenantStatus) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("tenant".to_string(), Json::Num(t.tenant.0 as f64));
+    m.insert("in_flight".to_string(), Json::Num(t.in_flight as f64));
+    if let Some(q) = t.quota {
+        m.insert("quota".to_string(), Json::Num(q as f64));
+    }
     Json::Obj(m)
 }
 
@@ -97,6 +121,77 @@ pub fn status_response(report: &StatusReport) -> Response {
     ]
     .into_iter()
     .collect();
+    let mut body = body;
+    // fabric-only sections are omitted, not empty, for single-runtime
+    // controllers, so pre-fabric clients see an unchanged document
+    if !report.shards.is_empty() {
+        body.insert(
+            "shards".to_string(),
+            Json::Arr(report.shards.iter().map(shard_json).collect()),
+        );
+        body.insert(
+            "xshard_queued".to_string(),
+            Json::Num(report.xshard_queued as f64),
+        );
+        body.insert(
+            "xshard_active".to_string(),
+            Json::Num(report.xshard_active as f64),
+        );
+    }
+    if !report.tenants.is_empty() {
+        body.insert(
+            "tenants".to_string(),
+            Json::Arr(report.tenants.iter().map(tenant_json).collect()),
+        );
+    }
+    Response {
+        status: 200,
+        body: Json::Obj(body).render(),
+    }
+}
+
+/// The `200 OK` response for `GET /v1/rebalance`: per-shard load from
+/// the footprint touch index plus the bounded migration plan.
+pub fn rebalance_response(report: &RebalanceReport) -> Response {
+    let loads = report
+        .loads
+        .iter()
+        .map(|l| {
+            Json::Obj(
+                [
+                    ("shard".to_string(), Json::Num(l.shard.0 as f64)),
+                    ("switches".to_string(), Json::Num(l.switches as f64)),
+                    ("touches".to_string(), Json::Num(l.touches as f64)),
+                ]
+                .into_iter()
+                .collect(),
+            )
+        })
+        .collect();
+    let moves = report
+        .moves
+        .iter()
+        .map(|m| {
+            Json::Obj(
+                [
+                    ("dp".to_string(), Json::Num(m.dp.0 as f64)),
+                    ("from".to_string(), Json::Num(m.from.0 as f64)),
+                    ("to".to_string(), Json::Num(m.to.0 as f64)),
+                    ("touches".to_string(), Json::Num(m.touches as f64)),
+                ]
+                .into_iter()
+                .collect(),
+            )
+        })
+        .collect();
+    let body: BTreeMap<String, Json> = [
+        ("status".to_string(), Json::Str("ok".into())),
+        ("imbalance".to_string(), Json::Num(report.imbalance)),
+        ("loads".to_string(), Json::Arr(loads)),
+        ("moves".to_string(), Json::Arr(moves)),
+    ]
+    .into_iter()
+    .collect();
     Response {
         status: 200,
         body: Json::Obj(body).render(),
@@ -144,6 +239,10 @@ mod tests {
             ],
             journal_len: 12,
             quarantined: vec![DpId(7)],
+            shards: Vec::new(),
+            tenants: Vec::new(),
+            xshard_queued: 0,
+            xshard_active: 0,
         };
         let r = status_response(&report);
         assert_eq!(r.status, 200);
@@ -184,5 +283,103 @@ mod tests {
             Some(&Json::Arr(Vec::new())),
             "no switches yet"
         );
+        assert!(v.get("shards").is_none(), "fabric sections are omitted");
+        assert!(v.get("tenants").is_none());
+    }
+
+    #[test]
+    fn fabric_status_renders_shards_and_tenants() {
+        use crate::runtime::TenantId;
+        let report = StatusReport {
+            queued: 4,
+            shards: vec![
+                ShardStatus {
+                    shard: 0,
+                    queued: 1,
+                    active: 2,
+                    switches: 5,
+                },
+                ShardStatus {
+                    shard: 1,
+                    queued: 3,
+                    active: 0,
+                    switches: 4,
+                },
+            ],
+            tenants: vec![
+                TenantStatus {
+                    tenant: TenantId(3),
+                    in_flight: 2,
+                    quota: Some(4),
+                },
+                TenantStatus {
+                    tenant: TenantId(9),
+                    in_flight: 1,
+                    quota: None,
+                },
+            ],
+            xshard_queued: 1,
+            xshard_active: 2,
+            ..StatusReport::default()
+        };
+        let v = json::parse(&status_response(&report).body).unwrap();
+        let Json::Arr(shards) = v.get("shards").unwrap() else {
+            panic!("shards must be an array");
+        };
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("shard").unwrap().as_u64(), Some(0));
+        assert_eq!(shards[0].get("active").unwrap().as_u64(), Some(2));
+        assert_eq!(shards[1].get("queued").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("xshard_queued").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("xshard_active").unwrap().as_u64(), Some(2));
+        let Json::Arr(tenants) = v.get("tenants").unwrap() else {
+            panic!("tenants must be an array");
+        };
+        assert_eq!(tenants[0].get("tenant").unwrap().as_u64(), Some(3));
+        assert_eq!(tenants[0].get("quota").unwrap().as_u64(), Some(4));
+        assert!(
+            tenants[1].get("quota").is_none(),
+            "unlimited: quota omitted"
+        );
+    }
+
+    #[test]
+    fn rebalance_report_renders_loads_and_moves() {
+        use crate::runtime::fabric::{ShardId, ShardLoad, SuggestedMove};
+        let report = RebalanceReport {
+            loads: vec![
+                ShardLoad {
+                    shard: ShardId(0),
+                    switches: 2,
+                    touches: 40,
+                },
+                ShardLoad {
+                    shard: ShardId(1),
+                    switches: 1,
+                    touches: 2,
+                },
+            ],
+            imbalance: 1.9,
+            moves: vec![SuggestedMove {
+                dp: DpId(2),
+                from: ShardId(0),
+                to: ShardId(1),
+                touches: 30,
+            }],
+        };
+        let r = rebalance_response(&report);
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).unwrap();
+        assert!((v.get("imbalance").unwrap().as_f64().unwrap() - 1.9).abs() < 1e-9);
+        let Json::Arr(loads) = v.get("loads").unwrap() else {
+            panic!("loads must be an array");
+        };
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].get("touches").unwrap().as_u64(), Some(40));
+        let Json::Arr(moves) = v.get("moves").unwrap() else {
+            panic!("moves must be an array");
+        };
+        assert_eq!(moves[0].get("dp").unwrap().as_u64(), Some(2));
+        assert_eq!(moves[0].get("to").unwrap().as_u64(), Some(1));
     }
 }

@@ -24,6 +24,7 @@ use sdn_types::SimTime;
 
 use crate::compile::CompiledUpdate;
 use crate::runtime::conflict::{ConflictGraph, Footprint, JobId};
+use crate::runtime::submit::TenantId;
 
 /// What the queue does when it is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -110,6 +111,11 @@ pub struct QueuedJob {
     pub submitted: SimTime,
     /// Dispatch lane.
     pub priority: Priority,
+    /// The submitting tenant (quota accounting).
+    pub tenant: TenantId,
+    /// Latest useful launch time; a job still waiting past it fails
+    /// fast instead of dispatching stale intent.
+    pub deadline: Option<SimTime>,
     /// First round to execute. 0 for fresh jobs; crash recovery
     /// re-queues in-flight jobs with the round after their last
     /// journalled commit, so launch skips the fenced prefix.
@@ -243,6 +249,8 @@ mod tests {
             footprint: Footprint::default(),
             submitted: SimTime::ZERO,
             priority,
+            tenant: TenantId(0),
+            deadline: None,
             resume_round: 0,
         }
     }

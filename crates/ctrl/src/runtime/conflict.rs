@@ -119,6 +119,20 @@ impl Footprint {
     pub fn disjoint(&self, other: &Footprint) -> bool {
         !self.conflicts(other)
     }
+
+    /// The sub-footprint covering only the switches `keep` accepts —
+    /// the fabric slices a cross-shard footprint into one reservation
+    /// per owning shard with this.
+    pub fn slice(&self, mut keep: impl FnMut(DpId) -> bool) -> Footprint {
+        Footprint {
+            classes: self
+                .classes
+                .iter()
+                .filter(|(dp, _)| keep(**dp))
+                .map(|(dp, cs)| (*dp, cs.clone()))
+                .collect(),
+        }
+    }
 }
 
 /// The dynamic conflict graph over *active* jobs.

@@ -10,7 +10,7 @@
 //! per-switch adaptive retransmission timers ([`RtoTable`]).
 //!
 //! The runtime and the serial [`Controller`](crate::controller) both
-//! implement [`UpdateRuntime`], so the
+//! implement [`RuntimeHandle`], so the
 //! simulator, the experiments and the REST layer switch between them
 //! with one constructor argument.
 
@@ -30,7 +30,8 @@ use crate::runtime::admission::{
 use crate::runtime::conflict::{ConflictGraph, Footprint, JobId};
 use crate::runtime::journal::{Journal, JournalRecord};
 use crate::runtime::rto::{RtoConfig, RtoTable};
-use crate::runtime::{RuntimeStats, StatusReport, SwitchStatus, UpdateRuntime};
+use crate::runtime::submit::{SubmitError, SubmitOutcome, SubmitRequest, SubmitTicket, TenantId};
+use crate::runtime::{RuntimeHandle, RuntimeStats, StatusReport, SwitchStatus, TenantStatus};
 
 /// How the runtime times retransmissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,19 @@ pub struct RuntimeConfig {
     /// Probe transmissions per audit before the switch is abandoned
     /// to quarantine.
     pub resync_attempts: u32,
+    /// Per-tenant in-flight (queued + active) budget; `None` disables
+    /// quota enforcement. The fabric layers per-tenant overrides on
+    /// top of this uniform cap.
+    pub tenant_quota: Option<u32>,
+    /// First transaction id this runtime allocates. Runtimes sharing a
+    /// transport (fabric shards + coordinator) carve disjoint ranges
+    /// so replies route to their owner by xid value alone.
+    pub xid_base: u32,
+    /// First job id this runtime assigns. Fabric shards carve disjoint
+    /// ranges so a ticket's job id is unique fabric-wide and names its
+    /// owning runtime by value alone — no translation table to lose in
+    /// a crash.
+    pub job_id_base: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -85,6 +99,9 @@ impl Default for RuntimeConfig {
             quarantine_strikes: 2,
             resync_probe_timeout: SimDuration::from_millis(200),
             resync_attempts: 8,
+            tenant_quota: None,
+            xid_base: 1,
+            job_id_base: 1,
         }
     }
 }
@@ -117,6 +134,8 @@ struct ActiveJob {
     ex: RoundExecutor,
     submitted: SimTime,
     started: SimTime,
+    /// Whose budget this job occupies until reaped.
+    tenant: TenantId,
     /// Outstanding barrier per pending switch of the current round.
     barriers: BTreeMap<DpId, BarrierTimer>,
     /// Every payload-ack (echo) route this job has registered, so the
@@ -168,11 +187,11 @@ impl ConcurrentRuntime {
             graph: ConflictGraph::new(),
             active: BTreeMap::new(),
             routes: BTreeMap::new(),
-            xids: XidAlloc::new(),
+            xids: XidAlloc::with_base(config.xid_base),
             rto,
             reports: Vec::new(),
             stats: RuntimeStats::default(),
-            next_id: 1,
+            next_id: config.job_id_base.max(1),
             resync: ResyncManager::new(),
             journal,
             quarantined: BTreeSet::new(),
@@ -186,7 +205,7 @@ impl ConcurrentRuntime {
     /// Terminal jobs re-enter the report log; every unfinished job is
     /// re-queued in its original admission order with a `resume_round`
     /// pointing past its last journalled commit, so the next
-    /// [`poll`](UpdateRuntime::poll) re-dispatches from there through
+    /// [`poll`](RuntimeHandle::poll) re-dispatches from there through
     /// the normal launch machinery. Rounds at or before the commit
     /// cursor are known fenced network-wide and are replayed into the
     /// resync shadow (not the network); a round the journal
@@ -199,6 +218,8 @@ impl ConcurrentRuntime {
         struct Recovered {
             update: CompiledUpdate,
             priority: Priority,
+            tenant: TenantId,
+            deadline: Option<SimTime>,
             submitted: SimTime,
             started: Option<SimTime>,
             committed: Option<usize>,
@@ -219,6 +240,8 @@ impl ConcurrentRuntime {
                     id,
                     update,
                     priority,
+                    tenant,
+                    deadline,
                     at,
                 } => {
                     jobs.insert(
@@ -226,6 +249,8 @@ impl ConcurrentRuntime {
                         Recovered {
                             update,
                             priority,
+                            tenant,
+                            deadline,
                             submitted: at,
                             started: None,
                             committed: None,
@@ -278,6 +303,12 @@ impl ConcurrentRuntime {
                         rt.stats.displaced += 1;
                     }
                 }
+                // Two-phase records live in the fabric's own journal;
+                // a runtime journal never carries them, but tolerate
+                // them like any other foreign line.
+                JournalRecord::Prepared { .. }
+                | JournalRecord::XCommitted { .. }
+                | JournalRecord::Aborted { .. } => {}
             }
         }
         for (&id, job) in &jobs {
@@ -304,6 +335,8 @@ impl ConcurrentRuntime {
                 footprint,
                 submitted: job.submitted,
                 priority: job.priority,
+                tenant: job.tenant,
+                deadline: job.deadline,
                 resume_round,
             });
         }
@@ -337,6 +370,69 @@ impl ConcurrentRuntime {
         self.active
             .iter()
             .map(|(&id, j)| (id, j.ex.label(), j.ex.current_round()))
+    }
+
+    /// In-flight (queued + active) job counts per tenant. The fabric
+    /// reads this after a crash recovery to rebuild its quota ledger
+    /// without re-parsing shard journals.
+    pub fn tenants_in_flight(&self) -> BTreeMap<TenantId, u32> {
+        let mut usage: BTreeMap<TenantId, u32> = BTreeMap::new();
+        for job in self.queue.iter() {
+            *usage.entry(job.tenant).or_insert(0) += 1;
+        }
+        for job in self.active.values() {
+            *usage.entry(job.tenant).or_insert(0) += 1;
+        }
+        usage
+    }
+
+    /// In-flight job count for one tenant.
+    pub fn tenant_usage(&self, tenant: TenantId) -> u32 {
+        self.queue.iter().filter(|j| j.tenant == tenant).count() as u32
+            + self.active.values().filter(|j| j.tenant == tenant).count() as u32
+    }
+
+    /// Whether `footprint` conflicts with no active job or reservation
+    /// (a dry-run of [`ConcurrentRuntime::reserve`]).
+    pub fn admits_footprint(&self, footprint: &Footprint) -> bool {
+        self.graph.admits(footprint)
+    }
+
+    /// Reserve a footprint slice in this runtime's conflict graph on
+    /// behalf of an external owner (the fabric's two-phase prepare).
+    /// While held, conflicting local jobs wait in the admission queue
+    /// exactly as they would behind an active job. Returns `false` —
+    /// reserving nothing — when the slice conflicts with an active job
+    /// or an earlier reservation, or touches a quarantined switch.
+    pub fn reserve(&mut self, id: JobId, footprint: &Footprint) -> bool {
+        if !self.graph.admits(footprint)
+            || footprint
+                .switches()
+                .any(|dp| self.quarantined.contains(&dp))
+        {
+            return false;
+        }
+        self.graph.insert(id, footprint.clone());
+        true
+    }
+
+    /// Release a reservation taken by [`ConcurrentRuntime::reserve`]
+    /// (two-phase commit or abort). Unknown ids are ignored, so a
+    /// coordinator may release unconditionally while unwinding.
+    pub fn release(&mut self, id: JobId) {
+        self.graph.remove(id);
+    }
+
+    /// Whether `dp` is currently quarantined.
+    pub fn is_quarantined(&self, dp: DpId) -> bool {
+        self.quarantined.contains(&dp)
+    }
+
+    /// Whether `id` is still queued or executing here. The fabric
+    /// polls this to learn when a committed cross-shard job reached a
+    /// terminal state and its shard reservations can be released.
+    pub fn job_in_flight(&self, id: JobId) -> bool {
+        self.active.contains_key(&id) || self.queue.iter().any(|j| j.id == id)
     }
 
     fn straggler_attempts(&self) -> u32 {
@@ -516,9 +612,26 @@ impl ConcurrentRuntime {
                 update,
                 footprint,
                 submitted,
+                tenant,
+                deadline,
                 resume_round,
                 ..
             } = qj;
+            // a deadline that lapsed while queued: stale intent is not
+            // worth the network churn
+            if deadline.is_some_and(|d| now > d) {
+                self.stats.failed += 1;
+                self.journal.append(&JournalRecord::Failed { id, at: now });
+                self.reports.push(UpdateReport {
+                    label: update.label,
+                    submitted,
+                    started: now,
+                    completed: None,
+                    failure: Some(FailReason::DeadlineExpired),
+                    rounds: Vec::new(),
+                });
+                continue;
+            }
             if let Some(dp) = footprint
                 .switches()
                 .find(|dp| self.quarantined.contains(dp))
@@ -542,6 +655,7 @@ impl ConcurrentRuntime {
                 ex,
                 submitted,
                 started: now,
+                tenant,
                 barriers: BTreeMap::new(),
                 ack_routes: Vec::new(),
                 failure: None,
@@ -558,34 +672,56 @@ impl ConcurrentRuntime {
     }
 }
 
-impl UpdateRuntime for ConcurrentRuntime {
-    fn submit(&mut self, update: CompiledUpdate, now: SimTime, priority: Priority) -> AdmitOutcome {
+impl RuntimeHandle for ConcurrentRuntime {
+    fn submit_request(&mut self, req: SubmitRequest, now: SimTime) -> SubmitOutcome {
         self.stats.submitted += 1;
+        // refuse before burning an id: an expired deadline or a spent
+        // tenant budget is the caller's problem, not queue pressure
+        if req.deadline.is_some_and(|d| now > d) {
+            self.stats.rejected += 1;
+            return Err(SubmitError::DeadlineExpired);
+        }
+        if let Some(limit) = self.config.tenant_quota {
+            let in_flight = self.tenant_usage(req.tenant);
+            if in_flight >= limit {
+                self.stats.rejected += 1;
+                return Err(SubmitError::QuotaExceeded {
+                    tenant: req.tenant,
+                    limit,
+                    in_flight,
+                });
+            }
+        }
         let id = JobId(self.next_id);
         self.next_id += 1;
-        let footprint = Footprint::of(&update);
+        let footprint = Footprint::of(&req.update);
         // the record clones the whole update: build it only when a
         // journal is actually attached
         let admitted = self.journal.is_enabled().then(|| JournalRecord::Admitted {
             id,
-            update: update.clone(),
-            priority,
+            update: req.update.clone(),
+            priority: req.priority,
+            tenant: req.tenant,
+            deadline: req.deadline,
             at: now,
         });
         let outcome = self.queue.offer(QueuedJob {
             id,
-            update,
+            update: req.update,
             footprint,
             submitted: now,
-            priority,
+            priority: req.priority,
+            tenant: req.tenant,
+            deadline: req.deadline,
             resume_round: 0,
         });
-        match &outcome {
+        match outcome {
             AdmitOutcome::Queued { .. } => {
                 self.stats.accepted += 1;
                 if let Some(rec) = &admitted {
                     self.journal.append(rec);
                 }
+                Ok(SubmitTicket::local(id, self.queue.len()))
             }
             AdmitOutcome::QueuedDisplacing { dropped, .. } => {
                 self.stats.accepted += 1;
@@ -598,10 +734,16 @@ impl UpdateRuntime for ConcurrentRuntime {
                     id: dropped.0,
                     at: now,
                 });
+                Ok(SubmitTicket {
+                    displaced: Some(dropped),
+                    ..SubmitTicket::local(id, self.queue.len())
+                })
             }
-            AdmitOutcome::Rejected(_) => self.stats.rejected += 1,
+            AdmitOutcome::Rejected(_) => {
+                self.stats.rejected += 1;
+                Err(SubmitError::QueueFull)
+            }
         }
-        outcome
     }
 
     fn poll(&mut self, now: SimTime) -> Vec<CtrlOutput> {
@@ -887,6 +1029,18 @@ impl UpdateRuntime for ConcurrentRuntime {
             switches: switches.into_values().collect(),
             journal_len: self.journal.len(),
             quarantined: self.quarantined.iter().copied().collect(),
+            shards: Vec::new(),
+            tenants: self
+                .tenants_in_flight()
+                .into_iter()
+                .map(|(tenant, in_flight)| TenantStatus {
+                    tenant,
+                    in_flight,
+                    quota: self.config.tenant_quota,
+                })
+                .collect(),
+            xshard_queued: 0,
+            xshard_active: 0,
         }
     }
 }
@@ -936,12 +1090,12 @@ mod tests {
     #[test]
     fn disjoint_jobs_run_concurrently() {
         let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
-        rt.submit(
+        let _ = rt.submit(
             job("a", 2, vec![vec![1], vec![2]]),
             SimTime(0),
             Priority::Normal,
         );
-        rt.submit(
+        let _ = rt.submit(
             job("b", 4, vec![vec![5], vec![6]]),
             SimTime(0),
             Priority::Normal,
@@ -968,8 +1122,8 @@ mod tests {
     #[test]
     fn conflicting_job_waits_for_the_active_one() {
         let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
-        rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
-        rt.submit(job("b", 2, vec![vec![2, 3]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("b", 2, vec![vec![2, 3]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         assert_eq!(rt.active_count(), 1, "b conflicts with a at s2");
         assert_eq!(rt.queued(), 1);
@@ -989,8 +1143,8 @@ mod tests {
     #[test]
     fn flow_disjoint_jobs_share_a_switch_concurrently() {
         let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
-        rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
-        rt.submit(job("b", 4, vec![vec![2, 3]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("b", 4, vec![vec![2, 3]]), SimTime(0), Priority::Normal);
         rt.poll(SimTime(0));
         assert_eq!(rt.active_count(), 2, "distinct dst hosts commute at s2");
     }
@@ -1011,7 +1165,7 @@ mod tests {
                 Priority::Normal,
             );
             if i < 2 {
-                assert!(out.accepted(), "j{i} fits the queue");
+                assert!(out.is_ok(), "j{i} fits the queue");
             }
         }
         let stats = rt.stats();
@@ -1033,7 +1187,7 @@ mod tests {
         };
         let mut rt = ConcurrentRuntime::new(cfg);
         // Round 1 teaches the runtime that s1 answers in ~2 ms.
-        rt.submit(
+        let _ = rt.submit(
             job("a", 2, vec![vec![1], vec![1]]),
             SimTime(0),
             Priority::Normal,
@@ -1067,7 +1221,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut rt = ConcurrentRuntime::new(cfg);
-        rt.submit(
+        let _ = rt.submit(
             job("doomed", 2, vec![vec![1]]),
             SimTime(0),
             Priority::Normal,
@@ -1092,7 +1246,7 @@ mod tests {
             },
             ..RuntimeConfig::default()
         });
-        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         let b0 = barriers_of(&cmds)[0];
         // timeout fires; a new xid goes out, but the old transmission
@@ -1125,7 +1279,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut rt = ConcurrentRuntime::new(cfg);
-        rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1, 2]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         let b = barriers_of(&cmds);
         // s1 acks fast; s2 stays silent past its (backed-off) deadlines
@@ -1142,18 +1296,18 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut rt = ConcurrentRuntime::new(cfg);
-        rt.submit(
+        let _ = rt.submit(
             job("running", 2, vec![vec![1]]),
             SimTime(0),
             Priority::Normal,
         );
         let cmds = rt.poll(SimTime(0));
-        rt.submit(
+        let _ = rt.submit(
             job("patient", 4, vec![vec![5]]),
             SimTime(1),
             Priority::Normal,
         );
-        rt.submit(job("urgent", 6, vec![vec![9]]), SimTime(2), Priority::High);
+        let _ = rt.submit(job("urgent", 6, vec![vec![9]]), SimTime(2), Priority::High);
         // finish the running job; the High job launches first
         for (dp, xid) in barriers_of(&cmds) {
             reply(&mut rt, SimTime(3), dp, xid);
@@ -1187,7 +1341,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut rt = ConcurrentRuntime::new(cfg);
-        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         let b = barriers_of(&cmds);
         assert_eq!(echoes_of(&cmds).len(), 1);
@@ -1243,7 +1397,7 @@ mod tests {
     #[test]
     fn reconnect_probes_audits_and_repairs() {
         let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
-        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         complete_all(&mut rt, cmds, SimTime(1));
         assert!(rt.is_idle());
@@ -1304,10 +1458,10 @@ mod tests {
         };
         let mut rt = ConcurrentRuntime::new(cfg);
         // two jobs against a dead switch burn their budgets (strikes)
-        rt.submit(job("j1", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("j1", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         rt.poll(SimTime(0));
         rt.poll(SimTime(0) + SimDuration::from_millis(11));
-        rt.submit(
+        let _ = rt.submit(
             job("j2", 2, vec![vec![1]]),
             SimTime(0) + SimDuration::from_millis(12),
             Priority::Normal,
@@ -1322,7 +1476,7 @@ mod tests {
         );
         // the third job fails fast at launch — no budget burned
         let before = rt.stats().retransmissions;
-        rt.submit(
+        let _ = rt.submit(
             job("j3", 2, vec![vec![1]]),
             SimTime(0) + SimDuration::from_millis(24),
             Priority::Normal,
@@ -1356,12 +1510,12 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut rt = ConcurrentRuntime::new(cfg);
-        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         complete_all(&mut rt, cmds, SimTime(1));
         // an audit of s1 that never answers exhausts its probe budget
         rt.on_reconnect(DpId(1), SimTime(10));
-        rt.submit(job("b", 2, vec![vec![1]]), SimTime(11), Priority::Normal);
+        let _ = rt.submit(job("b", 2, vec![vec![1]]), SimTime(11), Priority::Normal);
         rt.poll(SimTime(11));
         assert_eq!(rt.active_count(), 1);
         rt.poll(SimTime(10) + SimDuration::from_millis(6)); // probe 2
@@ -1375,7 +1529,7 @@ mod tests {
     #[test]
     fn crash_recovery_resumes_after_the_committed_round() {
         let mut rt = ConcurrentRuntime::with_journal(RuntimeConfig::default(), Journal::mem());
-        rt.submit(
+        let _ = rt.submit(
             job("two-round", 2, vec![vec![1], vec![2]]),
             SimTime(0),
             Priority::Normal,
@@ -1411,7 +1565,7 @@ mod tests {
     #[test]
     fn recovery_without_a_journal_is_refused() {
         let mut rt = ConcurrentRuntime::new(RuntimeConfig::default());
-        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         rt.poll(SimTime(0));
         assert!(!rt.recover_from_crash(SimTime(1)));
         assert_eq!(rt.active_count(), 1, "nothing was discarded");
@@ -1420,7 +1574,7 @@ mod tests {
     #[test]
     fn recovery_preserves_terminal_reports() {
         let mut rt = ConcurrentRuntime::with_journal(RuntimeConfig::default(), Journal::mem());
-        rt.submit(job("done", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("done", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         complete_all(&mut rt, cmds, SimTime(1));
         assert_eq!(rt.reports().len(), 1);
@@ -1444,7 +1598,7 @@ mod tests {
             ..RuntimeConfig::default()
         };
         let mut rt = ConcurrentRuntime::new(cfg);
-        rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
+        let _ = rt.submit(job("a", 2, vec![vec![1]]), SimTime(0), Priority::Normal);
         let cmds = rt.poll(SimTime(0));
         let b = barriers_of(&cmds);
         let e = echoes_of(&cmds);

@@ -1,0 +1,171 @@
+//! Shard-rebalancing advice from the footprint touch index.
+//!
+//! Every submission's footprint increments a per-switch touch counter;
+//! aggregating those counters per shard shows whether the static
+//! assignment still matches the offered load. [`RebalanceReport`]
+//! summarises the skew and proposes a bounded list of switch moves
+//! (hottest switch of the hottest shard → the coolest shard, while the
+//! move still narrows the spread). The report is **advice**: applying
+//! it means constructing a fresh assignment with
+//! [`ShardAssignment::with_overrides`] at the next maintenance window —
+//! the fabric never migrates a switch while updates are in flight.
+
+use std::collections::BTreeMap;
+
+use sdn_types::DpId;
+use update_core::partition::ShardAssignment;
+
+use super::ShardId;
+
+/// Observed load of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// The shard.
+    pub shard: ShardId,
+    /// Distinct switches of this shard seen in any footprint.
+    pub switches: usize,
+    /// Total footprint touches over those switches.
+    pub touches: u64,
+}
+
+/// One proposed migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuggestedMove {
+    /// The switch to move.
+    pub dp: DpId,
+    /// Its current owner.
+    pub from: ShardId,
+    /// Its proposed owner.
+    pub to: ShardId,
+    /// The load that moves with it.
+    pub touches: u64,
+}
+
+/// Load skew summary plus a bounded migration plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceReport {
+    /// Per-shard load, in shard order (every shard listed, even idle
+    /// ones).
+    pub loads: Vec<ShardLoad>,
+    /// Hottest shard's touches over the per-shard mean (1.0 = level,
+    /// 0.0 = no load anywhere).
+    pub imbalance: f64,
+    /// Greedy moves, hottest first, each strictly narrowing the
+    /// hot–cold spread at the time it was chosen.
+    pub moves: Vec<SuggestedMove>,
+}
+
+impl RebalanceReport {
+    /// Build the report from the touch index under `assign`, proposing
+    /// at most `max_moves` migrations.
+    pub fn compute(
+        touch: &BTreeMap<DpId, u64>,
+        assign: &ShardAssignment,
+        max_moves: usize,
+    ) -> Self {
+        let n = assign.shards() as usize;
+        let mut touches = vec![0u64; n];
+        let mut switches = vec![0usize; n];
+        // per-shard switch lists, hottest last (stable: BTreeMap order)
+        let mut owned: Vec<Vec<(DpId, u64)>> = vec![Vec::new(); n];
+        for (&dp, &t) in touch {
+            let s = assign.shard_of(dp) as usize;
+            touches[s] += t;
+            switches[s] += 1;
+            owned[s].push((dp, t));
+        }
+        for list in &mut owned {
+            list.sort_by_key(|&(dp, t)| (t, std::cmp::Reverse(dp.0)));
+        }
+        let total: u64 = touches.iter().sum();
+        let mean = total as f64 / n as f64;
+        let imbalance = if total == 0 {
+            0.0
+        } else {
+            touches.iter().copied().max().unwrap_or(0) as f64 / mean
+        };
+        let loads = (0..n)
+            .map(|i| ShardLoad {
+                shard: ShardId(i as u32),
+                switches: switches[i],
+                touches: touches[i],
+            })
+            .collect();
+
+        let mut moves = Vec::new();
+        let mut load = touches.clone();
+        for _ in 0..max_moves {
+            let hot = (0..n).max_by_key(|&i| (load[i], i)).unwrap_or(0);
+            let cold = (0..n).min_by_key(|&i| (load[i], i)).unwrap_or(0);
+            let spread = load[hot] - load[cold];
+            // the hottest switch still narrowing the spread: moving t
+            // flips the gap to |spread - 2t|, an improvement iff t > 0
+            // and t < spread
+            let pick = owned[hot].iter().rposition(|&(_, t)| t > 0 && t < spread);
+            let Some(i) = pick else { break };
+            let (dp, t) = owned[hot].remove(i);
+            load[hot] -= t;
+            load[cold] += t;
+            owned[cold].push((dp, t));
+            moves.push(SuggestedMove {
+                dp,
+                from: ShardId(hot as u32),
+                to: ShardId(cold as u32),
+                touches: t,
+            });
+        }
+        RebalanceReport {
+            loads,
+            imbalance,
+            moves,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(entries: &[(u64, u64)]) -> BTreeMap<DpId, u64> {
+        entries.iter().map(|&(dp, t)| (DpId(dp), t)).collect()
+    }
+
+    #[test]
+    fn level_load_proposes_nothing() {
+        let assign = ShardAssignment::modulo(2);
+        let r = RebalanceReport::compute(&touch(&[(1, 10), (2, 10)]), &assign, 4);
+        assert!((r.imbalance - 1.0).abs() < 1e-9);
+        assert!(r.moves.is_empty());
+    }
+
+    #[test]
+    fn skewed_load_moves_hot_switch_to_cool_shard() {
+        // shard 0 owns dp 2 (load 30) and dp 4 (load 10); shard 1 owns
+        // dp 1 (load 2)
+        let assign = ShardAssignment::modulo(2);
+        let r = RebalanceReport::compute(&touch(&[(2, 30), (4, 10), (1, 2)]), &assign, 4);
+        assert!(r.imbalance > 1.5);
+        let m = r.moves.first().expect("a move");
+        assert_eq!(m.from, ShardId(0));
+        assert_eq!(m.to, ShardId(1));
+        // the hottest mover still under the 38-point spread: dp2 (30)
+        assert_eq!(m.dp, DpId(2));
+    }
+
+    #[test]
+    fn no_load_is_reported_level() {
+        let assign = ShardAssignment::modulo(3);
+        let r = RebalanceReport::compute(&BTreeMap::new(), &assign, 4);
+        assert_eq!(r.imbalance, 0.0);
+        assert_eq!(r.loads.len(), 3);
+        assert!(r.moves.is_empty());
+    }
+
+    #[test]
+    fn moves_are_bounded() {
+        let assign = ShardAssignment::modulo(2);
+        let t = touch(&[(2, 9), (4, 9), (6, 9), (8, 9), (1, 1)]);
+        let r = RebalanceReport::compute(&t, &assign, 1);
+        assert_eq!(r.moves.len(), 1);
+    }
+}

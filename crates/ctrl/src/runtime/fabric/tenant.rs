@@ -1,0 +1,103 @@
+//! Per-tenant admission policy: budgets and priority boosts.
+//!
+//! The fabric meters tenants, not requests: a tenant's budget bounds
+//! its **in-flight** jobs (queued + executing, across every shard, the
+//! coordinator, and the cross-shard prepare queue), so one noisy
+//! tenant cannot monopolise the fabric no matter how fast it submits.
+//! Budgets are checked before any shard is consulted; an over-budget
+//! submission is refused with
+//! [`SubmitError::QuotaExceeded`](crate::runtime::SubmitError) and
+//! surfaced by the REST layer as a structured `429`.
+//!
+//! A *boosted* tenant's jobs ride the High admission lane regardless
+//! of the per-request priority — the fabric-level counterpart of
+//! marking a tenant's traffic security-critical.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::runtime::admission::Priority;
+use crate::runtime::submit::TenantId;
+
+/// Fabric-wide tenant budgets and priorities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Budget for tenants without an override (`None` = unlimited).
+    pub default_quota: Option<u32>,
+    overrides: BTreeMap<TenantId, u32>,
+    boosted: BTreeSet<TenantId>,
+}
+
+impl TenantPolicy {
+    /// No budgets, no boosts — every tenant unlimited.
+    pub fn new() -> Self {
+        TenantPolicy::default()
+    }
+
+    /// A uniform budget for every tenant (overridable per tenant).
+    pub fn with_quota(quota: u32) -> Self {
+        TenantPolicy {
+            default_quota: Some(quota),
+            ..TenantPolicy::default()
+        }
+    }
+
+    /// Give `tenant` its own budget in place of the default.
+    pub fn override_quota(mut self, tenant: TenantId, quota: u32) -> Self {
+        self.overrides.insert(tenant, quota);
+        self
+    }
+
+    /// Ride `tenant`'s jobs on the High admission lane.
+    pub fn boost(mut self, tenant: TenantId) -> Self {
+        self.boosted.insert(tenant);
+        self
+    }
+
+    /// The budget applying to `tenant` (`None` = unlimited).
+    pub fn quota_for(&self, tenant: TenantId) -> Option<u32> {
+        self.overrides.get(&tenant).copied().or(self.default_quota)
+    }
+
+    /// The effective lane for `tenant` requesting `requested`: boosts
+    /// only ever raise, never lower.
+    pub fn priority_for(&self, tenant: TenantId, requested: Priority) -> Priority {
+        if self.boosted.contains(&tenant) {
+            Priority::High
+        } else {
+            requested
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_replaces_default() {
+        let p = TenantPolicy::with_quota(2).override_quota(TenantId(7), 5);
+        assert_eq!(p.quota_for(TenantId(1)), Some(2));
+        assert_eq!(p.quota_for(TenantId(7)), Some(5));
+    }
+
+    #[test]
+    fn unlimited_without_default() {
+        let p = TenantPolicy::new().override_quota(TenantId(3), 1);
+        assert_eq!(p.quota_for(TenantId(9)), None);
+        assert_eq!(p.quota_for(TenantId(3)), Some(1));
+    }
+
+    #[test]
+    fn boost_raises_but_never_lowers() {
+        let p = TenantPolicy::new().boost(TenantId(2));
+        assert_eq!(
+            p.priority_for(TenantId(2), Priority::Normal),
+            Priority::High
+        );
+        assert_eq!(p.priority_for(TenantId(2), Priority::High), Priority::High);
+        assert_eq!(
+            p.priority_for(TenantId(1), Priority::Normal),
+            Priority::Normal
+        );
+    }
+}

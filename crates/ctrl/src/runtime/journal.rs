@@ -32,6 +32,7 @@ use sdn_types::{DpId, SimDuration, SimTime, Xid};
 use crate::compile::{CompiledRound, CompiledUpdate};
 use crate::runtime::admission::Priority;
 use crate::runtime::conflict::JobId;
+use crate::runtime::submit::TenantId;
 
 /// One journal record.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +54,10 @@ pub enum JournalRecord {
         update: CompiledUpdate,
         /// Its admission lane.
         priority: Priority,
+        /// The submitting tenant (recovery rebuilds quota usage).
+        tenant: TenantId,
+        /// Latest useful launch time, when the caller set one.
+        deadline: Option<SimTime>,
         /// Submission time.
         at: SimTime,
     },
@@ -93,6 +98,40 @@ pub enum JournalRecord {
         /// The job.
         id: JobId,
         /// Shed time.
+        at: SimTime,
+    },
+    /// Two-phase protocol (fabric journal only): every involved shard
+    /// accepted its footprint reservation for a cross-shard update.
+    Prepared {
+        /// The coordinator-assigned job.
+        id: JobId,
+        /// The shards holding reservations.
+        shards: Vec<u32>,
+        /// Prepare time.
+        at: SimTime,
+    },
+    /// Two-phase protocol (fabric journal only): the prepared update
+    /// was handed to the coordinator runtime for execution. Recovery
+    /// re-establishes the shard reservations for jobs the coordinator
+    /// still has in flight.
+    XCommitted {
+        /// The fabric ticket.
+        id: JobId,
+        /// The job id the coordinator runtime assigned at commit —
+        /// recovery uses it to ask the coordinator whether the job is
+        /// still in flight (and so needs its reservations back).
+        coord: JobId,
+        /// Commit time.
+        at: SimTime,
+    },
+    /// Two-phase protocol (fabric journal only): the prepare was
+    /// unwound — every shard reservation released, the update never
+    /// executed. Also written during recovery for updates caught
+    /// between prepare and commit by a crash.
+    Aborted {
+        /// The coordinator-assigned job.
+        id: JobId,
+        /// Abort time.
         at: SimTime,
     },
 }
@@ -240,6 +279,8 @@ fn serialize(rec: &JournalRecord) -> String {
             id,
             update,
             priority,
+            tenant,
+            deadline,
             at,
         } => {
             let prio = match priority {
@@ -247,14 +288,20 @@ fn serialize(rec: &JournalRecord) -> String {
                 Priority::High => "high",
             };
             let rounds: Vec<String> = update.rounds.iter().map(serialize_round).collect();
-            format!(
-                "admitted id={} at={} prio={} label={} rounds={}",
-                id.0,
-                at.0,
-                prio,
+            let mut line = format!("admitted id={} at={} prio={}", id.0, at.0, prio);
+            if tenant.0 != 0 {
+                let _ = write!(line, " tenant={}", tenant.0);
+            }
+            if let Some(d) = deadline {
+                let _ = write!(line, " deadline={}", d.0);
+            }
+            let _ = write!(
+                line,
+                " label={} rounds={}",
                 hex(update.label.as_bytes()),
                 rounds.join(";"),
-            )
+            );
+            line
         }
         JournalRecord::Started { id, at } => format!("started id={} at={}", id.0, at.0),
         JournalRecord::RoundCommitted { id, round, at } => {
@@ -263,6 +310,14 @@ fn serialize(rec: &JournalRecord) -> String {
         JournalRecord::Completed { id, at } => format!("completed id={} at={}", id.0, at.0),
         JournalRecord::Failed { id, at } => format!("failed id={} at={}", id.0, at.0),
         JournalRecord::Shed { id, at } => format!("shed id={} at={}", id.0, at.0),
+        JournalRecord::Prepared { id, shards, at } => {
+            let list: Vec<String> = shards.iter().map(|s| s.to_string()).collect();
+            format!("prepared id={} at={} shards={}", id.0, at.0, list.join(";"))
+        }
+        JournalRecord::XCommitted { id, coord, at } => {
+            format!("xcommitted id={} coord={} at={}", id.0, coord.0, at.0)
+        }
+        JournalRecord::Aborted { id, at } => format!("aborted id={} at={}", id.0, at.0),
     }
 }
 
@@ -290,7 +345,21 @@ fn parse(line: &str) -> Option<JournalRecord> {
                 "high" => Priority::High,
                 _ => Priority::Normal,
             };
-            let label = String::from_utf8(unhex(field(toks.next(), "label")?)?).ok()?;
+            // tenant and deadline are omitted at their defaults (and
+            // absent from pre-fabric logs): probe before committing to
+            // the label token
+            let mut tenant = TenantId(0);
+            let mut deadline = None;
+            let mut tok = toks.next();
+            if let Some(t) = field(tok, "tenant") {
+                tenant = TenantId(t.parse().ok()?);
+                tok = toks.next();
+            }
+            if let Some(d) = field(tok, "deadline") {
+                deadline = Some(SimTime(d.parse().ok()?));
+                tok = toks.next();
+            }
+            let label = String::from_utf8(unhex(field(tok, "label")?)?).ok()?;
             let rounds_tok = field(toks.next(), "rounds")?;
             let rounds = if rounds_tok.is_empty() {
                 Vec::new()
@@ -304,18 +373,41 @@ fn parse(line: &str) -> Option<JournalRecord> {
                 id: JobId(id),
                 update: CompiledUpdate { label, rounds },
                 priority,
+                tenant,
+                deadline,
                 at: SimTime(at),
             })
         }
-        "started" | "completed" | "failed" | "shed" => {
+        "started" | "completed" | "failed" | "shed" | "aborted" => {
             let id = JobId(field(toks.next(), "id")?.parse().ok()?);
             let at = SimTime(field(toks.next(), "at")?.parse().ok()?);
             Some(match kind {
                 "started" => JournalRecord::Started { id, at },
                 "completed" => JournalRecord::Completed { id, at },
                 "failed" => JournalRecord::Failed { id, at },
+                "aborted" => JournalRecord::Aborted { id, at },
                 _ => JournalRecord::Shed { id, at },
             })
+        }
+        "xcommitted" => {
+            let id = JobId(field(toks.next(), "id")?.parse().ok()?);
+            let coord = JobId(field(toks.next(), "coord")?.parse().ok()?);
+            let at = SimTime(field(toks.next(), "at")?.parse().ok()?);
+            Some(JournalRecord::XCommitted { id, coord, at })
+        }
+        "prepared" => {
+            let id = JobId(field(toks.next(), "id")?.parse().ok()?);
+            let at = SimTime(field(toks.next(), "at")?.parse().ok()?);
+            let shards_tok = field(toks.next(), "shards")?;
+            let shards = if shards_tok.is_empty() {
+                Vec::new()
+            } else {
+                shards_tok
+                    .split(';')
+                    .map(|s| s.parse().ok())
+                    .collect::<Option<Vec<u32>>>()?
+            };
+            Some(JournalRecord::Prepared { id, shards, at })
         }
         "round" => {
             let id = JobId(field(toks.next(), "id")?.parse().ok()?);
@@ -391,6 +483,8 @@ mod tests {
                 id: JobId(1),
                 update: update(),
                 priority: Priority::High,
+                tenant: TenantId(4),
+                deadline: Some(SimTime(90)),
                 at: SimTime(10),
             },
             JournalRecord::Started {
@@ -480,9 +574,31 @@ mod tests {
                 rounds: vec![],
             },
             priority: Priority::Normal,
+            tenant: TenantId(0),
+            deadline: None,
             at: SimTime(0),
         };
         let line = serialize(&rec);
         assert_eq!(parse(&line), Some(rec));
+    }
+
+    #[test]
+    fn pre_fabric_admitted_lines_still_parse() {
+        // a PR 7 log has no tenant/deadline tokens; recovery must read
+        // it as the default tenant with no deadline
+        let line = "admitted id=5 at=12 prio=normal label=61 rounds=";
+        let rec = parse(line).expect("legacy line parses");
+        let JournalRecord::Admitted {
+            id,
+            tenant,
+            deadline,
+            ..
+        } = rec
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(id, JobId(5));
+        assert_eq!(tenant, TenantId(0));
+        assert_eq!(deadline, None);
     }
 }

@@ -19,22 +19,31 @@
 //!   [`RoundExecutor`](crate::executor::RoundExecutor)s over the
 //!   shared channel, routing barrier replies by `(switch, xid)`.
 //!
-//! [`UpdateRuntime`] abstracts over the serial
-//! [`Controller`](crate::controller::Controller) and the concurrent
-//! [`ConcurrentRuntime`], so the simulator and the experiments flip
-//! between them with a constructor argument.
+//! [`RuntimeHandle`] abstracts over the serial
+//! [`Controller`](crate::controller::Controller), the concurrent
+//! [`ConcurrentRuntime`], and the sharded
+//! [`FabricCoordinator`](crate::runtime::fabric::FabricCoordinator),
+//! so the simulator and the experiments flip between them with a
+//! constructor argument. Submissions go through the [`submit`] module's
+//! [`SubmitRequest`] → [`SubmitTicket`] surface; the positional
+//! `submit(update, now, priority)` form survives as a convenience
+//! wrapper.
 
 pub mod admission;
 pub mod conflict;
 pub mod dispatch;
+pub mod fabric;
 pub mod journal;
 pub mod rto;
+pub mod submit;
 
 pub use admission::{AdmissionPolicy, AdmitOutcome, Priority, RejectReason};
 pub use conflict::{ConflictGraph, FlowClass, Footprint, JobId};
 pub use dispatch::{ConcurrentRuntime, RetransMode, RuntimeConfig};
+pub use fabric::{FabricConfig, FabricCoordinator, RebalanceReport, ShardId};
 pub use journal::{Journal, JournalRecord};
 pub use rto::{RtoConfig, RtoTable};
+pub use submit::{SubmitError, SubmitOutcome, SubmitRequest, SubmitTicket, TenantId};
 
 use sdn_openflow::messages::{Envelope, OfMessage};
 use sdn_types::{DpId, SimDuration, SimTime};
@@ -43,10 +52,10 @@ use crate::compile::CompiledUpdate;
 use crate::controller::{CtrlOutput, UpdateReport};
 
 /// Aggregate runtime counters (monotone; snapshot via
-/// [`UpdateRuntime::stats`]).
+/// [`RuntimeHandle::stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RuntimeStats {
-    /// Updates offered through [`UpdateRuntime::submit`].
+    /// Updates offered through [`RuntimeHandle::submit`].
     pub submitted: u64,
     /// Updates that entered the queue.
     pub accepted: u64,
@@ -65,7 +74,7 @@ pub struct RuntimeStats {
     pub stragglers: u64,
     /// Highest number of simultaneously executing updates observed.
     pub peak_active: u64,
-    /// Switch reconnects observed (via [`UpdateRuntime::on_reconnect`]).
+    /// Switch reconnects observed (via [`RuntimeHandle::on_reconnect`]).
     pub reconnects: u64,
     /// Resynchronization audits that converged.
     pub resyncs: u64,
@@ -101,6 +110,30 @@ pub struct SwitchStatus {
     pub straggler: bool,
 }
 
+/// Per-shard depth figures for [`StatusReport`] (fabric runtimes only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// The shard.
+    pub shard: u32,
+    /// Jobs waiting in the shard's admission queue.
+    pub queued: usize,
+    /// Jobs the shard is executing.
+    pub active: usize,
+    /// Switches the shard owns.
+    pub switches: usize,
+}
+
+/// Per-tenant budget usage for [`StatusReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStatus {
+    /// The tenant.
+    pub tenant: submit::TenantId,
+    /// Jobs it has queued or executing.
+    pub in_flight: u32,
+    /// Its configured budget (`None` = unlimited).
+    pub quota: Option<u32>,
+}
+
 /// A live snapshot of the runtime for `GET /status` — the operator's
 /// view that experiments and tests previously scraped from internal
 /// accessors. Rendered to JSON by
@@ -126,16 +159,40 @@ pub struct StatusReport {
     pub journal_len: usize,
     /// Switches currently quarantined, in dpid order.
     pub quarantined: Vec<DpId>,
+    /// Per-shard queue and active depths (empty for single-runtime
+    /// controllers).
+    pub shards: Vec<ShardStatus>,
+    /// Per-tenant in-flight counts against their budgets (empty when
+    /// no tenant has work in flight).
+    pub tenants: Vec<TenantStatus>,
+    /// Cross-shard jobs waiting for their two-phase prepare.
+    pub xshard_queued: usize,
+    /// Cross-shard jobs currently executing under the coordinator.
+    pub xshard_active: usize,
 }
 
 /// A controller core that accepts compiled updates and drives them to
 /// completion over a message transport. Implemented by the serial
 /// [`Controller`](crate::controller::Controller) (the paper's
-/// one-at-a-time queue) and by [`ConcurrentRuntime`].
-pub trait UpdateRuntime {
-    /// Offer an update for execution. Admission may refuse it
-    /// (bounded queue); the outcome carries the assigned job id.
-    fn submit(&mut self, update: CompiledUpdate, now: SimTime, priority: Priority) -> AdmitOutcome;
+/// one-at-a-time queue), by [`ConcurrentRuntime`], and by the sharded
+/// [`FabricCoordinator`](crate::runtime::fabric::FabricCoordinator).
+pub trait RuntimeHandle {
+    /// Offer an update for execution. Admission may refuse it (bounded
+    /// queue, tenant quota, expired deadline); an accepted request
+    /// yields a [`SubmitTicket`] carrying the assigned job id.
+    fn submit_request(&mut self, req: submit::SubmitRequest, now: SimTime)
+        -> submit::SubmitOutcome;
+
+    /// Positional convenience over [`RuntimeHandle::submit_request`]:
+    /// default tenant, no deadline.
+    fn submit(
+        &mut self,
+        update: CompiledUpdate,
+        now: SimTime,
+        priority: Priority,
+    ) -> submit::SubmitOutcome {
+        self.submit_request(submit::SubmitRequest::new(update).priority(priority), now)
+    }
 
     /// Drive timers and dispatch: start queued jobs, retransmit, end
     /// grace waits. Call regularly (each simulator step or timer
@@ -173,6 +230,10 @@ pub trait UpdateRuntime {
             switches: Vec::new(),
             journal_len: 0,
             quarantined: Vec::new(),
+            shards: Vec::new(),
+            tenants: Vec::new(),
+            xshard_queued: 0,
+            xshard_active: 0,
         }
     }
 
@@ -212,3 +273,13 @@ pub trait UpdateRuntime {
         false
     }
 }
+
+/// The pre-fabric name of [`RuntimeHandle`], kept for one PR so
+/// downstream code migrates at its own pace. Every `RuntimeHandle` is
+/// an `UpdateRuntime` through the blanket impl below; new code should
+/// name `RuntimeHandle` directly.
+#[deprecated(since = "0.8.0", note = "renamed to RuntimeHandle")]
+pub trait UpdateRuntime: RuntimeHandle {}
+
+#[allow(deprecated)]
+impl<T: RuntimeHandle + ?Sized> UpdateRuntime for T {}

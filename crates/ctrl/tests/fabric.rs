@@ -1,0 +1,302 @@
+//! Serializability of the fabric's cross-shard two-phase protocol.
+//!
+//! Property: submit a batch of updates to a sharded
+//! [`FabricCoordinator`] — some landing in one shard, some spanning
+//! several, some in genuine footprint conflict — and drive the whole
+//! fabric against real [`SoftSwitch`] tables under randomized message
+//! delivery. Whatever interleaving the two-phase protocol produces,
+//! the committed flow tables must equal executing the same updates
+//! **serially in the fabric's completion order**: the concurrent
+//! sharded execution is equivalent to a serial order of the same
+//! updates (with the completion order as the witness).
+//!
+//! This extends `runtime_conflict.rs`'s commutativity machinery across
+//! shard boundaries: there, disjointness alone justified interleaving;
+//! here, the coordinator's reservations must *create* that
+//! disjointness dynamically — including for updates that conflict and
+//! must serialize.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use sdn_ctrl::compile::{compile_schedule, CompiledUpdate, FlowSpec};
+use sdn_ctrl::controller::CtrlOutput;
+use sdn_ctrl::runtime::{
+    FabricConfig, FabricCoordinator, RuntimeHandle, SubmitError, SubmitRequest, TenantId,
+};
+use sdn_openflow::messages::Envelope;
+use sdn_switch::SoftSwitch;
+use sdn_topo::gen::{self, UpdatePair};
+use sdn_types::{DetRng, DpId, SimTime, Xid};
+use update_core::algorithms::{SlfGreedy, UpdateScheduler};
+use update_core::checker::verify_schedule;
+use update_core::model::UpdateInstance;
+use update_core::properties::PropertySet;
+
+/// `k` switch-disjoint flows of `n` switches each, plus (optionally)
+/// the reverse of flow 0 — a genuine footprint conflict the fabric
+/// must serialize rather than interleave.
+fn flows(n: u64, k: usize, with_conflict: bool, rng: &mut DetRng) -> Vec<UpdatePair> {
+    let mut pairs: Vec<UpdatePair> = (0..k)
+        .map(|i| {
+            let base = gen::random_permutation(n, rng);
+            gen::shift(&base, (i as u64) * (n + 3))
+        })
+        .collect();
+    if with_conflict {
+        let first = pairs[0].clone();
+        pairs.push(UpdatePair {
+            old: first.new.clone(),
+            new: first.old.clone(),
+            waypoint: None,
+        });
+    }
+    pairs
+}
+
+/// Compile each flow (verifying its schedule statically), labelled
+/// `u0`, `u1`, ... so reports map back to updates. The conflicting
+/// reverse flow reuses flow 0's hosts.
+fn compile_flows(pairs: &[UpdatePair], k: usize) -> Vec<CompiledUpdate> {
+    let topo = gen::materialize_batch(&pairs[..k]);
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            let (src, dst) = gen::batch_hosts(if i < k { i } else { 0 });
+            let spec = FlowSpec { src, dst };
+            let inst =
+                UpdateInstance::new(pair.old.clone(), pair.new.clone(), pair.waypoint).unwrap();
+            let sched = SlfGreedy::default().schedule(&inst).unwrap();
+            let report = verify_schedule(&inst, &sched, PropertySet::loop_free_strong());
+            assert!(report.is_ok(), "per-flow schedule must verify: {report}");
+            let mut c = compile_schedule(&topo, &inst, &sched, &spec).unwrap();
+            c.label = format!("u{i}");
+            c
+        })
+        .collect()
+}
+
+fn all_switches(updates: &[CompiledUpdate]) -> Vec<DpId> {
+    let mut dps: Vec<DpId> = updates
+        .iter()
+        .flat_map(|u| u.rounds.iter().flat_map(|r| r.msgs.iter().map(|(d, _)| *d)))
+        .collect();
+    dps.sort();
+    dps.dedup();
+    dps
+}
+
+fn shuffle<T>(items: &mut [T], rng: &mut DetRng) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.index(i + 1));
+    }
+}
+
+/// Forwarding-relevant fingerprint of a switch farm.
+fn fingerprint(sws: &BTreeMap<DpId, SoftSwitch>) -> Vec<(DpId, Vec<String>)> {
+    sws.iter()
+        .map(|(&dp, s)| {
+            let mut rules: Vec<String> = s
+                .table()
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{}|{:?}|{:?}|{}",
+                        e.priority, e.matcher, e.actions, e.cookie
+                    )
+                })
+                .collect();
+            rules.sort();
+            (dp, rules)
+        })
+        .collect()
+}
+
+/// Drive the fabric against live switches until idle, delivering
+/// commands and replies in a seed-shuffled order each step so
+/// different seeds exercise different cross-shard interleavings.
+fn drive(
+    fab: &mut FabricCoordinator,
+    farm: &mut BTreeMap<DpId, SoftSwitch>,
+    rng: &mut DetRng,
+    mut t: u64,
+) -> u64 {
+    let mut pending: Vec<(DpId, Envelope)> = Vec::new();
+    for _ in 0..20_000 {
+        t += 1;
+        pending.extend(
+            fab.poll(SimTime(t))
+                .into_iter()
+                .map(|CtrlOutput::Send(dp, env)| (dp, env)),
+        );
+        if pending.is_empty() {
+            if fab.is_idle() {
+                return t;
+            }
+            continue;
+        }
+        shuffle(&mut pending, rng);
+        let mut replies: Vec<(DpId, Envelope)> = Vec::new();
+        for (dp, env) in pending.drain(..) {
+            let sw = farm.get_mut(&dp).expect("known switch");
+            replies.extend(sw.handle_control(env).into_iter().map(|r| (dp, r)));
+        }
+        shuffle(&mut replies, rng);
+        for (dp, reply) in replies {
+            t += 1;
+            pending.extend(
+                fab.on_message(SimTime(t), dp, &reply)
+                    .into_iter()
+                    .map(|CtrlOutput::Send(dp, env)| (dp, env)),
+            );
+        }
+        if fab.is_idle() && pending.is_empty() {
+            return t;
+        }
+    }
+    panic!("fabric did not drain");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of cross-shard two-phase commits is equivalent
+    /// to some serial order of the same updates.
+    #[test]
+    fn cross_shard_two_phase_commits_serialize(
+        n in 4u64..8,
+        k in 2usize..4,
+        shards in 2u32..5,
+        with_conflict in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = DetRng::new(seed);
+        let pairs = flows(n, k, with_conflict, &mut rng);
+        let updates = compile_flows(&pairs, k);
+        let dps = all_switches(&updates);
+
+        let mut fab = FabricCoordinator::new(FabricConfig {
+            shards,
+            journal: true,
+            ..FabricConfig::default()
+        });
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        shuffle(&mut order, &mut rng);
+        let mut farm: BTreeMap<DpId, SoftSwitch> =
+            dps.iter().map(|&d| (d, SoftSwitch::new(d, 64))).collect();
+        let mut saw_cross_shard = false;
+        for &i in &order {
+            let t = fab
+                .submit_request(SubmitRequest::new(updates[i].clone()), SimTime(0))
+                .expect("fabric admits the batch");
+            saw_cross_shard |= t.cross_shard;
+        }
+        let end = drive(&mut fab, &mut farm, &mut rng, 0);
+        let _ = end;
+
+        prop_assert_eq!(fab.reports().len(), updates.len());
+        prop_assert!(fab.reports().iter().all(|r| r.completed.is_some()),
+            "every update must commit");
+        prop_assert!(saw_cross_shard || shards == 1,
+            "workload must exercise the two-phase path");
+
+        // serial witness: the same updates, executed one after another
+        // in the fabric's completion order
+        let mut reference: BTreeMap<DpId, SoftSwitch> =
+            dps.iter().map(|&d| (d, SoftSwitch::new(d, 64))).collect();
+        let mut xid = Xid(1);
+        for report in fab.reports() {
+            let idx: usize = report.label.strip_prefix('u').unwrap().parse().unwrap();
+            for round in &updates[idx].rounds {
+                for (dp, msg) in &round.msgs {
+                    reference
+                        .get_mut(dp)
+                        .unwrap()
+                        .handle_control(Envelope::new(xid, msg.clone()));
+                    xid = xid.next();
+                }
+            }
+        }
+        prop_assert_eq!(
+            fingerprint(&farm),
+            fingerprint(&reference),
+            "fabric execution must equal its completion-order serial witness"
+        );
+    }
+}
+
+/// The conflicting pair really serializes: with the reverse of flow 0
+/// in the batch, the fabric must never run both at once (the witness
+/// tables would differ otherwise) — checked deterministically here so
+/// a proptest shrink isn't the only evidence.
+#[test]
+fn conflicting_cross_shard_updates_never_overlap() {
+    let mut rng = DetRng::new(7);
+    let pairs = flows(5, 2, true, &mut rng);
+    let updates = compile_flows(&pairs, 2);
+    let dps = all_switches(&updates);
+    let mut fab = FabricCoordinator::new(FabricConfig {
+        shards: 3,
+        ..FabricConfig::default()
+    });
+    let mut farm: BTreeMap<DpId, SoftSwitch> =
+        dps.iter().map(|&d| (d, SoftSwitch::new(d, 64))).collect();
+    for u in &updates {
+        assert!(fab
+            .submit_request(SubmitRequest::new(u.clone()), SimTime(0))
+            .is_ok());
+    }
+    // u0 and u2 share a footprint: at no point may both be active
+    drive(&mut fab, &mut farm, &mut rng, 0);
+    assert_eq!(fab.reports().len(), 3);
+    assert!(fab.reports().iter().all(|r| r.completed.is_some()));
+    let done: Vec<&str> = fab.reports().iter().map(|r| r.label.as_str()).collect();
+    let p0 = done.iter().position(|&l| l == "u0").unwrap();
+    let p2 = done.iter().position(|&l| l == "u2").unwrap();
+    assert_ne!(p0, p2);
+}
+
+/// Tenant budgets hold across the whole fabric, shards and
+/// coordinator alike, and free up as work completes.
+#[test]
+fn tenant_quota_spans_shards_and_releases_on_completion() {
+    let mut rng = DetRng::new(3);
+    let pairs = flows(4, 3, false, &mut rng);
+    let updates = compile_flows(&pairs, 3);
+    let dps = all_switches(&updates);
+    let mut fab = FabricCoordinator::new(FabricConfig {
+        shards: 2,
+        tenants: sdn_ctrl::runtime::fabric::TenantPolicy::with_quota(2),
+        ..FabricConfig::default()
+    });
+    let mut farm: BTreeMap<DpId, SoftSwitch> =
+        dps.iter().map(|&d| (d, SoftSwitch::new(d, 64))).collect();
+    let tenant = TenantId(9);
+    for u in &updates[..2] {
+        assert!(fab
+            .submit_request(SubmitRequest::new(u.clone()).tenant(tenant), SimTime(0))
+            .is_ok());
+    }
+    let third = fab.submit_request(
+        SubmitRequest::new(updates[2].clone()).tenant(tenant),
+        SimTime(0),
+    );
+    assert_eq!(
+        third,
+        Err(SubmitError::QuotaExceeded {
+            tenant,
+            limit: 2,
+            in_flight: 2
+        })
+    );
+    drive(&mut fab, &mut farm, &mut rng, 0);
+    // budget released: the refused update now fits
+    assert!(fab
+        .submit_request(
+            SubmitRequest::new(updates[2].clone()).tenant(tenant),
+            SimTime(1_000_000),
+        )
+        .is_ok());
+}

@@ -22,7 +22,7 @@ use sdn_ctrl::compile::{CompiledRound, CompiledUpdate};
 use sdn_ctrl::controller::CtrlOutput;
 use sdn_ctrl::executor::XidAlloc;
 use sdn_ctrl::resync::ResyncManager;
-use sdn_ctrl::runtime::{ConcurrentRuntime, Journal, Priority, RuntimeConfig, UpdateRuntime};
+use sdn_ctrl::runtime::{ConcurrentRuntime, Journal, Priority, RuntimeConfig, RuntimeHandle};
 use sdn_openflow::flow::{Action, FlowMatch};
 use sdn_openflow::messages::{Envelope, FlowMod, FlowModCommand, OfMessage};
 use sdn_switch::SoftSwitch;
@@ -147,7 +147,7 @@ proptest! {
         let mut ref_switches = fresh_switches(&all_dps);
         let mut now = SimTime(0);
         for u in mk_jobs() {
-            reference.submit(u, now, Priority::Normal);
+            let _ = reference.submit(u, now, Priority::Normal);
         }
         let total = drive(&mut reference, &mut ref_switches, &mut now, None);
         prop_assert!(reference.is_idle());
@@ -160,7 +160,7 @@ proptest! {
         let mut switches = fresh_switches(&all_dps);
         let mut now = SimTime(0);
         for u in mk_jobs() {
-            rt.submit(u, now, Priority::Normal);
+            let _ = rt.submit(u, now, Priority::Normal);
         }
         drive(&mut rt, &mut switches, &mut now, Some(crash_after));
         let recovered = rt.recover_from_crash(now);

@@ -10,7 +10,7 @@ use sdn_ctrl::executor::ExecConfig;
 use sdn_ctrl::rest::json::{self, Json};
 use sdn_ctrl::rest::status::status_response;
 use sdn_ctrl::runtime::{
-    ConcurrentRuntime, Journal, Priority, RetransMode, RuntimeConfig, UpdateRuntime,
+    ConcurrentRuntime, Journal, Priority, RetransMode, RuntimeConfig, RuntimeHandle,
 };
 use sdn_openflow::flow::{Action, FlowMatch};
 use sdn_openflow::messages::{Envelope, FlowMod, FlowModCommand, OfMessage};
@@ -62,7 +62,7 @@ fn live_status_reports_robustness_counters() {
     // strike, quarantine
     assert!(rt
         .submit(one_round_job("doomed", 9, 50), now, Priority::Normal)
-        .accepted());
+        .is_ok());
     let _ = rt.poll(now);
     now += SimDuration::from_millis(50);
     let _ = rt.poll(now);

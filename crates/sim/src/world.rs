@@ -13,7 +13,10 @@ use sdn_channel::sim::{ConnId, SimChannel};
 use sdn_channel::transport::Transport;
 use sdn_ctrl::compile::CompiledUpdate;
 use sdn_ctrl::controller::{Controller, ControllerConfig, CtrlOutput};
-use sdn_ctrl::runtime::{AdmitOutcome, Priority, RuntimeStats, StatusReport, UpdateRuntime};
+use sdn_ctrl::runtime::{
+    AdmitOutcome, ConcurrentRuntime, FabricConfig, FabricCoordinator, Priority, RejectReason,
+    RuntimeConfig, RuntimeHandle, RuntimeStats, StatusReport, SubmitOutcome, SubmitRequest,
+};
 use sdn_openflow::codec::{decode, encode};
 use sdn_openflow::flow::PacketMeta;
 use sdn_openflow::messages::OfMessage;
@@ -84,7 +87,7 @@ pub struct World {
     topo: Topology,
     switches: BTreeMap<DpId, SoftSwitch>,
     busy_until: BTreeMap<DpId, SimTime>,
-    controller: Box<dyn UpdateRuntime>,
+    controller: Box<dyn RuntimeHandle>,
     channel: SimChannel,
     rng: DetRng,
     queue: EventQueue,
@@ -109,18 +112,86 @@ pub struct World {
     controller_crashes: u64,
 }
 
+/// Step-by-step [`World`] construction: pick the controller core
+/// (serial, concurrent, or the sharded fabric) and the configuration
+/// fluently, then [`build`](WorldBuilder::build).
+///
+/// ```ignore
+/// let world = World::builder(topo)
+///     .config(cfg)
+///     .fabric(FabricConfig { shards: 4, ..FabricConfig::default() })
+///     .build();
+/// ```
+pub struct WorldBuilder {
+    topo: Topology,
+    cfg: WorldConfig,
+    runtime: Option<Box<dyn RuntimeHandle>>,
+}
+
+impl WorldBuilder {
+    /// Override the world configuration (defaults to
+    /// [`WorldConfig::default`]).
+    pub fn config(mut self, cfg: WorldConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Drive the world with the paper's serial controller (the
+    /// default; its config comes from [`WorldConfig::ctrl`]).
+    pub fn serial(mut self) -> Self {
+        self.runtime = None;
+        self
+    }
+
+    /// Drive the world with a [`ConcurrentRuntime`].
+    pub fn concurrent(self, config: RuntimeConfig) -> Self {
+        self.runtime_handle(Box::new(ConcurrentRuntime::new(config)))
+    }
+
+    /// Drive the world with a sharded [`FabricCoordinator`].
+    pub fn fabric(self, config: FabricConfig) -> Self {
+        self.runtime_handle(Box::new(FabricCoordinator::new(config)))
+    }
+
+    /// Drive the world with an explicit controller core.
+    pub fn runtime_handle(mut self, runtime: Box<dyn RuntimeHandle>) -> Self {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Construct the world.
+    pub fn build(self) -> World {
+        let runtime = self
+            .runtime
+            .unwrap_or_else(|| Box::new(Controller::new(self.cfg.ctrl)));
+        World::over(self.topo, self.cfg, runtime)
+    }
+}
+
 impl World {
+    /// Start building a world over a topology.
+    pub fn builder(topo: Topology) -> WorldBuilder {
+        WorldBuilder {
+            topo,
+            cfg: WorldConfig::default(),
+            runtime: None,
+        }
+    }
+
     /// Build a world over a topology, driven by the paper's serial
     /// controller.
     pub fn new(topo: Topology, cfg: WorldConfig) -> Self {
         let ctrl = Controller::new(cfg.ctrl);
-        World::with_runtime(topo, cfg, Box::new(ctrl))
+        World::over(topo, cfg, Box::new(ctrl))
     }
 
-    /// Build a world over a topology with an explicit controller core
-    /// — e.g. [`sdn_ctrl::runtime::ConcurrentRuntime`] for concurrent
-    /// multi-update execution.
-    pub fn with_runtime(topo: Topology, cfg: WorldConfig, runtime: Box<dyn UpdateRuntime>) -> Self {
+    /// Build a world over a topology with an explicit controller core.
+    #[deprecated(since = "0.8.0", note = "use World::builder(topo).runtime_handle(...)")]
+    pub fn with_runtime(topo: Topology, cfg: WorldConfig, runtime: Box<dyn RuntimeHandle>) -> Self {
+        World::over(topo, cfg, runtime)
+    }
+
+    fn over(topo: Topology, cfg: WorldConfig, runtime: Box<dyn RuntimeHandle>) -> Self {
         let switches: BTreeMap<DpId, SoftSwitch> = topo
             .switches()
             .map(|s| {
@@ -174,7 +245,7 @@ impl World {
 
     /// Apply the baseline configuration directly (pre-experiment
     /// state; not part of the measured update). The controller is told
-    /// about each rule ([`UpdateRuntime::note_installed`]) so its
+    /// about each rule ([`RuntimeHandle::note_installed`]) so its
     /// shadow tables and journal cover the baseline — without this, a
     /// rebooted switch could only be repaired up to the rules the
     /// controller itself sent.
@@ -190,26 +261,52 @@ impl World {
     }
 
     /// Enqueue an update job on the controller. Panics if the runtime
-    /// refuses it — use [`World::submit_update`] when backpressure is
-    /// part of the experiment.
+    /// refuses it — use [`World::submit`] when backpressure is part of
+    /// the experiment.
     pub fn enqueue_update(&mut self, update: CompiledUpdate) {
-        let out = self.submit_update(update, Priority::Normal);
-        assert!(out.accepted(), "runtime rejected the update: {out:?}");
+        let out = self.submit(SubmitRequest::new(update));
+        assert!(out.is_ok(), "runtime rejected the update: {out:?}");
     }
 
-    /// Offer an update to the controller runtime, surfacing the
-    /// admission outcome (bounded queues may refuse or displace).
-    pub fn submit_update(&mut self, update: CompiledUpdate, priority: Priority) -> AdmitOutcome {
-        let out = self.controller.submit(update, self.now, priority);
-        if out.accepted() && !self.polling {
+    /// Offer a submission to the controller runtime, surfacing the
+    /// outcome (bounded queues may refuse, tenant budgets may be
+    /// spent, deadlines may have passed).
+    pub fn submit(&mut self, req: SubmitRequest) -> SubmitOutcome {
+        let out = self.controller.submit_request(req, self.now);
+        if out.is_ok() && !self.polling {
             self.polling = true;
             self.queue.push(self.now, Event::CtrlPoll);
         }
         out
     }
 
+    /// Offer an update to the controller runtime under the pre-fabric
+    /// admission surface.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use World::submit(SubmitRequest::new(update))"
+    )]
+    pub fn submit_update(&mut self, update: CompiledUpdate, priority: Priority) -> AdmitOutcome {
+        match self.submit(SubmitRequest::new(update).priority(priority)) {
+            Ok(ticket) => match ticket.displaced {
+                Some(dropped) => AdmitOutcome::QueuedDisplacing {
+                    id: ticket.job,
+                    dropped,
+                },
+                None => AdmitOutcome::Queued { id: ticket.job },
+            },
+            Err(_) => AdmitOutcome::Rejected(RejectReason::QueueFull),
+        }
+    }
+
+    /// The controller core, for inspection (stats, reports, status).
+    pub fn runtime(&self) -> &dyn RuntimeHandle {
+        self.controller.as_ref()
+    }
+
     /// Controller-runtime counters (admissions, retransmissions,
     /// stragglers, peak concurrency).
+    #[deprecated(since = "0.8.0", note = "use World::runtime().stats()")]
     pub fn runtime_stats(&self) -> RuntimeStats {
         self.controller.stats()
     }
@@ -229,20 +326,37 @@ impl World {
         &mut self.channel
     }
 
-    /// Override the control-channel behaviour of one switch in *both*
-    /// directions — models a slow or flaky switch (straggler).
-    pub fn set_switch_channel(&mut self, dp: DpId, config: ChannelConfig) {
+    /// Shape the control link of one switch in *both* directions:
+    /// `Some(config)` models a slow or flaky switch (straggler),
+    /// `None` restores the default profile.
+    pub fn set_link_profile(&mut self, dp: DpId, profile: Option<ChannelConfig>) {
         let t: &mut dyn Transport = &mut self.channel;
-        t.set_conn_config(ConnId::to_switch(dp), config);
-        t.set_conn_config(ConnId::to_controller(dp), config);
+        match profile {
+            Some(config) => {
+                t.set_conn_config(ConnId::to_switch(dp), config);
+                t.set_conn_config(ConnId::to_controller(dp), config);
+            }
+            None => {
+                t.clear_conn_config(ConnId::to_switch(dp));
+                t.clear_conn_config(ConnId::to_controller(dp));
+            }
+        }
     }
 
-    /// Drop a per-switch override installed by
-    /// [`World::set_switch_channel`], restoring the default profile.
+    /// Override the control-channel behaviour of one switch in *both*
+    /// directions.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use World::set_link_profile(dp, Some(config))"
+    )]
+    pub fn set_switch_channel(&mut self, dp: DpId, config: ChannelConfig) {
+        self.set_link_profile(dp, Some(config));
+    }
+
+    /// Drop a per-switch override, restoring the default profile.
+    #[deprecated(since = "0.8.0", note = "use World::set_link_profile(dp, None)")]
     pub fn clear_switch_channel(&mut self, dp: DpId) {
-        let t: &mut dyn Transport = &mut self.channel;
-        t.clear_conn_config(ConnId::to_switch(dp));
-        t.clear_conn_config(ConnId::to_controller(dp));
+        self.set_link_profile(dp, None);
     }
 
     /// Script a control-plane fault at `at` (see
@@ -262,7 +376,7 @@ impl World {
     }
 
     /// Compare every switch's installed flow table against the
-    /// controller's intended state ([`UpdateRuntime::intended_hashes`]).
+    /// controller's intended state ([`RuntimeHandle::intended_hashes`]).
     /// The ground-truth convergence check of the chaos experiments:
     /// after the dust settles, `audit().is_clean()` says the control
     /// plane's picture and the data plane agree, rule for rule.

@@ -45,7 +45,10 @@ fn chaotic_world(pairs: &[UpdatePair], seed: u64, runtime: ConcurrentRuntime) ->
         seed,
         ..WorldConfig::default()
     };
-    let mut world = World::with_runtime(topo.clone(), cfg, Box::new(runtime));
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(Box::new(runtime))
+        .build();
     let mut compiled: Vec<CompiledUpdate> = Vec::new();
     for (i, pair) in pairs.iter().enumerate() {
         let (src, dst) = gen::batch_hosts(i);
@@ -91,7 +94,7 @@ fn mid_round_disconnect_converges_with_zero_violations() {
         r.channel.severed > 0,
         "a mid-round teardown must kill in-flight frames"
     );
-    let stats = w.runtime_stats();
+    let stats = w.runtime().stats();
     assert_eq!(stats.failed, 0);
     assert_eq!(stats.quarantined, 0, "a 40 ms blip must not quarantine");
     assert!(stats.reconnects >= 1);
@@ -115,7 +118,7 @@ fn reboot_under_barrier_is_repaired_by_resync() {
     );
     let r = w.run(horizon());
     assert!(r.updates[0].completed.is_some(), "update must finish");
-    let stats = w.runtime_stats();
+    let stats = w.runtime().stats();
     assert!(stats.resyncs >= 1, "reboot must trigger an audit");
     assert!(
         stats.resynced_rules > 0,
@@ -159,7 +162,7 @@ fn controller_crash_mid_update_recovers_and_completes() {
     let r = w.run(horizon());
 
     assert_eq!(w.controller_crashes(), 1);
-    let stats = w.runtime_stats();
+    let stats = w.runtime().stats();
     assert_eq!(stats.recoveries, 1, "journal must rebuild the runtime");
     assert_eq!(r.updates.len(), 2);
     assert!(
@@ -207,7 +210,7 @@ fn rolling_churn_over_200_switches_converges() {
         r.updates.iter().all(|u| u.completed.is_some()),
         "every update must survive the churn"
     );
-    let stats = w.runtime_stats();
+    let stats = w.runtime().stats();
     assert_eq!(stats.failed, 0);
     assert_eq!(stats.quarantined, 0, "2 ms blips must not quarantine");
     assert!(
@@ -254,7 +257,7 @@ fn chaotic_run_replays_deterministically() {
             r.updates[0].completed,
             r.violations,
             r.channel,
-            w.runtime_stats(),
+            w.runtime().stats(),
             w.audit(),
         )
     };

@@ -7,7 +7,7 @@
 use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
 use sdn_ctrl::executor::ExecConfig;
-use sdn_ctrl::runtime::{ConcurrentRuntime, Priority, RetransMode, RtoConfig, RuntimeConfig};
+use sdn_ctrl::runtime::{ConcurrentRuntime, RetransMode, RtoConfig, RuntimeConfig, SubmitRequest};
 use sdn_sim::world::{World, WorldConfig};
 use sdn_topo::gen::{self, UpdatePair};
 use sdn_types::{DpId, SimDuration, SimTime};
@@ -23,10 +23,13 @@ fn horizon() -> SimTime {
 fn batch_world(
     pairs: &[UpdatePair],
     cfg: WorldConfig,
-    runtime: Box<dyn sdn_ctrl::runtime::UpdateRuntime>,
+    runtime: Box<dyn sdn_ctrl::runtime::RuntimeHandle>,
 ) -> (World, Vec<sdn_ctrl::CompiledUpdate>) {
     let topo = gen::materialize_batch(pairs);
-    let mut world = World::with_runtime(topo.clone(), cfg, runtime);
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(runtime)
+        .build();
     let mut compiled = Vec::new();
     for (i, pair) in pairs.iter().enumerate() {
         let (src, dst) = gen::batch_hosts(i);
@@ -73,7 +76,7 @@ fn disjoint_updates_overlap_in_sim_time_with_zero_violations() {
         latest_start < earliest_end,
         "disjoint updates must overlap in sim time: {windows:?}"
     );
-    assert_eq!(world.runtime_stats().peak_active, 2);
+    assert_eq!(world.runtime().stats().peak_active, 2);
     assert_eq!(r.violations.total, 400);
     assert!(
         !r.violations.any(),
@@ -99,11 +102,10 @@ fn conflicting_updates_serialize() {
         seed: 9,
         ..WorldConfig::default()
     };
-    let mut world = World::with_runtime(
-        topo.clone(),
-        cfg,
-        Box::new(ConcurrentRuntime::new(RuntimeConfig::default())),
-    );
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .concurrent(RuntimeConfig::default())
+        .build();
     world.install_initial(&initial_flowmods(&topo, &a.old, &spec).unwrap());
     for pair in [&a, &b] {
         let inst = UpdateInstance::new(pair.old.clone(), pair.new.clone(), pair.waypoint).unwrap();
@@ -120,7 +122,7 @@ fn conflicting_updates_serialize() {
         r.updates[1].started,
         first_done
     );
-    assert_eq!(world.runtime_stats().peak_active, 1);
+    assert_eq!(world.runtime().stats().peak_active, 1);
     assert!(!r.violations.any(), "{}", r.violations);
 }
 
@@ -135,7 +137,9 @@ fn bounded_queue_backpressures_under_load() {
         max_active: 1,
         ..RuntimeConfig::default()
     });
-    let mut world = World::with_runtime(topo.clone(), WorldConfig::default(), Box::new(runtime));
+    let mut world = World::builder(topo.clone())
+        .runtime_handle(Box::new(runtime))
+        .build();
     world.install_initial(&initial_flowmods(&topo, &a.old, &spec).unwrap());
     let inst = UpdateInstance::new(a.old.clone(), a.new.clone(), None).unwrap();
     let sched = SlfGreedy::default().schedule(&inst).unwrap();
@@ -143,10 +147,7 @@ fn bounded_queue_backpressures_under_load() {
     let mut accepted = 0;
     let mut rejected = 0;
     for _ in 0..5 {
-        if world
-            .submit_update(compiled.clone(), Priority::Normal)
-            .accepted()
-        {
+        if world.submit(SubmitRequest::new(compiled.clone())).is_ok() {
             accepted += 1;
         } else {
             rejected += 1;
@@ -157,7 +158,7 @@ fn bounded_queue_backpressures_under_load() {
     let r = world.run(horizon());
     assert_eq!(r.updates.len(), 2, "accepted jobs all complete");
     assert!(r.updates.iter().all(|u| u.completed.is_some()));
-    assert_eq!(world.runtime_stats().rejected, 3);
+    assert_eq!(world.runtime().stats().rejected, 3);
 }
 
 /// Run one slow-switch straggler scenario and return (retransmissions,
@@ -181,16 +182,22 @@ fn straggler_run(retrans: RetransMode) -> (u64, bool) {
         seed: 3,
         ..WorldConfig::default()
     };
-    let mut world = World::with_runtime(topo.clone(), cfg, Box::new(runtime));
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(Box::new(runtime))
+        .build();
     // s4 answers ~45x slower than the rest: a straggler, not a corpse.
-    world.set_switch_channel(DpId(4), ChannelConfig::ideal(SimDuration::from_millis(45)));
+    world.set_link_profile(
+        DpId(4),
+        Some(ChannelConfig::ideal(SimDuration::from_millis(45))),
+    );
     world.install_initial(&initial_flowmods(&topo, &pair.old, &spec).unwrap());
     let inst = UpdateInstance::new(pair.old.clone(), pair.new.clone(), None).unwrap();
     let sched = SlfGreedy::default().schedule(&inst).unwrap();
     world.enqueue_update(compile_schedule(&topo, &inst, &sched, &spec).unwrap());
     let r = world.run(horizon());
     (
-        world.runtime_stats().retransmissions,
+        world.runtime().stats().retransmissions,
         r.updates[0].completed.is_some(),
     )
 }

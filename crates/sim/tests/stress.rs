@@ -83,7 +83,10 @@ fn timeout_storm_converges_with_heavy_retransmission() {
         seed: 23,
         ..WorldConfig::default()
     };
-    let mut world = World::with_runtime(topo.clone(), cfg, Box::new(runtime));
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(Box::new(runtime))
+        .build();
     world.install_initial(&initial_flowmods(&topo, &pair.old, &spec).unwrap());
     let inst = UpdateInstance::new(pair.old.clone(), pair.new.clone(), None).unwrap();
     let sched = Peacock::default().schedule(&inst).unwrap();
@@ -93,7 +96,7 @@ fn timeout_storm_converges_with_heavy_retransmission() {
         r.updates[0].completed.is_some(),
         "storm must still converge"
     );
-    let stats = world.runtime_stats();
+    let stats = world.runtime().stats();
     assert!(
         stats.retransmissions > 50,
         "sub-RTT timeouts must storm: only {} retransmissions",
@@ -128,7 +131,10 @@ fn concurrent_fanout_under_duplication_and_jitter() {
         seed: 41,
         ..WorldConfig::default()
     };
-    let mut world = World::with_runtime(topo.clone(), cfg, Box::new(runtime));
+    let mut world = World::builder(topo.clone())
+        .config(cfg)
+        .runtime_handle(Box::new(runtime))
+        .build();
     for (i, pair) in pairs.iter().enumerate() {
         let (src, dst) = gen::batch_hosts(i);
         let spec = FlowSpec { src, dst };
@@ -143,7 +149,7 @@ fn concurrent_fanout_under_duplication_and_jitter() {
     let r = world.run(horizon());
     assert_eq!(r.updates.len(), 8);
     assert!(r.updates.iter().all(|u| u.completed.is_some()));
-    let stats = world.runtime_stats();
+    let stats = world.runtime().stats();
     assert_eq!(stats.peak_active, 8, "all eight must be in flight at once");
     assert!(!r.violations.any(), "merged trace: {}", r.violations);
 }

@@ -9,9 +9,10 @@
 use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
 use sdn_ctrl::rest::request::UpdateRequest;
-use sdn_ctrl::rest::response::{admission_response, error_response};
+use sdn_ctrl::rest::response::{error_response, submit_response};
+use sdn_ctrl::rest::router::{dispatch, Endpoint};
 use sdn_ctrl::rest::status::status_response;
-use sdn_ctrl::runtime::{ConcurrentRuntime, Priority, RuntimeConfig};
+use sdn_ctrl::runtime::RuntimeConfig;
 use sdn_sim::scenario::AlgoChoice;
 use sdn_sim::world::{World, WorldConfig};
 use sdn_topo::builders::figure1;
@@ -30,7 +31,11 @@ const REQUEST: &str = r#"{
 }"#;
 
 fn main() {
-    println!("POST /stats/update\n{REQUEST}\n");
+    // the legacy path answers 308 with the v1 home; follow it
+    let moved = dispatch("POST", "/stats/update").unwrap_err();
+    println!("POST /stats/update -> {} {}", moved.status, moved.body);
+    assert_eq!(dispatch("POST", "/v1/update"), Ok(Endpoint::Submit));
+    println!("POST /v1/update\n{REQUEST}\n");
 
     // -- parse ---------------------------------------------------------
     let req = UpdateRequest::parse(REQUEST).expect("well-formed request");
@@ -57,23 +62,24 @@ fn main() {
     };
     // the concurrent runtime: bounded admission, conflict-aware
     // dispatch, adaptive per-switch retransmission
-    let runtime = ConcurrentRuntime::new(RuntimeConfig::default());
-    let mut world = World::with_runtime(
-        f.topo.clone(),
-        WorldConfig {
+    let mut world = World::builder(f.topo.clone())
+        .config(WorldConfig {
             channel: ChannelConfig::lan(),
             seed: 7,
             ..WorldConfig::default()
-        },
-        Box::new(runtime),
-    );
+        })
+        .concurrent(RuntimeConfig::default())
+        .build();
     world.set_waypoint(inst.waypoint());
     world.install_initial(&initial_flowmods(&f.topo, inst.old(), &spec).unwrap());
-    let outcome = world.submit_update(
-        compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap(),
-        Priority::High, // waypoint changes ride the priority lane
+    let outcome = world.submit(
+        req.to_submission(
+            compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap(),
+            world.now(),
+        )
+        .high_priority(), // waypoint changes ride the priority lane
     );
-    let resp = admission_response(&outcome, 0);
+    let resp = submit_response(&outcome);
     println!("\n{} Accepted\n{}", resp.status, resp.body);
 
     // the REST "interval" field paces the probe traffic (milliseconds)
@@ -93,7 +99,7 @@ fn main() {
 
     // -- GET /status: the operator's live view ---------------------------
     let status = status_response(&world.status());
-    println!("\nGET /status -> {}\n{}", status.status, status.body);
+    println!("\nGET /v1/status -> {}\n{}", status.status, status.body);
 
     // -- what hostile or over-limit requests get back --------------------
     let bad = UpdateRequest::parse(r#"{"oldpath": "not-a-path"}"#).unwrap_err();

@@ -6,7 +6,7 @@ use sdn_ctrl::compile::{compile_schedule, initial_flowmods, FlowSpec};
 use sdn_ctrl::rest::json::{self, Json};
 use sdn_ctrl::rest::request::UpdateRequest;
 use sdn_ctrl::rest::status::status_response;
-use sdn_ctrl::runtime::{ConcurrentRuntime, Priority, RuntimeConfig};
+use sdn_ctrl::runtime::{RuntimeConfig, SubmitRequest};
 use sdn_sim::scenario::AlgoChoice;
 use sdn_sim::world::{World, WorldConfig};
 use sdn_topo::builders::figure1;
@@ -112,22 +112,20 @@ fn status_endpoint_reflects_a_completed_update() {
         src: f.h1,
         dst: f.h2,
     };
-    let mut world = World::with_runtime(
-        f.topo.clone(),
-        WorldConfig {
+    let mut world = World::builder(f.topo.clone())
+        .config(WorldConfig {
             channel: ChannelConfig::jittery(SimDuration::from_millis(4)),
             seed: 23,
             ..WorldConfig::default()
-        },
-        Box::new(ConcurrentRuntime::new(RuntimeConfig::default())),
-    );
+        })
+        .concurrent(RuntimeConfig::default())
+        .build();
     world.set_waypoint(inst.waypoint());
     world.install_initial(&initial_flowmods(&f.topo, inst.old(), &spec).unwrap());
-    let outcome = world.submit_update(
+    let outcome = world.submit(SubmitRequest::new(
         compile_schedule(&f.topo, &inst, &schedule, &spec).unwrap(),
-        Priority::Normal,
-    );
-    assert!(outcome.accepted());
+    ));
+    assert!(outcome.is_ok());
     world.run(SimTime::ZERO + SimDuration::from_secs(3600));
 
     let resp = status_response(&world.status());
