@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Fail CI if the deprecated pre-fabric submission API gains new call
-# sites. The shims exist for one PR of migration grace:
+# Fail CI if the deleted pre-fabric submission API reappears anywhere.
+# The one-PR migration grace is over: the shims are gone, and no file
+# — not even their former defining sites — may mention these names:
 #
 #   World::with_runtime        -> World::builder(..).{serial,concurrent,fabric,runtime_handle}
 #   World::submit_update       -> World::submit(SubmitRequest::new(update))
@@ -8,34 +9,19 @@
 #   World::set_switch_channel  -> World::set_link_profile(dp, Some(profile))
 #   World::clear_switch_channel-> World::set_link_profile(dp, None)
 #   trait UpdateRuntime        -> trait RuntimeHandle
-#
-# Only the defining files (the shims themselves and the facade
-# re-export) may mention these names; everything else must use the
-# replacement API. Deletion is always allowed — this list only shrinks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PATTERN='\b(UpdateRuntime|with_runtime|submit_update|runtime_stats|set_switch_channel|clear_switch_channel)\b'
-ALLOWED=(
-    crates/sim/src/world.rs       # the deprecated World shims
-    crates/ctrl/src/runtime/mod.rs # the deprecated UpdateRuntime marker
-    crates/ctrl/src/lib.rs         # its deprecated facade re-export
-)
 
-exclude=()
-for f in "${ALLOWED[@]}"; do
-    exclude+=(-not -path "./$f")
-done
-
-hits=$(find . -name '*.rs' -not -path './target/*' -not -path './shims/*' \
-    "${exclude[@]}" -print0 |
+hits=$(find . -name '*.rs' -not -path './target/*' -not -path './shims/*' -print0 |
     xargs -0 grep -nE "$PATTERN" || true)
 
 if [ -n "$hits" ]; then
-    echo "error: new call sites of the deprecated pre-fabric submission API:" >&2
+    echo "error: the deleted pre-fabric submission API must not come back:" >&2
     echo "$hits" >&2
     echo >&2
     echo "Use the replacements documented in README.md (API migration)." >&2
     exit 1
 fi
-echo "lint_deprecated: no call sites of the deprecated submission API"
+echo "lint_deprecated: no trace of the deleted submission API"

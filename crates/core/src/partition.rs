@@ -83,6 +83,14 @@ impl ShardAssignment {
             .copied()
             .unwrap_or((dp.0 % self.shards as u64) as u32)
     }
+
+    /// Re-home `dp` onto `shard` (clamped into range), layering a new
+    /// override on the live assignment — the commit step of an online
+    /// switch migration. Overriding back to the modulo owner is kept
+    /// as an explicit entry; semantics are unchanged either way.
+    pub fn set_override(&mut self, dp: DpId, shard: u32) {
+        self.overrides.insert(dp, shard % self.shards);
+    }
 }
 
 /// Who owns a round under a [`ShardAssignment`].
@@ -316,6 +324,19 @@ mod tests {
         assert_eq!(b.shard_of(DpId(6)), 1, "out-of-range override clamped");
         assert_eq!(b.shard_of(DpId(7)), 3, "non-overridden falls to modulo");
         assert_eq!(ShardAssignment::modulo(0).shards(), 1, "zero clamps to 1");
+    }
+
+    #[test]
+    fn set_override_rehomes_a_switch_live() {
+        let mut a = ShardAssignment::modulo(4);
+        assert_eq!(a.shard_of(DpId(5)), 1);
+        a.set_override(DpId(5), 3);
+        assert_eq!(a.shard_of(DpId(5)), 3);
+        a.set_override(DpId(5), 9);
+        assert_eq!(a.shard_of(DpId(5)), 1, "out-of-range clamped");
+        a.set_override(DpId(6), 2);
+        assert_eq!(a.shard_of(DpId(6)), 2);
+        assert_eq!(a.shard_of(DpId(7)), 3, "others still modulo");
     }
 
     #[test]

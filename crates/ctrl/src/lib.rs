@@ -46,10 +46,8 @@ pub use executor::{ExecState, RoundExecutor};
 pub use handshake::Handshake;
 pub use rest::request::UpdateRequest;
 pub use resync::ResyncManager;
-#[allow(deprecated)]
-pub use runtime::UpdateRuntime;
 pub use runtime::{
     AdmissionPolicy, AdmitOutcome, ConcurrentRuntime, FabricConfig, FabricCoordinator, Footprint,
-    Journal, Priority, RetransMode, RuntimeConfig, RuntimeHandle, RuntimeStats, ShardId,
-    SubmitError, SubmitOutcome, SubmitRequest, SubmitTicket, TenantId,
+    Journal, MigrateError, Priority, RetransMode, RuntimeConfig, RuntimeHandle, RuntimeStats,
+    ShardId, SubmitError, SubmitOutcome, SubmitRequest, SubmitTicket, SwitchSeat, TenantId,
 };

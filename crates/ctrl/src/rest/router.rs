@@ -10,7 +10,9 @@
 //! * `GET /v1/status` — shard- and tenant-aware runtime introspection
 //!   ([`status_response`](crate::rest::status::status_response));
 //! * `GET /v1/rebalance` — the footprint-driven shard-migration advice
-//!   ([`rebalance_response`](crate::rest::status::rebalance_response)).
+//!   ([`rebalance_response`](crate::rest::status::rebalance_response));
+//! * `POST /v1/rebalance/apply` — execute migrations online
+//!   ([`rebalance_apply_response`](crate::rest::status::rebalance_apply_response)).
 //!
 //! Legacy paths answer `308 Permanent Redirect` to their v1 homes, so
 //! pre-fabric clients keep working after one extra round trip and
@@ -34,6 +36,8 @@ pub enum Endpoint {
     Status,
     /// `GET /v1/rebalance`: shard-migration advice.
     Rebalance,
+    /// `POST /v1/rebalance/apply`: execute seat migrations online.
+    RebalanceApply,
 }
 
 /// Where a `(method, path)` pair leads.
@@ -62,6 +66,7 @@ pub fn route(method: &str, path: &str) -> Route {
         ("POST", "/v1/update") => Route::Endpoint(Endpoint::Submit),
         ("GET", "/v1/status") => Route::Endpoint(Endpoint::Status),
         ("GET", "/v1/rebalance") => Route::Endpoint(Endpoint::Rebalance),
+        ("POST", "/v1/rebalance/apply") => Route::Endpoint(Endpoint::RebalanceApply),
         // legacy paths: the pre-v1 surface and the demo's original
         // Ryu-style path, all pointing at their v1 homes
         ("POST", "/update") | ("POST", "/stats/update") => Route::Moved {
@@ -70,7 +75,7 @@ pub fn route(method: &str, path: &str) -> Route {
         ("GET", "/status") => Route::Moved {
             location: "/v1/status",
         },
-        (_, "/v1/update") | (_, "/update") | (_, "/stats/update") => {
+        (_, "/v1/update") | (_, "/update") | (_, "/stats/update") | (_, "/v1/rebalance/apply") => {
             Route::MethodNotAllowed { allow: "POST" }
         }
         (_, "/v1/status") | (_, "/v1/rebalance") | (_, "/status") => {

@@ -26,9 +26,11 @@
 
 use std::collections::BTreeMap;
 
+use sdn_types::DpId;
+
 use crate::rest::json::Json;
 use crate::rest::response::Response;
-use crate::runtime::fabric::RebalanceReport;
+use crate::runtime::fabric::{MigrateError, RebalanceReport, ShardId};
 use crate::runtime::{ShardStatus, StatusReport, SwitchStatus, TenantStatus};
 
 fn duration_us(d: sdn_types::SimDuration) -> Json {
@@ -87,6 +89,8 @@ pub fn status_response(report: &StatusReport) -> Response {
         ("resynced_rules", stats.resynced_rules),
         ("quarantined", stats.quarantined),
         ("recoveries", stats.recoveries),
+        ("migrations", stats.migrations),
+        ("migration_aborts", stats.migration_aborts),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
@@ -136,6 +140,16 @@ pub fn status_response(report: &StatusReport) -> Response {
         body.insert(
             "xshard_active".to_string(),
             Json::Num(report.xshard_active as f64),
+        );
+        body.insert(
+            "migrating".to_string(),
+            Json::Arr(
+                report
+                    .migrating
+                    .iter()
+                    .map(|dp| Json::Num(dp.0 as f64))
+                    .collect(),
+            ),
         );
     }
     if !report.tenants.is_empty() {
@@ -198,12 +212,123 @@ pub fn rebalance_response(report: &RebalanceReport) -> Response {
     }
 }
 
+/// A parsed `POST /v1/rebalance/apply` body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceApply {
+    /// `{"dp": N, "to": S}` — migrate one named switch to one named
+    /// shard.
+    Move {
+        /// The switch to migrate.
+        dp: DpId,
+        /// The destination shard.
+        to: ShardId,
+    },
+    /// `{}` (or an empty body) — apply the fabric's own advice report.
+    Advice,
+}
+
+/// Parse a `POST /v1/rebalance/apply` body. An empty object (or empty
+/// body) requests the fabric's own advice moves; `{"dp": N, "to": S}`
+/// names one explicit move. Anything else — unparseable JSON, a
+/// non-object, one key without the other, non-integer values — is a
+/// `400` describing the problem.
+pub fn parse_rebalance_apply(body: &str) -> Result<RebalanceApply, Response> {
+    let bad = |detail: &str| Response {
+        status: 400,
+        body: Json::Obj(
+            [
+                ("status".to_string(), Json::Str("error".into())),
+                ("detail".to_string(), Json::Str(detail.into())),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .render(),
+    };
+    if body.trim().is_empty() {
+        return Ok(RebalanceApply::Advice);
+    }
+    let v = match crate::rest::json::parse(body) {
+        Ok(v) => v,
+        Err(_) => return Err(bad("body must be a JSON object")),
+    };
+    if !matches!(v, Json::Obj(_)) {
+        return Err(bad("body must be a JSON object"));
+    }
+    match (v.get("dp"), v.get("to")) {
+        (None, None) => Ok(RebalanceApply::Advice),
+        (Some(dp), Some(to)) => match (dp.as_u64(), to.as_u64()) {
+            (Some(dp), Some(to)) if to <= u32::MAX as u64 => Ok(RebalanceApply::Move {
+                dp: DpId(dp),
+                to: ShardId(to as u32),
+            }),
+            _ => Err(bad("\"dp\" and \"to\" must be non-negative integers")),
+        },
+        _ => Err(bad("\"dp\" and \"to\" go together")),
+    }
+}
+
+/// The `202 Accepted` response for a `POST /v1/rebalance/apply` whose
+/// migrations all began: the switches now migrating, in dpid order
+/// (commit is asynchronous — watch `migrating` in `GET /v1/status`).
+pub fn rebalance_apply_response(migrating: &[DpId]) -> Response {
+    let body: BTreeMap<String, Json> = [
+        ("status".to_string(), Json::Str("accepted".into())),
+        (
+            "migrating".to_string(),
+            Json::Arr(migrating.iter().map(|dp| Json::Num(dp.0 as f64)).collect()),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    Response {
+        status: 202,
+        body: Json::Obj(body).render(),
+    }
+}
+
+/// The structured `409 Conflict` for a refused migration: a stable
+/// `reason` slug plus the offending switch/shard, so clients branch
+/// without parsing prose.
+pub fn migrate_error_response(err: &MigrateError) -> Response {
+    let mut body: BTreeMap<String, Json> = [
+        ("status".to_string(), Json::Str("conflict".into())),
+        ("detail".to_string(), Json::Str(err.to_string())),
+    ]
+    .into_iter()
+    .collect();
+    let reason = match err {
+        MigrateError::UnknownSwitch(dp) => {
+            body.insert("dp".to_string(), Json::Num(dp.0 as f64));
+            "unknown_switch"
+        }
+        MigrateError::SameShard { dp, shard } => {
+            body.insert("dp".to_string(), Json::Num(dp.0 as f64));
+            body.insert("shard".to_string(), Json::Num(shard.0 as f64));
+            "same_shard"
+        }
+        MigrateError::AlreadyMigrating(dp) => {
+            body.insert("dp".to_string(), Json::Num(dp.0 as f64));
+            "already_migrating"
+        }
+        MigrateError::BadShard(s) => {
+            body.insert("shard".to_string(), Json::Num(s.0 as f64));
+            "bad_shard"
+        }
+    };
+    body.insert("reason".to_string(), Json::Str(reason.into()));
+    Response {
+        status: 409,
+        body: Json::Obj(body).render(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::rest::json;
     use crate::runtime::RuntimeStats;
-    use sdn_types::{DpId, SimDuration};
+    use sdn_types::SimDuration;
 
     #[test]
     fn status_body_round_trips_through_the_parser() {
@@ -221,6 +346,8 @@ mod tests {
                 resynced_rules: 6,
                 quarantined: 1,
                 recoveries: 1,
+                migrations: 3,
+                migration_aborts: 1,
                 ..RuntimeStats::default()
             },
             switches: vec![
@@ -243,6 +370,7 @@ mod tests {
             tenants: Vec::new(),
             xshard_queued: 0,
             xshard_active: 0,
+            migrating: Vec::new(),
         };
         let r = status_response(&report);
         assert_eq!(r.status, 200);
@@ -264,6 +392,8 @@ mod tests {
         assert_eq!(stats.get("resyncs").unwrap().as_u64(), Some(1));
         assert_eq!(stats.get("resynced_rules").unwrap().as_u64(), Some(6));
         assert_eq!(stats.get("recoveries").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("migrations").unwrap().as_u64(), Some(3));
+        assert_eq!(stats.get("migration_aborts").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("journal_len").unwrap().as_u64(), Some(12));
         let Json::Arr(q) = v.get("quarantined").unwrap() else {
             panic!("quarantined must be an array");
@@ -320,6 +450,7 @@ mod tests {
             ],
             xshard_queued: 1,
             xshard_active: 2,
+            migrating: vec![DpId(6)],
             ..StatusReport::default()
         };
         let v = json::parse(&status_response(&report).body).unwrap();
@@ -332,6 +463,10 @@ mod tests {
         assert_eq!(shards[1].get("queued").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("xshard_queued").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("xshard_active").unwrap().as_u64(), Some(2));
+        let Json::Arr(migrating) = v.get("migrating").unwrap() else {
+            panic!("migrating must be an array");
+        };
+        assert_eq!(migrating[0].as_u64(), Some(6));
         let Json::Arr(tenants) = v.get("tenants").unwrap() else {
             panic!("tenants must be an array");
         };

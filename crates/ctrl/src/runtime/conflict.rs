@@ -206,6 +206,12 @@ impl ConflictGraph {
         out
     }
 
+    /// Whether any active job's footprint covers `dp` — the migration
+    /// fence asks this before a seat may leave its shard.
+    pub fn touches(&self, dp: DpId) -> bool {
+        self.by_switch.contains_key(&dp)
+    }
+
     /// Whether the candidate can start now (conflict-free against all
     /// active jobs).
     pub fn admits(&self, candidate: &Footprint) -> bool {
@@ -318,8 +324,11 @@ mod tests {
         assert!(g.admits(&c));
         g.insert(JobId(2), c);
         assert_eq!(g.len(), 2);
+        assert!(g.touches(DpId(1)) && g.touches(DpId(9)));
+        assert!(!g.touches(DpId(4)));
         g.remove(JobId(1));
         assert!(g.admits(&b));
+        assert!(!g.touches(DpId(1)), "released switches untouched");
         g.remove(JobId(2));
         assert!(g.is_empty());
     }

@@ -22,6 +22,7 @@
 //! coordinator runtime still has in flight.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
 use sdn_openflow::messages::{Envelope, OfMessage};
 use sdn_types::{DpId, SimTime};
@@ -57,6 +58,44 @@ const MAX_SHARDS: u32 = 128;
 
 fn reserve_id(ticket: JobId) -> JobId {
     JobId(RESERVE_BASE | ticket.0)
+}
+
+/// Why a requested seat migration was refused at apply time.
+///
+/// Refusals are synchronous and leave the fabric untouched: no journal
+/// record is written for the switch and ownership does not change. The
+/// REST layer maps these to structured `409 Conflict` bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The switch has never been seen by the fabric (no footprint
+    /// touch, no shadow state): there is no seat to move.
+    UnknownSwitch(DpId),
+    /// The requested destination is the shard that already owns the
+    /// switch — a no-op, refused so callers notice stale reports.
+    SameShard {
+        /// The switch.
+        dp: DpId,
+        /// The shard that both owns it and was named as destination.
+        shard: ShardId,
+    },
+    /// A migration for this switch is already in flight; wait for it
+    /// to commit before moving the switch again.
+    AlreadyMigrating(DpId),
+    /// The destination shard index is outside the fabric.
+    BadShard(ShardId),
+}
+
+impl fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrateError::UnknownSwitch(dp) => write!(f, "unknown switch dp{}", dp.0),
+            MigrateError::SameShard { dp, shard } => {
+                write!(f, "dp{} already lives on {shard}", dp.0)
+            }
+            MigrateError::AlreadyMigrating(dp) => write!(f, "dp{} is already migrating", dp.0),
+            MigrateError::BadShard(s) => write!(f, "no such shard: {s}"),
+        }
+    }
 }
 
 /// Fabric construction parameters.
@@ -144,6 +183,10 @@ pub struct FabricCoordinator {
     harvested: Vec<usize>,
     /// Per-switch footprint touches since boot (rebalance advice).
     touch: BTreeMap<DpId, u64>,
+    /// Seat migrations in flight: `dp → (from, to)`. A switch stays
+    /// here from `MigrateBegin` until its source shard fences
+    /// quiescent and the seat moves (`MigrateCommitted`).
+    migrations: BTreeMap<DpId, (u32, u32)>,
     /// Fabric-level counters for work no sub-runtime has on its books
     /// (quota/deadline rejections, queued prepares, fabric aborts).
     overlay: RuntimeStats,
@@ -195,6 +238,7 @@ impl FabricCoordinator {
             reports: Vec::new(),
             harvested: vec![0; n as usize + 1],
             touch: BTreeMap::new(),
+            migrations: BTreeMap::new(),
             overlay: RuntimeStats::default(),
             shards,
         }
@@ -226,6 +270,91 @@ impl FabricCoordinator {
         RebalanceReport::compute(&self.touch, &self.assign, max_moves)
     }
 
+    /// Start moving `dp`'s seat to shard `to`. The move is journalled
+    /// (`MigrateBegin`) and completes asynchronously: new work touching
+    /// `dp` parks fabric-side, the source shard drains, and the next
+    /// [`poll`](RuntimeHandle::poll) after the fence closes extracts
+    /// the seat, installs it on `to`, swaps the assignment override,
+    /// and journals `MigrateCommitted`. Refusals (see [`MigrateError`])
+    /// are synchronous and leave everything untouched.
+    pub fn begin_migration(
+        &mut self,
+        dp: DpId,
+        to: ShardId,
+        now: SimTime,
+    ) -> Result<(), MigrateError> {
+        if to.0 >= self.shard_count() {
+            self.overlay.migration_aborts += 1;
+            return Err(MigrateError::BadShard(to));
+        }
+        if self.migrations.contains_key(&dp) {
+            self.overlay.migration_aborts += 1;
+            return Err(MigrateError::AlreadyMigrating(dp));
+        }
+        let from = self.assign.shard_of(dp);
+        if !self.touch.contains_key(&dp) && self.shards[from as usize].intended_hashes(dp).is_none()
+        {
+            self.overlay.migration_aborts += 1;
+            return Err(MigrateError::UnknownSwitch(dp));
+        }
+        if from == to.0 {
+            self.overlay.migration_aborts += 1;
+            return Err(MigrateError::SameShard {
+                dp,
+                shard: ShardId(from),
+            });
+        }
+        self.journal.append(&JournalRecord::MigrateBegin {
+            dp,
+            from,
+            to: to.0,
+            at: now,
+        });
+        self.migrations.insert(dp, (from, to.0));
+        Ok(())
+    }
+
+    /// Apply a [`RebalanceReport`]'s suggested moves as live
+    /// migrations, in report order. Stops at the first refusal
+    /// (returning it); moves already begun stay in flight and commit
+    /// normally. Returns the switches now migrating.
+    pub fn apply_rebalance(
+        &mut self,
+        report: &RebalanceReport,
+        now: SimTime,
+    ) -> Result<Vec<DpId>, MigrateError> {
+        let mut started = Vec::with_capacity(report.moves.len());
+        for m in &report.moves {
+            self.begin_migration(m.dp, m.to, now)?;
+            started.push(m.dp);
+        }
+        Ok(started)
+    }
+
+    /// Commit every pending migration whose source shard has drained:
+    /// extract the seat behind the fence, install it on the
+    /// destination, swap the assignment override, journal the commit.
+    fn drive_migrations(&mut self, now: SimTime) {
+        let pending: Vec<(DpId, (u32, u32))> =
+            self.migrations.iter().map(|(&dp, &m)| (dp, m)).collect();
+        for (dp, (from, to)) in pending {
+            if !self.shards[from as usize].seat_quiescent(dp) {
+                continue;
+            }
+            let seat = self.shards[from as usize].extract_seat(dp);
+            self.shards[to as usize].install_seat(seat);
+            self.assign.set_override(dp, to);
+            self.journal.append(&JournalRecord::MigrateCommitted {
+                dp,
+                from,
+                to,
+                at: now,
+            });
+            self.migrations.remove(&dp);
+            self.overlay.migrations += 1;
+        }
+    }
+
     /// In-flight jobs charged to `tenant`, fabric-wide.
     pub fn tenant_usage(&self, tenant: TenantId) -> u32 {
         let queued = self.xqueue.iter().filter(|x| x.tenant == tenant).count() as u32;
@@ -239,6 +368,14 @@ impl FabricCoordinator {
 
     /// One prepare-and-commit attempt for `x`.
     fn attempt(&mut self, x: &XPending, now: SimTime) -> Attempt {
+        // the migration fence: work touching a migrating switch parks
+        // until the seat lands on its new owner
+        if x.footprint
+            .switches()
+            .any(|dp| self.migrations.contains_key(&dp))
+        {
+            return Attempt::Blocked;
+        }
         let rid = reserve_id(x.id);
         let mut taken: Vec<u32> = Vec::new();
         for &s in &x.involved {
@@ -376,9 +513,14 @@ impl RuntimeHandle for FabricCoordinator {
             .collect::<BTreeSet<u32>>()
             .into_iter()
             .collect();
-        if involved.len() <= 1 {
+        let migrating = footprint
+            .switches()
+            .any(|dp| self.migrations.contains_key(&dp));
+        if involved.len() <= 1 && !migrating {
             // single-shard (or empty): the owning shard handles it
-            // alone — this is the scaling path
+            // alone — this is the scaling path. Work touching a
+            // migrating switch is diverted into the ticketed path
+            // instead, where the fence parks it until the seat lands.
             let s = involved.first().copied().unwrap_or(0);
             let fwd = SubmitRequest { priority, ..req };
             return self.shards[s as usize]
@@ -444,9 +586,21 @@ impl RuntimeHandle for FabricCoordinator {
         for s in &mut self.shards {
             out.extend(s.poll(now));
         }
+        // commit any migration whose source shard just drained, so the
+        // retries below land on the new owner
+        self.drive_migrations(now);
         // retry parked prepares (and expire stale ones)
         let parked = std::mem::take(&mut self.xqueue);
-        for x in parked {
+        for mut x in parked {
+            // a committed migration may have rehomed part of the
+            // footprint while this update was parked
+            x.involved = x
+                .footprint
+                .switches()
+                .map(|dp| self.assign.shard_of(dp))
+                .collect::<BTreeSet<u32>>()
+                .into_iter()
+                .collect();
             if x.deadline.is_some_and(|d| now > d) {
                 self.journal
                     .append(&JournalRecord::Aborted { id: x.id, at: now });
@@ -604,6 +758,7 @@ impl RuntimeHandle for FabricCoordinator {
             tenants,
             xshard_queued: self.xqueue.len(),
             xshard_active: self.xactive.len(),
+            migrating: self.migrations.keys().copied().collect(),
         }
     }
 
@@ -631,6 +786,10 @@ impl RuntimeHandle for FabricCoordinator {
         self.shards[self.assign.shard_of(dp) as usize].intended_hashes(dp)
     }
 
+    fn begin_seat_migration(&mut self, dp: DpId, to: u32, now: SimTime) -> bool {
+        self.begin_migration(dp, ShardId(to), now).is_ok()
+    }
+
     fn recover_from_crash(&mut self, now: SimTime) -> bool {
         if !self.journal.is_enabled() {
             return false;
@@ -645,6 +804,7 @@ impl RuntimeHandle for FabricCoordinator {
         self.reports.clear();
         self.harvested.iter_mut().for_each(|c| *c = 0);
         self.touch.clear();
+        self.migrations.clear();
         self.overlay = RuntimeStats::default();
 
         #[derive(Default)]
@@ -659,8 +819,26 @@ impl RuntimeHandle for FabricCoordinator {
             aborted: bool,
         }
         let mut xjobs: BTreeMap<u64, XRec> = BTreeMap::new();
+        let mut torn_migrations: BTreeMap<DpId, (u32, u32)> = BTreeMap::new();
         for rec in self.journal.records() {
             match rec {
+                JournalRecord::MigrateBegin { dp, from, to, .. } => {
+                    torn_migrations.insert(dp, (from, to));
+                }
+                JournalRecord::MigrateCommitted { dp, from, to, .. } => {
+                    // the seat moved before the crash: replay exactly
+                    // the ownership swap, and drop the stale source
+                    // copy the source shard's own journal rebuilt
+                    torn_migrations.remove(&dp);
+                    self.assign.set_override(dp, to);
+                    if (from as usize) < self.shards.len() {
+                        let _ = self.shards[from as usize].extract_seat(dp);
+                    }
+                    self.overlay.migrations += 1;
+                }
+                JournalRecord::MigrateAborted { dp, .. } => {
+                    torn_migrations.remove(&dp);
+                }
                 JournalRecord::Admitted {
                     id,
                     update,
@@ -754,6 +932,16 @@ impl RuntimeHandle for FabricCoordinator {
         }
         for id in aborts {
             self.journal.append(&JournalRecord::Aborted { id, at: now });
+        }
+        // a migration caught between begin and commit rolls back to
+        // the source: the seat only ever moves at commit, so the
+        // source shard (rebuilt from its own journal) is still the one
+        // and only owner — journal the abort so a second recovery
+        // agrees
+        for (dp, _) in torn_migrations {
+            self.journal
+                .append(&JournalRecord::MigrateAborted { dp, at: now });
+            self.overlay.migration_aborts += 1;
         }
         self.harvest();
         true
@@ -1045,6 +1233,200 @@ mod tests {
         let cmds = fab.poll(SimTime(2));
         assert_eq!(barriers_of(&cmds).len(), 1);
         drain(&mut fab, cmds, 2);
+    }
+
+    #[test]
+    fn live_migration_moves_seat_and_rehomes_traffic() {
+        let mut fab = FabricCoordinator::new(FabricConfig {
+            shards: 2,
+            journal: true,
+            ..FabricConfig::default()
+        });
+        // dp2 lives on shard 0; give it a shadow by completing a job
+        let _ = fab.submit(job("warm", 7, vec![vec![2]]), SimTime(0), Priority::Normal);
+        let cmds = fab.poll(SimTime(0));
+        let t = drain(&mut fab, cmds, 0);
+        assert!(fab.shard(0).unwrap().intended_hashes(DpId(2)).is_some());
+
+        fab.begin_migration(DpId(2), ShardId(1), SimTime(t))
+            .expect("migration admitted");
+        assert_eq!(fab.status_report().migrating, vec![DpId(2)]);
+        // idle source: the next poll commits the move
+        let _ = fab.poll(SimTime(t + 1));
+        assert!(fab.status_report().migrating.is_empty());
+        assert_eq!(fab.shard_of(DpId(2)), ShardId(1));
+        assert!(fab.shard(0).unwrap().intended_hashes(DpId(2)).is_none());
+        assert!(fab.shard(1).unwrap().intended_hashes(DpId(2)).is_some());
+        assert_eq!(fab.stats().migrations, 1);
+        assert!(fab
+            .journal
+            .records()
+            .iter()
+            .any(|r| matches!(r, JournalRecord::MigrateCommitted { dp, from: 0, to: 1, .. } if *dp == DpId(2))));
+        // new single-shard work on dp2 routes to the new owner
+        let ticket = fab
+            .submit(
+                job("after", 8, vec![vec![2]]),
+                SimTime(t + 2),
+                Priority::Normal,
+            )
+            .expect("admitted");
+        assert_eq!(ticket.shard, Some(1));
+        let cmds = fab.poll(SimTime(t + 2));
+        drain(&mut fab, cmds, t + 2);
+        assert_eq!(fab.stats().completed, 2);
+    }
+
+    #[test]
+    fn migration_fences_in_flight_work_and_parks_new_submissions() {
+        let mut fab = fabric(2);
+        // an active job on dp2 holds the fence open
+        let _ = fab.submit(job("hold", 7, vec![vec![2]]), SimTime(0), Priority::Normal);
+        let held = fab.poll(SimTime(0));
+        assert_eq!(barriers_of(&held).len(), 1);
+        fab.begin_migration(DpId(2), ShardId(1), SimTime(1))
+            .expect("migration admitted");
+        // still fenced: the seat may not move under an active job
+        let _ = fab.poll(SimTime(1));
+        assert_eq!(fab.status_report().migrating, vec![DpId(2)]);
+        assert_eq!(fab.shard_of(DpId(2)), ShardId(0));
+        // new work touching dp2 parks fabric-side instead of landing
+        // on either shard
+        let parked = fab
+            .submit(
+                job("parked", 8, vec![vec![2]]),
+                SimTime(1),
+                Priority::Normal,
+            )
+            .expect("parked");
+        assert!(parked.cross_shard);
+        assert_eq!(fab.status_report().xshard_queued, 1);
+        // draining the holder closes the fence; the parked job then
+        // commits against the new owner and completes
+        drain(&mut fab, held, 1);
+        assert!(fab.status_report().migrating.is_empty());
+        assert_eq!(fab.shard_of(DpId(2)), ShardId(1));
+        assert_eq!(fab.status_report().xshard_queued, 0);
+        assert_eq!(fab.stats().migrations, 1);
+        assert_eq!(fab.stats().completed, 2);
+        assert!(fab.reports().iter().all(|r| r.completed.is_some()));
+    }
+
+    #[test]
+    fn migration_refusals_are_synchronous_and_counted() {
+        let mut fab = fabric(2);
+        let _ = fab.submit(job("warm", 7, vec![vec![2]]), SimTime(0), Priority::Normal);
+        let cmds = fab.poll(SimTime(0));
+        let t = drain(&mut fab, cmds, 0);
+        assert_eq!(
+            fab.begin_migration(DpId(99), ShardId(1), SimTime(t)),
+            Err(MigrateError::UnknownSwitch(DpId(99)))
+        );
+        assert_eq!(
+            fab.begin_migration(DpId(2), ShardId(0), SimTime(t)),
+            Err(MigrateError::SameShard {
+                dp: DpId(2),
+                shard: ShardId(0)
+            })
+        );
+        assert_eq!(
+            fab.begin_migration(DpId(2), ShardId(5), SimTime(t)),
+            Err(MigrateError::BadShard(ShardId(5)))
+        );
+        fab.begin_migration(DpId(2), ShardId(1), SimTime(t))
+            .expect("first begin");
+        assert_eq!(
+            fab.begin_migration(DpId(2), ShardId(1), SimTime(t)),
+            Err(MigrateError::AlreadyMigrating(DpId(2)))
+        );
+        assert_eq!(fab.stats().migration_aborts, 4);
+        // the one admitted migration still commits
+        let _ = fab.poll(SimTime(t + 1));
+        assert_eq!(fab.stats().migrations, 1);
+    }
+
+    #[test]
+    fn apply_rebalance_executes_the_advice_moves() {
+        let mut fab = fabric(2);
+        // load shard 0 heavily (dp2 and dp4) and shard 1 lightly (dp1)
+        for i in 0..4 {
+            let _ = fab.submit(
+                job(&format!("u{i}"), 9, vec![vec![2]]),
+                SimTime(i),
+                Priority::Normal,
+            );
+        }
+        for i in 0..3 {
+            let _ = fab.submit(
+                job(&format!("v{i}"), 10, vec![vec![4]]),
+                SimTime(4 + i),
+                Priority::Normal,
+            );
+        }
+        let _ = fab.submit(job("odd", 9, vec![vec![1]]), SimTime(8), Priority::Normal);
+        let cmds = fab.poll(SimTime(8));
+        let t = drain(&mut fab, cmds, 8);
+        let report = fab.rebalance_report(1);
+        assert_eq!(report.moves.len(), 1);
+        let mv = report.moves[0];
+        let started = fab
+            .apply_rebalance(&report, SimTime(t))
+            .expect("moves admitted");
+        assert_eq!(started, vec![mv.dp]);
+        let _ = fab.poll(SimTime(t + 1));
+        assert_eq!(fab.shard_of(mv.dp), mv.to);
+        assert_eq!(fab.stats().migrations, 1);
+    }
+
+    #[test]
+    fn crash_mid_migration_rolls_back_to_the_source() {
+        let mut fab = FabricCoordinator::new(FabricConfig {
+            shards: 2,
+            journal: true,
+            ..FabricConfig::default()
+        });
+        let _ = fab.submit(job("hold", 7, vec![vec![2]]), SimTime(0), Priority::Normal);
+        let _held = fab.poll(SimTime(0));
+        fab.begin_migration(DpId(2), ShardId(1), SimTime(1))
+            .expect("migration admitted");
+        assert!(fab.recover_from_crash(SimTime(2)));
+        // torn: rolled back, source still the one and only owner
+        assert!(fab.status_report().migrating.is_empty());
+        assert_eq!(fab.shard_of(DpId(2)), ShardId(0));
+        assert!(fab.shard(1).unwrap().intended_hashes(DpId(2)).is_none());
+        assert_eq!(fab.stats().migration_aborts, 1);
+        assert!(fab
+            .journal
+            .records()
+            .iter()
+            .any(|r| matches!(r, JournalRecord::MigrateAborted { dp, .. } if *dp == DpId(2))));
+        // a second recovery agrees (the abort is durable)
+        assert!(fab.recover_from_crash(SimTime(3)));
+        assert_eq!(fab.shard_of(DpId(2)), ShardId(0));
+    }
+
+    #[test]
+    fn crash_after_commit_keeps_exactly_one_owner() {
+        let mut fab = FabricCoordinator::new(FabricConfig {
+            shards: 2,
+            journal: true,
+            ..FabricConfig::default()
+        });
+        let _ = fab.submit(job("warm", 7, vec![vec![2]]), SimTime(0), Priority::Normal);
+        let cmds = fab.poll(SimTime(0));
+        let t = drain(&mut fab, cmds, 0);
+        fab.begin_migration(DpId(2), ShardId(1), SimTime(t))
+            .expect("migration admitted");
+        let _ = fab.poll(SimTime(t + 1));
+        assert_eq!(fab.shard_of(DpId(2)), ShardId(1));
+        assert!(fab.recover_from_crash(SimTime(t + 2)));
+        // the committed move replays: destination owns the seat, the
+        // stale copy the source rebuilt from its own journal is gone
+        assert_eq!(fab.shard_of(DpId(2)), ShardId(1));
+        assert!(fab.shard(0).unwrap().intended_hashes(DpId(2)).is_none());
+        assert!(fab.shard(1).unwrap().intended_hashes(DpId(2)).is_some());
+        assert_eq!(fab.stats().migrations, 1);
+        assert_eq!(fab.stats().migration_aborts, 0);
     }
 
     #[test]

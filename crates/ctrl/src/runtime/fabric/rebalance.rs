@@ -5,10 +5,14 @@
 //! assignment still matches the offered load. [`RebalanceReport`]
 //! summarises the skew and proposes a bounded list of switch moves
 //! (hottest switch of the hottest shard → the coolest shard, while the
-//! move still narrows the spread). The report is **advice**: applying
-//! it means constructing a fresh assignment with
-//! [`ShardAssignment::with_overrides`] at the next maintenance window —
-//! the fabric never migrates a switch while updates are in flight.
+//! move still narrows the spread). The report can be applied two ways:
+//! **offline**, constructing a fresh assignment with
+//! [`ShardAssignment::with_overrides`] for the next boot, or **live**,
+//! handing it to
+//! [`FabricCoordinator::apply_rebalance`](super::FabricCoordinator::apply_rebalance),
+//! which drains each switch behind a migration fence and carries its
+//! [`SwitchSeat`](crate::runtime::SwitchSeat) to the destination shard
+//! without dropping in-flight work.
 
 use std::collections::BTreeMap;
 

@@ -22,7 +22,7 @@
 //! [`RuntimeHandle`] abstracts over the serial
 //! [`Controller`](crate::controller::Controller), the concurrent
 //! [`ConcurrentRuntime`], and the sharded
-//! [`FabricCoordinator`](crate::runtime::fabric::FabricCoordinator),
+//! [`FabricCoordinator`],
 //! so the simulator and the experiments flip between them with a
 //! constructor argument. Submissions go through the [`submit`] module's
 //! [`SubmitRequest`] → [`SubmitTicket`] surface; the positional
@@ -35,14 +35,16 @@ pub mod dispatch;
 pub mod fabric;
 pub mod journal;
 pub mod rto;
+pub mod seat;
 pub mod submit;
 
 pub use admission::{AdmissionPolicy, AdmitOutcome, Priority, RejectReason};
 pub use conflict::{ConflictGraph, FlowClass, Footprint, JobId};
 pub use dispatch::{ConcurrentRuntime, RetransMode, RuntimeConfig};
-pub use fabric::{FabricConfig, FabricCoordinator, RebalanceReport, ShardId};
+pub use fabric::{FabricConfig, FabricCoordinator, MigrateError, RebalanceReport, ShardId};
 pub use journal::{Journal, JournalRecord};
 pub use rto::{RtoConfig, RtoTable};
+pub use seat::SwitchSeat;
 pub use submit::{SubmitError, SubmitOutcome, SubmitRequest, SubmitTicket, TenantId};
 
 use sdn_openflow::messages::{Envelope, OfMessage};
@@ -84,6 +86,11 @@ pub struct RuntimeStats {
     pub quarantined: u64,
     /// Crash recoveries this runtime instance was rebuilt through.
     pub recoveries: u64,
+    /// Online seat migrations committed (fabric runtimes only).
+    pub migrations: u64,
+    /// Online seat migrations unwound — rejected at apply time or
+    /// rolled back to the source by crash recovery.
+    pub migration_aborts: u64,
 }
 
 impl RuntimeStats {
@@ -169,13 +176,16 @@ pub struct StatusReport {
     pub xshard_queued: usize,
     /// Cross-shard jobs currently executing under the coordinator.
     pub xshard_active: usize,
+    /// Switches mid-migration (seat still fenced on its source shard),
+    /// in dpid order. Empty for single-runtime controllers.
+    pub migrating: Vec<DpId>,
 }
 
 /// A controller core that accepts compiled updates and drives them to
 /// completion over a message transport. Implemented by the serial
 /// [`Controller`](crate::controller::Controller) (the paper's
 /// one-at-a-time queue), by [`ConcurrentRuntime`], and by the sharded
-/// [`FabricCoordinator`](crate::runtime::fabric::FabricCoordinator).
+/// [`FabricCoordinator`].
 pub trait RuntimeHandle {
     /// Offer an update for execution. Admission may refuse it (bounded
     /// queue, tenant quota, expired deadline); an accepted request
@@ -234,6 +244,7 @@ pub trait RuntimeHandle {
             tenants: Vec::new(),
             xshard_queued: 0,
             xshard_active: 0,
+            migrating: Vec::new(),
         }
     }
 
@@ -272,14 +283,13 @@ pub trait RuntimeHandle {
     fn recover_from_crash(&mut self, _now: SimTime) -> bool {
         false
     }
+
+    /// Start moving the per-switch seat of `dp` to shard `to`, when
+    /// this runtime is a sharded fabric. Returns whether a migration
+    /// actually began; runtimes without shards (and fabrics that
+    /// refuse the move — unknown switch, same shard, already
+    /// migrating) answer `false`. Default: not supported.
+    fn begin_seat_migration(&mut self, _dp: DpId, _to: u32, _now: SimTime) -> bool {
+        false
+    }
 }
-
-/// The pre-fabric name of [`RuntimeHandle`], kept for one PR so
-/// downstream code migrates at its own pace. Every `RuntimeHandle` is
-/// an `UpdateRuntime` through the blanket impl below; new code should
-/// name `RuntimeHandle` directly.
-#[deprecated(since = "0.8.0", note = "renamed to RuntimeHandle")]
-pub trait UpdateRuntime: RuntimeHandle {}
-
-#[allow(deprecated)]
-impl<T: RuntimeHandle + ?Sized> UpdateRuntime for T {}

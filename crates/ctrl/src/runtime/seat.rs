@@ -1,0 +1,57 @@
+//! The portable per-switch state bundle.
+//!
+//! Historically every layer of the runtime kept its own `dpid`-keyed
+//! map — the resync shadow table, the RTO estimator, the quarantine
+//! set, the strike counter — all pinned inside one shard's
+//! [`ConcurrentRuntime`](crate::runtime::ConcurrentRuntime). Moving a
+//! switch between shards therefore meant a restart. [`SwitchSeat`]
+//! detaches that state into one value with a single extract/install
+//! interface ([`ConcurrentRuntime::extract_seat`] /
+//! [`ConcurrentRuntime::install_seat`]), so the fabric can migrate a
+//! switch online: fence it on the source shard, carry the seat across,
+//! and resume on the destination with nothing dropped or duplicated
+//! (ez-Segway's insight that per-switch execution state decoupled from
+//! the scheduler makes handoffs cheap).
+//!
+//! A seat deliberately carries **no in-flight work**: queued jobs,
+//! active executors and fabric reservations must drain before
+//! extraction (the migration fence,
+//! [`ConcurrentRuntime::seat_quiescent`]). What remains is exactly the
+//! switch-lifetime state that must survive the move.
+//!
+//! [`ConcurrentRuntime::extract_seat`]: crate::runtime::ConcurrentRuntime::extract_seat
+//! [`ConcurrentRuntime::install_seat`]: crate::runtime::ConcurrentRuntime::install_seat
+//! [`ConcurrentRuntime::seat_quiescent`]: crate::runtime::ConcurrentRuntime::seat_quiescent
+
+use sdn_switch::flow_table::FlowTable;
+use sdn_types::DpId;
+
+/// Everything one runtime knows about one switch, detached and
+/// portable: the resync shadow, the learned RTO estimator, and the
+/// quarantine record. Produced by
+/// [`ConcurrentRuntime::extract_seat`](crate::runtime::ConcurrentRuntime::extract_seat),
+/// consumed by
+/// [`ConcurrentRuntime::install_seat`](crate::runtime::ConcurrentRuntime::install_seat).
+#[derive(Debug, Clone)]
+pub struct SwitchSeat {
+    /// The switch this seat belongs to.
+    pub dp: DpId,
+    /// The resync shadow table — every rule the controller intends the
+    /// switch to hold. `None` when nothing was ever sent to it.
+    pub shadow: Option<FlowTable>,
+    /// Raw RTO estimator state `(srtt, rttvar)` in nanoseconds, when
+    /// at least one barrier sample exists.
+    pub rto: Option<(u64, u64)>,
+    /// Whether the switch was quarantined at extraction time.
+    pub quarantined: bool,
+    /// Failure strikes accumulated toward quarantine.
+    pub strikes: u32,
+}
+
+impl SwitchSeat {
+    /// Whether the seat carries any state at all (a seat for a switch
+    /// the controller never interacted with is empty).
+    pub fn is_empty(&self) -> bool {
+        self.shadow.is_none() && self.rto.is_none() && !self.quarantined && self.strikes == 0
+    }
+}

@@ -113,6 +113,88 @@ fn fresh_switches(dps: &[u64]) -> BTreeMap<DpId, SoftSwitch> {
         .collect()
 }
 
+/// Env var naming the journal path when this test binary is re-spawned
+/// as the crashing writer process.
+const CHILD_PATH_VAR: &str = "SDN_JOURNAL_CHILD_PATH";
+
+/// Child half of [`file_journal_survives_a_real_process_boundary`]:
+/// admit jobs against a file-backed journal, send the first round, and
+/// exit without any cleanup — a real crash, in a real separate
+/// process. Only runs when the parent sets [`CHILD_PATH_VAR`];
+/// `#[ignore]` keeps it out of normal runs.
+#[test]
+#[ignore]
+fn journal_child_writes_then_exits() {
+    let Ok(path) = std::env::var(CHILD_PATH_VAR) else {
+        return;
+    };
+    let mut rt = ConcurrentRuntime::with_journal(RuntimeConfig::default(), Journal::file(&path));
+    let now = SimTime(0);
+    for i in 0..3u32 {
+        let admitted = rt.submit(
+            job(&format!("job{i}"), 10 + i, &[vec![1, 2], vec![3, 4]]),
+            now,
+            Priority::Normal,
+        );
+        assert!(admitted.is_ok(), "child admission failed");
+    }
+    // first round goes out, no switch ever answers: every job is
+    // mid-flight when the process dies
+    let _ = rt.poll(now);
+    std::process::exit(0);
+}
+
+/// `Journal::File` across a real process boundary: one process writes
+/// the log and dies mid-flight; a second process (this one) reopens
+/// the same path in a fresh runtime, recovers, and drives every job to
+/// completion. This is the property the in-process crash tests cannot
+/// check — that the on-disk byte format, not a shared `Vec`, carries
+/// the recovery.
+#[test]
+fn file_journal_survives_a_real_process_boundary() {
+    let path = std::env::temp_dir().join(format!("sdn-journal-xproc-{}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let status = std::process::Command::new(std::env::current_exe().expect("test binary path"))
+        .arg("journal_child_writes_then_exits")
+        .arg("--exact")
+        .arg("--ignored")
+        .env(CHILD_PATH_VAR, &path)
+        .status()
+        .expect("spawn child test process");
+    assert!(status.success(), "child writer must exit cleanly");
+
+    let mut rt = ConcurrentRuntime::with_journal(RuntimeConfig::default(), Journal::file(&path));
+    assert!(rt.is_idle(), "nothing carries over in-process");
+    let mut now = SimTime(1);
+    assert!(
+        rt.recover_from_crash(now),
+        "the other process's journal must drive a recovery"
+    );
+    assert_eq!(rt.stats().recoveries, 1);
+    assert_eq!(
+        rt.queued() + rt.active_count(),
+        3,
+        "all three mid-flight jobs are re-queued"
+    );
+
+    // the switches are fresh too (they belong to the dead process's
+    // world); recovery re-runs every round, so they fully converge
+    let mut switches = fresh_switches(&[1, 2, 3, 4]);
+    drive(&mut rt, &mut switches, &mut now, None);
+    assert!(rt.is_idle());
+    assert_eq!(rt.reports().len(), 3);
+    assert!(rt.reports().iter().all(|r| r.completed.is_some()));
+    for (dp, sw) in &switches {
+        assert_eq!(
+            rt.intended_hashes(*dp),
+            Some(sw.table().rule_hashes()),
+            "recovered shadow of {dp} must match the replayed table"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

@@ -14,8 +14,8 @@ use sdn_channel::transport::Transport;
 use sdn_ctrl::compile::CompiledUpdate;
 use sdn_ctrl::controller::{Controller, ControllerConfig, CtrlOutput};
 use sdn_ctrl::runtime::{
-    AdmitOutcome, ConcurrentRuntime, FabricConfig, FabricCoordinator, Priority, RejectReason,
-    RuntimeConfig, RuntimeHandle, RuntimeStats, StatusReport, SubmitOutcome, SubmitRequest,
+    ConcurrentRuntime, FabricConfig, FabricCoordinator, RuntimeConfig, RuntimeHandle, StatusReport,
+    SubmitOutcome, SubmitRequest,
 };
 use sdn_openflow::codec::{decode, encode};
 use sdn_openflow::flow::PacketMeta;
@@ -185,12 +185,6 @@ impl World {
         World::over(topo, cfg, Box::new(ctrl))
     }
 
-    /// Build a world over a topology with an explicit controller core.
-    #[deprecated(since = "0.8.0", note = "use World::builder(topo).runtime_handle(...)")]
-    pub fn with_runtime(topo: Topology, cfg: WorldConfig, runtime: Box<dyn RuntimeHandle>) -> Self {
-        World::over(topo, cfg, runtime)
-    }
-
     fn over(topo: Topology, cfg: WorldConfig, runtime: Box<dyn RuntimeHandle>) -> Self {
         let switches: BTreeMap<DpId, SoftSwitch> = topo
             .switches()
@@ -280,35 +274,9 @@ impl World {
         out
     }
 
-    /// Offer an update to the controller runtime under the pre-fabric
-    /// admission surface.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use World::submit(SubmitRequest::new(update))"
-    )]
-    pub fn submit_update(&mut self, update: CompiledUpdate, priority: Priority) -> AdmitOutcome {
-        match self.submit(SubmitRequest::new(update).priority(priority)) {
-            Ok(ticket) => match ticket.displaced {
-                Some(dropped) => AdmitOutcome::QueuedDisplacing {
-                    id: ticket.job,
-                    dropped,
-                },
-                None => AdmitOutcome::Queued { id: ticket.job },
-            },
-            Err(_) => AdmitOutcome::Rejected(RejectReason::QueueFull),
-        }
-    }
-
     /// The controller core, for inspection (stats, reports, status).
     pub fn runtime(&self) -> &dyn RuntimeHandle {
         self.controller.as_ref()
-    }
-
-    /// Controller-runtime counters (admissions, retransmissions,
-    /// stragglers, peak concurrency).
-    #[deprecated(since = "0.8.0", note = "use World::runtime().stats()")]
-    pub fn runtime_stats(&self) -> RuntimeStats {
-        self.controller.stats()
     }
 
     /// The live `GET /status` snapshot: queue depth, active jobs,
@@ -341,22 +309,6 @@ impl World {
                 t.clear_conn_config(ConnId::to_controller(dp));
             }
         }
-    }
-
-    /// Override the control-channel behaviour of one switch in *both*
-    /// directions.
-    #[deprecated(
-        since = "0.8.0",
-        note = "use World::set_link_profile(dp, Some(config))"
-    )]
-    pub fn set_switch_channel(&mut self, dp: DpId, config: ChannelConfig) {
-        self.set_link_profile(dp, Some(config));
-    }
-
-    /// Drop a per-switch override, restoring the default profile.
-    #[deprecated(since = "0.8.0", note = "use World::set_link_profile(dp, None)")]
-    pub fn clear_switch_channel(&mut self, dp: DpId) {
-        self.set_link_profile(dp, None);
     }
 
     /// Script a control-plane fault at `at` (see
@@ -425,12 +377,13 @@ impl World {
     }
 
     /// Drain events until the queue empties or `horizon` passes.
-    /// Returns the final report.
+    /// Returns the report as of the horizon. Events beyond the horizon
+    /// stay queued, so the run is resumable: calling again with a later
+    /// horizon continues the same timeline — the stepping loop the
+    /// rebalance experiment uses to watch migrations land in between.
     pub fn run(&mut self, horizon: SimTime) -> SimReport {
-        while let Some((at, event)) = self.queue.pop() {
-            if at > horizon {
-                break;
-            }
+        while self.queue.peek_time().is_some_and(|at| at <= horizon) {
+            let (at, event) = self.queue.pop().expect("peeked event");
             debug_assert!(at >= self.now, "time went backwards");
             self.now = at;
             self.handle(event);
@@ -584,6 +537,15 @@ impl World {
                 }
                 self.controller.recover_from_crash(self.now);
                 if !self.controller.is_idle() && !self.polling {
+                    self.polling = true;
+                    self.queue
+                        .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
+                }
+            }
+            FaultKind::MigrateSeat { dp, to } => {
+                // committing the seat move happens inside the runtime's
+                // poll, so make sure one is coming even when idle
+                if self.controller.begin_seat_migration(dp, to, self.now) && !self.polling {
                     self.polling = true;
                     self.queue
                         .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
