@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Fail CI if a library crate prints to stdout/stderr directly.
+#
+# PR 10 gives the stack a structured observability path (`sdn_obs`
+# events, counters and the flight recorder); ad-hoc `println!` /
+# `eprintln!` in library code bypasses it, breaks the zero-overhead
+# promise of the disabled handle, and pollutes embedders' output.
+#
+# Scope: `crates/*/src/**` library sources only. Exempt by design:
+#   - `crates/bench/src/bin/**` — experiment binaries are CLIs; their
+#     tables and acceptance lines ARE the product.
+#   - `#[cfg(test)]` code and `tests/` trees — prints in tests are
+#     developer-facing.
+#   - `examples/`, `shims/`, and doc comments (`//!`, `///`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Strip doc/comment lines before matching so examples in rustdoc
+# (```text blocks showing CLI output) don't trip the lint. Test code
+# is excluded file-wise (tests/ trees) and by the #[cfg(test)] guard:
+# we stop scanning a file at its `#[cfg(test)]` line, since the repo
+# convention keeps unit tests in a trailing `mod tests`. The regex is
+# POSIX ERE (mawk has no \b/\< word boundaries); the `!(` suffix is
+# distinctive enough without one.
+hits=""
+while IFS= read -r -d '' f; do
+    match=$(awk '
+        /#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /e?print(ln)?!\(/ { printf "%s:%d:%s\n", FILENAME, FNR, $0 }
+    ' "$f" || true)
+    [ -n "$match" ] && hits="${hits}${match}"$'\n'
+done < <(find crates/*/src -name '*.rs' \
+    -not -path 'crates/bench/src/bin/*' -print0)
+
+if [ -n "${hits%$'\n'}" ]; then
+    echo "error: library crates must not print directly — route it through sdn_obs:" >&2
+    echo "$hits" >&2
+    echo "Use Obs events/counters (or return the string to the caller) instead." >&2
+    exit 1
+fi
+echo "lint_prints: no stray prints in library crates"

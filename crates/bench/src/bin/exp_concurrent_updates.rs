@@ -27,9 +27,9 @@
 //! Flags: `--tier small` (CI smoke sizes), `--json` (write
 //! `BENCH_PR5.json`), `--json-out PATH`.
 
-use sdn_bench::json::Json;
 use sdn_bench::stats::percentile;
 use sdn_bench::table::{f2, Table};
+use sdn_bench::Export;
 use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
 use sdn_ctrl::executor::ExecConfig;
@@ -167,18 +167,6 @@ struct Record {
     algo: &'static str,
     n: u64,
     ms: f64,
-}
-
-impl Record {
-    fn json(&self) -> Json {
-        Json::obj(vec![
-            ("workload", Json::str(self.workload)),
-            ("algo", Json::str(self.algo)),
-            ("n", Json::Int(self.n as i64)),
-            ("rounds", Json::Num(0.0)),
-            ("ms", Json::Num(self.ms)),
-        ])
-    }
 }
 
 fn main() {
@@ -447,15 +435,10 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let doc = Json::obj(vec![
-            ("experiment", Json::str("concurrent_updates")),
-            ("source", Json::str("exp_concurrent_updates --json")),
-            (
-                "records",
-                Json::Arr(records.iter().map(Record::json).collect()),
-            ),
-        ]);
-        std::fs::write(&path, format!("{doc}\n")).expect("write json export");
-        println!("wrote {} records to {path}", records.len());
+        let mut export = Export::new("concurrent_updates");
+        for r in &records {
+            export.push(sdn_bench::Record::new(r.workload, r.algo, r.n, r.ms));
+        }
+        println!("{}", export.write(&path));
     }
 }

@@ -33,9 +33,9 @@
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use sdn_bench::json::Json;
 use sdn_bench::stats::percentile;
 use sdn_bench::table::{f2, Table};
+use sdn_bench::Export;
 use sdn_channel::config::ChannelConfig;
 use sdn_channel::{EventLoopConfig, EventLoopTransport, LiveTransport};
 use sdn_openflow::flow::FlowMatch;
@@ -180,18 +180,6 @@ struct Record {
     ms: f64,
 }
 
-impl Record {
-    fn json(&self) -> Json {
-        Json::obj(vec![
-            ("workload", Json::str(self.workload)),
-            ("algo", Json::str("event_loop")),
-            ("n", Json::Int(self.n as i64)),
-            ("rounds", Json::Num(0.0)),
-            ("ms", Json::Num(self.ms)),
-        ])
-    }
-}
-
 fn main() {
     let mut tier_small = false;
     let mut json_path: Option<String> = None;
@@ -276,15 +264,10 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let doc = Json::obj(vec![
-            ("experiment", Json::str("connection_scaling")),
-            ("source", Json::str("exp_connection_scaling --json")),
-            (
-                "records",
-                Json::Arr(records.iter().map(Record::json).collect()),
-            ),
-        ]);
-        std::fs::write(&path, format!("{doc}\n")).expect("write json export");
-        println!("wrote {} records to {path}", records.len());
+        let mut export = Export::new("connection_scaling");
+        for r in &records {
+            export.push(sdn_bench::Record::new(r.workload, "event_loop", r.n, r.ms));
+        }
+        println!("{}", export.write(&path));
     }
 }

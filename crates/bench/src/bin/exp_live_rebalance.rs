@@ -29,9 +29,9 @@
 
 use std::collections::BTreeMap;
 
-use sdn_bench::json::Json;
 use sdn_bench::stats::percentile;
 use sdn_bench::table::{f2, f3, Table};
+use sdn_bench::Export;
 use sdn_channel::config::ChannelConfig;
 use sdn_ctrl::compile::{compile_schedule, initial_flowmods, CompiledUpdate, FlowSpec};
 use sdn_ctrl::executor::ExecConfig;
@@ -197,18 +197,6 @@ struct Record {
     ms: f64,
 }
 
-impl Record {
-    fn json(&self) -> Json {
-        Json::obj(vec![
-            ("workload", Json::str(self.workload)),
-            ("algo", Json::str(&self.algo)),
-            ("n", Json::Int(self.n as i64)),
-            ("rounds", Json::Num(0.0)),
-            ("ms", Json::Num(self.ms)),
-        ])
-    }
-}
-
 fn main() {
     let mut tier_small = false;
     let mut json_path: Option<String> = None;
@@ -330,15 +318,15 @@ fn main() {
                 ms: live_ms,
             },
         ];
-        let doc = Json::obj(vec![
-            ("experiment", Json::str("live_rebalance")),
-            ("source", Json::str("exp_live_rebalance --json")),
-            (
-                "records",
-                Json::Arr(records.iter().map(Record::json).collect()),
-            ),
-        ]);
-        std::fs::write(&path, format!("{doc}\n")).expect("write json export");
-        println!("wrote {} records to {path}", records.len());
+        let mut export = Export::new("live_rebalance");
+        for r in &records {
+            export.push(sdn_bench::Record::new(
+                r.workload,
+                r.algo.clone(),
+                r.n,
+                r.ms,
+            ));
+        }
+        println!("{}", export.write(&path));
     }
 }

@@ -34,6 +34,7 @@ use std::time::Instant;
 use sdn_bench::json::Json;
 use sdn_bench::stats::Summary;
 use sdn_bench::table::{f2, Table};
+use sdn_bench::Export;
 use sdn_types::DetRng;
 use update_core::algorithms::{Peacock, SlfGreedy, TwoPhaseCommit, UpdateScheduler, WayUp};
 use update_core::checker::verify_schedule_incremental;
@@ -65,19 +66,6 @@ struct Record {
     n: u64,
     rounds: f64,
     ms: f64,
-}
-
-impl Record {
-    fn json(&self) -> Json {
-        Json::obj(vec![
-            ("workload", Json::str(self.workload)),
-            ("algo", Json::str(self.algo)),
-            ("n", Json::Int(self.n as i64)),
-            ("rounds", Json::Num(self.rounds)),
-            ("ms", Json::Num(self.ms)),
-            ("budget_ms", Json::Num(budget_ms(self.n))),
-        ])
-    }
 }
 
 /// Schedule once, returning the schedule and milliseconds.
@@ -433,16 +421,14 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let doc = Json::obj(vec![
-            ("experiment", Json::str("rounds_scaling")),
-            ("source", Json::str("exp_rounds_scaling --json")),
-            ("max_n", Json::Int(max_n as i64)),
-            (
-                "records",
-                Json::Arr(records.iter().map(Record::json).collect()),
-            ),
-        ]);
-        std::fs::write(&path, format!("{doc}\n")).expect("write json export");
-        println!("wrote {} records to {path}", records.len());
+        let mut export = Export::new("rounds_scaling").header("max_n", Json::Int(max_n as i64));
+        for r in &records {
+            export.push(
+                sdn_bench::Record::new(r.workload, r.algo, r.n, r.ms)
+                    .with("rounds", Json::Num(r.rounds))
+                    .with("budget_ms", Json::Num(budget_ms(r.n))),
+            );
+        }
+        println!("{}", export.write(&path));
     }
 }

@@ -11,18 +11,29 @@
 //! | `exp_violations`      | E4 — transient violations, one-shot vs scheduled |
 //! | `exp_barrier_overhead`| E5 — barrier cost decomposition, loss sensitivity |
 //! | `exp_ablation`        | E6 — orderings, oracles, FIFO, sub-schedulers |
+//! | `exp_concurrent_updates` | E7 — concurrent runtime: throughput, backpressure, adaptive RTO |
+//! | `exp_connection_scaling` | E8 — the live transport at scale |
+//! | `exp_fault_recovery`  | E9 — convergence under control-plane failure |
+//! | `exp_shard_scaling`   | E10 — sharded fabric scaling vs cross-shard tax |
+//! | `exp_live_rebalance`  | E11 — seat migration under load |
+//! | `exp_observability`   | E12 — observability overhead and flight-recorder fidelity |
 //! | `bench_check`         | CI perf-regression gate over the JSON exports |
+//!
+//! Machine-readable exports (`BENCH_PR*.json`) all flow through
+//! [`export::Export`] — one shared schema for the `bench_check` gate.
 //!
 //! Criterion micro-benchmarks live in `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
 pub mod json;
 pub mod regression;
 pub mod stats;
 pub mod table;
 
+pub use export::{Export, Record};
 pub use json::Json;
 pub use stats::Summary;
 pub use table::Table;

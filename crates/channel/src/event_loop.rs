@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use sdn_obs::{Ctr, Gauge, Obs};
 use sdn_openflow::codec::decode;
 use sdn_openflow::framing::{encode_to, FrameCodec};
 use sdn_openflow::messages::Envelope;
@@ -211,6 +212,10 @@ struct Inner {
     to_ctrl: Sender<FromSwitch>,
     events: Sender<TransportEvent>,
     running: AtomicBool,
+    /// Observability sink (disabled until attached). The transport
+    /// runs in wall time with no virtual clock, so it records only
+    /// counters and the connection gauge — never timestamped events.
+    obs: Mutex<Obs>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -443,6 +448,7 @@ impl EventLoopTransport {
             to_ctrl,
             events,
             running: AtomicBool::new(true),
+            obs: Mutex::new(Obs::disabled()),
         });
         let mut threads = Vec::new();
         let poller = Arc::clone(&inner);
@@ -474,6 +480,41 @@ impl EventLoopTransport {
         self.inner.conns.len()
     }
 
+    /// Attach an observability sink: the transport maintains the live
+    /// [`Gauge::Connections`] and bumps [`Ctr::Disconnects`] /
+    /// [`Ctr::Reconnects`] as sessions churn. Wall-time component, so
+    /// counters and gauges only — no timestamped events.
+    pub fn attach_obs(&self, obs: Obs) {
+        if obs.is_enabled() {
+            let live = self
+                .inner
+                .conns
+                .iter()
+                .filter(|c| lock(c).connected)
+                .count();
+            obs.set_gauge(Gauge::Connections, live as i64);
+        }
+        *lock(&self.inner.obs) = obs;
+    }
+
+    fn obs(&self) -> Obs {
+        lock(&self.inner.obs).clone()
+    }
+
+    /// Recompute the live-connection gauge after a churn event.
+    fn refresh_connection_gauge(&self, obs: &Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        let live = self
+            .inner
+            .conns
+            .iter()
+            .filter(|c| lock(c).connected)
+            .count();
+        obs.set_gauge(Gauge::Connections, live as i64);
+    }
+
     /// Tear down the connection to `dpid`: subsequent sends fail with
     /// [`TransportError::Disconnected`], in-flight frames in both
     /// directions are severed, and the reassembly / write buffers are
@@ -491,6 +532,9 @@ impl EventLoopTransport {
         conn.wbuf = BytesMut::with_capacity(256);
         drop(conn);
         lock(&self.inner.planner).stats.disconnects += 1;
+        let obs = self.obs();
+        obs.inc(Ctr::Disconnects);
+        self.refresh_connection_gauge(&obs);
         let _ = self.inner.events.send(TransportEvent::Disconnected(dpid));
         Ok(())
     }
@@ -511,6 +555,9 @@ impl EventLoopTransport {
         planner.hwm.remove(&ConnId::to_controller(dpid));
         planner.stats.reconnects += 1;
         drop(planner);
+        let obs = self.obs();
+        obs.inc(Ctr::Reconnects);
+        self.refresh_connection_gauge(&obs);
         let _ = self.inner.events.send(TransportEvent::Reconnected(dpid));
         Ok(())
     }
@@ -971,5 +1018,21 @@ mod tests {
         let _ = t.recv_timeout(Duration::from_secs(5)).expect("reply");
         let switches = t.shutdown();
         assert_eq!(switches[0].table().len(), 0, "reboot came back empty");
+    }
+
+    #[test]
+    fn churn_maintains_the_obs_gauge_and_counters() {
+        let t = transport(3);
+        let obs = Obs::recording();
+        t.attach_obs(obs.clone());
+        assert_eq!(obs.registry().gauge(Gauge::Connections), 3);
+        t.disconnect(DpId(2)).unwrap();
+        t.disconnect(DpId(2)).unwrap(); // idempotent: no double count
+        assert_eq!(obs.registry().gauge(Gauge::Connections), 2);
+        assert_eq!(obs.registry().counter(Ctr::Disconnects), 1);
+        t.reconnect(DpId(2)).unwrap();
+        assert_eq!(obs.registry().gauge(Gauge::Connections), 3);
+        assert_eq!(obs.registry().counter(Ctr::Reconnects), 1);
+        t.shutdown();
     }
 }

@@ -1,0 +1,99 @@
+//! `GET /v1/metrics`: Prometheus text exposition.
+//!
+//! The page is assembled from two sources at scrape time:
+//!
+//! * the [`sdn_obs`] registry — lifecycle counters, gauges and log₂
+//!   histograms recorded by the instrumented runtimes — rendered by
+//!   [`Obs::prometheus_with`];
+//! * the runtime's own [`RuntimeStats`](crate::runtime::RuntimeStats)
+//!   counters, appended as `sdn_status_*` families straight from the
+//!   [`STATUS_FIELDS`] single-source table, so `GET /v1/status` and
+//!   `GET /v1/metrics` can never disagree about what a counter means.
+//!
+//! Gauges (queue depth, active jobs, pending acks, migrating seats)
+//! are *set here*, from the status report the caller just took — not
+//! maintained in the runtime's poll loop — so the hot path pays
+//! nothing for values only a scraper reads.
+//!
+//! The body is Prometheus text, not JSON; the embedding binary owns
+//! the `Content-Type: text/plain; version=0.0.4` header, as it owns
+//! all transport concerns.
+
+use sdn_obs::{Gauge, Obs};
+
+use crate::rest::response::Response;
+use crate::rest::status::STATUS_FIELDS;
+use crate::runtime::StatusReport;
+
+/// The `200 OK` response for `GET /v1/metrics`.
+pub fn metrics_response(obs: &Obs, report: &StatusReport) -> Response {
+    obs.set_gauge(Gauge::QueueDepth, report.queued as i64);
+    obs.set_gauge(Gauge::ActiveJobs, report.active as i64);
+    obs.set_gauge(Gauge::PendingAcks, report.pending_acks as i64);
+    obs.set_gauge(Gauge::Migrating, report.migrating.len() as i64);
+    let stats = &report.stats;
+    let extras: Vec<(&str, &str, u64)> = STATUS_FIELDS
+        .iter()
+        .map(|f| (f.prom, f.help, (f.get)(stats)))
+        .collect();
+    Response {
+        status: 200,
+        body: obs.prometheus_with(&extras),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeStats;
+    use sdn_obs::{prometheus, Ctr, EventKind, HistId};
+    use sdn_types::SimTime;
+
+    fn report() -> StatusReport {
+        StatusReport {
+            queued: 2,
+            active: 3,
+            pending_acks: 4,
+            migrating: vec![sdn_types::DpId(9)],
+            stats: RuntimeStats {
+                submitted: 11,
+                completed: 7,
+                ..RuntimeStats::default()
+            },
+            ..StatusReport::default()
+        }
+    }
+
+    #[test]
+    fn page_is_valid_prometheus_and_carries_both_sources() {
+        let obs = Obs::recording();
+        obs.inc(Ctr::Submitted);
+        obs.observe(HistId::ViolationWindowNs, 40_000);
+        obs.emit(sdn_obs::Event::new(SimTime::ZERO, EventKind::Submit).span(1));
+        let r = metrics_response(&obs, &report());
+        assert_eq!(r.status, 200);
+        prometheus::validate(&r.body).expect("page must validate");
+        assert!(r.body.contains("sdn_updates_submitted_total 1"));
+        assert!(r.body.contains("sdn_violation_window_ns_count 1"));
+        assert!(r.body.contains("sdn_status_submitted_total 11"));
+        assert!(r.body.contains("sdn_status_completed_total 7"));
+    }
+
+    #[test]
+    fn gauges_reflect_the_scraped_report() {
+        let obs = Obs::recording();
+        let r = metrics_response(&obs, &report());
+        assert!(r.body.contains("sdn_queue_depth 2"));
+        assert!(r.body.contains("sdn_active_jobs 3"));
+        assert!(r.body.contains("sdn_pending_acks 4"));
+        assert!(r.body.contains("sdn_migrating_seats 1"));
+    }
+
+    #[test]
+    fn disabled_obs_still_serves_the_status_counters() {
+        let r = metrics_response(&Obs::disabled(), &report());
+        assert_eq!(r.status, 200);
+        prometheus::validate(&r.body).expect("page must validate");
+        assert!(r.body.contains("sdn_status_submitted_total 11"));
+    }
+}

@@ -3,11 +3,15 @@
 //! extended with v1 submission intent ([`request`]), structured
 //! responses — admission backpressure, `429` tenant-quota refusals
 //! ([`response`]) — versioned `/v1/*` endpoint routing with legacy
-//! `308` redirects ([`router`]), and live shard- and tenant-aware
-//! runtime introspection for `GET /v1/status` ([`status`]).
+//! `308` redirects ([`router`]), live shard- and tenant-aware
+//! runtime introspection for `GET /v1/status` ([`status`]),
+//! Prometheus text exposition for `GET /v1/metrics` ([`metrics`]),
+//! and per-update span trees for `GET /v1/trace/{job}` ([`trace`]).
 
 pub mod json;
+pub mod metrics;
 pub mod request;
 pub mod response;
 pub mod router;
 pub mod status;
+pub mod trace;

@@ -38,6 +38,10 @@ pub enum Endpoint {
     Rebalance,
     /// `POST /v1/rebalance/apply`: execute seat migrations online.
     RebalanceApply,
+    /// `GET /v1/metrics`: Prometheus text exposition.
+    Metrics,
+    /// `GET /v1/trace/{job}`: one update's span tree.
+    Trace(u64),
 }
 
 /// Where a `(method, path)` pair leads.
@@ -62,11 +66,29 @@ pub enum Route {
 /// Map a request line to its route. Methods are case-sensitive
 /// uppercase, per HTTP.
 pub fn route(method: &str, path: &str) -> Route {
+    // a query string never selects the endpoint (no v1 endpoint takes
+    // query parameters, so they are simply ignored), and one trailing
+    // slash is tolerated on every path
+    let path = path.split('?').next().unwrap_or(path);
+    let path = if path.len() > 1 {
+        path.strip_suffix('/').unwrap_or(path)
+    } else {
+        path
+    };
+    // the one parameterised path: /v1/trace/{job}
+    if let Some(job) = path.strip_prefix("/v1/trace/") {
+        return match job.parse::<u64>() {
+            Ok(job) if method == "GET" => Route::Endpoint(Endpoint::Trace(job)),
+            Ok(_) => Route::MethodNotAllowed { allow: "GET" },
+            Err(_) => Route::NotFound,
+        };
+    }
     match (method, path) {
         ("POST", "/v1/update") => Route::Endpoint(Endpoint::Submit),
         ("GET", "/v1/status") => Route::Endpoint(Endpoint::Status),
         ("GET", "/v1/rebalance") => Route::Endpoint(Endpoint::Rebalance),
         ("POST", "/v1/rebalance/apply") => Route::Endpoint(Endpoint::RebalanceApply),
+        ("GET", "/v1/metrics") => Route::Endpoint(Endpoint::Metrics),
         // legacy paths: the pre-v1 surface and the demo's original
         // Ryu-style path, all pointing at their v1 homes
         ("POST", "/update") | ("POST", "/stats/update") => Route::Moved {
@@ -78,7 +100,7 @@ pub fn route(method: &str, path: &str) -> Route {
         (_, "/v1/update") | (_, "/update") | (_, "/stats/update") | (_, "/v1/rebalance/apply") => {
             Route::MethodNotAllowed { allow: "POST" }
         }
-        (_, "/v1/status") | (_, "/v1/rebalance") | (_, "/status") => {
+        (_, "/v1/status") | (_, "/v1/rebalance") | (_, "/v1/metrics") | (_, "/status") => {
             Route::MethodNotAllowed { allow: "GET" }
         }
         _ => Route::NotFound,

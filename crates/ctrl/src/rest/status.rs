@@ -31,7 +31,136 @@ use sdn_types::DpId;
 use crate::rest::json::Json;
 use crate::rest::response::Response;
 use crate::runtime::fabric::{MigrateError, RebalanceReport, ShardId};
-use crate::runtime::{ShardStatus, StatusReport, SwitchStatus, TenantStatus};
+use crate::runtime::{RuntimeStats, ShardStatus, StatusReport, SwitchStatus, TenantStatus};
+
+/// One aggregate counter of [`RuntimeStats`], described once: its JSON
+/// key under `"stats"` in `GET /v1/status`, its Prometheus family name
+/// in `GET /v1/metrics`, its help line, and its accessor.
+pub struct StatusField {
+    /// JSON key under `"stats"`.
+    pub key: &'static str,
+    /// Prometheus counter family name. Status-scoped
+    /// (`sdn_status_*`), so it can never collide with the obs
+    /// registry's own `sdn_*` families on the same page.
+    pub prom: &'static str,
+    /// One-line meaning, shared by `# HELP` and the README table.
+    pub help: &'static str,
+    /// Reads this counter out of a stats snapshot.
+    pub get: fn(&RuntimeStats) -> u64,
+}
+
+/// The single source of truth for the status counters.
+/// [`status_response`] renders its JSON from this table, the metrics
+/// endpoint appends it as extra counter families, and a docs test
+/// regenerates the README table from it — the three can't drift.
+pub const STATUS_FIELDS: &[StatusField] = &[
+    StatusField {
+        key: "submitted",
+        prom: "sdn_status_submitted_total",
+        help: "Updates offered for execution",
+        get: |s| s.submitted,
+    },
+    StatusField {
+        key: "accepted",
+        prom: "sdn_status_accepted_total",
+        help: "Updates that entered the queue",
+        get: |s| s.accepted,
+    },
+    StatusField {
+        key: "rejected",
+        prom: "sdn_status_rejected_total",
+        help: "Updates refused (backpressure, quota, deadline)",
+        get: |s| s.rejected,
+    },
+    StatusField {
+        key: "displaced",
+        prom: "sdn_status_displaced_total",
+        help: "Queued updates shed by the drop-oldest policy",
+        get: |s| s.displaced,
+    },
+    StatusField {
+        key: "completed",
+        prom: "sdn_status_completed_total",
+        help: "Updates that completed every round",
+        get: |s| s.completed,
+    },
+    StatusField {
+        key: "failed",
+        prom: "sdn_status_failed_total",
+        help: "Updates that exhausted a retransmission budget",
+        get: |s| s.failed,
+    },
+    StatusField {
+        key: "retransmissions",
+        prom: "sdn_status_retransmissions_total",
+        help: "Barrier retransmissions across all updates",
+        get: |s| s.retransmissions,
+    },
+    StatusField {
+        key: "stragglers",
+        prom: "sdn_status_stragglers_total",
+        help: "Switches flagged slow while the rest of their round had acknowledged",
+        get: |s| s.stragglers,
+    },
+    StatusField {
+        key: "peak_active",
+        prom: "sdn_status_peak_active",
+        help: "Highest number of simultaneously executing updates observed",
+        get: |s| s.peak_active,
+    },
+    StatusField {
+        key: "reconnects",
+        prom: "sdn_status_reconnects_total",
+        help: "Switch reconnects observed",
+        get: |s| s.reconnects,
+    },
+    StatusField {
+        key: "resyncs",
+        prom: "sdn_status_resyncs_total",
+        help: "Resynchronization audits that converged",
+        get: |s| s.resyncs,
+    },
+    StatusField {
+        key: "resynced_rules",
+        prom: "sdn_status_resynced_rules_total",
+        help: "Missing rules replayed by resynchronization",
+        get: |s| s.resynced_rules,
+    },
+    StatusField {
+        key: "quarantined",
+        prom: "sdn_status_quarantined_total",
+        help: "Switches quarantined after repeated failures",
+        get: |s| s.quarantined,
+    },
+    StatusField {
+        key: "recoveries",
+        prom: "sdn_status_recoveries_total",
+        help: "Crash recoveries this runtime was rebuilt through",
+        get: |s| s.recoveries,
+    },
+    StatusField {
+        key: "migrations",
+        prom: "sdn_status_migrations_total",
+        help: "Online seat migrations committed (fabric only)",
+        get: |s| s.migrations,
+    },
+    StatusField {
+        key: "migration_aborts",
+        prom: "sdn_status_migration_aborts_total",
+        help: "Seat migrations unwound at apply time or by crash recovery",
+        get: |s| s.migration_aborts,
+    },
+];
+
+/// The status-counter table as GitHub markdown — the exact block
+/// embedded in `README.md` (a docs test keeps the two identical).
+pub fn status_fields_markdown() -> String {
+    let mut out = String::from("| `stats` key | Prometheus family | Meaning |\n|---|---|---|\n");
+    for f in STATUS_FIELDS {
+        out.push_str(&format!("| `{}` | `{}` | {} |\n", f.key, f.prom, f.help));
+    }
+    out
+}
 
 fn duration_us(d: sdn_types::SimDuration) -> Json {
     Json::Num(d.as_nanos() as f64 / 1_000.0)
@@ -74,27 +203,10 @@ fn tenant_json(t: &TenantStatus) -> Json {
 /// The `200 OK` response for `GET /status`.
 pub fn status_response(report: &StatusReport) -> Response {
     let stats = &report.stats;
-    let counters: BTreeMap<String, Json> = [
-        ("submitted", stats.submitted),
-        ("accepted", stats.accepted),
-        ("rejected", stats.rejected),
-        ("displaced", stats.displaced),
-        ("completed", stats.completed),
-        ("failed", stats.failed),
-        ("retransmissions", stats.retransmissions),
-        ("stragglers", stats.stragglers),
-        ("peak_active", stats.peak_active),
-        ("reconnects", stats.reconnects),
-        ("resyncs", stats.resyncs),
-        ("resynced_rules", stats.resynced_rules),
-        ("quarantined", stats.quarantined),
-        ("recoveries", stats.recoveries),
-        ("migrations", stats.migrations),
-        ("migration_aborts", stats.migration_aborts),
-    ]
-    .into_iter()
-    .map(|(k, v)| (k.to_string(), Json::Num(v as f64)))
-    .collect();
+    let counters: BTreeMap<String, Json> = STATUS_FIELDS
+        .iter()
+        .map(|f| (f.key.to_string(), Json::Num((f.get)(stats) as f64)))
+        .collect();
     let body: BTreeMap<String, Json> = [
         ("status".to_string(), Json::Str("ok".into())),
         ("queued".to_string(), Json::Num(report.queued as f64)),
@@ -475,6 +587,78 @@ mod tests {
         assert!(
             tenants[1].get("quota").is_none(),
             "unlimited: quota omitted"
+        );
+    }
+
+    #[test]
+    fn status_fields_cover_every_runtime_counter() {
+        // exhaustive destructure: adding a RuntimeStats field breaks
+        // this pattern, forcing the table (and with it the JSON body,
+        // the metrics families and the README) to follow
+        let RuntimeStats {
+            submitted,
+            accepted,
+            rejected,
+            displaced,
+            completed,
+            failed,
+            retransmissions,
+            stragglers,
+            peak_active,
+            reconnects,
+            resyncs,
+            resynced_rules,
+            quarantined,
+            recoveries,
+            migrations,
+            migration_aborts,
+        } = RuntimeStats::default();
+        let all = [
+            submitted,
+            accepted,
+            rejected,
+            displaced,
+            completed,
+            failed,
+            retransmissions,
+            stragglers,
+            peak_active,
+            reconnects,
+            resyncs,
+            resynced_rules,
+            quarantined,
+            recoveries,
+            migrations,
+            migration_aborts,
+        ];
+        assert_eq!(STATUS_FIELDS.len(), all.len());
+        let mut keys: Vec<&str> = STATUS_FIELDS.iter().map(|f| f.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), STATUS_FIELDS.len(), "duplicate JSON key");
+        let mut proms: Vec<&str> = STATUS_FIELDS.iter().map(|f| f.prom).collect();
+        proms.sort_unstable();
+        proms.dedup();
+        assert_eq!(proms.len(), STATUS_FIELDS.len(), "duplicate family");
+        for f in STATUS_FIELDS {
+            assert!(
+                f.prom.starts_with("sdn_status_"),
+                "{} must be status-scoped to avoid registry collisions",
+                f.prom
+            );
+            assert!(!f.help.is_empty());
+        }
+    }
+
+    #[test]
+    fn readme_status_table_matches_the_source_of_truth() {
+        let readme =
+            std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md"))
+                .expect("workspace README");
+        assert!(
+            readme.contains(&status_fields_markdown()),
+            "README status-field table drifted from STATUS_FIELDS; \
+             regenerate it with status_fields_markdown()"
         );
     }
 

@@ -1,0 +1,72 @@
+//! `GET /v1/trace/{job}`: one update's recorded span tree.
+//!
+//! The tracing layer keys every lifecycle event to the update's job
+//! id (its [`SpanId`](sdn_obs::SpanId)); this endpoint returns the
+//! whole span as a tree — job-level lifecycle events at the root,
+//! round-level events (dispatch, FlowMod send/ack, barrier fence,
+//! round commit) grouped beneath their round index — rendered by
+//! [`Obs::trace_json`]. A job the sink has never seen (wrong id,
+//! span evicted, observability disabled) answers a structured `404`
+//! naming the job, so clients branch without parsing prose.
+
+use sdn_obs::Obs;
+
+use crate::rest::json::Json;
+use crate::rest::response::Response;
+
+/// The response for `GET /v1/trace/{job}`: `200` with the span tree,
+/// or a structured `404` when no trace exists for `job`.
+pub fn trace_response(obs: &Obs, job: u64) -> Response {
+    match obs.trace_json(job) {
+        Some(body) => Response { status: 200, body },
+        None => Response {
+            status: 404,
+            body: Json::Obj(
+                [
+                    ("status".to_string(), Json::Str("error".into())),
+                    (
+                        "detail".to_string(),
+                        Json::Str("no trace recorded for that job".into()),
+                    ),
+                    ("job".to_string(), Json::Num(job as f64)),
+                ]
+                .into_iter()
+                .collect(),
+            )
+            .render(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rest::json;
+    use sdn_obs::{Event, EventKind};
+    use sdn_types::SimTime;
+
+    #[test]
+    fn known_job_answers_its_span_tree() {
+        let obs = Obs::recording();
+        obs.emit(Event::new(SimTime::ZERO, EventKind::Submit).span(42));
+        obs.emit(Event::new(SimTime::ZERO, EventKind::Commit).span(42));
+        let r = trace_response(&obs, 42);
+        assert_eq!(r.status, 200);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("job").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn unknown_job_is_a_structured_404() {
+        let r = trace_response(&Obs::recording(), 7);
+        assert_eq!(r.status, 404);
+        let v = json::parse(&r.body).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("job").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn disabled_obs_is_a_404_too() {
+        assert_eq!(trace_response(&Obs::disabled(), 1).status, 404);
+    }
+}

@@ -16,6 +16,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use sdn_obs::{Ctr, DumpReason, Event, EventKind, HistId, Obs};
 use sdn_openflow::codec;
 use sdn_openflow::messages::{Envelope, OfMessage};
 use sdn_types::{DpId, SimDuration, SimTime, Xid};
@@ -168,6 +169,9 @@ pub struct ConcurrentRuntime {
     quarantined: BTreeSet<DpId>,
     /// Per-switch failure count feeding quarantine.
     strikes: BTreeMap<DpId, u32>,
+    /// Observability sink (disabled by default; see
+    /// [`RuntimeHandle::attach_obs`]).
+    obs: Obs,
 }
 
 impl ConcurrentRuntime {
@@ -197,6 +201,7 @@ impl ConcurrentRuntime {
             journal,
             quarantined: BTreeSet::new(),
             strikes: BTreeMap::new(),
+            obs: Obs::disabled(),
             config,
         }
     }
@@ -521,11 +526,13 @@ impl ConcurrentRuntime {
     fn register(
         routes: &mut BTreeMap<(DpId, Xid), JobId>,
         stats: &mut RuntimeStats,
+        obs: &Obs,
         job_id: JobId,
         job: &mut ActiveJob,
         now: SimTime,
         cmds: &[(DpId, Envelope)],
     ) {
+        let round = job.ex.current_round();
         // Per switch: the barrier xid (if one went out) and whether
         // any ack-tracked payload went out.
         let mut per_dp: BTreeMap<DpId, Option<Xid>> = BTreeMap::new();
@@ -539,6 +546,15 @@ impl ConcurrentRuntime {
                     routes.insert((*dp, env.xid), job_id);
                     job.ack_routes.push((*dp, env.xid));
                     per_dp.entry(*dp).or_insert(None);
+                }
+                OfMessage::FlowMod(_) => {
+                    obs.inc(Ctr::FlowModsSent);
+                    obs.emit(
+                        Event::new(now, EventKind::FlowModSend)
+                            .span(job_id.0)
+                            .dp(dp.0)
+                            .round(round),
+                    );
                 }
                 _ => {}
             }
@@ -595,9 +611,13 @@ impl ConcurrentRuntime {
     /// Withdraw `dp` from service: new jobs touching it fail fast at
     /// launch, and the next poll aborts active jobs still waiting on
     /// it. Reconnection lifts the quarantine.
-    fn quarantine(&mut self, dp: DpId) {
+    fn quarantine(&mut self, dp: DpId, now: SimTime) {
         if self.quarantined.insert(dp) {
             self.stats.quarantined += 1;
+            self.obs.inc(Ctr::Quarantines);
+            self.obs
+                .emit(Event::new(now, EventKind::Quarantine).dp(dp.0));
+            self.obs.dump(DumpReason::Quarantine, now);
         }
     }
 
@@ -638,9 +658,22 @@ impl ConcurrentRuntime {
                 }
             };
             match completed {
-                Some(at) => self.journal.append(&JournalRecord::Completed { id, at }),
+                Some(at) => {
+                    self.journal.append(&JournalRecord::Completed { id, at });
+                    let latency = at.saturating_since(job.submitted);
+                    self.obs.inc(Ctr::Commits);
+                    self.obs
+                        .observe(HistId::SubmitToCommitNs, latency.as_nanos());
+                    self.obs.emit(
+                        Event::new(at, EventKind::Commit)
+                            .span(id.0)
+                            .aux(latency.as_nanos()),
+                    );
+                }
                 None => {
                     self.journal.append(&JournalRecord::Failed { id, at: now });
+                    self.obs.inc(Ctr::Aborts);
+                    self.obs.emit(Event::new(now, EventKind::Abort).span(id.0));
                     // A budget exhausted against one switch is a strike
                     // against it; enough strikes quarantine the switch
                     // so later jobs fail fast instead of burning their
@@ -651,7 +684,7 @@ impl ConcurrentRuntime {
                         if self.config.quarantine_strikes > 0
                             && *strikes >= self.config.quarantine_strikes
                         {
-                            self.quarantine(dp);
+                            self.quarantine(dp, now);
                         }
                     }
                 }
@@ -692,6 +725,8 @@ impl ConcurrentRuntime {
             if deadline.is_some_and(|d| now > d) {
                 self.stats.failed += 1;
                 self.journal.append(&JournalRecord::Failed { id, at: now });
+                self.obs.inc(Ctr::Aborts);
+                self.obs.emit(Event::new(now, EventKind::Abort).span(id.0));
                 self.reports.push(UpdateReport {
                     label: update.label,
                     submitted,
@@ -708,6 +743,9 @@ impl ConcurrentRuntime {
             {
                 self.stats.failed += 1;
                 self.journal.append(&JournalRecord::Failed { id, at: now });
+                self.obs.inc(Ctr::Aborts);
+                self.obs
+                    .emit(Event::new(now, EventKind::Abort).span(id.0).dp(dp.0));
                 self.reports.push(UpdateReport {
                     label: update.label,
                     submitted,
@@ -731,7 +769,22 @@ impl ConcurrentRuntime {
                 failure: None,
             };
             self.journal.append(&JournalRecord::Started { id, at: now });
-            Self::register(&mut self.routes, &mut self.stats, id, &mut job, now, &cmds);
+            self.obs.inc(Ctr::RoundsDispatched);
+            self.obs.emit(
+                Event::new(now, EventKind::RoundDispatch)
+                    .span(id.0)
+                    .round(job.ex.current_round())
+                    .aux(job.ex.current_round_width() as u64),
+            );
+            Self::register(
+                &mut self.routes,
+                &mut self.stats,
+                &self.obs,
+                id,
+                &mut job,
+                now,
+                &cmds,
+            );
             Self::record_sent(&mut self.resync, &cmds);
             Self::outputs(cmds, out);
             self.active.insert(id, job);
@@ -745,16 +798,21 @@ impl ConcurrentRuntime {
 impl RuntimeHandle for ConcurrentRuntime {
     fn submit_request(&mut self, req: SubmitRequest, now: SimTime) -> SubmitOutcome {
         self.stats.submitted += 1;
+        self.obs.inc(Ctr::Submitted);
         // refuse before burning an id: an expired deadline or a spent
         // tenant budget is the caller's problem, not queue pressure
         if req.deadline.is_some_and(|d| now > d) {
             self.stats.rejected += 1;
+            self.obs.inc(Ctr::Rejected);
+            self.obs.emit(Event::new(now, EventKind::Reject).aux(1));
             return Err(SubmitError::DeadlineExpired);
         }
         if let Some(limit) = self.config.tenant_quota {
             let in_flight = self.tenant_usage(req.tenant);
             if in_flight >= limit {
                 self.stats.rejected += 1;
+                self.obs.inc(Ctr::Rejected);
+                self.obs.emit(Event::new(now, EventKind::Reject).aux(2));
                 return Err(SubmitError::QuotaExceeded {
                     tenant: req.tenant,
                     limit,
@@ -764,6 +822,13 @@ impl RuntimeHandle for ConcurrentRuntime {
         }
         let id = JobId(self.next_id);
         self.next_id += 1;
+        self.obs.emit(
+            Event::new(now, EventKind::Submit)
+                .span(id.0)
+                .aux(self.queue.len() as u64),
+        );
+        self.obs
+            .observe(HistId::QueueDepthAtSubmit, self.queue.len() as u64);
         let footprint = Footprint::of(&req.update);
         // the record clones the whole update: build it only when a
         // journal is actually attached
@@ -788,6 +853,8 @@ impl RuntimeHandle for ConcurrentRuntime {
         match outcome {
             AdmitOutcome::Queued { .. } => {
                 self.stats.accepted += 1;
+                self.obs.inc(Ctr::Admitted);
+                self.obs.emit(Event::new(now, EventKind::Admit).span(id.0));
                 if let Some(rec) = &admitted {
                     self.journal.append(rec);
                 }
@@ -796,6 +863,8 @@ impl RuntimeHandle for ConcurrentRuntime {
             AdmitOutcome::QueuedDisplacing { dropped, .. } => {
                 self.stats.accepted += 1;
                 self.stats.displaced += 1;
+                self.obs.inc(Ctr::Admitted);
+                self.obs.emit(Event::new(now, EventKind::Admit).span(id.0));
                 if let Some(rec) = &admitted {
                     self.journal.append(rec);
                 }
@@ -811,6 +880,9 @@ impl RuntimeHandle for ConcurrentRuntime {
             }
             AdmitOutcome::Rejected(_) => {
                 self.stats.rejected += 1;
+                self.obs.inc(Ctr::Rejected);
+                self.obs
+                    .emit(Event::new(now, EventKind::Reject).span(id.0).aux(3));
                 Err(SubmitError::QueueFull)
             }
         }
@@ -843,7 +915,15 @@ impl RuntimeHandle for ConcurrentRuntime {
             match job.ex.state() {
                 ExecState::WaitingGrace => {
                     let cmds = job.ex.on_tick(now, &mut self.xids);
-                    Self::register(&mut self.routes, &mut self.stats, id, job, now, &cmds);
+                    Self::register(
+                        &mut self.routes,
+                        &mut self.stats,
+                        &self.obs,
+                        id,
+                        job,
+                        now,
+                        &cmds,
+                    );
                     Self::record_sent(&mut self.resync, &cmds);
                     Self::outputs(cmds, &mut out);
                 }
@@ -882,7 +962,15 @@ impl RuntimeHandle for ConcurrentRuntime {
                         job.ex.force_fail();
                     } else if !due.is_empty() {
                         let cmds = job.ex.retransmit(&mut self.xids, &due);
-                        Self::register(&mut self.routes, &mut self.stats, id, job, now, &cmds);
+                        Self::register(
+                            &mut self.routes,
+                            &mut self.stats,
+                            &self.obs,
+                            id,
+                            job,
+                            now,
+                            &cmds,
+                        );
                         Self::record_sent(&mut self.resync, &cmds);
                         Self::outputs(cmds, &mut out);
                     }
@@ -902,7 +990,7 @@ impl RuntimeHandle for ConcurrentRuntime {
             out.push(CtrlOutput::Send(dp, env));
         }
         for dp in give_up {
-            self.quarantine(dp);
+            self.quarantine(dp, now);
         }
         self.reap(now);
         self.launch(now, &mut out);
@@ -923,6 +1011,14 @@ impl RuntimeHandle for ConcurrentRuntime {
             if self.resync.owns(from, env.xid) {
                 let repairs = self.resync.on_report(from, payload, now, &mut self.xids);
                 out.extend(repairs.into_iter().map(|e| CtrlOutput::Send(from, e)));
+                if !self.resync.audit_in_flight(from) {
+                    self.obs.inc(Ctr::Resyncs);
+                    self.obs.emit(
+                        Event::new(now, EventKind::ResyncDone)
+                            .dp(from.0)
+                            .aux(self.resync.stats().rules_replayed),
+                    );
+                }
                 return out;
             }
         }
@@ -941,8 +1037,18 @@ impl RuntimeHandle for ConcurrentRuntime {
             // so this difference is always a clean RTT sample (no Karn
             // ambiguity — retransmissions re-key).
             if let Some(&(_, sent)) = timer.outstanding.iter().find(|(x, _)| *x == env.xid) {
-                self.rto.observe(from, now.saturating_since(sent));
+                let rtt = now.saturating_since(sent);
+                self.rto.observe(from, rtt);
+                self.obs.observe(HistId::BarrierRttNs, rtt.as_nanos());
+                self.obs.emit(
+                    Event::new(now, EventKind::BarrierFence)
+                        .span(job_id.0)
+                        .dp(from.0)
+                        .round(prev_round)
+                        .aux(rtt.as_nanos()),
+                );
             }
+            self.obs.inc(Ctr::BarrierFences);
             // A reply to ANY outstanding transmission fences the round's
             // content at this switch (identical FlowMods precede every
             // barrier); translate older xids to the one the executor
@@ -953,6 +1059,12 @@ impl RuntimeHandle for ConcurrentRuntime {
             // Payload (echo) acks match by exact xid — every
             // transmission's echo stays valid, so no translation.
             self.routes.remove(&(from, env.xid));
+            self.obs.emit(
+                Event::new(now, EventKind::FlowModAck)
+                    .span(job_id.0)
+                    .dp(from.0)
+                    .round(prev_round),
+            );
             job.ex.on_message(now, from, env, &mut self.xids)
         };
         // The switch is done with its round when the round advanced or
@@ -983,8 +1095,32 @@ impl RuntimeHandle for ConcurrentRuntime {
                 round,
                 at: now,
             });
+            self.obs.emit(
+                Event::new(now, EventKind::RoundCommit)
+                    .span(job_id.0)
+                    .round(round),
+            );
         }
-        Self::register(&mut self.routes, &mut self.stats, job_id, job, now, &cmds);
+        if job.ex.current_round() != prev_round
+            && !matches!(job.ex.state(), ExecState::Done | ExecState::Failed)
+        {
+            self.obs.inc(Ctr::RoundsDispatched);
+            self.obs.emit(
+                Event::new(now, EventKind::RoundDispatch)
+                    .span(job_id.0)
+                    .round(job.ex.current_round())
+                    .aux(job.ex.current_round_width() as u64),
+            );
+        }
+        Self::register(
+            &mut self.routes,
+            &mut self.stats,
+            &self.obs,
+            job_id,
+            job,
+            now,
+            &cmds,
+        );
         Self::record_sent(&mut self.resync, &cmds);
         Self::outputs(cmds, &mut out);
         self.reap(now);
@@ -1019,7 +1155,10 @@ impl RuntimeHandle for ConcurrentRuntime {
         s
     }
 
-    fn on_disconnect(&mut self, dp: DpId, _now: SimTime) {
+    fn on_disconnect(&mut self, dp: DpId, now: SimTime) {
+        self.obs.inc(Ctr::Disconnects);
+        self.obs
+            .emit(Event::new(now, EventKind::Disconnect).dp(dp.0));
         // probes in the pipe died with the connection; the next
         // reconnect restarts the audit cleanly
         self.resync.abort(dp);
@@ -1027,6 +1166,9 @@ impl RuntimeHandle for ConcurrentRuntime {
 
     fn on_reconnect(&mut self, dp: DpId, now: SimTime) -> Vec<CtrlOutput> {
         self.stats.reconnects += 1;
+        self.obs.inc(Ctr::Reconnects);
+        self.obs
+            .emit(Event::new(now, EventKind::Reconnect).dp(dp.0));
         // the switch is back: clean slate, then audit-and-repair
         self.quarantined.remove(&dp);
         self.strikes.remove(&dp);
@@ -1034,6 +1176,8 @@ impl RuntimeHandle for ConcurrentRuntime {
             return Vec::new(); // nothing was ever intended for it
         }
         let probe = self.resync.begin(dp, now, &mut self.xids);
+        self.obs
+            .emit(Event::new(now, EventKind::ResyncBegin).dp(dp.0));
         vec![CtrlOutput::Send(dp, probe)]
     }
 
@@ -1051,15 +1195,30 @@ impl RuntimeHandle for ConcurrentRuntime {
         self.resync.intended_hashes(dp)
     }
 
-    fn recover_from_crash(&mut self, _now: SimTime) -> bool {
+    fn recover_from_crash(&mut self, now: SimTime) -> bool {
         if !self.journal.is_enabled() {
             return false;
         }
+        let obs = self.obs.clone();
+        let replayed = self.journal.len() as u64;
         let journal = std::mem::take(&mut self.journal);
         let prior = self.stats.recoveries;
         *self = Self::recover(self.config, journal);
         self.stats.recoveries += prior;
+        // the sink survives the rebuild: its ring still holds the
+        // pre-crash events the dump below exists to preserve
+        self.obs = obs;
+        self.obs.inc(Ctr::JournalReplays);
+        self.obs.inc(Ctr::CrashRecoveries);
+        self.obs
+            .emit(Event::new(now, EventKind::JournalReplay).aux(replayed));
+        self.obs.emit(Event::new(now, EventKind::CrashRecover));
+        self.obs.dump(DumpReason::CrashRecovery, now);
         true
+    }
+
+    fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     fn status_report(&self) -> StatusReport {

@@ -24,6 +24,7 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
+use sdn_obs::{Ctr, DumpReason, Event, EventKind, HistId, Obs};
 use sdn_openflow::messages::{Envelope, OfMessage};
 use sdn_types::{DpId, SimTime};
 use update_core::partition::ShardAssignment;
@@ -142,6 +143,9 @@ struct XPending {
     tenant: TenantId,
     deadline: Option<SimTime>,
     submitted: SimTime,
+    /// Prepare attempts so far (observability: the prepare-rounds
+    /// histogram records this at commit).
+    attempts: u32,
 }
 
 /// A committed cross-shard update: reservations held until the
@@ -183,13 +187,16 @@ pub struct FabricCoordinator {
     harvested: Vec<usize>,
     /// Per-switch footprint touches since boot (rebalance advice).
     touch: BTreeMap<DpId, u64>,
-    /// Seat migrations in flight: `dp → (from, to)`. A switch stays
-    /// here from `MigrateBegin` until its source shard fences
+    /// Seat migrations in flight: `dp → (from, to, begun)`. A switch
+    /// stays here from `MigrateBegin` until its source shard fences
     /// quiescent and the seat moves (`MigrateCommitted`).
-    migrations: BTreeMap<DpId, (u32, u32)>,
+    migrations: BTreeMap<DpId, (u32, u32, SimTime)>,
     /// Fabric-level counters for work no sub-runtime has on its books
     /// (quota/deadline rejections, queued prepares, fabric aborts).
     overlay: RuntimeStats,
+    /// Observability sink, stamped with the coordinator's own shard
+    /// tag (one past the last shard); shards carry per-shard clones.
+    obs: Obs,
 }
 
 impl FabricCoordinator {
@@ -240,6 +247,7 @@ impl FabricCoordinator {
             touch: BTreeMap::new(),
             migrations: BTreeMap::new(),
             overlay: RuntimeStats::default(),
+            obs: Obs::disabled(),
             shards,
         }
     }
@@ -285,20 +293,24 @@ impl FabricCoordinator {
     ) -> Result<(), MigrateError> {
         if to.0 >= self.shard_count() {
             self.overlay.migration_aborts += 1;
+            self.obs.inc(Ctr::MigrationsAborted);
             return Err(MigrateError::BadShard(to));
         }
         if self.migrations.contains_key(&dp) {
             self.overlay.migration_aborts += 1;
+            self.obs.inc(Ctr::MigrationsAborted);
             return Err(MigrateError::AlreadyMigrating(dp));
         }
         let from = self.assign.shard_of(dp);
         if !self.touch.contains_key(&dp) && self.shards[from as usize].intended_hashes(dp).is_none()
         {
             self.overlay.migration_aborts += 1;
+            self.obs.inc(Ctr::MigrationsAborted);
             return Err(MigrateError::UnknownSwitch(dp));
         }
         if from == to.0 {
             self.overlay.migration_aborts += 1;
+            self.obs.inc(Ctr::MigrationsAborted);
             return Err(MigrateError::SameShard {
                 dp,
                 shard: ShardId(from),
@@ -310,7 +322,12 @@ impl FabricCoordinator {
             to: to.0,
             at: now,
         });
-        self.migrations.insert(dp, (from, to.0));
+        self.migrations.insert(dp, (from, to.0, now));
+        self.obs.emit(
+            Event::new(now, EventKind::MigrateFence)
+                .dp(dp.0)
+                .aux(to.0 as u64),
+        );
         Ok(())
     }
 
@@ -335,9 +352,9 @@ impl FabricCoordinator {
     /// extract the seat behind the fence, install it on the
     /// destination, swap the assignment override, journal the commit.
     fn drive_migrations(&mut self, now: SimTime) {
-        let pending: Vec<(DpId, (u32, u32))> =
+        let pending: Vec<(DpId, (u32, u32, SimTime))> =
             self.migrations.iter().map(|(&dp, &m)| (dp, m)).collect();
-        for (dp, (from, to)) in pending {
+        for (dp, (from, to, begun)) in pending {
             if !self.shards[from as usize].seat_quiescent(dp) {
                 continue;
             }
@@ -352,6 +369,14 @@ impl FabricCoordinator {
             });
             self.migrations.remove(&dp);
             self.overlay.migrations += 1;
+            let pause = now.saturating_since(begun);
+            self.obs.inc(Ctr::MigrationsCommitted);
+            self.obs.observe(HistId::MigrationPauseNs, pause.as_nanos());
+            self.obs.emit(
+                Event::new(now, EventKind::MigrateCommit)
+                    .dp(dp.0)
+                    .aux(pause.as_nanos()),
+            );
         }
     }
 
@@ -377,6 +402,12 @@ impl FabricCoordinator {
             return Attempt::Blocked;
         }
         let rid = reserve_id(x.id);
+        self.obs.inc(Ctr::PreparesSent);
+        self.obs.emit(
+            Event::new(now, EventKind::XPrepare)
+                .span(x.id.0)
+                .aux(x.involved.len() as u64),
+        );
         let mut taken: Vec<u32> = Vec::new();
         for &s in &x.involved {
             let slice = x.footprint.slice(|dp| self.assign.shard_of(dp) == s);
@@ -387,9 +418,13 @@ impl FabricCoordinator {
                 for &t in &taken {
                     self.shards[t as usize].release(rid);
                 }
+                self.obs
+                    .emit(Event::new(now, EventKind::XPrepareAck).span(x.id.0).aux(0));
                 return Attempt::Blocked;
             }
         }
+        self.obs
+            .emit(Event::new(now, EventKind::XPrepareAck).span(x.id.0).aux(1));
         self.journal.append(&JournalRecord::Prepared {
             id: x.id,
             shards: x.involved.clone(),
@@ -414,6 +449,13 @@ impl FabricCoordinator {
                         coord: t.job,
                         involved: x.involved.clone(),
                     },
+                );
+                self.obs
+                    .observe(HistId::PrepareRounds, x.attempts.max(1) as u64);
+                self.obs.emit(
+                    Event::new(now, EventKind::XCommit)
+                        .span(x.id.0)
+                        .aux(t.job.0),
                 );
                 Attempt::Committed
             }
@@ -488,6 +530,9 @@ impl RuntimeHandle for FabricCoordinator {
         if req.deadline.is_some_and(|d| now > d) {
             self.overlay.submitted += 1;
             self.overlay.rejected += 1;
+            self.obs.inc(Ctr::Submitted);
+            self.obs.inc(Ctr::Rejected);
+            self.obs.emit(Event::new(now, EventKind::Reject).aux(1));
             return Err(SubmitError::DeadlineExpired);
         }
         if let Some(limit) = self.tenants.quota_for(req.tenant) {
@@ -495,6 +540,9 @@ impl RuntimeHandle for FabricCoordinator {
             if in_flight >= limit {
                 self.overlay.submitted += 1;
                 self.overlay.rejected += 1;
+                self.obs.inc(Ctr::Submitted);
+                self.obs.inc(Ctr::Rejected);
+                self.obs.emit(Event::new(now, EventKind::Reject).aux(2));
                 return Err(SubmitError::QuotaExceeded {
                     tenant: req.tenant,
                     limit,
@@ -540,6 +588,11 @@ impl RuntimeHandle for FabricCoordinator {
             deadline: req.deadline,
             at: now,
         });
+        self.obs.emit(
+            Event::new(now, EventKind::Submit)
+                .span(id.0)
+                .aux(self.xqueue.len() as u64),
+        );
         let x = XPending {
             id,
             update: req.update,
@@ -549,6 +602,7 @@ impl RuntimeHandle for FabricCoordinator {
             tenant: req.tenant,
             deadline: req.deadline,
             submitted: now,
+            attempts: 1,
         };
         match self.attempt(&x, now) {
             Attempt::Committed => Ok(SubmitTicket {
@@ -613,6 +667,7 @@ impl RuntimeHandle for FabricCoordinator {
                 );
                 continue;
             }
+            x.attempts += 1;
             match self.attempt(&x, now) {
                 Attempt::Committed | Attempt::Refused => {
                     // either way the coordinator runtime's books carry
@@ -790,10 +845,23 @@ impl RuntimeHandle for FabricCoordinator {
         self.begin_migration(dp, ShardId(to), now).is_ok()
     }
 
+    fn attach_obs(&mut self, obs: Obs) {
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            s.attach_obs(obs.for_shard(i as u32));
+        }
+        // the coordinator runtime and the fabric itself share the tag
+        // one past the last shard, keeping their rings separate from
+        // shard-local traffic
+        let coord_tag = self.shards.len() as u32;
+        self.coord.attach_obs(obs.for_shard(coord_tag));
+        self.obs = obs.for_shard(coord_tag);
+    }
+
     fn recover_from_crash(&mut self, now: SimTime) -> bool {
         if !self.journal.is_enabled() {
             return false;
         }
+        let replayed = self.journal.len() as u64;
         for s in &mut self.shards {
             s.recover_from_crash(now);
         }
@@ -926,6 +994,7 @@ impl RuntimeHandle for FabricCoordinator {
                         tenant: x.tenant,
                         deadline: x.deadline,
                         submitted: x.submitted,
+                        attempts: 0,
                     });
                 }
             }
@@ -942,8 +1011,17 @@ impl RuntimeHandle for FabricCoordinator {
             self.journal
                 .append(&JournalRecord::MigrateAborted { dp, at: now });
             self.overlay.migration_aborts += 1;
+            self.obs.inc(Ctr::MigrationsAborted);
+            self.obs
+                .emit(Event::new(now, EventKind::MigrateAbort).dp(dp.0));
         }
         self.harvest();
+        self.obs.inc(Ctr::JournalReplays);
+        self.obs.inc(Ctr::CrashRecoveries);
+        self.obs
+            .emit(Event::new(now, EventKind::JournalReplay).aux(replayed));
+        self.obs.emit(Event::new(now, EventKind::CrashRecover));
+        self.obs.dump(DumpReason::CrashRecovery, now);
         true
     }
 }

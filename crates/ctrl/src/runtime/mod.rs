@@ -47,6 +47,7 @@ pub use rto::{RtoConfig, RtoTable};
 pub use seat::SwitchSeat;
 pub use submit::{SubmitError, SubmitOutcome, SubmitRequest, SubmitTicket, TenantId};
 
+use sdn_obs::Obs;
 use sdn_openflow::messages::{Envelope, OfMessage};
 use sdn_types::{DpId, SimDuration, SimTime};
 
@@ -283,6 +284,12 @@ pub trait RuntimeHandle {
     fn recover_from_crash(&mut self, _now: SimTime) -> bool {
         false
     }
+
+    /// Attach an observability sink: lifecycle events, metrics and
+    /// flight-recorder rings flow into `obs` from here on. Runtimes
+    /// without instrumentation ignore it (the serial controller — the
+    /// paper's baseline — stays unmeasured on purpose).
+    fn attach_obs(&mut self, _obs: Obs) {}
 
     /// Start moving the per-switch seat of `dp` to shard `to`, when
     /// this runtime is a sharded fabric. Returns whether a migration

@@ -1,0 +1,377 @@
+//! # sdn-obs — control-plane observability
+//!
+//! The paper's subject is what happens *during* an update: the
+//! transient window in which asynchronously applied rules can violate
+//! the waypoint policy. This crate makes that window — and the whole
+//! update lifecycle around it — visible:
+//!
+//! * [`event`] — typed, fixed-size trace [`Event`]s with virtual-time
+//!   stamps and a per-update [`SpanId`], emitted at every lifecycle
+//!   edge by the runtimes, the fabric, the transport and the
+//!   simulator;
+//! * [`metrics`] — a [`Registry`] of counters, gauges and log₂
+//!   [`Histogram`]s (submit→commit latency, barrier RTT, queue depth,
+//!   prepare round-trips, migration pause, and the per-flow
+//!   transient-violation window width);
+//! * [`recorder`] — a bounded per-shard flight-recorder [`Ring`] that
+//!   dumps its last N events as structured JSON on crash recovery,
+//!   quarantine, or an observed violation;
+//! * [`prometheus`] — text exposition for `GET /v1/metrics` and a
+//!   strict validator for tests and CI.
+//!
+//! Everything is keyed to virtual time, so a seeded chaos replay
+//! reproduces event streams, metric values and dump bytes exactly.
+//!
+//! The entry point is [`Obs`]: a cheap cloneable handle. A *disabled*
+//! handle (the default) is a `None` pointer — every call is a branch
+//! and a return, which is what the E12 overhead experiment measures.
+
+pub mod event;
+pub mod metrics;
+pub mod prometheus;
+pub mod recorder;
+
+pub use event::{Event, EventKind, SpanId, NO_DP, NO_SPAN};
+pub use metrics::{Ctr, Gauge, HistId, Histogram, Registry};
+pub use recorder::{Dump, DumpReason, Ring, DEFAULT_RING};
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use sdn_types::SimTime;
+
+/// Cap on spans retained for `GET /v1/trace/{job}`; oldest jobs are
+/// evicted first.
+const MAX_SPANS: usize = 1024;
+/// Cap on events retained per span.
+const MAX_SPAN_EVENTS: usize = 4096;
+
+#[derive(Debug)]
+struct ObsInner {
+    registry: Registry,
+    ring_cap: usize,
+    rings: BTreeMap<u32, Ring>,
+    spans: BTreeMap<u64, Vec<Event>>,
+    dumps: Vec<Dump>,
+}
+
+/// The observability handle threaded through the stack.
+///
+/// Cloning shares the sink: a fabric clones its handle into each
+/// shard (tagged with the shard id via [`Obs::for_shard`]), the
+/// simulator clones it into the world, and the REST layer reads the
+/// same sink for exposition. The [`Obs::disabled`] handle makes every
+/// operation a no-op so instrumented code needs no `cfg` or `if`
+/// guards.
+#[derive(Debug, Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Mutex<ObsInner>>>,
+    shard: u32,
+}
+
+impl Obs {
+    /// A live handle with the default ring capacity.
+    pub fn recording() -> Self {
+        Self::with_ring(DEFAULT_RING)
+    }
+
+    /// A live handle whose flight-recorder rings hold `cap` events.
+    pub fn with_ring(cap: usize) -> Self {
+        Obs {
+            inner: Some(Arc::new(Mutex::new(ObsInner {
+                registry: Registry::default(),
+                ring_cap: cap.max(1),
+                rings: BTreeMap::new(),
+                spans: BTreeMap::new(),
+                dumps: Vec::new(),
+            }))),
+            shard: 0,
+        }
+    }
+
+    /// The no-op handle.
+    pub fn disabled() -> Self {
+        Obs::default()
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A clone that stamps `shard` on events emitted without an
+    /// explicit shard tag, and dumps into that shard's ring.
+    pub fn for_shard(&self, shard: u32) -> Self {
+        Obs {
+            inner: self.inner.clone(),
+            shard,
+        }
+    }
+
+    /// Record one event: into its shard's ring and, when it belongs
+    /// to a span, into that span's trace.
+    pub fn emit(&self, mut ev: Event) {
+        let inner = match &self.inner {
+            Some(i) => i,
+            None => return,
+        };
+        if ev.shard == 0 {
+            ev.shard = self.shard;
+        }
+        let mut g = inner.lock().unwrap();
+        let cap = g.ring_cap;
+        g.rings
+            .entry(ev.shard)
+            .or_insert_with(|| Ring::new(cap))
+            .push(ev);
+        if ev.span != NO_SPAN {
+            if !g.spans.contains_key(&ev.span.0) && g.spans.len() >= MAX_SPANS {
+                let oldest = *g.spans.keys().next().unwrap();
+                g.spans.remove(&oldest);
+            }
+            let trace = g.spans.entry(ev.span.0).or_default();
+            if trace.len() < MAX_SPAN_EVENTS {
+                trace.push(ev);
+            }
+        }
+    }
+
+    /// Bump a counter by one.
+    pub fn inc(&self, c: Ctr) {
+        self.add(c, 1);
+    }
+
+    /// Bump a counter.
+    pub fn add(&self, c: Ctr, n: u64) {
+        if let Some(i) = &self.inner {
+            i.lock().unwrap().registry.add(c, n);
+        }
+    }
+
+    /// Set a gauge.
+    pub fn set_gauge(&self, g: Gauge, v: i64) {
+        if let Some(i) = &self.inner {
+            i.lock().unwrap().registry.set(g, v);
+        }
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&self, h: HistId, v: u64) {
+        if let Some(i) = &self.inner {
+            i.lock().unwrap().registry.observe(h, v);
+        }
+    }
+
+    /// Take a flight-recorder dump of `shard`'s ring. The dump is
+    /// retained (see [`Obs::dumps`]) and counted. Returns the JSON,
+    /// or `None` when disabled or the ring has never seen an event.
+    pub fn dump_shard(&self, reason: DumpReason, shard: u32, at: SimTime) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        let mut g = inner.lock().unwrap();
+        let json = {
+            let ring = g.rings.get(&shard)?;
+            if ring.is_empty() {
+                return None;
+            }
+            recorder::render_dump(reason, shard, at, ring)
+        };
+        g.registry.add(Ctr::Dumps, 1);
+        g.dumps.push(Dump {
+            reason,
+            shard,
+            at,
+            json: json.clone(),
+        });
+        Some(json)
+    }
+
+    /// [`Obs::dump_shard`] against this handle's own shard tag.
+    pub fn dump(&self, reason: DumpReason, at: SimTime) -> Option<String> {
+        self.dump_shard(reason, self.shard, at)
+    }
+
+    /// All dumps taken so far, in trigger order.
+    pub fn dumps(&self) -> Vec<Dump> {
+        match &self.inner {
+            Some(i) => i.lock().unwrap().dumps.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A snapshot of the metrics registry (disabled handles answer
+    /// the empty registry).
+    pub fn registry(&self) -> Registry {
+        match &self.inner {
+            Some(i) => i.lock().unwrap().registry.clone(),
+            None => Registry::default(),
+        }
+    }
+
+    /// Prometheus text page: the registry plus caller-supplied extra
+    /// counters (the runtime's status counters ride in here).
+    pub fn prometheus_with(&self, extras: &[(&str, &str, u64)]) -> String {
+        prometheus::render_with(&self.registry(), extras)
+    }
+
+    /// Prometheus text page of the registry alone.
+    pub fn prometheus(&self) -> String {
+        self.prometheus_with(&[])
+    }
+
+    /// The raw event trace of one job, in emission order.
+    pub fn span_events(&self, job: u64) -> Vec<Event> {
+        match &self.inner {
+            Some(i) => i
+                .lock()
+                .unwrap()
+                .spans
+                .get(&job)
+                .cloned()
+                .unwrap_or_default(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The span tree of one job as JSON: job-level lifecycle events
+    /// at the root, round-level events grouped beneath their round.
+    /// `None` when the job has no recorded events.
+    pub fn trace_json(&self, job: u64) -> Option<String> {
+        let evs = self.span_events(job);
+        if evs.is_empty() {
+            return None;
+        }
+        let round_level = |k: EventKind| {
+            matches!(
+                k,
+                EventKind::RoundDispatch
+                    | EventKind::FlowModSend
+                    | EventKind::FlowModAck
+                    | EventKind::BarrierFence
+                    | EventKind::RoundCommit
+            )
+        };
+        let mut out = String::with_capacity(128 + evs.len() * 96);
+        out.push_str("{\"job\":");
+        out.push_str(&job.to_string());
+        out.push_str(",\"first_ns\":");
+        out.push_str(&evs.first().unwrap().at.as_nanos().to_string());
+        out.push_str(",\"last_ns\":");
+        out.push_str(&evs.last().unwrap().at.as_nanos().to_string());
+        out.push_str(",\"lifecycle\":[");
+        let mut first = true;
+        for ev in evs.iter().filter(|e| !round_level(e.kind)) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&ev.to_json());
+        }
+        out.push_str("],\"rounds\":[");
+        let mut rounds: BTreeMap<u32, Vec<&Event>> = BTreeMap::new();
+        for ev in evs.iter().filter(|e| round_level(e.kind)) {
+            rounds.entry(ev.round).or_default().push(ev);
+        }
+        for (i, (round, revs)) in rounds.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"round\":");
+            out.push_str(&round.to_string());
+            out.push_str(",\"events\":[");
+            for (j, ev) in revs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&ev.to_json());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdn_types::SimDuration;
+
+    fn at(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_nanos(n)
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.emit(Event::new(at(1), EventKind::Submit).span(1));
+        obs.inc(Ctr::Submitted);
+        obs.observe(HistId::BarrierRttNs, 5);
+        assert!(!obs.is_enabled());
+        assert!(obs.dump(DumpReason::Quarantine, at(2)).is_none());
+        assert!(obs.trace_json(1).is_none());
+        assert_eq!(obs.registry().counter(Ctr::Submitted), 0);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let obs = Obs::recording();
+        let shard2 = obs.for_shard(2);
+        shard2.emit(Event::new(at(1), EventKind::Submit).span(9));
+        obs.inc(Ctr::Submitted);
+        shard2.inc(Ctr::Submitted);
+        assert_eq!(obs.registry().counter(Ctr::Submitted), 2);
+        let evs = obs.span_events(9);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].shard, 2, "shard tag stamped on emit");
+        assert!(shard2.dump(DumpReason::CrashRecovery, at(5)).is_some());
+        assert!(
+            obs.dump(DumpReason::CrashRecovery, at(5)).is_none(),
+            "shard 0 ring empty"
+        );
+        assert_eq!(obs.registry().counter(Ctr::Dumps), 1);
+    }
+
+    #[test]
+    fn trace_groups_rounds() {
+        let obs = Obs::recording();
+        obs.emit(Event::new(at(1), EventKind::Submit).span(4));
+        obs.emit(Event::new(at(2), EventKind::Admit).span(4));
+        obs.emit(
+            Event::new(at(3), EventKind::RoundDispatch)
+                .span(4)
+                .round(0)
+                .aux(2),
+        );
+        obs.emit(
+            Event::new(at(4), EventKind::FlowModSend)
+                .span(4)
+                .round(0)
+                .dp(7),
+        );
+        obs.emit(
+            Event::new(at(9), EventKind::BarrierFence)
+                .span(4)
+                .round(0)
+                .dp(7)
+                .aux(5),
+        );
+        obs.emit(Event::new(at(9), EventKind::RoundCommit).span(4).round(0));
+        obs.emit(Event::new(at(12), EventKind::Commit).span(4).aux(11));
+        let tree = obs.trace_json(4).unwrap();
+        assert!(tree.starts_with("{\"job\":4,"));
+        assert!(tree.contains("\"lifecycle\":[{\"at_ns\":1,\"kind\":\"submit\""));
+        assert!(tree.contains("\"rounds\":[{\"round\":0,"));
+        assert!(tree.contains("\"kind\":\"barrier_fence\""));
+        assert!(obs.trace_json(5).is_none());
+    }
+
+    #[test]
+    fn span_eviction_keeps_newest() {
+        let obs = Obs::recording();
+        for job in 0..(MAX_SPANS as u64 + 8) {
+            obs.emit(Event::new(at(job), EventKind::Submit).span(job));
+        }
+        assert!(obs.span_events(0).is_empty(), "oldest span evicted");
+        assert_eq!(obs.span_events(MAX_SPANS as u64 + 7).len(), 1);
+    }
+}

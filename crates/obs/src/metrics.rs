@@ -1,0 +1,408 @@
+//! The metrics registry: a closed set of counters, gauges and
+//! fixed-bucket log₂ histograms.
+//!
+//! The registry is three flat arrays indexed by enum ordinal, so the
+//! hot path — `inc`, `set`, `observe` — is an array store with no
+//! allocation, no hashing, and no string handling. Names, help text
+//! and units live in static tables consulted only at exposition time.
+
+/// Monotone counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Ctr {
+    /// Updates offered for execution.
+    Submitted,
+    /// Updates admitted into the queue.
+    Admitted,
+    /// Updates refused at admission.
+    Rejected,
+    /// Rounds dispatched across all updates.
+    RoundsDispatched,
+    /// FlowMod+barrier envelopes sent to switches.
+    FlowModsSent,
+    /// Barrier replies that fenced a round slice.
+    BarrierFences,
+    /// Updates that committed every round.
+    Commits,
+    /// Updates that failed or were cancelled.
+    Aborts,
+    /// Cross-shard prepare requests issued by the coordinator.
+    PreparesSent,
+    /// Resync audits that converged.
+    Resyncs,
+    /// Switches quarantined.
+    Quarantines,
+    /// Write-ahead journal replays.
+    JournalReplays,
+    /// Faults injected by the chaos harness.
+    Faults,
+    /// Controller crash-recovery cycles.
+    CrashRecoveries,
+    /// Seat migrations committed.
+    MigrationsCommitted,
+    /// Seat migrations unwound.
+    MigrationsAborted,
+    /// Transport (re)connects observed.
+    Reconnects,
+    /// Transport disconnects observed.
+    Disconnects,
+    /// Waypoint-violating probe deliveries observed.
+    Violations,
+    /// Flight-recorder dumps taken.
+    Dumps,
+}
+
+/// `(variant, metric name, help)` — the exposition table for [`Ctr`].
+pub const CTR_TABLE: &[(Ctr, &str, &str)] = &[
+    (
+        Ctr::Submitted,
+        "sdn_updates_submitted_total",
+        "Updates offered for execution",
+    ),
+    (
+        Ctr::Admitted,
+        "sdn_updates_admitted_total",
+        "Updates admitted into the queue",
+    ),
+    (
+        Ctr::Rejected,
+        "sdn_updates_rejected_total",
+        "Updates refused at admission",
+    ),
+    (
+        Ctr::RoundsDispatched,
+        "sdn_rounds_dispatched_total",
+        "Rounds dispatched across all updates",
+    ),
+    (
+        Ctr::FlowModsSent,
+        "sdn_flowmods_sent_total",
+        "FlowMod+barrier envelopes sent to switches",
+    ),
+    (
+        Ctr::BarrierFences,
+        "sdn_barrier_fences_total",
+        "Barrier replies that fenced a round slice",
+    ),
+    (
+        Ctr::Commits,
+        "sdn_updates_committed_total",
+        "Updates that committed every round",
+    ),
+    (
+        Ctr::Aborts,
+        "sdn_updates_aborted_total",
+        "Updates that failed or were cancelled",
+    ),
+    (
+        Ctr::PreparesSent,
+        "sdn_xshard_prepares_total",
+        "Cross-shard prepare requests issued",
+    ),
+    (
+        Ctr::Resyncs,
+        "sdn_resyncs_total",
+        "Resync audits that converged",
+    ),
+    (
+        Ctr::Quarantines,
+        "sdn_quarantines_total",
+        "Switches quarantined",
+    ),
+    (
+        Ctr::JournalReplays,
+        "sdn_journal_replays_total",
+        "Write-ahead journal replays",
+    ),
+    (
+        Ctr::Faults,
+        "sdn_faults_injected_total",
+        "Faults injected by the chaos harness",
+    ),
+    (
+        Ctr::CrashRecoveries,
+        "sdn_crash_recoveries_total",
+        "Controller crash-recovery cycles",
+    ),
+    (
+        Ctr::MigrationsCommitted,
+        "sdn_migrations_committed_total",
+        "Seat migrations committed",
+    ),
+    (
+        Ctr::MigrationsAborted,
+        "sdn_migrations_aborted_total",
+        "Seat migrations unwound",
+    ),
+    (
+        Ctr::Reconnects,
+        "sdn_reconnects_total",
+        "Transport (re)connects observed",
+    ),
+    (
+        Ctr::Disconnects,
+        "sdn_disconnects_total",
+        "Transport disconnects observed",
+    ),
+    (
+        Ctr::Violations,
+        "sdn_violations_total",
+        "Waypoint-violating probe deliveries observed",
+    ),
+    (
+        Ctr::Dumps,
+        "sdn_flight_dumps_total",
+        "Flight-recorder dumps taken",
+    ),
+];
+
+/// Instantaneous gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Jobs waiting for dispatch.
+    QueueDepth,
+    /// Jobs currently executing.
+    ActiveJobs,
+    /// Outstanding per-payload acknowledgements.
+    PendingAcks,
+    /// Live transport connections.
+    Connections,
+    /// Switches mid-migration.
+    Migrating,
+}
+
+/// `(variant, metric name, help)` — the exposition table for [`Gauge`].
+pub const GAUGE_TABLE: &[(Gauge, &str, &str)] = &[
+    (
+        Gauge::QueueDepth,
+        "sdn_queue_depth",
+        "Jobs waiting for dispatch",
+    ),
+    (
+        Gauge::ActiveJobs,
+        "sdn_active_jobs",
+        "Jobs currently executing",
+    ),
+    (
+        Gauge::PendingAcks,
+        "sdn_pending_acks",
+        "Outstanding per-payload acknowledgements",
+    ),
+    (
+        Gauge::Connections,
+        "sdn_connections",
+        "Live transport connections",
+    ),
+    (
+        Gauge::Migrating,
+        "sdn_migrating_seats",
+        "Switches mid-migration",
+    ),
+];
+
+/// Log₂-bucket histograms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistId {
+    /// Submit → commit latency, nanoseconds of virtual time.
+    SubmitToCommitNs,
+    /// Barrier round-trip time, nanoseconds.
+    BarrierRttNs,
+    /// Admission-queue depth sampled at each submit.
+    QueueDepthAtSubmit,
+    /// Prepare round-trips a cross-shard job needed before commit.
+    PrepareRounds,
+    /// Seat-migration pause width (fence → install), nanoseconds.
+    MigrationPauseNs,
+    /// Per-flow transient-violation window width, nanoseconds — the
+    /// paper's headline quantity: first to last violating delivery of
+    /// one injection plan.
+    ViolationWindowNs,
+}
+
+/// `(variant, metric name, help)` — the exposition table for [`HistId`].
+pub const HIST_TABLE: &[(HistId, &str, &str)] = &[
+    (
+        HistId::SubmitToCommitNs,
+        "sdn_submit_to_commit_ns",
+        "Submit to commit latency in virtual nanoseconds",
+    ),
+    (
+        HistId::BarrierRttNs,
+        "sdn_barrier_rtt_ns",
+        "Barrier round-trip time in virtual nanoseconds",
+    ),
+    (
+        HistId::QueueDepthAtSubmit,
+        "sdn_queue_depth_at_submit",
+        "Admission-queue depth sampled at each submit",
+    ),
+    (
+        HistId::PrepareRounds,
+        "sdn_xshard_prepare_rounds",
+        "Prepare round-trips before a cross-shard commit",
+    ),
+    (
+        HistId::MigrationPauseNs,
+        "sdn_migration_pause_ns",
+        "Seat-migration pause width in virtual nanoseconds",
+    ),
+    (
+        HistId::ViolationWindowNs,
+        "sdn_violation_window_ns",
+        "Per-flow transient-violation window width in virtual nanoseconds",
+    ),
+];
+
+/// Number of log₂ buckets: bucket `i` counts values `v` with
+/// `v <= 2^i`, the last bucket is the +Inf overflow. 2⁶³ ns of
+/// virtual time is ~292 years — nothing overflows in practice.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-bucket log₂ histogram. `buckets[i]` counts observations in
+/// `(2^(i-1), 2^i]` (bucket 0 takes 0 and 1). No allocation ever.
+#[derive(Debug, Clone, Copy)]
+pub struct Histogram {
+    /// Non-cumulative per-bucket counts; index [`BUCKETS`]-1 is the
+    /// overflow bucket.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of observed values.
+    pub sum: u128,
+    /// Number of observations.
+    pub count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one value: two integer ops and three stores.
+    pub fn observe(&mut self, v: u64) {
+        let idx = if v <= 1 {
+            0
+        } else {
+            // ceil(log2(v)): the bucket whose upper bound 2^idx first
+            // reaches v.
+            (64 - (v - 1).leading_zeros()) as usize
+        };
+        self.buckets[idx.min(BUCKETS - 1)] += 1;
+        self.sum += v as u128;
+        self.count += 1;
+    }
+
+    /// Index of the highest non-empty bucket, if any observation
+    /// exists (bounds how many `le` lines exposition emits).
+    pub fn max_bucket(&self) -> Option<usize> {
+        (0..BUCKETS).rev().find(|&i| self.buckets[i] > 0)
+    }
+}
+
+/// The registry: one array per metric class.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    counters: [u64; CTR_TABLE.len()],
+    gauges: [i64; GAUGE_TABLE.len()],
+    hists: [Histogram; HIST_TABLE.len()],
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            counters: [0; CTR_TABLE.len()],
+            gauges: [0; GAUGE_TABLE.len()],
+            hists: [Histogram::default(); HIST_TABLE.len()],
+        }
+    }
+}
+
+impl Registry {
+    /// Add to a counter.
+    pub fn add(&mut self, c: Ctr, n: u64) {
+        self.counters[c as usize] += n;
+    }
+
+    /// Read a counter.
+    pub fn counter(&self, c: Ctr) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Set a gauge.
+    pub fn set(&mut self, g: Gauge, v: i64) {
+        self.gauges[g as usize] = v;
+    }
+
+    /// Read a gauge.
+    pub fn gauge(&self, g: Gauge) -> i64 {
+        self.gauges[g as usize]
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&mut self, h: HistId, v: u64) {
+        self.hists[h as usize].observe(v);
+    }
+
+    /// Read a histogram.
+    pub fn hist(&self, h: HistId) -> &Histogram {
+        &self.hists[h as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_upper_bounds() {
+        let mut h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(4);
+        h.observe(1024);
+        h.observe(1025);
+        assert_eq!(h.buckets[0], 2); // 0, 1
+        assert_eq!(h.buckets[1], 1); // 2
+        assert_eq!(h.buckets[2], 2); // 3, 4
+        assert_eq!(h.buckets[10], 1); // 1024
+        assert_eq!(h.buckets[11], 1); // 1025
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, (1 + 2 + 3 + 4 + 1024 + 1025) as u128);
+        assert_eq!(h.max_bucket(), Some(11));
+    }
+
+    #[test]
+    fn registry_round_trips() {
+        let mut r = Registry::default();
+        r.add(Ctr::Submitted, 3);
+        r.set(Gauge::QueueDepth, 7);
+        r.observe(HistId::BarrierRttNs, 500_000);
+        assert_eq!(r.counter(Ctr::Submitted), 3);
+        assert_eq!(r.gauge(Gauge::QueueDepth), 7);
+        assert_eq!(r.hist(HistId::BarrierRttNs).count, 1);
+        assert_eq!(r.counter(Ctr::Commits), 0);
+    }
+
+    #[test]
+    fn tables_cover_every_variant_in_order() {
+        for (i, (c, name, help)) in CTR_TABLE.iter().enumerate() {
+            assert_eq!(*c as usize, i, "counter table out of order at {name}");
+            assert!(name.ends_with("_total"));
+            assert!(!help.is_empty());
+        }
+        for (i, (g, _, _)) in GAUGE_TABLE.iter().enumerate() {
+            assert_eq!(*g as usize, i);
+        }
+        for (i, (h, _, _)) in HIST_TABLE.iter().enumerate() {
+            assert_eq!(*h as usize, i);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The flight recorder: a bounded per-shard ring of recent events,
+//! dumped as structured JSON when something goes wrong.
+//!
+//! Recording is a ring-buffer store; the ring never reallocates after
+//! the first wrap. A dump snapshots the ring — oldest event first —
+//! into one JSON document tagged with the trigger reason, the shard,
+//! and the virtual time of the dump. Because every field is derived
+//! from virtual time and deterministic runtime state, replaying a
+//! seeded chaos scenario reproduces each dump byte for byte.
+
+use crate::event::Event;
+use sdn_types::SimTime;
+
+/// Default ring capacity per shard.
+pub const DEFAULT_RING: usize = 256;
+
+/// Why a dump was taken. Stable slugs appear in the dump's `reason`
+/// field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DumpReason {
+    /// A controller crash-recovery cycle ran.
+    CrashRecovery,
+    /// A switch was quarantined.
+    Quarantine,
+    /// A probe was observed violating the waypoint policy.
+    Violation,
+}
+
+impl DumpReason {
+    /// Stable lower-snake slug.
+    pub fn slug(self) -> &'static str {
+        match self {
+            DumpReason::CrashRecovery => "crash_recovery",
+            DumpReason::Quarantine => "quarantine",
+            DumpReason::Violation => "violation",
+        }
+    }
+}
+
+/// One shard's bounded event ring.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    cap: usize,
+    buf: Vec<Event>,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    /// Total events ever pushed (so dumps can report drops).
+    pushed: u64,
+}
+
+impl Ring {
+    /// An empty ring holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Ring {
+            cap: cap.max(1),
+            buf: Vec::new(),
+            head: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Append, evicting the oldest event once full.
+    pub fn push(&mut self, ev: Event) {
+        self.pushed += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (wrapped, tail) = self.buf.split_at(self.head);
+        tail.iter().chain(wrapped.iter())
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed, including evicted ones.
+    pub fn pushed(&self) -> u64 {
+        self.pushed
+    }
+}
+
+/// A completed dump: the JSON document plus its trigger metadata.
+#[derive(Debug, Clone)]
+pub struct Dump {
+    /// Why it was taken.
+    pub reason: DumpReason,
+    /// Which shard's ring it snapshots.
+    pub shard: u32,
+    /// Virtual time of the trigger.
+    pub at: SimTime,
+    /// The rendered JSON document.
+    pub json: String,
+}
+
+/// Render one dump document from a ring snapshot.
+///
+/// Schema: `{"reason": str, "shard": int, "at_ns": int, "dropped":
+/// int, "events": [event...]}` where each event follows
+/// [`Event::to_json`] and `dropped` counts events evicted before the
+/// snapshot.
+pub fn render_dump(reason: DumpReason, shard: u32, at: SimTime, ring: &Ring) -> String {
+    let mut s = String::with_capacity(64 + ring.len() * 96);
+    s.push_str("{\"reason\":\"");
+    s.push_str(reason.slug());
+    s.push_str("\",\"shard\":");
+    s.push_str(&shard.to_string());
+    s.push_str(",\"at_ns\":");
+    s.push_str(&at.as_nanos().to_string());
+    s.push_str(",\"dropped\":");
+    s.push_str(&(ring.pushed() - ring.len() as u64).to_string());
+    s.push_str(",\"events\":[");
+    for (i, ev) in ring.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&ev.to_json());
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use sdn_types::{SimDuration, SimTime};
+
+    fn ev(n: u64) -> Event {
+        Event::new(
+            SimTime::ZERO + SimDuration::from_nanos(n),
+            EventKind::Submit,
+        )
+        .span(n)
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = Ring::new(3);
+        for n in 0..5 {
+            r.push(ev(n));
+        }
+        let held: Vec<u64> = r.iter().map(|e| e.span.0).collect();
+        assert_eq!(held, vec![2, 3, 4]);
+        assert_eq!(r.pushed(), 5);
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_reports_drops() {
+        let build = || {
+            let mut r = Ring::new(2);
+            r.push(ev(1));
+            r.push(ev(2));
+            r.push(ev(3));
+            render_dump(
+                DumpReason::Quarantine,
+                1,
+                SimTime::ZERO + SimDuration::from_nanos(9),
+                &r,
+            )
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a, b);
+        assert!(a.contains("\"reason\":\"quarantine\""));
+        assert!(a.contains("\"dropped\":1"));
+        assert!(a.contains("\"at_ns\":9"));
+    }
+}

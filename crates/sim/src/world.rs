@@ -17,6 +17,7 @@ use sdn_ctrl::runtime::{
     ConcurrentRuntime, FabricConfig, FabricCoordinator, RuntimeConfig, RuntimeHandle, StatusReport,
     SubmitOutcome, SubmitRequest,
 };
+use sdn_obs::{Ctr, DumpReason, Event as ObsEvent, EventKind, HistId, Obs};
 use sdn_openflow::codec::{decode, encode};
 use sdn_openflow::flow::PacketMeta;
 use sdn_openflow::messages::OfMessage;
@@ -65,6 +66,9 @@ impl Default for WorldConfig {
 #[derive(Debug, Clone)]
 struct PacketInFlight {
     injected_at: SimTime,
+    /// Index of the [`InjectPlan`] that launched this packet — the
+    /// flow its violations are windowed under.
+    plan: usize,
     path: Vec<DpId>,
     /// Waypoint this packet is judged against (captured from the
     /// active waypoint when its flow was planned).
@@ -110,6 +114,15 @@ pub struct World {
     fault_disconnects: u64,
     fault_reconnects: u64,
     controller_crashes: u64,
+    /// Observability sink (disabled by default). The world emits fault
+    /// and violation events and measures per-flow violation windows;
+    /// the runtime carries its own clone.
+    obs: Obs,
+    /// Per-plan `(first, last)` violating completion times — the
+    /// transient-violation window the paper is about.
+    violation_spans: BTreeMap<usize, (SimTime, SimTime)>,
+    /// Plans whose window width has been flushed to the histogram.
+    violation_flushed: BTreeSet<usize>,
 }
 
 /// Step-by-step [`World`] construction: pick the controller core
@@ -126,6 +139,7 @@ pub struct WorldBuilder {
     topo: Topology,
     cfg: WorldConfig,
     runtime: Option<Box<dyn RuntimeHandle>>,
+    obs: Obs,
 }
 
 impl WorldBuilder {
@@ -159,12 +173,25 @@ impl WorldBuilder {
         self
     }
 
+    /// Attach an observability sink: the runtime gets a clone (via
+    /// [`RuntimeHandle::attach_obs`]) and the world itself emits fault
+    /// and transient-violation events into the same sink.
+    pub fn obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Construct the world.
     pub fn build(self) -> World {
-        let runtime = self
+        let mut runtime = self
             .runtime
             .unwrap_or_else(|| Box::new(Controller::new(self.cfg.ctrl)));
-        World::over(self.topo, self.cfg, runtime)
+        if self.obs.is_enabled() {
+            runtime.attach_obs(self.obs.clone());
+        }
+        let mut w = World::over(self.topo, self.cfg, runtime);
+        w.obs = self.obs;
+        w
     }
 }
 
@@ -175,6 +202,7 @@ impl World {
             topo,
             cfg: WorldConfig::default(),
             runtime: None,
+            obs: Obs::disabled(),
         }
     }
 
@@ -217,6 +245,9 @@ impl World {
             fault_disconnects: 0,
             fault_reconnects: 0,
             controller_crashes: 0,
+            obs: Obs::disabled(),
+            violation_spans: BTreeMap::new(),
+            violation_flushed: BTreeSet::new(),
             topo,
             cfg,
         }
@@ -277,6 +308,12 @@ impl World {
     /// The controller core, for inspection (stats, reports, status).
     pub fn runtime(&self) -> &dyn RuntimeHandle {
         self.controller.as_ref()
+    }
+
+    /// The observability sink this world emits into (the disabled
+    /// no-op handle unless one was attached at build time).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The live `GET /status` snapshot: queue depth, active jobs,
@@ -477,6 +514,10 @@ impl World {
                 if let Some(p) = self.packets.get_mut(&id) {
                     let via_waypoint = p.waypoint.is_none_or(|w| p.path.contains(&w));
                     p.finished = Some((self.now, PacketOutcome::Delivered { via_waypoint }));
+                    let plan = p.plan;
+                    if !via_waypoint {
+                        self.note_violation(plan, None, 1);
+                    }
                 }
             }
         }
@@ -492,12 +533,54 @@ impl World {
         self.boots.get(&dp).copied().unwrap_or(0)
     }
 
+    /// Record one injected fault: counter plus a typed event whose
+    /// `aux` codes the kind (1 link-down, 2 link-up, 3 reboot,
+    /// 4 controller crash, 5 seat migration).
+    fn note_fault(&mut self, dp: Option<DpId>, kind: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.inc(Ctr::Faults);
+        let mut ev = ObsEvent::new(self.now, EventKind::Fault).aux(kind);
+        if let Some(dp) = dp {
+            ev = ev.dp(dp.0);
+        }
+        self.obs.emit(ev);
+    }
+
+    /// Record a probe's violating completion: event, counter, the
+    /// per-flow window bookkeeping, and a flight-recorder dump on the
+    /// flow's first violation. `aux` codes the violation class
+    /// (1 waypoint bypass, 2 blackhole, 3 loop).
+    fn note_violation(&mut self, plan: usize, at_dp: Option<DpId>, aux: u64) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.inc(Ctr::Violations);
+        let mut ev = ObsEvent::new(self.now, EventKind::Violation).aux(aux);
+        if let Some(dp) = at_dp {
+            ev = ev.dp(dp.0);
+        }
+        self.obs.emit(ev);
+        let first = !self.violation_spans.contains_key(&plan);
+        let span = self
+            .violation_spans
+            .entry(plan)
+            .or_insert((self.now, self.now));
+        span.1 = self.now;
+        if first {
+            // dump once per flow, at the moment the window opens
+            self.obs.dump(DumpReason::Violation, self.now);
+        }
+    }
+
     fn apply_fault(&mut self, fault: FaultKind) {
         match fault {
             FaultKind::LinkDown(dp) => {
                 if !self.switches.contains_key(&dp) || !self.down.insert(dp) {
                     return;
                 }
+                self.note_fault(Some(dp), 1);
                 *self.epochs.entry(dp).or_default() += 1;
                 self.fault_disconnects += 1;
                 self.controller.on_disconnect(dp, self.now);
@@ -506,6 +589,7 @@ impl World {
                 if !self.down.remove(&dp) {
                     return;
                 }
+                self.note_fault(Some(dp), 2);
                 self.fault_reconnects += 1;
                 let outs = self.controller.on_reconnect(dp, self.now);
                 self.dispatch(outs);
@@ -514,6 +598,7 @@ impl World {
                 if !self.switches.contains_key(&dp) {
                     return;
                 }
+                self.note_fault(Some(dp), 3);
                 // process restart: table and processing queue wiped,
                 // connection re-established under a fresh epoch
                 *self.boots.entry(dp).or_default() += 1;
@@ -529,6 +614,7 @@ impl World {
                 self.dispatch(outs);
             }
             FaultKind::CrashController => {
+                self.note_fault(None, 4);
                 self.controller_crashes += 1;
                 // the crash tears down every control connection
                 let dps: Vec<DpId> = self.switches.keys().copied().collect();
@@ -545,10 +631,13 @@ impl World {
             FaultKind::MigrateSeat { dp, to } => {
                 // committing the seat move happens inside the runtime's
                 // poll, so make sure one is coming even when idle
-                if self.controller.begin_seat_migration(dp, to, self.now) && !self.polling {
-                    self.polling = true;
-                    self.queue
-                        .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
+                if self.controller.begin_seat_migration(dp, to, self.now) {
+                    self.note_fault(Some(dp), 5);
+                    if !self.polling {
+                        self.polling = true;
+                        self.queue
+                            .push(self.now + self.cfg.poll_interval, Event::CtrlPoll);
+                    }
                 }
             }
         }
@@ -598,6 +687,7 @@ impl World {
             id,
             PacketInFlight {
                 injected_at: self.now,
+                plan: plan_idx,
                 path: Vec::new(),
                 waypoint: plan.waypoint,
                 finished: None,
@@ -637,7 +727,7 @@ impl World {
 
     fn packet_at_switch(&mut self, id: u64, dp: DpId, meta: PacketMeta) {
         let max_hops = self.cfg.max_hops;
-        {
+        let plan = {
             let Some(p) = self.packets.get_mut(&id) else {
                 return;
             };
@@ -647,9 +737,12 @@ impl World {
             p.path.push(dp);
             if p.path.len() > max_hops {
                 p.finished = Some((self.now, PacketOutcome::Looped));
+                let plan = p.plan;
+                self.note_violation(plan, Some(dp), 3);
                 return;
             }
-        }
+            p.plan
+        };
         let Some(sw) = self.switches.get_mut(&dp) else {
             return;
         };
@@ -658,6 +751,7 @@ impl World {
             if let Some(p) = self.packets.get_mut(&id) {
                 p.finished = Some((self.now, PacketOutcome::Dropped { at: dp }));
             }
+            self.note_violation(plan, Some(dp), 2);
             return;
         }
         // unicast routing rules: forward the first emitted copy
@@ -692,11 +786,25 @@ impl World {
                 if let Some(p) = self.packets.get_mut(&id) {
                     p.finished = Some((self.now, PacketOutcome::Dropped { at: dp }));
                 }
+                self.note_violation(plan, Some(dp), 2);
             }
         }
     }
 
     fn finish_report(&mut self) -> SimReport {
+        // flush per-flow transient-violation windows: width = first to
+        // last violating completion of one injection plan (0 for a
+        // single violation), observed once per flow
+        if self.obs.is_enabled() {
+            for (&plan, &(first, last)) in &self.violation_spans {
+                if self.violation_flushed.insert(plan) {
+                    self.obs.observe(
+                        HistId::ViolationWindowNs,
+                        last.saturating_since(first).as_nanos(),
+                    );
+                }
+            }
+        }
         let mut packets: Vec<PacketRecord> = self
             .packets
             .iter()
